@@ -1,0 +1,360 @@
+//! Per-core stress accounting.
+//!
+//! [`StressTracker`] is the bookkeeping layer between the aging model and
+//! the scheduling policies: every epoch the system reports each core's
+//! drawn power and busy fraction; the tracker integrates damage (total and
+//! since-last-test), maintains an exponentially weighted utilisation
+//! average, and remembers when each core last completed a test.
+
+use crate::model::AgingModel;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one core's stress state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreStress {
+    /// Lifetime accumulated damage.
+    pub total_damage: f64,
+    /// Damage accumulated since the last completed test.
+    pub damage_since_test: f64,
+    /// Exponentially weighted utilisation in `[0, 1]`.
+    pub utilization: f64,
+    /// Simulation time (seconds) when the core last completed a test;
+    /// negative infinity-like sentinel (−1) if never tested.
+    pub last_test_time: f64,
+    /// Number of completed tests.
+    pub tests_completed: u64,
+    /// Portion of `total_damage` that can still heal (NBTI recovery);
+    /// zero unless the aging model enables recovery.
+    pub recoverable_damage: f64,
+}
+
+impl Default for CoreStress {
+    fn default() -> Self {
+        CoreStress {
+            total_damage: 0.0,
+            damage_since_test: 0.0,
+            utilization: 0.0,
+            last_test_time: -1.0,
+            tests_completed: 0,
+            recoverable_damage: 0.0,
+        }
+    }
+}
+
+impl CoreStress {
+    /// Seconds since the last completed test, treating "never tested" as
+    /// since time zero.
+    pub fn time_since_test(&self, now: f64) -> f64 {
+        if self.last_test_time < 0.0 {
+            now
+        } else {
+            (now - self.last_test_time).max(0.0)
+        }
+    }
+}
+
+/// Stress bookkeeping for a fixed population of cores.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_aging::prelude::*;
+///
+/// let aging = AgingModel::default();
+/// let mut tracker = StressTracker::new(4, 0.1);
+/// tracker.record_epoch(0, &aging, 1.5, 1.0, 0.001);
+/// tracker.record_epoch(1, &aging, 0.0, 0.0, 0.001);
+/// assert!(tracker.core(0).total_damage > tracker.core(1).total_damage);
+/// assert!(tracker.core(0).utilization > tracker.core(1).utilization);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StressTracker {
+    cores: Vec<CoreStress>,
+    ema_alpha: f64,
+}
+
+impl StressTracker {
+    /// Creates a tracker for `core_count` cores with utilisation EMA
+    /// smoothing factor `ema_alpha` (weight of the newest epoch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_count` is zero or `ema_alpha` is outside `(0, 1]`.
+    pub fn new(core_count: usize, ema_alpha: f64) -> Self {
+        assert!(core_count > 0, "need at least one core");
+        assert!(
+            ema_alpha > 0.0 && ema_alpha <= 1.0,
+            "EMA alpha must be in (0,1]"
+        );
+        StressTracker {
+            cores: vec![CoreStress::default(); core_count],
+            ema_alpha,
+        }
+    }
+
+    /// Number of tracked cores.
+    pub fn core_count(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Records one epoch of operation for `core`: it drew `power` watts and
+    /// was busy for fraction `busy` of the epoch of length `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `busy` is outside `[0, 1]`.
+    pub fn record_epoch(
+        &mut self,
+        core: usize,
+        aging: &AgingModel,
+        power: f64,
+        busy: f64,
+        dt: f64,
+    ) {
+        assert!((0.0..=1.0).contains(&busy), "busy fraction must be in [0,1]");
+        let damage = aging.damage(power, dt);
+        let c = &mut self.cores[core];
+        Self::apply_damage(c, aging, damage, power, dt);
+        c.utilization = (1.0 - self.ema_alpha) * c.utilization + self.ema_alpha * busy;
+    }
+
+    /// Adds `damage` to a core and, when the aging model enables NBTI
+    /// recovery, heals part of the recoverable pool if the core's power
+    /// is below the idle threshold.
+    fn apply_damage(
+        c: &mut CoreStress,
+        aging: &AgingModel,
+        damage: f64,
+        power: f64,
+        dt: f64,
+    ) {
+        c.total_damage += damage;
+        c.damage_since_test += damage;
+        if let Some(rec) = aging.recovery {
+            c.recoverable_damage += damage * rec.recoverable_fraction;
+            if power < rec.idle_power_threshold {
+                let healed =
+                    c.recoverable_damage * (1.0 - (-dt / rec.time_constant).exp());
+                c.recoverable_damage -= healed;
+                c.total_damage = (c.total_damage - healed).max(0.0);
+                c.damage_since_test = (c.damage_since_test - healed).max(0.0);
+            }
+        }
+    }
+
+    /// Records one epoch like [`Self::record_epoch`], but with the
+    /// temperature supplied directly (e.g. from the transient
+    /// [`crate::thermal::ThermalGrid`]) instead of the steady-state proxy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range or `busy` is outside `[0, 1]`.
+    pub fn record_epoch_at_temperature(
+        &mut self,
+        core: usize,
+        aging: &AgingModel,
+        temperature: f64,
+        busy: f64,
+        dt: f64,
+    ) {
+        assert!((0.0..=1.0).contains(&busy), "busy fraction must be in [0,1]");
+        assert!(dt >= 0.0, "time must be non-negative");
+        let damage = aging.base_rate * aging.acceleration_at(temperature) * dt;
+        let c = &mut self.cores[core];
+        // Recovery keys off power; approximate "unstressed" as busy == 0
+        // by translating the temperature path's idleness into a tiny
+        // nominal power below any plausible threshold.
+        let power_proxy = if busy == 0.0 { 0.0 } else { f64::INFINITY };
+        Self::apply_damage(c, aging, damage, power_proxy, dt);
+        c.utilization = (1.0 - self.ema_alpha) * c.utilization + self.ema_alpha * busy;
+    }
+
+    /// Marks a completed test on `core` at time `now` (seconds): the
+    /// since-test damage resets, the test counter increments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn note_test_complete(&mut self, core: usize, now: f64) {
+        let c = &mut self.cores[core];
+        c.damage_since_test = 0.0;
+        c.last_test_time = now;
+        c.tests_completed += 1;
+    }
+
+    /// Read-only view of one core's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: usize) -> &CoreStress {
+        &self.cores[core]
+    }
+
+    /// Iterates over all cores' states in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &CoreStress> {
+        self.cores.iter()
+    }
+
+    /// The core with the highest lifetime damage.
+    pub fn most_worn(&self) -> usize {
+        self.cores
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.total_damage
+                    .partial_cmp(&b.total_damage)
+                    .expect("damage is never NaN")
+            })
+            .map(|(i, _)| i)
+            .expect("tracker has at least one core")
+    }
+
+    /// Mean utilisation over all cores.
+    pub fn mean_utilization(&self) -> f64 {
+        self.cores.iter().map(|c| c.utilization).sum::<f64>() / self.cores.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> (AgingModel, StressTracker) {
+        (AgingModel::default(), StressTracker::new(4, 0.2))
+    }
+
+    #[test]
+    fn damage_accumulates_per_core() {
+        let (aging, mut t) = tracker();
+        for _ in 0..10 {
+            t.record_epoch(0, &aging, 1.0, 1.0, 0.001);
+        }
+        t.record_epoch(1, &aging, 1.0, 1.0, 0.001);
+        assert!(t.core(0).total_damage > t.core(1).total_damage);
+        assert_eq!(t.core(2).total_damage, 0.0);
+    }
+
+    #[test]
+    fn utilization_ema_converges() {
+        let (aging, mut t) = tracker();
+        for _ in 0..100 {
+            t.record_epoch(0, &aging, 0.5, 1.0, 0.001);
+        }
+        assert!((t.core(0).utilization - 1.0).abs() < 1e-6);
+        for _ in 0..100 {
+            t.record_epoch(0, &aging, 0.0, 0.0, 0.001);
+        }
+        assert!(t.core(0).utilization < 1e-6);
+    }
+
+    #[test]
+    fn test_completion_resets_since_test_damage_only() {
+        let (aging, mut t) = tracker();
+        for _ in 0..5 {
+            t.record_epoch(0, &aging, 1.0, 1.0, 0.001);
+        }
+        let total_before = t.core(0).total_damage;
+        assert!(t.core(0).damage_since_test > 0.0);
+        t.note_test_complete(0, 0.005);
+        assert_eq!(t.core(0).damage_since_test, 0.0);
+        assert_eq!(t.core(0).total_damage, total_before);
+        assert_eq!(t.core(0).tests_completed, 1);
+        assert_eq!(t.core(0).last_test_time, 0.005);
+    }
+
+    #[test]
+    fn time_since_test_handles_never_tested() {
+        let c = CoreStress::default();
+        assert_eq!(c.time_since_test(3.0), 3.0);
+        let mut c2 = c;
+        c2.last_test_time = 2.0;
+        assert_eq!(c2.time_since_test(3.0), 1.0);
+        assert_eq!(c2.time_since_test(1.0), 0.0); // clock shear is clamped
+    }
+
+    #[test]
+    fn most_worn_finds_hot_core() {
+        let (aging, mut t) = tracker();
+        t.record_epoch(2, &aging, 2.0, 1.0, 0.01);
+        t.record_epoch(1, &aging, 0.5, 1.0, 0.01);
+        assert_eq!(t.most_worn(), 2);
+    }
+
+    #[test]
+    fn mean_utilization_averages() {
+        let (aging, mut t) = tracker();
+        // Single epoch with alpha 0.2: util = 0.2 on one of four cores.
+        t.record_epoch(0, &aging, 0.0, 1.0, 0.001);
+        assert!((t.mean_utilization() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "busy fraction")]
+    fn invalid_busy_panics() {
+        let (aging, mut t) = tracker();
+        t.record_epoch(0, &aging, 0.0, 1.5, 0.001);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        StressTracker::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "EMA alpha")]
+    fn bad_alpha_panics() {
+        StressTracker::new(1, 0.0);
+    }
+
+    #[test]
+    fn recovery_heals_idle_cores_only() {
+        use crate::model::RecoveryParams;
+        let aging = AgingModel::default().with_recovery(RecoveryParams::default());
+        let mut t = StressTracker::new(2, 0.2);
+        // Both cores accumulate identical stress while busy.
+        for _ in 0..100 {
+            t.record_epoch(0, &aging, 1.0, 1.0, 0.001);
+            t.record_epoch(1, &aging, 1.0, 1.0, 0.001);
+        }
+        let loaded = t.core(0).total_damage;
+        let pool_after_load = t.core(0).recoverable_damage;
+        assert!(pool_after_load > 0.0);
+        // Core 0 rests (power-gated); core 1 keeps working.
+        for _ in 0..500 {
+            t.record_epoch(0, &aging, 0.0, 0.0, 0.001);
+            t.record_epoch(1, &aging, 1.0, 1.0, 0.001);
+        }
+        // The rested core healed: its damage grew by less than the idle
+        // wear it accrued (healing offset part of it)...
+        let idle_wear = aging.damage(0.0, 0.5);
+        assert!(t.core(0).total_damage < loaded + idle_wear);
+        // ...and far less than the still-working core.
+        assert!(t.core(1).total_damage > t.core(0).total_damage + 0.5 * idle_wear);
+        // The recoverable pool drains towards its idle equilibrium.
+        assert!(t.core(0).recoverable_damage < 0.5 * pool_after_load);
+    }
+
+    #[test]
+    fn no_recovery_without_opt_in() {
+        let aging = AgingModel::default();
+        let mut t = StressTracker::new(1, 0.2);
+        for _ in 0..50 {
+            t.record_epoch(0, &aging, 1.0, 1.0, 0.001);
+        }
+        let peak = t.core(0).total_damage;
+        for _ in 0..50 {
+            t.record_epoch(0, &aging, 0.0, 0.0, 0.001);
+        }
+        assert!(t.core(0).total_damage >= peak, "permanent damage never heals");
+        assert_eq!(t.core(0).recoverable_damage, 0.0);
+    }
+
+    #[test]
+    fn iter_visits_all_cores() {
+        let (_, t) = tracker();
+        assert_eq!(t.iter().count(), 4);
+        assert_eq!(t.core_count(), 4);
+    }
+}

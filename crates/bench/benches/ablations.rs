@@ -1,0 +1,31 @@
+//! Criterion bench timing the A1–A3 ablation studies at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{a1_intrusiveness, a2_criticality_weights, a3_abort_overhead, a4_level_rotation, a5_thermal_model, a6_contention, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("a1_intrusiveness", |b| {
+        b.iter(|| std::hint::black_box(a1_intrusiveness(Scale::Quick)))
+    });
+    group.bench_function("a2_criticality_weights", |b| {
+        b.iter(|| std::hint::black_box(a2_criticality_weights(Scale::Quick)))
+    });
+    group.bench_function("a3_abort_overhead", |b| {
+        b.iter(|| std::hint::black_box(a3_abort_overhead(Scale::Quick)))
+    });
+    group.bench_function("a4_level_rotation", |b| {
+        b.iter(|| std::hint::black_box(a4_level_rotation(Scale::Quick)))
+    });
+    group.bench_function("a5_thermal_model", |b| {
+        b.iter(|| std::hint::black_box(a5_thermal_model(Scale::Quick)))
+    });
+    group.bench_function("a6_contention", |b| {
+        b.iter(|| std::hint::black_box(a6_contention(Scale::Quick)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

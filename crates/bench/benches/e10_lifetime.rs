@@ -1,0 +1,14 @@
+//! Criterion bench regenerating E10 (weakest-link lifetime) at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{e10_lifetime, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_lifetime");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e10_lifetime(Scale::Quick))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

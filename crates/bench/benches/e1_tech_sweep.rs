@@ -1,0 +1,14 @@
+//! Criterion bench regenerating E1 (throughput penalty vs technology node) at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{e1_tech_sweep, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_tech_sweep");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e1_tech_sweep(Scale::Quick))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

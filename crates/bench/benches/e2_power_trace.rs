@@ -1,0 +1,14 @@
+//! Criterion bench regenerating E2 (chip power trace under the TDP cap) at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{e2_power_trace, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_power_trace");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e2_power_trace(Scale::Quick))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion bench regenerating E3 (test share of consumed power vs load) at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{e3_test_power_share, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_test_power_share");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e3_test_power_share(Scale::Quick))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

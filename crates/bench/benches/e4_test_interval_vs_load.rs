@@ -1,0 +1,14 @@
+//! Criterion bench regenerating E4 (test interval vs load) at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{e4_test_interval_vs_load, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_test_interval_vs_load");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e4_test_interval_vs_load(Scale::Quick))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

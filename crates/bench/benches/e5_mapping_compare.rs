@@ -1,0 +1,14 @@
+//! Criterion bench regenerating E5 (baseline vs test-aware mapping) at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{e5_mapping_compare, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_mapping_compare");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e5_mapping_compare(Scale::Quick))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion bench regenerating E6 (criticality adaptation) at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{e6_criticality_adaptation, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_criticality_adaptation");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e6_criticality_adaptation(Scale::Quick))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

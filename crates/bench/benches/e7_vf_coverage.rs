@@ -1,0 +1,14 @@
+//! Criterion bench regenerating E7 (DVFS-level coverage) at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{e7_vf_coverage, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_vf_coverage");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e7_vf_coverage(Scale::Quick))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

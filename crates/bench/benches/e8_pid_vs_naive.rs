@@ -1,0 +1,14 @@
+//! Criterion bench regenerating E8 (PID vs naive power budgeting) at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{e8_pid_vs_naive, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_pid_vs_naive");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e8_pid_vs_naive(Scale::Quick))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Criterion bench regenerating E9 (dark-silicon premise) at quick scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use manytest_bench::{e9_dark_silicon, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_dark_silicon");
+    group.sample_size(10);
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e9_dark_silicon(Scale::Quick))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

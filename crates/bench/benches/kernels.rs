@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the simulator's hot kernels: one control epoch of
+//! the full system, a mapping decision, the region search, XY routing and
+//! the power model. These bound how far the experiments can scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use manytest_core::prelude::*;
+use manytest_map::{ConaMapper, MapContext, Mapper, TestAwareMapper};
+use manytest_noc::{xy_route, Coord, Mesh2D, RegionSearch};
+use manytest_power::{PowerModel, VfLadder};
+use manytest_sim::SimRng;
+use manytest_workload::presets;
+
+fn bench_full_system_ms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system");
+    group.sample_size(10);
+    group.bench_function("run_100ms_16nm", |b| {
+        b.iter_batched(
+            || {
+                SystemBuilder::new(TechNode::N16)
+                    .seed(1)
+                    .arrival_rate(1_000.0)
+                    .sim_time_ms(100)
+                    .build()
+                    .expect("valid config")
+            },
+            |system| std::hint::black_box(system.run()),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mesh = Mesh2D::new(16, 16);
+    let mut ctx = MapContext::all_free(mesh);
+    let mut rng = SimRng::seed_from(3);
+    for coord in mesh.coords() {
+        if rng.gen_bool(0.4) {
+            ctx.set_free(coord, false);
+        }
+        ctx.set_utilization(coord, rng.next_f64());
+        ctx.set_criticality(coord, rng.next_f64() * 3.0);
+    }
+    let app = presets::vopd();
+    let cona = ConaMapper::new();
+    let tum = TestAwareMapper::default();
+    let mut group = c.benchmark_group("mapping");
+    group.bench_function("cona_vopd_16x16", |b| {
+        b.iter(|| std::hint::black_box(cona.map(&ctx, &app)))
+    });
+    group.bench_function("tum_vopd_16x16", |b| {
+        b.iter(|| std::hint::black_box(tum.map(&ctx, &app)))
+    });
+    group.finish();
+}
+
+fn bench_region_search(c: &mut Criterion) {
+    let mesh = Mesh2D::new(16, 16);
+    let search = RegionSearch::new(mesh);
+    c.bench_function("region_search_12_of_256", |b| {
+        b.iter(|| {
+            std::hint::black_box(search.find(
+                12,
+                |coord| (coord.x as usize + coord.y as usize) % 3 != 0,
+                |coord| coord.x as f64,
+            ))
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    c.bench_function("xy_route_diag_16", |b| {
+        b.iter(|| {
+            let route = xy_route(Coord::new(0, 0), Coord::new(15, 15));
+            std::hint::black_box(route.count())
+        })
+    });
+}
+
+fn bench_power_model(c: &mut Criterion) {
+    let model = PowerModel::for_node(TechNode::N16);
+    let ladder = VfLadder::for_node(TechNode::N16, 5);
+    c.bench_function("core_power_ladder", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for op in ladder.iter() {
+                acc += model.core_power(op, 0.5);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_full_system_ms,
+    bench_mapping,
+    bench_region_search,
+    bench_routing,
+    bench_power_model
+);
+criterion_main!(benches);

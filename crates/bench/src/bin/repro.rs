@@ -1,0 +1,77 @@
+//! Regenerates every figure/table of the (reconstructed) evaluation.
+//!
+//! ```sh
+//! cargo run -p manytest-bench --bin repro --release          # everything
+//! cargo run -p manytest-bench --bin repro --release -- e1 e5 # a subset (e1..e10, a1..a6)
+//! cargo run -p manytest-bench --bin repro --release -- --quick
+//! ```
+
+use manytest_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = wanted.is_empty();
+    let want = |id: &str| all || wanted.contains(&id);
+
+    println!("# manytest reproduction — DATE 2015 power-aware online testing");
+    println!(
+        "# scale: {:?} (pass --quick for short runs; select with ids e1..e10 and a1..a6)\n",
+        scale
+    );
+
+    if want("e1") {
+        print_e1(&e1_tech_sweep(scale));
+    }
+    if want("e2") {
+        print_e2(&e2_power_trace(scale));
+    }
+    if want("e3") {
+        print_e3(&e3_test_power_share(scale));
+    }
+    if want("e4") {
+        print_e4(&e4_test_interval_vs_load(scale));
+    }
+    if want("e5") {
+        print_e5(&e5_mapping_compare(scale));
+    }
+    if want("e6") {
+        print_e6(&e6_criticality_adaptation(scale));
+    }
+    if want("e7") {
+        print_e7(&e7_vf_coverage(scale));
+    }
+    if want("e8") {
+        print_e8(&e8_pid_vs_naive(scale));
+    }
+    if want("e9") {
+        print_e9(&e9_dark_silicon(scale));
+    }
+    if want("e10") {
+        print_e10(&e10_lifetime(scale));
+    }
+    if want("a1") {
+        print_a1(&a1_intrusiveness(scale));
+    }
+    if want("a2") {
+        print_a2(&a2_criticality_weights(scale));
+    }
+    if want("a3") {
+        print_a3(&a3_abort_overhead(scale));
+    }
+    if want("a4") {
+        print_a4(&a4_level_rotation(scale));
+    }
+    if want("a5") {
+        print_a5(&a5_thermal_model(scale));
+    }
+    if want("a6") {
+        print_a6(&a6_contention(scale));
+    }
+}

@@ -1,0 +1,161 @@
+//! Full system configuration.
+
+use manytest_aging::{AgingModel, CriticalityModel};
+use manytest_power::TechNode;
+use manytest_sbst::TestSchedulerConfig;
+use manytest_sim::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Which power governor drives the admission cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GovernorKind {
+    /// The ICCD'14 PID controller (the paper's setting).
+    Pid,
+    /// The naive bang-bang TDP policy (baseline).
+    Naive,
+    /// A fixed cap at exactly the TDP (no feedback).
+    FixedTdp,
+}
+
+/// Which runtime mapper places applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MapperKind {
+    /// Utilisation/test-agnostic contiguous mapping (CoNA-style baseline).
+    Baseline,
+    /// The paper's test-aware utilisation-oriented mapping.
+    TestAware,
+    /// Naive non-contiguous first-fit (lower-bound comparator).
+    FirstFit,
+}
+
+/// Everything a [`crate::System`] needs to run.
+///
+/// Construct through [`crate::SystemBuilder`]; the fields are public so
+/// experiment harnesses can record exactly what they ran.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Technology node (fixes mesh size, power params, TDP).
+    pub node: TechNode,
+    /// Control epoch length.
+    pub epoch: Duration,
+    /// Total simulated time.
+    pub horizon: Duration,
+    /// RNG seed for the whole run.
+    pub seed: u64,
+    /// Mean application arrival rate, apps/second.
+    pub arrival_rate: f64,
+    /// Deterministic evenly-spaced arrivals instead of Poisson.
+    pub periodic_arrivals: bool,
+    /// Number of DVFS levels in the ladder.
+    pub dvfs_levels: usize,
+    /// Instructions per cycle of workload code.
+    pub workload_ipc: f64,
+    /// Online testing enabled at all (off = the "no test" baseline).
+    pub testing_enabled: bool,
+    /// Test scheduler tuning.
+    pub test_scheduler: TestSchedulerConfig,
+    /// Governor choice.
+    pub governor: GovernorKind,
+    /// Mapper choice.
+    pub mapper: MapperKind,
+    /// Aging model parameters.
+    pub aging: AgingModel,
+    /// Criticality metric parameters.
+    pub criticality: CriticalityModel,
+    /// Number of latent faults to inject, spread uniformly over the first
+    /// half of the run (0 = none).
+    pub injected_faults: usize,
+    /// Time to restore architectural state when a task preempts an SBST
+    /// session on its core (the cost of non-intrusive abort).
+    pub abort_overhead: Duration,
+    /// Fraction of injected faults that are voltage dependent (observable
+    /// at exactly one DVFS level), in `[0, 1]`. Such faults are only
+    /// caught because the scheduler rotates tests through the ladder.
+    pub vf_windowed_fault_fraction: f64,
+    /// Mesh edge override (None = the node's edge at reference area).
+    pub mesh_edge_override: Option<u16>,
+    /// Model NoC link contention: message latencies are inflated by a
+    /// queueing-delay factor based on the previous epoch's link loads.
+    pub model_contention: bool,
+    /// Use the transient RC thermal grid instead of the steady-state
+    /// proxy to drive the aging model (slower, physically richer).
+    pub transient_thermal: bool,
+    /// Ablation switch: when true, a ready task **waits** for the session
+    /// on its core to finish instead of aborting it. The paper's scheduler
+    /// is non-intrusive (false); intrusive mode quantifies what that
+    /// property is worth.
+    pub intrusive_testing: bool,
+}
+
+impl SystemConfig {
+    /// The evaluation's default configuration for `node`: 1 ms epochs,
+    /// 500 ms horizon, PID governor, test-aware mapper, testing on.
+    pub fn for_node(node: TechNode) -> Self {
+        SystemConfig {
+            node,
+            epoch: Duration::from_ms(1),
+            horizon: Duration::from_ms(500),
+            seed: 1,
+            arrival_rate: 200.0,
+            periodic_arrivals: false,
+            dvfs_levels: 5,
+            workload_ipc: 1.0,
+            testing_enabled: true,
+            test_scheduler: TestSchedulerConfig::default(),
+            governor: GovernorKind::Pid,
+            mapper: MapperKind::TestAware,
+            aging: AgingModel::default(),
+            criticality: CriticalityModel::default(),
+            injected_faults: 0,
+            vf_windowed_fault_fraction: 0.0,
+            mesh_edge_override: None,
+            model_contention: false,
+            transient_thermal: false,
+            abort_overhead: Duration::from_us(50),
+            intrusive_testing: false,
+        }
+    }
+
+    /// Number of control epochs the horizon covers.
+    pub fn epoch_count(&self) -> u64 {
+        self.horizon.as_ns() / self.epoch.as_ns().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = SystemConfig::for_node(TechNode::N16);
+        assert_eq!(c.node, TechNode::N16);
+        assert!(c.testing_enabled);
+        assert_eq!(c.governor, GovernorKind::Pid);
+        assert_eq!(c.mapper, MapperKind::TestAware);
+        assert_eq!(c.epoch_count(), 500);
+    }
+
+    #[test]
+    fn epoch_count_rounds_down() {
+        let mut c = SystemConfig::for_node(TechNode::N45);
+        c.horizon = Duration::from_us(2_500);
+        c.epoch = Duration::from_ms(1);
+        assert_eq!(c.epoch_count(), 2);
+    }
+
+    #[test]
+    fn kinds_are_comparable() {
+        assert_ne!(GovernorKind::Pid, GovernorKind::Naive);
+        assert_ne!(MapperKind::Baseline, MapperKind::TestAware);
+    }
+
+    #[test]
+    fn debug_exposes_all_fields() {
+        let c = SystemConfig::for_node(TechNode::N22);
+        let dbg = format!("{c:?}");
+        assert!(dbg.contains("N22"));
+        assert!(dbg.contains("arrival_rate"));
+        assert!(dbg.contains("testing_enabled"));
+    }
+}

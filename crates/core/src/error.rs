@@ -1,0 +1,67 @@
+//! Configuration validation errors.
+
+use std::fmt;
+
+/// Error returned by [`crate::system::SystemBuilder::build`] when the
+/// configuration is inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The epoch length is zero.
+    ZeroEpoch,
+    /// The simulation horizon is shorter than one epoch.
+    HorizonTooShort,
+    /// The arrival rate is not strictly positive and finite.
+    InvalidArrivalRate,
+    /// Fewer than two DVFS levels were requested.
+    TooFewDvfsLevels,
+    /// The workload mix contains no sources.
+    EmptyWorkloadMix,
+    /// The mesh edge override is zero.
+    ZeroMesh,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ZeroEpoch => write!(f, "epoch length must be positive"),
+            BuildError::HorizonTooShort => {
+                write!(f, "simulation horizon must cover at least one epoch")
+            }
+            BuildError::InvalidArrivalRate => {
+                write!(f, "arrival rate must be positive and finite")
+            }
+            BuildError::TooFewDvfsLevels => write!(f, "need at least two DVFS levels"),
+            BuildError::EmptyWorkloadMix => write!(f, "workload mix has no sources"),
+            BuildError::ZeroMesh => write!(f, "mesh edge must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        for e in [
+            BuildError::ZeroEpoch,
+            BuildError::HorizonTooShort,
+            BuildError::InvalidArrivalRate,
+            BuildError::TooFewDvfsLevels,
+            BuildError::EmptyWorkloadMix,
+            BuildError::ZeroMesh,
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e: Box<dyn std::error::Error> = Box::new(BuildError::ZeroEpoch);
+        assert!(e.source().is_none());
+    }
+}

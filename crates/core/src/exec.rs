@@ -1,0 +1,278 @@
+//! Execution-plane state: per-core slots and in-flight applications.
+
+use manytest_power::{OperatingPoint, Reservation};
+use manytest_sbst::TestSession;
+use manytest_workload::{AppId, Application, TaskGraph, TaskId};
+use manytest_map::Mapping;
+
+/// What a core is doing right now (drives its power draw).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoreMode {
+    /// Power-gated: unallocated and not testing. Draws nothing.
+    Off,
+    /// Allocated to an application but its task is not running yet;
+    /// clocked at the application's operating point.
+    Idle(OperatingPoint),
+    /// Executing a task at the application's operating point.
+    Busy(OperatingPoint),
+    /// Running an SBST routine at the session's operating point with the
+    /// routine's activity factor.
+    Testing(OperatingPoint, f64),
+}
+
+/// Per-core runtime slot.
+#[derive(Debug)]
+pub struct CoreSlot {
+    /// Owning application and assigned task, if allocated.
+    pub owner: Option<(AppId, TaskId)>,
+    /// Active test session, if any.
+    pub session: Option<TestSession>,
+    /// Power reservation backing the active session.
+    pub session_reservation: Option<Reservation>,
+    /// Generation counter for session events (stale-event filtering).
+    pub session_gen: u64,
+    /// Current mode (drives power/stress accounting).
+    pub mode: CoreMode,
+    /// Time (seconds) the current mode started; accounting charges
+    /// `[accrued_since, now)` at each mode change.
+    pub accrued_since: f64,
+    /// Completion time (seconds) of each test on this core, for
+    /// test-interval statistics.
+    pub test_times: Vec<f64>,
+}
+
+impl CoreSlot {
+    /// A fresh, power-gated core at time zero.
+    pub fn new() -> Self {
+        CoreSlot {
+            owner: None,
+            session: None,
+            session_reservation: None,
+            session_gen: 0,
+            mode: CoreMode::Off,
+            accrued_since: 0.0,
+            test_times: Vec::new(),
+        }
+    }
+
+    /// True if the core may be offered to the test scheduler: it is not
+    /// executing a task and not already under test.
+    pub fn is_test_candidate(&self) -> bool {
+        self.session.is_none() && !matches!(self.mode, CoreMode::Busy(_) | CoreMode::Testing(..))
+    }
+
+    /// True if the runtime mapper may allocate this core.
+    pub fn is_free_for_mapping(&self) -> bool {
+        self.owner.is_none()
+    }
+}
+
+impl Default for CoreSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Lifecycle of one task inside a running application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TaskState {
+    /// Waiting for predecessors (and their messages).
+    Waiting,
+    /// All inputs have arrived; waiting for its core (e.g. test abort) or
+    /// already executing until the recorded finish time.
+    Running {
+        /// Exact completion time, seconds.
+        finish: f64,
+    },
+    /// Completed at the recorded time.
+    Done {
+        /// Exact completion time, seconds.
+        at: f64,
+    },
+}
+
+/// An admitted application executing on the mesh.
+#[derive(Debug)]
+pub struct RunningApp {
+    /// Identity of this instance.
+    pub id: AppId,
+    /// The task graph being executed.
+    pub graph: TaskGraph,
+    /// Task → core assignment.
+    pub mapping: Mapping,
+    /// Operating point all of the app's cores run at.
+    pub op: OperatingPoint,
+    /// Power reserved for the application's still-incomplete tasks.
+    pub reservation: Reservation,
+    /// Watts reserved per task; returned to the budget as tasks finish.
+    pub per_task_watts: f64,
+    /// Per-task lifecycle.
+    pub tasks: Vec<TaskState>,
+    /// Number of tasks in `Done`.
+    pub done_count: usize,
+    /// Arrival time, seconds (for latency statistics).
+    pub arrived_at: f64,
+    /// Admission time, seconds.
+    pub started_at: f64,
+}
+
+impl RunningApp {
+    /// True once every task completed.
+    pub fn is_complete(&self) -> bool {
+        self.done_count == self.tasks.len()
+    }
+
+    /// True if every predecessor of `task` is done.
+    pub fn predecessors_done(&self, task: TaskId) -> bool {
+        self.graph
+            .predecessors(task)
+            .all(|p| matches!(self.tasks[p.index()], TaskState::Done { .. }))
+    }
+
+    /// The time the last input message for `task` arrives, given each
+    /// predecessor's completion time plus its edge latency. Only valid
+    /// once [`Self::predecessors_done`] holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a predecessor is not done.
+    pub fn input_ready_time(&self, task: TaskId, edge_latency: impl Fn(TaskId, TaskId) -> f64) -> f64 {
+        self.graph
+            .predecessors(task)
+            .map(|p| {
+                let done_at = match self.tasks[p.index()] {
+                    TaskState::Done { at } => at,
+                    other => panic!("predecessor {p} not done: {other:?}"),
+                };
+                done_at + edge_latency(p, task)
+            })
+            .fold(self.started_at, f64::max)
+    }
+}
+
+/// A queued application waiting for admission.
+#[derive(Debug, Clone)]
+pub struct PendingApp {
+    /// The application (graph + identity + arrival stamp).
+    pub app: Application,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manytest_noc::Coord;
+    use manytest_power::{TechNode, VfLadder};
+    use manytest_workload::Task;
+
+    fn ladder_op() -> OperatingPoint {
+        VfLadder::for_node(TechNode::N16, 5).max()
+    }
+
+    fn two_task_app() -> (TaskGraph, Mapping) {
+        let mut g = TaskGraph::new("pair");
+        let a = g.add_task(Task { instructions: 100 });
+        let b = g.add_task(Task { instructions: 100 });
+        g.add_edge(a, b, 1000.0);
+        let m = Mapping::new(vec![Coord::new(0, 0), Coord::new(1, 0)]);
+        (g, m)
+    }
+
+    fn running(reservation: Reservation) -> RunningApp {
+        let (graph, mapping) = two_task_app();
+        RunningApp {
+            id: AppId(1),
+            tasks: vec![TaskState::Waiting; graph.task_count()],
+            graph,
+            mapping,
+            op: ladder_op(),
+            reservation,
+            per_task_watts: 0.5,
+            done_count: 0,
+            arrived_at: 0.0,
+            started_at: 0.001,
+        }
+    }
+
+    fn some_reservation() -> Reservation {
+        manytest_power::PowerBudget::new(10.0).reserve(1.0).unwrap()
+    }
+
+    #[test]
+    fn fresh_core_is_dark_and_testable() {
+        let c = CoreSlot::new();
+        assert_eq!(c.mode, CoreMode::Off);
+        assert!(c.is_test_candidate());
+        assert!(c.is_free_for_mapping());
+    }
+
+    #[test]
+    fn busy_core_is_neither_testable_nor_free() {
+        let mut c = CoreSlot::new();
+        c.owner = Some((AppId(1), TaskId(0)));
+        c.mode = CoreMode::Busy(ladder_op());
+        assert!(!c.is_test_candidate());
+        assert!(!c.is_free_for_mapping());
+    }
+
+    #[test]
+    fn allocated_idle_core_is_testable_but_not_free() {
+        let mut c = CoreSlot::new();
+        c.owner = Some((AppId(1), TaskId(0)));
+        c.mode = CoreMode::Idle(ladder_op());
+        assert!(c.is_test_candidate());
+        assert!(!c.is_free_for_mapping());
+    }
+
+    #[test]
+    fn testing_core_is_not_a_candidate_again() {
+        let mut c = CoreSlot::new();
+        c.mode = CoreMode::Testing(ladder_op(), 0.8);
+        c.session = Some(TestSession::new(
+            0,
+            manytest_sbst::RoutineId(0),
+            manytest_power::VfLevel(0),
+            100,
+            1.0e9,
+            0.0,
+        ));
+        assert!(!c.is_test_candidate());
+        assert!(c.is_free_for_mapping(), "dark core under test stays mappable");
+    }
+
+    #[test]
+    fn app_completion_tracking() {
+        let mut app = running(some_reservation());
+        assert!(!app.is_complete());
+        app.tasks[0] = TaskState::Done { at: 0.002 };
+        app.done_count = 1;
+        assert!(app.predecessors_done(TaskId(1)));
+        app.tasks[1] = TaskState::Done { at: 0.003 };
+        app.done_count = 2;
+        assert!(app.is_complete());
+    }
+
+    #[test]
+    fn input_ready_time_adds_edge_latency() {
+        let mut app = running(some_reservation());
+        app.tasks[0] = TaskState::Done { at: 0.002 };
+        app.done_count = 1;
+        let ready = app.input_ready_time(TaskId(1), |_, _| 0.0005);
+        assert!((ready - 0.0025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roots_are_ready_at_start_time() {
+        let app = running(some_reservation());
+        // Task 0 has no predecessors: ready at started_at.
+        assert!(app.predecessors_done(TaskId(0)));
+        let ready = app.input_ready_time(TaskId(0), |_, _| 1.0);
+        assert_eq!(ready, app.started_at);
+    }
+
+    #[test]
+    #[should_panic(expected = "not done")]
+    fn input_ready_time_requires_done_predecessors() {
+        let app = running(some_reservation());
+        app.input_ready_time(TaskId(1), |_, _| 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Run-level metrics and the final report.
+
+use manytest_sim::{OnlineStats, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Everything a finished run reports; the bench harness regenerates the
+/// paper's figures from these fields plus [`Report::trace`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Simulated seconds.
+    pub sim_seconds: f64,
+    /// Applications that arrived.
+    pub apps_arrived: u64,
+    /// Applications admitted and completed.
+    pub apps_completed: u64,
+    /// Applications still pending/running at the end.
+    pub apps_in_flight: u64,
+    /// Applications rejected because they can never fit the mesh.
+    pub apps_rejected: u64,
+    /// Total workload instructions executed.
+    pub instructions_executed: u64,
+    /// Workload throughput, million instructions per second.
+    pub throughput_mips: f64,
+    /// Mean application latency (arrival → completion), seconds.
+    pub mean_app_latency: f64,
+    /// Mean time an admitted app waited in the pending queue, seconds.
+    pub mean_queue_wait: f64,
+
+    /// Mean chip power over the run, watts.
+    pub mean_power: f64,
+    /// Hottest epoch's mean power, watts.
+    pub peak_power: f64,
+    /// Configured TDP, watts.
+    pub tdp: f64,
+    /// Epochs whose measured power exceeded the TDP (with 1 % tolerance).
+    pub cap_violations: u64,
+    /// Fraction of consumed energy spent on SBST testing.
+    pub test_energy_share: f64,
+    /// Fraction of consumed energy spent on the NoC.
+    pub noc_energy_share: f64,
+
+    /// SBST sessions completed.
+    pub tests_completed: u64,
+    /// SBST sessions aborted by arriving work (non-intrusive preemption).
+    pub tests_aborted: u64,
+    /// Launches denied because the power headroom was exhausted.
+    pub tests_denied_power: u64,
+    /// Completed full routine-library passes per core, minimum over cores.
+    pub min_tests_per_core: u64,
+    /// Completed routines per core, maximum over cores.
+    pub max_tests_per_core: u64,
+    /// Mean interval between consecutive test completions on the same
+    /// core, seconds (NaN-free: 0 when no core was tested twice).
+    pub mean_test_interval: f64,
+    /// Largest observed same-core test interval, seconds.
+    pub max_test_interval: f64,
+    /// True if every core completed ≥ 1 routine at every DVFS level.
+    pub full_vf_coverage: bool,
+    /// Completed routines per DVFS level (lowest first).
+    pub tests_per_level: Vec<u64>,
+    /// Completed routines per core (dense core index order).
+    pub tests_per_core: Vec<u64>,
+    /// Lifetime damage per core (dense core index order).
+    pub damage_per_core: Vec<f64>,
+
+    /// Faults injected.
+    pub faults_injected: u64,
+    /// Faults detected by tests.
+    pub faults_detected: u64,
+    /// Mean fault detection latency, seconds (0 when none detected).
+    pub mean_detection_latency: f64,
+
+    /// Mean utilisation over cores at the end of the run.
+    pub mean_utilization: f64,
+    /// Dark-silicon fraction of the node (static, for context).
+    pub dark_fraction: f64,
+    /// Mean weighted hop cost per admitted application.
+    pub mean_hop_cost: f64,
+
+    /// Epoch-resolution time series (power, cap, tests in flight, …).
+    pub trace: Trace,
+}
+
+impl Report {
+    /// Relative throughput difference versus a baseline run:
+    /// `(baseline − self) / baseline`, i.e. positive = this run is slower.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline throughput is zero.
+    pub fn throughput_penalty_vs(&self, baseline: &Report) -> f64 {
+        assert!(
+            baseline.throughput_mips > 0.0,
+            "baseline throughput must be positive"
+        );
+        (baseline.throughput_mips - self.throughput_mips) / baseline.throughput_mips
+    }
+
+    /// Renders the report as a two-column Markdown table (trace omitted),
+    /// for pasting into lab notebooks and issues.
+    pub fn to_markdown(&self) -> String {
+        let rows: Vec<(&str, String)> = vec![
+            ("simulated seconds", format!("{:.3}", self.sim_seconds)),
+            ("apps arrived", self.apps_arrived.to_string()),
+            ("apps completed", self.apps_completed.to_string()),
+            ("apps in flight", self.apps_in_flight.to_string()),
+            ("apps rejected", self.apps_rejected.to_string()),
+            ("throughput (MIPS)", format!("{:.0}", self.throughput_mips)),
+            ("mean app latency (ms)", format!("{:.2}", self.mean_app_latency * 1e3)),
+            ("mean queue wait (ms)", format!("{:.2}", self.mean_queue_wait * 1e3)),
+            ("mean power (W)", format!("{:.2}", self.mean_power)),
+            ("peak power (W)", format!("{:.2}", self.peak_power)),
+            ("TDP (W)", format!("{:.0}", self.tdp)),
+            ("cap violations", self.cap_violations.to_string()),
+            ("test energy share", format!("{:.2} %", self.test_energy_share * 100.0)),
+            ("tests completed", self.tests_completed.to_string()),
+            ("tests aborted", self.tests_aborted.to_string()),
+            ("mean test interval (ms)", format!("{:.1}", self.mean_test_interval * 1e3)),
+            ("max test interval (ms)", format!("{:.1}", self.max_test_interval * 1e3)),
+            ("full V/f coverage", self.full_vf_coverage.to_string()),
+            ("faults detected", format!("{}/{}", self.faults_detected, self.faults_injected)),
+            ("dark fraction", format!("{:.1} %", self.dark_fraction * 100.0)),
+        ];
+        let mut out = String::from("| metric | value |\n|---|---|\n");
+        for (name, value) in rows {
+            out.push_str(&format!("| {name} | {value} |\n"));
+        }
+        out
+    }
+
+    /// Pretty one-screen summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "sim {:.3}s | apps {}/{} done | {:.0} MIPS | power {:.1}/{:.1} W (peak {:.1}, {} cap violations) | \
+             tests {} done / {} aborted ({:.2}% energy) | test interval mean {:.1} ms max {:.1} ms | \
+             V/f coverage {}",
+            self.sim_seconds,
+            self.apps_completed,
+            self.apps_arrived,
+            self.throughput_mips,
+            self.mean_power,
+            self.tdp,
+            self.peak_power,
+            self.cap_violations,
+            self.tests_completed,
+            self.tests_aborted,
+            self.test_energy_share * 100.0,
+            self.mean_test_interval * 1e3,
+            self.max_test_interval * 1e3,
+            if self.full_vf_coverage { "full" } else { "partial" },
+        )
+    }
+}
+
+/// Accumulates per-run statistics the [`Report`] is assembled from.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    /// Application latencies (arrival → completion).
+    pub app_latency: OnlineStats,
+    /// Queue waits (arrival → admission).
+    pub queue_wait: OnlineStats,
+    /// Same-core test intervals.
+    pub test_interval: OnlineStats,
+    /// Weighted hop cost per admitted app.
+    pub hop_cost: OnlineStats,
+    /// Arrived / completed counters.
+    pub apps_arrived: u64,
+    /// Completed applications.
+    pub apps_completed: u64,
+    /// Executed instructions.
+    pub instructions: u64,
+    /// Completed sessions.
+    pub tests_completed: u64,
+    /// Aborted sessions.
+    pub tests_aborted: u64,
+    /// Epochs violating the cap.
+    pub cap_violations: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_computation() {
+        let mut base = Report::default();
+        base.throughput_mips = 100.0;
+        let mut tested = Report::default();
+        tested.throughput_mips = 99.0;
+        let p = tested.throughput_penalty_vs(&base);
+        assert!((p - 0.01).abs() < 1e-12);
+        // Faster than baseline → negative penalty.
+        let mut faster = Report::default();
+        faster.throughput_mips = 101.0;
+        assert!(faster.throughput_penalty_vs(&base) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline throughput")]
+    fn penalty_vs_zero_baseline_panics() {
+        let base = Report::default();
+        let mut r = Report::default();
+        r.throughput_mips = 1.0;
+        let _ = r.throughput_penalty_vs(&base);
+    }
+
+    #[test]
+    fn summary_is_nonempty_and_mentions_tests() {
+        let mut r = Report::default();
+        r.tests_completed = 42;
+        let s = r.summary();
+        assert!(s.contains("42"));
+        assert!(s.contains("MIPS"));
+    }
+
+    #[test]
+    fn markdown_report_lists_key_metrics() {
+        let mut r = Report::default();
+        r.throughput_mips = 1234.0;
+        r.tests_completed = 7;
+        r.tdp = 80.0;
+        let md = r.to_markdown();
+        assert!(md.starts_with("| metric | value |"));
+        assert!(md.contains("| throughput (MIPS) | 1234 |"));
+        assert!(md.contains("| tests completed | 7 |"));
+        assert!(md.lines().count() >= 20);
+    }
+
+    #[test]
+    fn collector_defaults_to_zero() {
+        let c = MetricsCollector::default();
+        assert_eq!(c.apps_arrived, 0);
+        assert_eq!(c.app_latency.count(), 0);
+    }
+}

@@ -1,0 +1,1222 @@
+//! The integrated system: builder, epoch loop and event handlers.
+
+use crate::config::{GovernorKind, MapperKind, SystemConfig};
+use crate::error::BuildError;
+use crate::exec::{CoreMode, CoreSlot, RunningApp, TaskState};
+use crate::metrics::{MetricsCollector, Report};
+use manytest_aging::{AgingModel, CriticalityModel, StressTracker, ThermalGrid, ThermalParams};
+use manytest_map::{ConaMapper, FirstFitMapper, MapContext, Mapper, TestAwareMapper};
+use manytest_noc::{ContentionModel, LinkEnergyModel, LinkLoads, Mesh2D, TrafficMatrix};
+use manytest_power::{
+    NaiveTdpPolicy, OperatingPoint, PidController, PowerBudget, PowerCategory, PowerGovernor,
+    PowerMeter, PowerModel, VfLadder,
+};
+use manytest_sbst::{FaultLog, TestCandidate, TestScheduler, TestSession};
+use manytest_sim::{Epoch, EventQueue, SimRng, SimTime, Trace};
+use manytest_workload::{AppId, Application, ArrivalProcess, TaskId, WorkloadMix};
+use std::collections::{BTreeMap, VecDeque};
+
+/// A cap that never moves: the raw TDP (used as a governor baseline).
+#[derive(Debug, Clone, Copy, Default)]
+struct FixedCap;
+
+impl PowerGovernor for FixedCap {
+    fn next_cap(&mut self, target: f64, _measured: f64) -> f64 {
+        target
+    }
+    fn reset(&mut self) {}
+}
+
+/// Events resolved at exact sub-epoch times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Ev {
+    /// The arrival process fires: enqueue an application, rearm.
+    Arrival,
+    /// All inputs of a task have arrived; it may start.
+    TaskReady { app: u64, task: TaskId },
+    /// A running task completes.
+    TaskFinish { app: u64, task: TaskId },
+    /// An SBST session completes (if `gen` still matches the core's
+    /// session generation — aborted sessions leave stale events behind).
+    SessionFinish { core: usize, gen: u64 },
+}
+
+/// Fluent constructor for [`System`].
+///
+/// # Examples
+///
+/// ```
+/// use manytest_core::prelude::*;
+///
+/// let system = SystemBuilder::new(TechNode::N22)
+///     .seed(7)
+///     .arrival_rate(150.0)
+///     .sim_time_ms(20)
+///     .testing(false)
+///     .build()?;
+/// let report = system.run();
+/// assert_eq!(report.tests_completed, 0);
+/// # Ok::<(), manytest_core::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    config: SystemConfig,
+    mix: WorkloadMix,
+}
+
+impl SystemBuilder {
+    /// Starts from the default configuration for `node` with the standard
+    /// workload mix.
+    pub fn new(node: manytest_power::TechNode) -> Self {
+        SystemBuilder {
+            config: SystemConfig::for_node(node),
+            mix: WorkloadMix::standard(),
+        }
+    }
+
+    /// Starts from an explicit configuration.
+    pub fn from_config(config: SystemConfig) -> Self {
+        SystemBuilder {
+            config,
+            mix: WorkloadMix::standard(),
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the mean application arrival rate, apps/second.
+    pub fn arrival_rate(mut self, rate: f64) -> Self {
+        self.config.arrival_rate = rate;
+        self
+    }
+
+    /// Sets the simulated horizon in milliseconds.
+    pub fn sim_time_ms(mut self, ms: u64) -> Self {
+        self.config.horizon = manytest_sim::Duration::from_ms(ms);
+        self
+    }
+
+    /// Enables or disables online testing.
+    pub fn testing(mut self, enabled: bool) -> Self {
+        self.config.testing_enabled = enabled;
+        self
+    }
+
+    /// Selects the power governor.
+    pub fn governor(mut self, kind: GovernorKind) -> Self {
+        self.config.governor = kind;
+        self
+    }
+
+    /// Selects the runtime mapper.
+    pub fn mapper(mut self, kind: MapperKind) -> Self {
+        self.config.mapper = kind;
+        self
+    }
+
+    /// Replaces the workload mix.
+    pub fn workload(mut self, mix: WorkloadMix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Injects `count` latent faults spread over the first half of the run.
+    pub fn injected_faults(mut self, count: usize) -> Self {
+        self.config.injected_faults = count;
+        self
+    }
+
+    /// Makes `fraction` of injected faults voltage dependent (visible at
+    /// exactly one DVFS level).
+    pub fn vf_windowed_faults(mut self, fraction: f64) -> Self {
+        self.config.vf_windowed_fault_fraction = fraction;
+        self
+    }
+
+    /// Uses deterministic, evenly-spaced arrivals instead of Poisson
+    /// (removes arrival jitter from controlled experiments).
+    pub fn periodic_arrivals(mut self, periodic: bool) -> Self {
+        self.config.periodic_arrivals = periodic;
+        self
+    }
+
+    /// Enables the NoC link-contention model: message latencies inflate
+    /// with the previous epoch's link loads.
+    pub fn model_contention(mut self, enabled: bool) -> Self {
+        self.config.model_contention = enabled;
+        self
+    }
+
+    /// Drives aging from the transient RC thermal grid instead of the
+    /// steady-state proxy.
+    pub fn transient_thermal(mut self, enabled: bool) -> Self {
+        self.config.transient_thermal = enabled;
+        self
+    }
+
+    /// Switches to intrusive testing (ablation): ready tasks wait for the
+    /// session on their core instead of aborting it.
+    pub fn intrusive_testing(mut self, intrusive: bool) -> Self {
+        self.config.intrusive_testing = intrusive;
+        self
+    }
+
+    /// Overrides the test-scheduler tuning.
+    pub fn test_scheduler(mut self, cfg: manytest_sbst::TestSchedulerConfig) -> Self {
+        self.config.test_scheduler = cfg;
+        self
+    }
+
+    /// Overrides the criticality metric.
+    pub fn criticality(mut self, model: CriticalityModel) -> Self {
+        self.config.criticality = model;
+        self
+    }
+
+    /// Overrides the aging model (e.g. to enable NBTI recovery).
+    pub fn aging(mut self, model: AgingModel) -> Self {
+        self.config.aging = model;
+        self
+    }
+
+    /// Overrides the mesh edge length (default: the technology node's
+    /// edge at the reference die area). Lets scalability studies grow the
+    /// mesh while keeping one node's electrical parameters.
+    pub fn mesh_edge(mut self, edge: u16) -> Self {
+        self.config.mesh_edge_override = Some(edge);
+        self
+    }
+
+    /// Validates the configuration and constructs the system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] naming the first inconsistent setting.
+    pub fn build(self) -> Result<System, BuildError> {
+        System::new(self.config, self.mix)
+    }
+}
+
+/// The integrated manycore platform (see crate docs for the model).
+pub struct System {
+    config: SystemConfig,
+    mesh: Mesh2D,
+    model: PowerModel,
+    ladder: VfLadder,
+    link_model: LinkEnergyModel,
+    budget: PowerBudget,
+    governor: Box<dyn PowerGovernor>,
+    meter: PowerMeter,
+    aging: AgingModel,
+    criticality: CriticalityModel,
+    stress: StressTracker,
+    thermal: Option<ThermalGrid>,
+    scheduler: TestScheduler,
+    mapper: Box<dyn Mapper>,
+    mix: WorkloadMix,
+    arrivals: ArrivalProcess,
+    pending: VecDeque<Application>,
+    running: BTreeMap<u64, RunningApp>,
+    cores: Vec<CoreSlot>,
+    epoch_busy: Vec<f64>,
+    epoch_energy: Vec<f64>,
+    traffic: TrafficMatrix,
+    epoch_traffic: TrafficMatrix,
+    link_loads: Option<LinkLoads>,
+    contention: ContentionModel,
+    queue: EventQueue<Ev>,
+    rng_workload: SimRng,
+    rng_faults: SimRng,
+    faults: FaultLog,
+    metrics: MetricsCollector,
+    trace: Trace,
+    next_app_id: u64,
+    apps_rejected: u64,
+    measured_last: f64,
+    tdp: f64,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("node", &self.config.node)
+            .field("mesh", &self.mesh)
+            .field("pending", &self.pending.len())
+            .field("running", &self.running.len())
+            .finish()
+    }
+}
+
+impl System {
+    fn new(config: SystemConfig, mix: WorkloadMix) -> Result<Self, BuildError> {
+        if config.epoch.is_zero() {
+            return Err(BuildError::ZeroEpoch);
+        }
+        if config.horizon < config.epoch {
+            return Err(BuildError::HorizonTooShort);
+        }
+        if !(config.arrival_rate > 0.0 && config.arrival_rate.is_finite()) {
+            return Err(BuildError::InvalidArrivalRate);
+        }
+        if config.dvfs_levels < 2 {
+            return Err(BuildError::TooFewDvfsLevels);
+        }
+        if mix.is_empty() {
+            return Err(BuildError::EmptyWorkloadMix);
+        }
+        let params = config.node.params();
+        let edge = config.mesh_edge_override.unwrap_or(params.mesh_edge);
+        if edge == 0 {
+            return Err(BuildError::ZeroMesh);
+        }
+        let mesh = Mesh2D::new(edge, edge);
+        let n = mesh.node_count();
+        let root = SimRng::seed_from(config.seed);
+        let governor: Box<dyn PowerGovernor> = match config.governor {
+            GovernorKind::Pid => Box::new(PidController::default_tuning()),
+            GovernorKind::Naive => Box::new(NaiveTdpPolicy::new()),
+            GovernorKind::FixedTdp => Box::new(FixedCap),
+        };
+        let mapper: Box<dyn Mapper> = match config.mapper {
+            MapperKind::Baseline => Box::new(ConaMapper::new()),
+            MapperKind::TestAware => Box::new(TestAwareMapper::default()),
+            MapperKind::FirstFit => Box::new(FirstFitMapper::new()),
+        };
+        let mut scheduler_cfg = config.test_scheduler;
+        scheduler_cfg.ladder_levels = config.dvfs_levels;
+        let scheduler = TestScheduler::with_library(
+            scheduler_cfg,
+            config.node,
+            manytest_sbst::RoutineLibrary::standard(),
+            n,
+        );
+        let mut rng_faults = root.derive("faults");
+        let mut faults = FaultLog::new();
+        for _ in 0..config.injected_faults {
+            let core = rng_faults.gen_range(n as u64) as usize;
+            let at = rng_faults.next_f64() * config.horizon.as_secs_f64() * 0.5;
+            if rng_faults.gen_bool(config.vf_windowed_fault_fraction) {
+                // Voltage-dependent: observable at exactly one level.
+                let level =
+                    manytest_power::VfLevel(rng_faults.gen_range(config.dvfs_levels as u64) as u8);
+                faults.inject_windowed(core, at, level, level);
+            } else {
+                faults.inject(core, at);
+            }
+        }
+        Ok(System {
+            mesh,
+            model: PowerModel::for_node(config.node),
+            ladder: VfLadder::for_node(config.node, config.dvfs_levels),
+            link_model: LinkEnergyModel::nominal_16nm()
+                .scaled_energy(params.feature_nm as f64 / 16.0),
+            budget: PowerBudget::new(params.tdp),
+            governor,
+            meter: PowerMeter::new(),
+            aging: config.aging,
+            criticality: config.criticality,
+            stress: StressTracker::new(n, 0.1),
+            thermal: config.transient_thermal.then(|| {
+                ThermalGrid::new(edge as usize, edge as usize, ThermalParams::default())
+            }),
+            scheduler,
+            mapper,
+            mix,
+            arrivals: if config.periodic_arrivals {
+                ArrivalProcess::periodic(config.arrival_rate)
+            } else {
+                ArrivalProcess::poisson(config.arrival_rate)
+            },
+            pending: VecDeque::new(),
+            running: BTreeMap::new(),
+            cores: (0..n).map(|_| CoreSlot::new()).collect(),
+            epoch_busy: vec![0.0; n],
+            epoch_energy: vec![0.0; n],
+            traffic: TrafficMatrix::new(mesh),
+            epoch_traffic: TrafficMatrix::new(mesh),
+            link_loads: None,
+            contention: ContentionModel::new(),
+            queue: EventQueue::with_capacity(1024),
+            rng_workload: root.derive("workload"),
+            rng_faults,
+            faults,
+            metrics: MetricsCollector::default(),
+            trace: Trace::new(),
+            next_app_id: 0,
+            apps_rejected: 0,
+            measured_last: 0.0,
+            tdp: params.tdp,
+            config,
+        })
+    }
+
+    /// The configuration the system runs under.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The platform mesh.
+    pub fn mesh(&self) -> Mesh2D {
+        self.mesh
+    }
+
+    /// Runs the full horizon and produces the report.
+    pub fn run(mut self) -> Report {
+        let first_gap = self.arrivals.next_interarrival(&mut self.rng_workload);
+        self.queue.schedule(SimTime::ZERO + first_gap, Ev::Arrival);
+        let epochs = self.config.epoch_count();
+        for e in 0..epochs {
+            let epoch = Epoch(e);
+            let t0 = epoch.start(self.config.epoch);
+            let t1 = epoch.end(self.config.epoch);
+            self.control(t0.as_secs_f64());
+            while let Some(ev) = self.queue.pop_before(t1) {
+                let now = ev.time.as_secs_f64();
+                self.handle(ev.payload, now);
+            }
+            self.close_epoch(t1.as_secs_f64());
+        }
+        self.finalize()
+    }
+
+    // ----- accounting ---------------------------------------------------
+
+    fn mode_power(&self, mode: CoreMode) -> (PowerCategory, f64) {
+        match mode {
+            CoreMode::Off => (PowerCategory::Idle, 0.0),
+            CoreMode::Idle(op) => (
+                PowerCategory::Idle,
+                self.model.core_power(op, PowerModel::IDLE_ACTIVITY),
+            ),
+            CoreMode::Busy(op) => (
+                PowerCategory::Workload,
+                self.model.core_power(op, PowerModel::WORKLOAD_ACTIVITY),
+            ),
+            CoreMode::Testing(op, activity) => {
+                (PowerCategory::Test, self.model.core_power(op, activity))
+            }
+        }
+    }
+
+    /// Charges the core's current mode for `[accrued_since, now)`.
+    fn charge_core(&mut self, core: usize, now: f64) {
+        let since = self.cores[core].accrued_since;
+        let dt = now - since;
+        if dt <= 0.0 {
+            self.cores[core].accrued_since = now;
+            return;
+        }
+        let mode = self.cores[core].mode;
+        let (cat, watts) = self.mode_power(mode);
+        self.meter.add(cat, watts, dt);
+        self.epoch_energy[core] += watts * dt;
+        if matches!(mode, CoreMode::Busy(_)) {
+            self.epoch_busy[core] += dt;
+        }
+        self.cores[core].accrued_since = now;
+    }
+
+    fn set_mode(&mut self, core: usize, now: f64, mode: CoreMode) {
+        self.charge_core(core, now);
+        self.cores[core].mode = mode;
+    }
+
+    // ----- control plane (epoch boundaries) ------------------------------
+
+    fn control(&mut self, now: f64) {
+        let cap = self.governor.next_cap(self.tdp, self.measured_last);
+        self.budget.set_cap(cap);
+        self.faults.activate_due(now);
+        self.admit_pending(now);
+        if self.config.testing_enabled {
+            self.schedule_tests(now);
+        }
+    }
+
+    fn map_context(&self, now: f64) -> MapContext {
+        let n = self.mesh.node_count();
+        let mut free = Vec::with_capacity(n);
+        let mut util = Vec::with_capacity(n);
+        let mut crit = Vec::with_capacity(n);
+        for i in 0..n {
+            free.push(self.cores[i].is_free_for_mapping());
+            let s = self.stress.core(i);
+            util.push(s.utilization.clamp(0.0, 1.0));
+            // A core with a session in flight is about to *complete* a
+            // test: mapping onto it wastes the invested test energy, so it
+            // is maximally undesirable to a test-aware mapper.
+            let in_test = if self.cores[i].session.is_some() { 5.0 } else { 0.0 };
+            crit.push(self.criticality.criticality(s, now).max(0.0) + in_test);
+        }
+        MapContext::from_parts(self.mesh, free, util, crit)
+    }
+
+    fn admit_pending(&mut self, now: f64) {
+        loop {
+            let Some(front) = self.pending.front() else { break };
+            let task_count = front.graph.task_count();
+            if task_count > self.mesh.node_count() {
+                // Can never fit on this platform.
+                self.pending.pop_front();
+                self.apps_rejected += 1;
+                continue;
+            }
+            let free = self.cores.iter().filter(|c| c.is_free_for_mapping()).count();
+            if free < task_count {
+                break;
+            }
+            // DVFS admission: the highest level whose projected power fits
+            // the current headroom.
+            let headroom = self.budget.headroom();
+            let per_core_cap = headroom / task_count as f64;
+            let Some(op) = self.ladder.highest_under(per_core_cap, |op| {
+                self.model.core_power(op, PowerModel::WORKLOAD_ACTIVITY)
+            }) else {
+                break; // not even near-threshold fits: wait for power
+            };
+            let ctx = self.map_context(now);
+            let Some(mapping) = self.mapper.map(&ctx, &front.graph) else {
+                break; // fragmentation: wait for departures
+            };
+            let watts = task_count as f64
+                * self.model.core_power(op, PowerModel::WORKLOAD_ACTIVITY);
+            let Ok(reservation) = self.budget.reserve(watts) else { break };
+            let app = self.pending.pop_front().expect("checked front");
+            self.metrics.queue_wait.push(now - app.arrival.as_secs_f64());
+            self.metrics.hop_cost.push(mapping.weighted_hop_cost(&app.graph));
+            let id = app.id;
+            // Claim the cores (aborting any test sessions on them).
+            for t in 0..task_count as u32 {
+                let task = TaskId(t);
+                let coord = mapping.coord_of(task);
+                let core = self.mesh.node_id(coord).index();
+                if self.cores[core].session.is_some() {
+                    self.abort_session(core, now);
+                }
+                debug_assert!(self.cores[core].owner.is_none());
+                self.cores[core].owner = Some((id, task));
+                self.set_mode(core, now, CoreMode::Idle(op));
+            }
+            let graph = app.graph;
+            let roots = graph.roots();
+            let running = RunningApp {
+                id,
+                tasks: vec![TaskState::Waiting; task_count],
+                graph,
+                mapping,
+                op,
+                reservation,
+                per_task_watts: watts / task_count as f64,
+                done_count: 0,
+                arrived_at: app.arrival.as_secs_f64(),
+                started_at: now,
+            };
+            self.running.insert(id.0, running);
+            for root in roots {
+                self.queue.schedule(
+                    SimTime::from_ns((now * 1e9).round() as u64),
+                    Ev::TaskReady { app: id.0, task: root },
+                );
+            }
+        }
+    }
+
+    fn schedule_tests(&mut self, now: f64) {
+        let candidates: Vec<TestCandidate> = (0..self.cores.len())
+            .filter(|&i| self.cores[i].is_test_candidate())
+            .map(|i| TestCandidate {
+                core: i,
+                criticality: self.criticality.criticality(self.stress.core(i), now),
+            })
+            .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        let headroom = self.budget.headroom();
+        let launches = self.scheduler.plan(&candidates, headroom);
+        for launch in launches {
+            let Ok(reservation) = self.budget.reserve(launch.power) else {
+                continue;
+            };
+            let core = launch.core;
+            let session = TestSession::new(
+                core,
+                launch.routine,
+                launch.level,
+                launch.instructions,
+                launch.rate,
+                now,
+            );
+            let op = self.scheduler.ladder().point(launch.level);
+            let activity = self.scheduler.library().routine(launch.routine).activity;
+            self.cores[core].session = Some(session);
+            self.cores[core].session_reservation = Some(reservation);
+            let gen = self.cores[core].session_gen;
+            self.set_mode(core, now, CoreMode::Testing(op, activity));
+            let finish = now + launch.duration();
+            self.queue.schedule(
+                SimTime::from_ns((finish * 1e9).round() as u64),
+                Ev::SessionFinish { core, gen },
+            );
+        }
+    }
+
+    fn abort_session(&mut self, core: usize, now: f64) {
+        let slot = &mut self.cores[core];
+        debug_assert!(slot.session.is_some());
+        slot.session = None;
+        slot.session_gen += 1;
+        let reservation = slot
+            .session_reservation
+            .take()
+            .expect("active session holds a reservation");
+        self.budget.release(reservation);
+        self.scheduler.on_session_aborted(core);
+        self.metrics.tests_aborted += 1;
+        let owner_op = self.owner_op(core);
+        let mode = match owner_op {
+            Some(op) => CoreMode::Idle(op),
+            None => CoreMode::Off,
+        };
+        self.set_mode(core, now, mode);
+    }
+
+    fn owner_op(&self, core: usize) -> Option<OperatingPoint> {
+        self.cores[core]
+            .owner
+            .map(|(app, _)| self.running[&app.0].op)
+    }
+
+    // ----- event handlers -------------------------------------------------
+
+    fn handle(&mut self, ev: Ev, now: f64) {
+        match ev {
+            Ev::Arrival => self.on_arrival(now),
+            Ev::TaskReady { app, task } => self.on_task_ready(app, task, now),
+            Ev::TaskFinish { app, task } => self.on_task_finish(app, task, now),
+            Ev::SessionFinish { core, gen } => self.on_session_finish(core, gen, now),
+        }
+    }
+
+    fn on_arrival(&mut self, now: f64) {
+        let graph = self.mix.sample(&mut self.rng_workload);
+        let id = AppId(self.next_app_id);
+        self.next_app_id += 1;
+        self.metrics.apps_arrived += 1;
+        self.pending.push_back(Application {
+            id,
+            graph,
+            arrival: SimTime::from_ns((now * 1e9).round() as u64),
+        });
+        let gap = self.arrivals.next_interarrival(&mut self.rng_workload);
+        let next = SimTime::from_ns((now * 1e9).round() as u64) + gap;
+        self.queue.schedule(next, Ev::Arrival);
+    }
+
+    fn on_task_ready(&mut self, app_id: u64, task: TaskId, now: f64) {
+        let (coord, op, duration) = {
+            let app = &self.running[&app_id];
+            debug_assert!(matches!(app.tasks[task.index()], TaskState::Waiting));
+            let coord = app.mapping.coord_of(task);
+            let rate = app.op.frequency * self.config.workload_ipc;
+            let duration = app.graph.task(task).instructions as f64 / rate;
+            (coord, app.op, duration)
+        };
+        let core = self.mesh.node_id(coord).index();
+        let mut duration = duration;
+        if let Some(mut session) = self.cores[core].session {
+            if self.config.intrusive_testing {
+                // Ablation mode: the test has priority — the task retries
+                // once the session is done. Sessions are advanced lazily;
+                // sync this copy to compute the true remaining time.
+                session.advance(now - session.started_at());
+                let retry = now + session.remaining_seconds().max(1e-9) + 1e-9;
+                self.queue.schedule(
+                    SimTime::from_ns((retry * 1e9).round() as u64),
+                    Ev::TaskReady { app: app_id, task },
+                );
+                return;
+            }
+            // Non-intrusive testing: the workload wins, but restoring the
+            // core's architectural state after the SBST routine costs a
+            // small fixed overhead — the source of the (sub-1 %)
+            // throughput penalty the paper reports.
+            self.abort_session(core, now);
+            duration += self.config.abort_overhead.as_secs_f64();
+        }
+        debug_assert!(
+            !matches!(self.cores[core].mode, CoreMode::Busy(_)),
+            "core hosts one task at a time"
+        );
+        self.set_mode(core, now, CoreMode::Busy(op));
+        let finish = now + duration;
+        self.running.get_mut(&app_id).expect("app is running").tasks[task.index()] =
+            TaskState::Running { finish };
+        self.queue.schedule(
+            SimTime::from_ns((finish * 1e9).round() as u64),
+            Ev::TaskFinish { app: app_id, task },
+        );
+    }
+
+    fn on_task_finish(&mut self, app_id: u64, task: TaskId, now: f64) {
+        // Release the core first.
+        let coord = self.running[&app_id].mapping.coord_of(task);
+        let core = self.mesh.node_id(coord).index();
+        self.cores[core].owner = None;
+        self.set_mode(core, now, CoreMode::Off);
+        // Record completion and instructions, and hand the task's share of
+        // the power reservation back so later admissions (and tests) can
+        // use it.
+        let instructions = self.running[&app_id].graph.task(task).instructions;
+        self.metrics.instructions += instructions;
+        {
+            let app = self.running.get_mut(&app_id).expect("app is running");
+            app.tasks[task.index()] = TaskState::Done { at: now };
+            app.done_count += 1;
+            if !app.is_complete() {
+                let shrunk = (app.reservation.watts() - app.per_task_watts).max(0.0);
+                self.budget
+                    .resize(&mut app.reservation, shrunk)
+                    .expect("shrinking a reservation cannot fail");
+            }
+        }
+        // Send output messages: charge NoC traffic + energy.
+        let out_edges: Vec<(TaskId, f64)> = self.running[&app_id]
+            .graph
+            .out_edges(task)
+            .map(|e| (e.to, e.bits))
+            .collect();
+        for (to, bits) in &out_edges {
+            let dst = self.running[&app_id].mapping.coord_of(*to);
+            self.traffic.charge_route(coord, dst, *bits);
+            if self.config.model_contention {
+                self.epoch_traffic.charge_route(coord, dst, *bits);
+            }
+            let cost = self.link_model.message_cost(coord, dst, *bits);
+            self.meter.add_energy(PowerCategory::Noc, cost.energy);
+        }
+        // Wake successors whose inputs are now complete.
+        let newly_ready: Vec<(TaskId, f64)> = {
+            let app = &self.running[&app_id];
+            out_edges
+                .iter()
+                .map(|&(to, _)| to)
+                .filter(|&to| {
+                    matches!(app.tasks[to.index()], TaskState::Waiting)
+                        && app.predecessors_done(to)
+                })
+                .map(|to| {
+                    let ready = app.input_ready_time(to, |p, t| {
+                        let bits = app
+                            .graph
+                            .edges()
+                            .iter()
+                            .find(|e| e.from == p && e.to == t)
+                            .map(|e| e.bits)
+                            .unwrap_or(0.0);
+                        let src = app.mapping.coord_of(p);
+                        let dst = app.mapping.coord_of(t);
+                        let base = self.link_model.message_cost(src, dst, bits).latency;
+                        match &self.link_loads {
+                            Some(loads) => {
+                                base * self.contention.route_factor(loads, src, dst)
+                            }
+                            None => base,
+                        }
+                    });
+                    (to, ready.max(now))
+                })
+                .collect()
+        };
+        for (to, ready) in newly_ready {
+            self.queue.schedule(
+                SimTime::from_ns((ready * 1e9).round() as u64),
+                Ev::TaskReady { app: app_id, task: to },
+            );
+        }
+        // Application completion.
+        if self.running[&app_id].is_complete() {
+            let app = self.running.remove(&app_id).expect("app is running");
+            self.budget.release(app.reservation);
+            self.metrics.apps_completed += 1;
+            self.metrics.app_latency.push(now - app.arrived_at);
+        }
+    }
+
+    fn on_session_finish(&mut self, core: usize, gen: u64, now: f64) {
+        if self.cores[core].session_gen != gen || self.cores[core].session.is_none() {
+            return; // stale event from an aborted session
+        }
+        let session = self.cores[core].session.take().expect("checked above");
+        self.cores[core].session_gen += 1;
+        let reservation = self.cores[core]
+            .session_reservation
+            .take()
+            .expect("active session holds a reservation");
+        self.budget.release(reservation);
+        self.scheduler
+            .on_session_complete(core, session.routine(), session.level());
+        self.stress.note_test_complete(core, now);
+        let routine = self.scheduler.library().routine(session.routine()).clone();
+        self.faults
+            .on_test_complete(core, &routine, session.level(), now, &mut self.rng_faults);
+        self.metrics.tests_completed += 1;
+        if let Some(&prev) = self.cores[core].test_times.last() {
+            self.metrics.test_interval.push(now - prev);
+        }
+        self.cores[core].test_times.push(now);
+        let mode = match self.owner_op(core) {
+            Some(op) => CoreMode::Idle(op),
+            None => CoreMode::Off,
+        };
+        self.set_mode(core, now, mode);
+    }
+
+    // ----- epoch close ----------------------------------------------------
+
+    fn close_epoch(&mut self, t1: f64) {
+        for core in 0..self.cores.len() {
+            self.charge_core(core, t1);
+        }
+        let epoch_secs = self.config.epoch.as_secs_f64();
+        let measured = self.meter.epoch_power(epoch_secs);
+        let test_w = self
+            .meter
+            .epoch_category_power(PowerCategory::Test, epoch_secs);
+        let workload_w = self
+            .meter
+            .epoch_category_power(PowerCategory::Workload, epoch_secs);
+        if measured > self.tdp * 1.01 {
+            self.metrics.cap_violations += 1;
+        }
+        self.trace.series_mut("power_w").push(t1, measured);
+        self.trace.series_mut("test_power_w").push(t1, test_w);
+        self.trace.series_mut("workload_power_w").push(t1, workload_w);
+        self.trace.series_mut("cap_w").push(t1, self.budget.cap());
+        self.trace.series_mut("tdp_w").push(t1, self.tdp);
+        self.trace
+            .series_mut("pending_apps")
+            .push(t1, self.pending.len() as f64);
+        let testing = self
+            .cores
+            .iter()
+            .filter(|c| c.session.is_some())
+            .count();
+        self.trace
+            .series_mut("active_tests")
+            .push(t1, testing as f64);
+        if let Some(grid) = &mut self.thermal {
+            // Transient thermal path: advance the RC grid with this
+            // epoch's per-tile powers, then charge damage at the *actual*
+            // tile temperature.
+            let powers: Vec<f64> = self
+                .epoch_energy
+                .iter()
+                .map(|&e| e / epoch_secs)
+                .collect();
+            grid.step(&powers, epoch_secs);
+            for core in 0..self.cores.len() {
+                let busy = (self.epoch_busy[core] / epoch_secs).clamp(0.0, 1.0);
+                let temperature = grid.temperature(core);
+                self.stress.record_epoch_at_temperature(
+                    core,
+                    &self.aging,
+                    temperature,
+                    busy,
+                    epoch_secs,
+                );
+                self.epoch_busy[core] = 0.0;
+                self.epoch_energy[core] = 0.0;
+            }
+            self.trace
+                .series_mut("max_temp_k")
+                .push(t1, grid.max_temperature());
+        } else {
+            for core in 0..self.cores.len() {
+                let busy = (self.epoch_busy[core] / epoch_secs).clamp(0.0, 1.0);
+                let avg_power = self.epoch_energy[core] / epoch_secs;
+                self.stress
+                    .record_epoch(core, &self.aging, avg_power, busy, epoch_secs);
+                self.epoch_busy[core] = 0.0;
+                self.epoch_energy[core] = 0.0;
+            }
+        }
+        self.trace
+            .series_mut("mean_utilization")
+            .push(t1, self.stress.mean_utilization());
+        if self.config.model_contention {
+            let loads = LinkLoads::from_traffic(
+                &self.epoch_traffic,
+                epoch_secs,
+                self.link_model.link_bandwidth,
+            );
+            self.trace.series_mut("peak_link_load").push(t1, loads.peak());
+            self.link_loads = Some(loads);
+            self.epoch_traffic.clear();
+        }
+        self.meter.roll_epoch(epoch_secs);
+        self.measured_last = measured;
+    }
+
+    // ----- report ----------------------------------------------------------
+
+    fn finalize(self) -> Report {
+        let sim_seconds = self.meter.total_seconds();
+        let n = self.cores.len();
+        let ledger = self.scheduler.ledger();
+        let tests_per_core: Vec<u64> = (0..n).map(|c| ledger.tests_on_core(c)).collect();
+        let damage_per_core: Vec<f64> =
+            self.stress.iter().map(|s| s.total_damage).collect();
+        Report {
+            sim_seconds,
+            apps_arrived: self.metrics.apps_arrived,
+            apps_completed: self.metrics.apps_completed,
+            apps_in_flight: (self.pending.len() + self.running.len()) as u64,
+            apps_rejected: self.apps_rejected,
+            instructions_executed: self.metrics.instructions,
+            throughput_mips: if sim_seconds > 0.0 {
+                self.metrics.instructions as f64 / sim_seconds / 1e6
+            } else {
+                0.0
+            },
+            mean_app_latency: self.metrics.app_latency.mean(),
+            mean_queue_wait: self.metrics.queue_wait.mean(),
+            mean_power: self.meter.mean_power(),
+            peak_power: self.meter.peak_epoch_power(),
+            tdp: self.tdp,
+            cap_violations: self.metrics.cap_violations,
+            test_energy_share: self.meter.total_share(PowerCategory::Test),
+            noc_energy_share: self.meter.total_share(PowerCategory::Noc),
+            tests_completed: self.metrics.tests_completed,
+            tests_aborted: self.metrics.tests_aborted,
+            tests_denied_power: self.scheduler.denied_for_power(),
+            min_tests_per_core: tests_per_core.iter().copied().min().unwrap_or(0),
+            max_tests_per_core: tests_per_core.iter().copied().max().unwrap_or(0),
+            mean_test_interval: self.metrics.test_interval.mean(),
+            max_test_interval: self.metrics.test_interval.max().unwrap_or(0.0),
+            full_vf_coverage: ledger.fully_covered(),
+            tests_per_level: ledger.tests_per_level(),
+            tests_per_core,
+            damage_per_core,
+            faults_injected: self.faults.len() as u64,
+            faults_detected: self.faults.detected_count() as u64,
+            mean_detection_latency: self.faults.mean_detection_latency().unwrap_or(0.0),
+            mean_utilization: self.stress.mean_utilization(),
+            dark_fraction: self.config.node.dark_silicon_fraction(),
+            mean_hop_cost: self.metrics.hop_cost.mean(),
+            trace: self.trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manytest_power::TechNode;
+
+    fn quick(node: TechNode) -> SystemBuilder {
+        SystemBuilder::new(node).seed(11).sim_time_ms(160).arrival_rate(200.0)
+    }
+
+    #[test]
+    fn run_produces_activity() {
+        let r = quick(TechNode::N16).build().unwrap().run();
+        assert!(r.apps_arrived > 0);
+        assert!(r.apps_completed > 0);
+        assert!(r.instructions_executed > 0);
+        assert!(r.throughput_mips > 0.0);
+        assert!(r.mean_power > 0.0);
+    }
+
+    #[test]
+    fn testing_runs_and_is_power_bounded() {
+        let r = quick(TechNode::N16).build().unwrap().run();
+        assert!(r.tests_completed > 0, "tests must run on a lightly loaded chip");
+        assert_eq!(r.cap_violations, 0, "admission control must honour the TDP");
+        assert!(r.peak_power <= r.tdp * 1.26, "peak {} vs tdp {}", r.peak_power, r.tdp);
+    }
+
+    #[test]
+    fn disabling_tests_yields_zero_test_energy() {
+        let r = quick(TechNode::N16).testing(false).build().unwrap().run();
+        assert_eq!(r.tests_completed, 0);
+        assert_eq!(r.tests_aborted, 0);
+        assert_eq!(r.test_energy_share, 0.0);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_reports() {
+        let a = quick(TechNode::N22).build().unwrap().run();
+        let b = quick(TechNode::N22).build().unwrap().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = quick(TechNode::N22).seed(1).build().unwrap().run();
+        let b = quick(TechNode::N22).seed(2).build().unwrap().run();
+        assert_ne!(a.apps_arrived, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn throughput_penalty_of_testing_is_small() {
+        let base = quick(TechNode::N16).testing(false).build().unwrap().run();
+        let tested = quick(TechNode::N16).testing(true).build().unwrap().run();
+        let penalty = tested.throughput_penalty_vs(&base);
+        assert!(
+            penalty < 0.05,
+            "testing should cost little throughput, got {:.2}%",
+            penalty * 100.0
+        );
+    }
+
+    #[test]
+    fn builder_validation_errors() {
+        let mut cfg = SystemConfig::for_node(TechNode::N16);
+        cfg.epoch = manytest_sim::Duration::ZERO;
+        assert_eq!(
+            SystemBuilder::from_config(cfg.clone()).build().err(),
+            Some(BuildError::ZeroEpoch)
+        );
+        cfg.epoch = manytest_sim::Duration::from_ms(2);
+        cfg.horizon = manytest_sim::Duration::from_ms(1);
+        assert_eq!(
+            SystemBuilder::from_config(cfg.clone()).build().err(),
+            Some(BuildError::HorizonTooShort)
+        );
+        cfg.horizon = manytest_sim::Duration::from_ms(100);
+        cfg.arrival_rate = 0.0;
+        assert_eq!(
+            SystemBuilder::from_config(cfg.clone()).build().err(),
+            Some(BuildError::InvalidArrivalRate)
+        );
+        cfg.arrival_rate = 10.0;
+        cfg.dvfs_levels = 1;
+        assert_eq!(
+            SystemBuilder::from_config(cfg).build().err(),
+            Some(BuildError::TooFewDvfsLevels)
+        );
+    }
+
+    #[test]
+    fn faults_are_detected_when_testing() {
+        let r = quick(TechNode::N22)
+            .sim_time_ms(400)
+            .injected_faults(5)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(r.faults_injected, 5);
+        assert!(
+            r.faults_detected > 0,
+            "online testing should find planted faults"
+        );
+        assert!(r.mean_detection_latency > 0.0);
+    }
+
+    #[test]
+    fn faults_stay_latent_without_testing() {
+        let r = quick(TechNode::N22)
+            .sim_time_ms(120)
+            .injected_faults(5)
+            .testing(false)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(r.faults_detected, 0);
+    }
+
+    #[test]
+    fn trace_contains_power_series() {
+        let r = quick(TechNode::N16).build().unwrap().run();
+        for name in ["power_w", "test_power_w", "cap_w", "tdp_w", "active_tests"] {
+            let s = r.trace.series(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(s.len() as u64, 160, "series {name}");
+        }
+    }
+
+    #[test]
+    fn vf_levels_accumulate_coverage() {
+        let r = quick(TechNode::N16).sim_time_ms(200).build().unwrap().run();
+        let covered_levels = r.tests_per_level.iter().filter(|&&c| c > 0).count();
+        assert!(
+            covered_levels >= 2,
+            "tests should reach multiple DVFS levels, got {:?}",
+            r.tests_per_level
+        );
+    }
+
+    #[test]
+    fn aborts_happen_under_load() {
+        // The baseline mapper ignores test criticality, so under heavy
+        // arrivals it claims cores mid-session; the test-aware mapper
+        // exists precisely to avoid this.
+        let r = quick(TechNode::N16)
+            .arrival_rate(4_000.0)
+            .sim_time_ms(300)
+            .mapper(MapperKind::Baseline)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.tests_aborted > 0, "expected non-intrusive aborts under load");
+    }
+
+    #[test]
+    fn mean_power_stays_under_cap_band() {
+        let r = quick(TechNode::N16)
+            .arrival_rate(5_000.0)
+            .sim_time_ms(60)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.mean_power <= r.tdp * 1.05, "mean {} tdp {}", r.mean_power, r.tdp);
+    }
+
+    #[test]
+    fn periodic_arrivals_are_evenly_spaced() {
+        let r = quick(TechNode::N16)
+            .arrival_rate(1_000.0)
+            .sim_time_ms(100)
+            .periodic_arrivals(true)
+            .build()
+            .unwrap()
+            .run();
+        // Exactly rate × horizon arrivals, to within the first/last gap.
+        assert!((99..=101).contains(&r.apps_arrived), "got {}", r.apps_arrived);
+    }
+
+    #[test]
+    fn mesh_override_scales_the_platform() {
+        let small = quick(TechNode::N16)
+            .mesh_edge(8)
+            .sim_time_ms(100)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(small.tests_per_core.len(), 64);
+        assert!(small.apps_arrived > 0);
+        assert_eq!(
+            quick(TechNode::N16).mesh_edge(0).build().err(),
+            Some(BuildError::ZeroMesh)
+        );
+    }
+
+    #[test]
+    fn nbti_recovery_reduces_accumulated_damage() {
+        use manytest_aging::RecoveryParams;
+        let plain = quick(TechNode::N16).sim_time_ms(300).build().unwrap().run();
+        let healing = quick(TechNode::N16)
+            .sim_time_ms(300)
+            .aging(manytest_aging::AgingModel::default().with_recovery(RecoveryParams::default()))
+            .build()
+            .unwrap()
+            .run();
+        let total = |r: &Report| r.damage_per_core.iter().sum::<f64>();
+        assert!(
+            total(&healing) < total(&plain),
+            "recovery must reduce total damage: {} vs {}",
+            total(&healing),
+            total(&plain)
+        );
+    }
+
+    #[test]
+    fn contention_model_inflates_latency_under_traffic() {
+        let run = |contention: bool| {
+            quick(TechNode::N16)
+                .arrival_rate(3_000.0)
+                .sim_time_ms(200)
+                .model_contention(contention)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let without = run(false);
+        let with = run(true);
+        // Contention can only delay messages, never speed them up.
+        assert!(with.mean_app_latency >= without.mean_app_latency * 0.999);
+        let loads = with.trace.series("peak_link_load").expect("load trace");
+        assert!(loads.max_value().unwrap() > 0.0, "traffic must load links");
+        assert!(loads.max_value().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn transient_thermal_runs_and_heats_the_die() {
+        let r = quick(TechNode::N16)
+            .arrival_rate(2_000.0)
+            .sim_time_ms(200)
+            .transient_thermal(true)
+            .build()
+            .unwrap()
+            .run();
+        let temps = r.trace.series("max_temp_k").expect("thermal trace");
+        let peak = temps.max_value().unwrap();
+        assert!(peak > 318.15, "the die must warm above ambient");
+        assert!(peak < 400.0, "and stay physically plausible, got {peak} K");
+        assert!(r.tests_completed > 0);
+        // Damage still accumulates through the alternative path.
+        assert!(r.damage_per_core.iter().all(|&d| d > 0.0));
+    }
+
+    #[test]
+    fn thermal_choice_does_not_change_power_accounting() {
+        // With criticality-independent policies (baseline mapper, no
+        // testing) the thermal model only affects aging bookkeeping: the
+        // execution and power paths must be bit-identical.
+        let fixed = |transient: bool| {
+            quick(TechNode::N16)
+                .sim_time_ms(150)
+                .mapper(MapperKind::Baseline)
+                .testing(false)
+                .transient_thermal(transient)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let proxy = fixed(false);
+        let rc = fixed(true);
+        assert_eq!(proxy.instructions_executed, rc.instructions_executed);
+        assert!((proxy.mean_power - rc.mean_power).abs() < 1e-9);
+        // ...while the damage numbers legitimately differ.
+        assert_ne!(proxy.damage_per_core, rc.damage_per_core);
+    }
+
+    #[test]
+    fn oversized_apps_are_rejected_without_blocking_the_queue() {
+        use manytest_workload::{Task, TaskGraph, TaskGraphGenerator, WorkloadMix};
+        // A graph larger than the whole 6x6 (45nm) mesh.
+        let mut huge = TaskGraph::new("huge");
+        let ids: Vec<_> = (0..40)
+            .map(|_| huge.add_task(Task { instructions: 1_000 }))
+            .collect();
+        for w in ids.windows(2) {
+            huge.add_edge(w[0], w[1], 10.0);
+        }
+        let mut mix = WorkloadMix::new();
+        mix.add_preset(huge, 1.0);
+        mix.add_random(TaskGraphGenerator::default(), 1.0);
+        let r = quick(TechNode::N45)
+            .workload(mix)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.apps_rejected > 0, "oversized apps must be rejected");
+        assert!(
+            r.apps_completed > 0,
+            "rejection must not head-of-line-block the feasible apps"
+        );
+    }
+
+    #[test]
+    fn all_nodes_run() {
+        for node in TechNode::ALL {
+            let r = quick(node).sim_time_ms(20).build().unwrap().run();
+            assert!(r.apps_arrived > 0, "{node} run produced no arrivals");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Whole-system conservation and consistency invariants, checked on real
+//! runs across a grid of configurations.
+
+use manytest_core::prelude::*;
+
+fn run(node: TechNode, seed: u64, rate: f64, ms: u64, testing: bool) -> Report {
+    SystemBuilder::new(node)
+        .seed(seed)
+        .arrival_rate(rate)
+        .sim_time_ms(ms)
+        .testing(testing)
+        .build()
+        .expect("valid config")
+        .run()
+}
+
+#[test]
+fn bookkeeping_is_conserved_across_configurations() {
+    for (node, rate) in [
+        (TechNode::N45, 500.0),
+        (TechNode::N22, 1_500.0),
+        (TechNode::N16, 3_000.0),
+    ] {
+        let r = run(node, 7, rate, 250, true);
+        // Apps: everything that arrived is completed, in flight, or was
+        // structurally rejected (which the standard mix never triggers).
+        assert!(
+            r.apps_completed + r.apps_in_flight <= r.apps_arrived,
+            "{node}: app accounting leak"
+        );
+        // Tests: the per-core ledger sums to the completed count.
+        let per_core_sum: u64 = r.tests_per_core.iter().sum();
+        assert_eq!(per_core_sum, r.tests_completed, "{node}: per-core ledger");
+        let per_level_sum: u64 = r.tests_per_level.iter().sum();
+        assert_eq!(per_level_sum, r.tests_completed, "{node}: per-level ledger");
+        // Energy: shares are proper fractions.
+        assert!((0.0..=1.0).contains(&r.test_energy_share));
+        assert!((0.0..=1.0).contains(&r.noc_energy_share));
+        // Power: mean ≤ peak ≤ cap band.
+        assert!(r.mean_power <= r.peak_power + 1e-9);
+        assert!(r.peak_power <= r.tdp * 1.01 + 1e-9);
+        // Throughput identity.
+        let expected = r.instructions_executed as f64 / r.sim_seconds / 1e6;
+        assert!((r.throughput_mips - expected).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn trace_epoch_counts_match_horizon() {
+    let r = run(TechNode::N32, 3, 800.0, 180, true);
+    for name in [
+        "power_w",
+        "test_power_w",
+        "workload_power_w",
+        "cap_w",
+        "tdp_w",
+        "pending_apps",
+        "active_tests",
+        "mean_utilization",
+    ] {
+        let series = r
+            .trace
+            .series(name)
+            .unwrap_or_else(|| panic!("missing trace series {name}"));
+        assert_eq!(series.len(), 180, "series {name} has wrong epoch count");
+    }
+}
+
+#[test]
+fn damage_only_accumulates() {
+    // Run twice with the same seed but different horizons: the longer run
+    // must dominate per-core damage (wear never heals).
+    let short = run(TechNode::N22, 9, 1_000.0, 100, true);
+    let long = run(TechNode::N22, 9, 1_000.0, 300, true);
+    for (s, l) in short.damage_per_core.iter().zip(&long.damage_per_core) {
+        assert!(l >= s, "damage decreased between prefix runs");
+    }
+}
+
+#[test]
+fn testing_never_increases_app_latency_materially() {
+    let with = run(TechNode::N16, 15, 1_000.0, 300, true);
+    let without = run(TechNode::N16, 15, 1_000.0, 300, false);
+    assert!(
+        with.mean_app_latency <= without.mean_app_latency * 1.05,
+        "non-intrusive testing stretched latency: {:.3} vs {:.3} ms",
+        with.mean_app_latency * 1e3,
+        without.mean_app_latency * 1e3
+    );
+}
+
+#[test]
+fn mean_test_interval_tracks_the_target_period() {
+    // Default criticality: threshold crossed ~125 ms after a test at zero
+    // stress; at light load the measured mean interval should sit within a
+    // factor of two of that.
+    let r = run(TechNode::N32, 4, 300.0, 800, true);
+    assert!(
+        (0.06..0.25).contains(&r.mean_test_interval),
+        "mean interval {:.1} ms outside the plausible band",
+        r.mean_test_interval * 1e3
+    );
+}
+
+#[test]
+fn heavier_load_means_more_power_until_saturation() {
+    let mut last = 0.0;
+    for rate in [200.0, 800.0, 2_400.0] {
+        let r = run(TechNode::N16, 21, rate, 200, true);
+        assert!(
+            r.mean_power > last * 0.95,
+            "power did not grow with load at {rate} apps/s"
+        );
+        last = r.mean_power;
+    }
+}
+
+#[test]
+fn queue_wait_is_zero_at_light_load_and_grows_at_saturation() {
+    let light = run(TechNode::N16, 8, 200.0, 250, true);
+    let heavy = run(TechNode::N16, 8, 8_000.0, 250, true);
+    assert!(light.mean_queue_wait < 0.005, "light load should admit immediately");
+    assert!(
+        heavy.mean_queue_wait > light.mean_queue_wait,
+        "saturation must produce queueing"
+    );
+}
+
+#[test]
+fn intrusive_mode_runs_and_reduces_aborts() {
+    let non_intrusive = SystemBuilder::new(TechNode::N16)
+        .seed(5)
+        .arrival_rate(2_500.0)
+        .sim_time_ms(250)
+        .mapper(MapperKind::Baseline)
+        .build()
+        .unwrap()
+        .run();
+    let intrusive = SystemBuilder::new(TechNode::N16)
+        .seed(5)
+        .arrival_rate(2_500.0)
+        .sim_time_ms(250)
+        .mapper(MapperKind::Baseline)
+        .intrusive_testing(true)
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        intrusive.tests_aborted < non_intrusive.tests_aborted,
+        "intrusive mode must preempt fewer sessions ({} vs {})",
+        intrusive.tests_aborted,
+        non_intrusive.tests_aborted
+    );
+    assert!(intrusive.apps_completed > 0);
+}

@@ -1,0 +1,179 @@
+//! Snapshot of platform state consumed by mappers.
+
+use manytest_noc::{Coord, Mesh2D};
+use serde::{Deserialize, Serialize};
+
+/// Per-node platform state a mapper may consult.
+///
+/// The simulator builds one of these each time it attempts a mapping; the
+/// vectors are indexed by dense node id (`mesh.node_id(c).index()`).
+///
+/// # Examples
+///
+/// ```
+/// use manytest_map::context::MapContext;
+/// use manytest_noc::{Coord, Mesh2D};
+///
+/// let mesh = Mesh2D::new(4, 4);
+/// let mut ctx = MapContext::all_free(mesh);
+/// ctx.set_free(Coord::new(0, 0), false);
+/// assert!(!ctx.is_free(Coord::new(0, 0)));
+/// assert_eq!(ctx.free_count(), 15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MapContext {
+    mesh: Mesh2D,
+    free: Vec<bool>,
+    utilization: Vec<f64>,
+    criticality: Vec<f64>,
+}
+
+impl MapContext {
+    /// A context where every node is free with zero utilisation and zero
+    /// criticality.
+    pub fn all_free(mesh: Mesh2D) -> Self {
+        let n = mesh.node_count();
+        MapContext {
+            mesh,
+            free: vec![true; n],
+            utilization: vec![0.0; n],
+            criticality: vec![0.0; n],
+        }
+    }
+
+    /// Builds a context from per-node vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from `mesh.node_count()`.
+    pub fn from_parts(
+        mesh: Mesh2D,
+        free: Vec<bool>,
+        utilization: Vec<f64>,
+        criticality: Vec<f64>,
+    ) -> Self {
+        let n = mesh.node_count();
+        assert!(
+            free.len() == n && utilization.len() == n && criticality.len() == n,
+            "state vectors must have one entry per node"
+        );
+        MapContext {
+            mesh,
+            free,
+            utilization,
+            criticality,
+        }
+    }
+
+    /// The mesh this context describes.
+    pub fn mesh(&self) -> Mesh2D {
+        self.mesh
+    }
+
+    /// Whether the node at `c` is free (idle and not testing).
+    pub fn is_free(&self, c: Coord) -> bool {
+        self.free[self.mesh.node_id(c).index()]
+    }
+
+    /// Marks the node at `c` free or occupied.
+    pub fn set_free(&mut self, c: Coord, free: bool) {
+        let i = self.mesh.node_id(c).index();
+        self.free[i] = free;
+    }
+
+    /// Recent utilisation of the node at `c`, in `[0, 1]`.
+    pub fn utilization(&self, c: Coord) -> f64 {
+        self.utilization[self.mesh.node_id(c).index()]
+    }
+
+    /// Sets the recent utilisation of the node at `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is outside `[0, 1]`.
+    pub fn set_utilization(&mut self, c: Coord, u: f64) {
+        assert!((0.0..=1.0).contains(&u), "utilization must be in [0,1]");
+        let i = self.mesh.node_id(c).index();
+        self.utilization[i] = u;
+    }
+
+    /// Test criticality of the node at `c` (≥ 0; higher = more urgent).
+    pub fn criticality(&self, c: Coord) -> f64 {
+        self.criticality[self.mesh.node_id(c).index()]
+    }
+
+    /// Sets the test criticality of the node at `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or non-finite.
+    pub fn set_criticality(&mut self, c: Coord, value: f64) {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "criticality must be non-negative"
+        );
+        let i = self.mesh.node_id(c).index();
+        self.criticality[i] = value;
+    }
+
+    /// Number of free nodes.
+    pub fn free_count(&self) -> usize {
+        self.free.iter().filter(|&&f| f).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_free_starts_clean() {
+        let ctx = MapContext::all_free(Mesh2D::new(3, 3));
+        assert_eq!(ctx.free_count(), 9);
+        assert_eq!(ctx.utilization(Coord::new(1, 1)), 0.0);
+        assert_eq!(ctx.criticality(Coord::new(1, 1)), 0.0);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut ctx = MapContext::all_free(Mesh2D::new(3, 3));
+        let c = Coord::new(2, 0);
+        ctx.set_free(c, false);
+        ctx.set_utilization(Coord::new(0, 1), 0.75);
+        ctx.set_criticality(Coord::new(1, 2), 3.5);
+        assert!(!ctx.is_free(c));
+        assert_eq!(ctx.utilization(Coord::new(0, 1)), 0.75);
+        assert_eq!(ctx.criticality(Coord::new(1, 2)), 3.5);
+        assert_eq!(ctx.free_count(), 8);
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        let mesh = Mesh2D::new(2, 2);
+        let ctx = MapContext::from_parts(
+            mesh,
+            vec![true, false, true, true],
+            vec![0.0; 4],
+            vec![0.0; 4],
+        );
+        assert_eq!(ctx.free_count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per node")]
+    fn from_parts_rejects_short_vectors() {
+        MapContext::from_parts(Mesh2D::new(2, 2), vec![true; 3], vec![0.0; 4], vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization must be in [0,1]")]
+    fn invalid_utilization_panics() {
+        MapContext::all_free(Mesh2D::new(2, 2)).set_utilization(Coord::new(0, 0), 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_criticality_panics() {
+        MapContext::all_free(Mesh2D::new(2, 2)).set_criticality(Coord::new(0, 0), -1.0);
+    }
+}

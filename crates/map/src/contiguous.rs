@@ -1,0 +1,284 @@
+//! Contiguous nearest-neighbour task placement.
+//!
+//! Given a chosen region, both mappers place tasks the same way (the CoNA
+//! recipe): the most communication-heavy task goes closest to the region
+//! centre, then tasks are placed one at a time in order of how much they
+//! talk to the already-placed set, each on the free core that minimises
+//! `Σ bits × hops` to its placed partners — plus a caller-supplied per-node
+//! penalty, which is where the test-aware strategy differs from the
+//! baseline.
+
+use crate::context::MapContext;
+use crate::mapping::Mapping;
+use manytest_noc::{Coord, Region};
+use manytest_workload::{TaskGraph, TaskId};
+
+/// Floor of the per-excess-hop cost for leaving the chosen region (hops
+/// beyond the region border are discouraged but not forbidden —
+/// fragmentation may force it). The effective cost also scales with the
+/// application's mean edge volume so that communication attraction cannot
+/// drown the region preference.
+const OUTSIDE_REGION_PENALTY_FLOOR: f64 = 1.0e5;
+
+/// Mean communication volume per edge of `app` (1 for edge-less apps);
+/// mappers use this to express node penalties in "hops of typical traffic".
+pub fn mean_edge_bits(app: &TaskGraph) -> f64 {
+    if app.edges().is_empty() {
+        1.0
+    } else {
+        (app.total_bits() / app.edges().len() as f64).max(1.0)
+    }
+}
+
+/// Orders tasks by descending attachment to the already-placed set, seeded
+/// with the most communication-heavy task.
+fn placement_order(app: &TaskGraph) -> Vec<TaskId> {
+    let n = app.task_count();
+    let traffic_of = |t: TaskId| -> f64 {
+        app.edges()
+            .iter()
+            .filter(|e| e.from == t || e.to == t)
+            .map(|e| e.bits)
+            .sum()
+    };
+    let mut order: Vec<TaskId> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    // Seed: heaviest communicator (ties: lowest id).
+    let seed = (0..n as u32)
+        .map(TaskId)
+        .max_by(|&a, &b| {
+            traffic_of(a)
+                .partial_cmp(&traffic_of(b))
+                .expect("volumes are finite")
+                .then(b.0.cmp(&a.0))
+        })
+        .expect("graph is non-empty");
+    order.push(seed);
+    placed[seed.index()] = true;
+    while order.len() < n {
+        let next = (0..n as u32)
+            .map(TaskId)
+            .filter(|t| !placed[t.index()])
+            .max_by(|&a, &b| {
+                let attach = |t: TaskId| -> f64 {
+                    app.edges()
+                        .iter()
+                        .filter(|e| {
+                            (e.from == t && placed[e.to.index()])
+                                || (e.to == t && placed[e.from.index()])
+                        })
+                        .map(|e| e.bits)
+                        .sum()
+                };
+                attach(a)
+                    .partial_cmp(&attach(b))
+                    .expect("volumes are finite")
+                    .then(b.0.cmp(&a.0))
+            })
+            .expect("some task remains");
+        order.push(next);
+        placed[next.index()] = true;
+    }
+    order
+}
+
+/// Places `app` contiguously inside (preferably) `region`.
+///
+/// `node_penalty` is added to each candidate core's cost; the baseline
+/// passes a constant, the test-aware mapper passes utilisation/criticality
+/// pressure. Returns `None` if fewer free cores exist than tasks.
+pub fn place(
+    ctx: &MapContext,
+    region: Region,
+    app: &TaskGraph,
+    node_penalty: impl Fn(Coord) -> f64,
+) -> Option<Mapping> {
+    let mesh = ctx.mesh();
+    let n = app.task_count();
+    if ctx.free_count() < n {
+        return None;
+    }
+    let order = placement_order(app);
+    let outside_unit = (10.0 * mean_edge_bits(app)).max(OUTSIDE_REGION_PENALTY_FLOOR);
+    let mut slots: Vec<Option<Coord>> = vec![None; n];
+    let mut used: Vec<Coord> = Vec::with_capacity(n);
+    for (rank, &task) in order.iter().enumerate() {
+        let candidate_cost = |c: Coord| -> f64 {
+            // Attraction towards placed communication partners.
+            let partner_cost: f64 = app
+                .edges()
+                .iter()
+                .filter_map(|e| {
+                    let partner = if e.from == task {
+                        slots[e.to.index()]
+                    } else if e.to == task {
+                        slots[e.from.index()]
+                    } else {
+                        None
+                    };
+                    partner.map(|p| e.bits * c.manhattan(p) as f64)
+                })
+                .sum();
+            // The first task anchors at the region centre.
+            let anchor_cost = if rank == 0 {
+                c.manhattan(region.center) as f64
+            } else {
+                0.0
+            };
+            let outside = if region.contains(mesh, c) {
+                0.0
+            } else {
+                let excess = region.center.chebyshev(c).saturating_sub(region.radius as u32);
+                outside_unit * excess as f64
+            };
+            partner_cost + anchor_cost + outside + node_penalty(c)
+        };
+        let chosen = mesh
+            .coords()
+            .filter(|&c| ctx.is_free(c) && !used.contains(&c))
+            .min_by(|&a, &b| {
+                candidate_cost(a)
+                    .partial_cmp(&candidate_cost(b))
+                    .expect("costs are finite")
+                    .then(mesh.node_id(a).cmp(&mesh.node_id(b)))
+            })?;
+        slots[task.index()] = Some(chosen);
+        used.push(chosen);
+    }
+    let coords: Vec<Coord> = slots
+        .into_iter()
+        .map(|s| s.expect("every task placed"))
+        .collect();
+    Some(Mapping::new(coords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manytest_noc::Mesh2D;
+    use manytest_workload::{presets, Task};
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut g = TaskGraph::new("chain");
+        let ids: Vec<TaskId> = (0..n)
+            .map(|_| g.add_task(Task { instructions: 1 }))
+            .collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1], 100.0);
+        }
+        g
+    }
+
+    fn full_region(mesh: Mesh2D) -> Region {
+        Region::new(
+            Coord::new(mesh.width() / 2, mesh.height() / 2),
+            mesh.width().max(mesh.height()),
+        )
+    }
+
+    #[test]
+    fn chain_maps_with_adjacent_neighbors() {
+        let mesh = Mesh2D::new(8, 8);
+        let ctx = MapContext::all_free(mesh);
+        let app = chain(4);
+        let m = place(&ctx, Region::new(Coord::new(3, 3), 1), &app, |_| 0.0).unwrap();
+        assert!(m.is_valid_for(mesh, &app));
+        // Nearest-neighbour placement should keep chain hops minimal.
+        assert!(m.mean_hop_distance(&app) <= 1.5, "{}", m.mean_hop_distance(&app));
+    }
+
+    #[test]
+    fn placement_stays_in_region_when_possible() {
+        let mesh = Mesh2D::new(8, 8);
+        let ctx = MapContext::all_free(mesh);
+        let app = presets::pip(); // 8 tasks fit a radius-1..2 region
+        let region = Region::new(Coord::new(4, 4), 2);
+        let m = place(&ctx, region, &app, |_| 0.0).unwrap();
+        for &c in m.coords() {
+            assert!(region.contains(mesh, c), "{c} escaped the region");
+        }
+    }
+
+    #[test]
+    fn placement_escapes_region_under_fragmentation() {
+        let mesh = Mesh2D::new(4, 4);
+        let mut ctx = MapContext::all_free(mesh);
+        // Occupy everything except the four corners.
+        for c in mesh.coords() {
+            let corner = (c.x == 0 || c.x == 3) && (c.y == 0 || c.y == 3);
+            ctx.set_free(c, corner);
+        }
+        let app = chain(4);
+        let m = place(&ctx, Region::new(Coord::new(0, 0), 0), &app, |_| 0.0).unwrap();
+        assert!(m.is_valid_for(mesh, &app));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn insufficient_free_cores_returns_none() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut ctx = MapContext::all_free(mesh);
+        ctx.set_free(Coord::new(0, 0), false);
+        ctx.set_free(Coord::new(1, 0), false);
+        let app = chain(3);
+        assert!(place(&ctx, full_region(mesh), &app, |_| 0.0).is_none());
+    }
+
+    #[test]
+    fn node_penalty_steers_placement() {
+        let mesh = Mesh2D::new(6, 1);
+        let ctx = MapContext::all_free(mesh);
+        let mut g = TaskGraph::new("solo");
+        g.add_task(Task { instructions: 1 });
+        // Huge penalty everywhere except x == 5.
+        let m = place(&ctx, Region::new(Coord::new(0, 0), 6), &g, |c| {
+            if c.x == 5 {
+                0.0
+            } else {
+                1.0e9
+            }
+        })
+        .unwrap();
+        assert_eq!(m.coord_of(TaskId(0)), Coord::new(5, 0));
+    }
+
+    #[test]
+    fn placement_order_starts_with_heaviest() {
+        let g = presets::mpeg4();
+        let order = placement_order(&g);
+        // Task 3 (the SDRAM hub) carries the most traffic in mpeg4.
+        assert_eq!(order[0], TaskId(3));
+        assert_eq!(order.len(), g.task_count());
+        // Order is a permutation.
+        let mut sorted: Vec<u32> = order.iter().map(|t| t.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.task_count() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contiguity_beats_random_scatter_on_hop_cost() {
+        let mesh = Mesh2D::new(8, 8);
+        let ctx = MapContext::all_free(mesh);
+        let app = presets::vopd();
+        let m = place(&ctx, Region::new(Coord::new(4, 4), 2), &app, |_| 0.0).unwrap();
+        // Scatter: spread 12 tasks over a coarse lattice — legal but
+        // dispersed.
+        let scatter = Mapping::new(
+            (0..app.task_count())
+                .map(|i| Coord::new((i % 4 * 2) as u16, (i / 4 * 3) as u16))
+                .collect(),
+        );
+        assert!(m.weighted_hop_cost(&app) < scatter.weighted_hop_cost(&app));
+    }
+
+    #[test]
+    fn deterministic_under_same_inputs() {
+        let mesh = Mesh2D::new(8, 8);
+        let ctx = MapContext::all_free(mesh);
+        let app = presets::mwd();
+        let r = Region::new(Coord::new(4, 4), 2);
+        let a = place(&ctx, r, &app, |_| 0.0).unwrap();
+        let b = place(&ctx, r, &app, |_| 0.0).unwrap();
+        assert_eq!(a, b);
+    }
+}

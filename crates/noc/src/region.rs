@@ -1,0 +1,279 @@
+//! Square-region availability search.
+//!
+//! The runtime mapper of this paper family (MapPro, CoNA) picks a *first
+//! node* for an incoming application by looking for a square region around a
+//! candidate centre that contains enough available cores, preferring small,
+//! dense regions (low dispersion → low congestion). [`Region`] is a
+//! Chebyshev ball clipped to the mesh; [`RegionSearch`] scans candidate
+//! centres and returns the best `(centre, radius)` under a caller-supplied
+//! per-node desirability score.
+
+use crate::coord::Coord;
+use crate::topology::Mesh2D;
+use serde::{Deserialize, Serialize};
+
+/// A square region: all mesh nodes within Chebyshev distance `radius` of
+/// `center`, clipped to the mesh boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    /// Centre of the square.
+    pub center: Coord,
+    /// Chebyshev radius (0 = just the centre).
+    pub radius: u16,
+}
+
+impl Region {
+    /// Creates a region.
+    pub const fn new(center: Coord, radius: u16) -> Self {
+        Region { center, radius }
+    }
+
+    /// Iterates over the mesh nodes inside the region, row-major.
+    pub fn iter(self, mesh: Mesh2D) -> impl Iterator<Item = Coord> {
+        let x0 = self.center.x.saturating_sub(self.radius);
+        let y0 = self.center.y.saturating_sub(self.radius);
+        let x1 = (self.center.x + self.radius).min(mesh.width() - 1);
+        let y1 = (self.center.y + self.radius).min(mesh.height() - 1);
+        (y0..=y1).flat_map(move |y| (x0..=x1).map(move |x| Coord { x, y }))
+    }
+
+    /// Number of mesh nodes inside the region.
+    pub fn len(self, mesh: Mesh2D) -> usize {
+        self.iter(mesh).count()
+    }
+
+    /// True if the clipped region is empty (cannot happen for a centre
+    /// inside the mesh, but kept for API completeness).
+    pub fn is_empty(self, mesh: Mesh2D) -> bool {
+        !mesh.contains(self.center) && self.len(mesh) == 0
+    }
+
+    /// True if `c` lies inside the (clipped) region.
+    pub fn contains(self, mesh: Mesh2D, c: Coord) -> bool {
+        mesh.contains(c) && self.center.chebyshev(c) as u16 <= self.radius
+    }
+}
+
+/// Result of a region search: where to map and how dispersed the region is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionChoice {
+    /// Chosen region.
+    pub region: Region,
+    /// Number of available nodes inside the region.
+    pub available: usize,
+    /// Score of the winning candidate (lower is better).
+    pub score: f64,
+}
+
+/// Square-region first-node search over a mesh.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_noc::prelude::*;
+///
+/// let mesh = Mesh2D::new(8, 8);
+/// let search = RegionSearch::new(mesh);
+/// // Everything free, no preference: any radius-1 square fits 4 cores.
+/// let choice = search
+///     .find(4, |_| true, |_| 0.0)
+///     .expect("mesh has room");
+/// assert!(choice.available >= 4);
+/// assert!(choice.region.radius <= 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct RegionSearch {
+    mesh: Mesh2D,
+}
+
+impl RegionSearch {
+    /// Creates a search over `mesh`.
+    pub fn new(mesh: Mesh2D) -> Self {
+        RegionSearch { mesh }
+    }
+
+    /// The mesh being searched.
+    pub fn mesh(&self) -> Mesh2D {
+        self.mesh
+    }
+
+    /// Finds the best region holding at least `required` nodes for which
+    /// `is_free` returns true.
+    ///
+    /// Candidates are ranked by `radius` first (small, dense regions win,
+    /// minimising dispersion), then by the sum of `node_score` over the free
+    /// nodes of the region (lower is better — callers express utilisation or
+    /// test-criticality preferences here), then by centre id for
+    /// determinism. Returns `None` when fewer than `required` nodes are free
+    /// in the whole mesh.
+    pub fn find<F, S>(&self, required: usize, is_free: F, node_score: S) -> Option<RegionChoice>
+    where
+        F: Fn(Coord) -> bool,
+        S: Fn(Coord) -> f64,
+    {
+        if required == 0 {
+            // Degenerate but well-defined: an empty application fits anywhere.
+            return Some(RegionChoice {
+                region: Region::new(Coord::new(0, 0), 0),
+                available: 0,
+                score: 0.0,
+            });
+        }
+        let total_free = self.mesh.coords().filter(|&c| is_free(c)).count();
+        if total_free < required {
+            return None;
+        }
+        let max_radius = self.mesh.width().max(self.mesh.height());
+        let mut best: Option<(u16, f64, Coord)> = None;
+        let mut best_available = 0usize;
+        for center in self.mesh.coords() {
+            if !is_free(center) {
+                continue;
+            }
+            // Smallest radius around this centre that collects `required`
+            // free nodes.
+            let mut found: Option<(u16, usize, f64)> = None;
+            for radius in 0..=max_radius {
+                let region = Region::new(center, radius);
+                let mut avail = 0usize;
+                let mut score = 0.0;
+                for c in region.iter(self.mesh) {
+                    if is_free(c) {
+                        avail += 1;
+                        score += node_score(c);
+                    }
+                }
+                if avail >= required {
+                    found = Some((radius, avail, score));
+                    break;
+                }
+                // Region already spans the whole mesh and still lacks nodes.
+                if region.len(self.mesh) == self.mesh.node_count() {
+                    break;
+                }
+            }
+            if let Some((radius, avail, score)) = found {
+                let candidate = (radius, score, center);
+                let better = match &best {
+                    None => true,
+                    Some((br, bs, bc)) => {
+                        (radius, score) < (*br, *bs)
+                            || ((radius, score) == (*br, *bs)
+                                && self.mesh.node_id(center) < self.mesh.node_id(*bc))
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                    best_available = avail;
+                }
+            }
+        }
+        best.map(|(radius, score, center)| RegionChoice {
+            region: Region::new(center, radius),
+            available: best_available,
+            score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_iter_clips_to_mesh() {
+        let mesh = Mesh2D::new(4, 4);
+        let corner = Region::new(Coord::new(0, 0), 1);
+        assert_eq!(corner.len(mesh), 4); // 2x2 after clipping
+        let interior = Region::new(Coord::new(2, 2), 1);
+        assert_eq!(interior.len(mesh), 9);
+    }
+
+    #[test]
+    fn region_contains_matches_iter() {
+        let mesh = Mesh2D::new(5, 5);
+        let r = Region::new(Coord::new(1, 3), 2);
+        for c in mesh.coords() {
+            let by_iter = r.iter(mesh).any(|rc| rc == c);
+            assert_eq!(by_iter, r.contains(mesh, c), "mismatch at {c}");
+        }
+    }
+
+    #[test]
+    fn radius_zero_is_single_node() {
+        let mesh = Mesh2D::new(3, 3);
+        let r = Region::new(Coord::new(1, 1), 0);
+        assert_eq!(r.iter(mesh).collect::<Vec<_>>(), vec![Coord::new(1, 1)]);
+    }
+
+    #[test]
+    fn search_prefers_smallest_radius() {
+        let mesh = Mesh2D::new(8, 8);
+        let search = RegionSearch::new(mesh);
+        let choice = search.find(1, |_| true, |_| 0.0).unwrap();
+        assert_eq!(choice.region.radius, 0);
+        let choice9 = search.find(9, |_| true, |_| 0.0).unwrap();
+        assert_eq!(choice9.region.radius, 1);
+    }
+
+    #[test]
+    fn search_respects_availability() {
+        let mesh = Mesh2D::new(4, 4);
+        let search = RegionSearch::new(mesh);
+        // Only the top row is free.
+        let is_free = |c: Coord| c.y == 3;
+        let choice = search.find(3, is_free, |_| 0.0).unwrap();
+        assert!(choice.available >= 3);
+        let free_in_region = choice
+            .region
+            .iter(mesh)
+            .filter(|&c| is_free(c))
+            .count();
+        assert!(free_in_region >= 3);
+    }
+
+    #[test]
+    fn search_fails_when_not_enough_free() {
+        let mesh = Mesh2D::new(3, 3);
+        let search = RegionSearch::new(mesh);
+        assert!(search.find(10, |_| true, |_| 0.0).is_none());
+        assert!(search.find(1, |_| false, |_| 0.0).is_none());
+    }
+
+    #[test]
+    fn search_uses_node_score_to_break_radius_ties() {
+        let mesh = Mesh2D::new(8, 2);
+        let search = RegionSearch::new(mesh);
+        // Single-node request, all free: score should steer the pick to the
+        // cheapest node.
+        let cheap = Coord::new(5, 1);
+        let choice = search
+            .find(1, |_| true, |c| if c == cheap { -10.0 } else { 0.0 })
+            .unwrap();
+        assert_eq!(choice.region.center, cheap);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let mesh = Mesh2D::new(6, 6);
+        let search = RegionSearch::new(mesh);
+        let a = search.find(4, |c| c.x % 2 == 0, |_| 1.0).unwrap();
+        let b = search.find(4, |c| c.x % 2 == 0, |_| 1.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_required_is_trivially_satisfied() {
+        let mesh = Mesh2D::new(2, 2);
+        let choice = RegionSearch::new(mesh).find(0, |_| false, |_| 0.0).unwrap();
+        assert_eq!(choice.available, 0);
+    }
+
+    #[test]
+    fn whole_mesh_request_spans_mesh() {
+        let mesh = Mesh2D::new(4, 4);
+        let choice = RegionSearch::new(mesh).find(16, |_| true, |_| 0.0).unwrap();
+        assert_eq!(choice.available, 16);
+        assert_eq!(choice.region.len(mesh), 16);
+    }
+}

@@ -1,0 +1,200 @@
+//! Dimension-ordered (XY) routing.
+//!
+//! XY routing first corrects the X coordinate, then the Y coordinate. It is
+//! deadlock-free on a mesh and is what the paper's platform (like most
+//! academic manycore NoCs) uses. Routes are produced as iterators of [`Hop`]s
+//! so the traffic accounting can charge each traversed link.
+
+use crate::coord::Coord;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A unit move between two adjacent routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// `x − 1`
+    West,
+    /// `x + 1`
+    East,
+    /// `y − 1`
+    South,
+    /// `y + 1`
+    North,
+}
+
+/// One hop of a route: the link leaving `from` in direction `dir`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Hop {
+    /// Router the hop leaves from.
+    pub from: Coord,
+    /// Direction of travel.
+    pub dir: Direction,
+}
+
+impl Hop {
+    /// The router this hop arrives at.
+    pub fn to(self) -> Coord {
+        let Coord { x, y } = self.from;
+        match self.dir {
+            Direction::West => Coord { x: x - 1, y },
+            Direction::East => Coord { x: x + 1, y },
+            Direction::South => Coord { x, y: y - 1 },
+            Direction::North => Coord { x, y: y + 1 },
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Direction::West => "W",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::North => "N",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Iterator over the hops of an XY route. Created by [`xy_route`].
+#[derive(Debug, Clone)]
+pub struct XyRoute {
+    at: Coord,
+    dst: Coord,
+}
+
+impl Iterator for XyRoute {
+    type Item = Hop;
+
+    fn next(&mut self) -> Option<Hop> {
+        let dir = if self.at.x < self.dst.x {
+            Direction::East
+        } else if self.at.x > self.dst.x {
+            Direction::West
+        } else if self.at.y < self.dst.y {
+            Direction::North
+        } else if self.at.y > self.dst.y {
+            Direction::South
+        } else {
+            return None;
+        };
+        let hop = Hop { from: self.at, dir };
+        self.at = hop.to();
+        Some(hop)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.at.manhattan(self.dst) as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for XyRoute {}
+
+/// Returns the XY (dimension-ordered) route from `src` to `dst`.
+///
+/// The route is minimal: it has exactly `src.manhattan(dst)` hops.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_noc::routing::xy_route;
+/// use manytest_noc::coord::Coord;
+///
+/// let hops: Vec<_> = xy_route(Coord::new(0, 0), Coord::new(2, 1)).collect();
+/// assert_eq!(hops.len(), 3);
+/// // X is corrected first.
+/// assert_eq!(hops[0].from, Coord::new(0, 0));
+/// assert_eq!(hops.last().unwrap().to(), Coord::new(2, 1));
+/// ```
+pub fn xy_route(src: Coord, dst: Coord) -> XyRoute {
+    XyRoute { at: src, dst }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Mesh2D;
+
+    #[test]
+    fn route_is_minimal_everywhere() {
+        let mesh = Mesh2D::new(6, 6);
+        for a in mesh.coords() {
+            for b in mesh.coords() {
+                let hops: Vec<Hop> = xy_route(a, b).collect();
+                assert_eq!(hops.len() as u32, a.manhattan(b));
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_connected_and_arrives() {
+        let mesh = Mesh2D::new(5, 4);
+        for a in mesh.coords() {
+            for b in mesh.coords() {
+                let mut at = a;
+                for hop in xy_route(a, b) {
+                    assert_eq!(hop.from, at);
+                    at = hop.to();
+                    assert!(mesh.contains(at), "route left the mesh at {at}");
+                }
+                assert_eq!(at, b);
+            }
+        }
+    }
+
+    #[test]
+    fn x_is_corrected_before_y() {
+        let hops: Vec<Hop> = xy_route(Coord::new(0, 0), Coord::new(3, 3)).collect();
+        let first_y_move = hops
+            .iter()
+            .position(|h| matches!(h.dir, Direction::North | Direction::South))
+            .unwrap();
+        assert!(hops[..first_y_move]
+            .iter()
+            .all(|h| matches!(h.dir, Direction::East | Direction::West)));
+        assert!(hops[first_y_move..]
+            .iter()
+            .all(|h| matches!(h.dir, Direction::North | Direction::South)));
+    }
+
+    #[test]
+    fn empty_route_for_same_node() {
+        assert_eq!(xy_route(Coord::new(2, 2), Coord::new(2, 2)).count(), 0);
+    }
+
+    #[test]
+    fn all_directions_occur() {
+        let west = xy_route(Coord::new(3, 0), Coord::new(0, 0)).next().unwrap();
+        assert_eq!(west.dir, Direction::West);
+        let south = xy_route(Coord::new(0, 3), Coord::new(0, 0)).next().unwrap();
+        assert_eq!(south.dir, Direction::South);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let r = xy_route(Coord::new(0, 0), Coord::new(4, 3));
+        assert_eq!(r.size_hint(), (7, Some(7)));
+        assert_eq!(r.len(), 7);
+    }
+
+    #[test]
+    fn hop_to_inverts_direction_pairs() {
+        let c = Coord::new(2, 2);
+        for dir in [
+            Direction::East,
+            Direction::West,
+            Direction::North,
+            Direction::South,
+        ] {
+            let hop = Hop { from: c, dir };
+            assert_eq!(hop.to().manhattan(c), 1);
+        }
+    }
+
+    #[test]
+    fn display_directions() {
+        assert_eq!(format!("{}", Direction::East), "E");
+        assert_eq!(format!("{}", Direction::North), "N");
+    }
+}

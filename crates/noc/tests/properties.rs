@@ -1,0 +1,104 @@
+//! Property tests of the NoC model.
+
+use manytest_noc::prelude::*;
+use proptest::prelude::*;
+
+fn arb_mesh() -> impl Strategy<Value = Mesh2D> {
+    (1u16..16, 1u16..16).prop_map(|(w, h)| Mesh2D::new(w, h))
+}
+
+proptest! {
+    #[test]
+    fn traffic_total_equals_bits_times_hops(
+        mesh in arb_mesh(),
+        messages in prop::collection::vec((0u32..256, 0u32..256, 1.0f64..1e6), 1..50),
+    ) {
+        let mut tm = TrafficMatrix::new(mesh);
+        let mut manual = 0.0;
+        for &(s, d, bits) in &messages {
+            let src = mesh.coord(NodeId(s % mesh.node_count() as u32));
+            let dst = mesh.coord(NodeId(d % mesh.node_count() as u32));
+            tm.charge_route(src, dst, bits);
+            manual += bits * src.manhattan(dst) as f64;
+        }
+        prop_assert!((tm.total_bits() - manual).abs() < 1e-6 * (1.0 + manual));
+        prop_assert_eq!(tm.messages(), messages.len() as u64);
+        prop_assert!(tm.max_link_bits() <= tm.total_bits() + 1e-9);
+    }
+
+    #[test]
+    fn message_cost_is_monotone_in_bits_and_distance(
+        mesh in arb_mesh(),
+        a in 0u32..256, b in 0u32..256,
+        bits in 1.0f64..1e9,
+    ) {
+        let model = LinkEnergyModel::nominal_16nm();
+        let src = mesh.coord(NodeId(a % mesh.node_count() as u32));
+        let dst = mesh.coord(NodeId(b % mesh.node_count() as u32));
+        let one = model.message_cost(src, dst, bits);
+        let double = model.message_cost(src, dst, 2.0 * bits);
+        prop_assert!(double.energy >= one.energy);
+        prop_assert!(one.energy > 0.0);
+        prop_assert!(one.latency >= 0.0);
+        prop_assert_eq!(one.hops, src.manhattan(dst));
+    }
+
+    #[test]
+    fn region_choice_minimizes_radius(
+        mesh in arb_mesh(),
+        required in 1usize..10,
+    ) {
+        // Fully free mesh: the chosen radius must be the smallest square
+        // that can hold `required` nodes anywhere on the mesh.
+        let search = RegionSearch::new(mesh);
+        match search.find(required, |_| true, |_| 0.0) {
+            Some(choice) => {
+                // The radius is minimal: no radius-(r-1) region anywhere on
+                // the mesh could hold the request.
+                if choice.region.radius > 0 {
+                    let r1 = choice.region.radius - 1;
+                    let some_smaller_fits = mesh
+                        .coords()
+                        .any(|c| Region::new(c, r1).len(mesh) >= required);
+                    prop_assert!(!some_smaller_fits, "radius not minimal");
+                }
+                prop_assert!(choice.available >= required);
+            }
+            None => prop_assert!(mesh.node_count() < required),
+        }
+    }
+
+    #[test]
+    fn node_ids_are_dense_and_unique(mesh in arb_mesh()) {
+        let ids: Vec<usize> = mesh.coords().map(|c| mesh.node_id(c).index()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), mesh.node_count());
+        prop_assert_eq!(*sorted.last().unwrap(), mesh.node_count() - 1);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric(mesh in arb_mesh(), a in 0u32..256) {
+        let c = mesh.coord(NodeId(a % mesh.node_count() as u32));
+        for n in mesh.neighbors(c) {
+            prop_assert!(mesh.neighbors(n).any(|back| back == c));
+        }
+    }
+
+    #[test]
+    fn route_hops_each_charge_exactly_one_link(
+        mesh in arb_mesh(),
+        a in 0u32..256, b in 0u32..256,
+    ) {
+        let src = mesh.coord(NodeId(a % mesh.node_count() as u32));
+        let dst = mesh.coord(NodeId(b % mesh.node_count() as u32));
+        let mut tm = TrafficMatrix::new(mesh);
+        tm.charge_route(src, dst, 1.0);
+        // Every hop of the route carries exactly the message's bits.
+        for hop in xy_route(src, dst) {
+            prop_assert_eq!(tm.link_bits(hop.from, hop.dir), 1.0);
+        }
+        prop_assert_eq!(tm.total_bits(), src.manhattan(dst) as f64);
+    }
+}

@@ -1,0 +1,314 @@
+//! Chip-level power ledger with reservation-based admission control.
+//!
+//! The paper's scheduler never *reacts* to a TDP violation — it *prevents*
+//! one: before a task starts or a test session launches, its projected power
+//! is reserved against the current budget; if the reservation does not fit,
+//! the action is deferred. [`PowerBudget`] is that ledger. The budget's cap
+//! is not necessarily the TDP itself: the PID governor (see [`crate::pid`])
+//! moves the cap around the TDP to compensate model/measurement error.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Handle to an active power reservation (returned by
+/// [`PowerBudget::reserve`]); pass it back to [`PowerBudget::release`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reservation {
+    id: u64,
+    watts: f64,
+}
+
+impl Reservation {
+    /// The reserved power, watts.
+    pub fn watts(&self) -> f64 {
+        self.watts
+    }
+}
+
+/// Error returned when a reservation does not fit under the cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsufficientHeadroom {
+    /// Watts requested.
+    pub requested: f64,
+    /// Watts actually available.
+    pub available: f64,
+}
+
+impl fmt::Display for InsufficientHeadroom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "insufficient power headroom: requested {:.3} W, available {:.3} W",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for InsufficientHeadroom {}
+
+/// A power ledger enforcing a movable cap.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_power::budget::PowerBudget;
+///
+/// let mut budget = PowerBudget::new(80.0);
+/// let task = budget.reserve(30.0)?;
+/// assert_eq!(budget.headroom(), 50.0);
+/// budget.release(task);
+/// assert_eq!(budget.headroom(), 80.0);
+/// # Ok::<(), manytest_power::budget::InsufficientHeadroom>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudget {
+    cap: f64,
+    reserved: f64,
+    next_id: u64,
+    live: Vec<(u64, f64)>,
+}
+
+impl PowerBudget {
+    /// Creates a ledger with the given cap in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is negative or non-finite.
+    pub fn new(cap: f64) -> Self {
+        assert!(cap.is_finite() && cap >= 0.0, "cap must be non-negative");
+        PowerBudget {
+            cap,
+            reserved: 0.0,
+            next_id: 0,
+            live: Vec::new(),
+        }
+    }
+
+    /// Current cap, watts.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+
+    /// Total reserved power, watts.
+    pub fn reserved(&self) -> f64 {
+        self.reserved
+    }
+
+    /// Remaining headroom (`cap − reserved`, floored at 0).
+    pub fn headroom(&self) -> f64 {
+        (self.cap - self.reserved).max(0.0)
+    }
+
+    /// True if a reservation of `watts` would fit right now.
+    pub fn fits(&self, watts: f64) -> bool {
+        watts <= self.headroom() + 1e-12
+    }
+
+    /// Reserves `watts` against the cap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsufficientHeadroom`] when the request exceeds the current
+    /// headroom; the ledger is unchanged in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or non-finite.
+    pub fn reserve(&mut self, watts: f64) -> Result<Reservation, InsufficientHeadroom> {
+        assert!(
+            watts.is_finite() && watts >= 0.0,
+            "reservation must be non-negative"
+        );
+        if !self.fits(watts) {
+            return Err(InsufficientHeadroom {
+                requested: watts,
+                available: self.headroom(),
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.reserved += watts;
+        self.live.push((id, watts));
+        Ok(Reservation { id, watts })
+    }
+
+    /// Releases a previously granted reservation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reservation was already released (double release is a
+    /// logic error in the caller's bookkeeping).
+    pub fn release(&mut self, reservation: Reservation) {
+        let pos = self
+            .live
+            .iter()
+            .position(|&(id, _)| id == reservation.id)
+            .expect("reservation released twice or never granted");
+        let (_, watts) = self.live.swap_remove(pos);
+        self.reserved = (self.reserved - watts).max(0.0);
+    }
+
+    /// Adjusts an existing reservation to `new_watts` (e.g. after a DVFS
+    /// change), keeping its identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsufficientHeadroom`] if growing the reservation would
+    /// exceed the cap; the reservation keeps its old size in that case.
+    pub fn resize(
+        &mut self,
+        reservation: &mut Reservation,
+        new_watts: f64,
+    ) -> Result<(), InsufficientHeadroom> {
+        assert!(
+            new_watts.is_finite() && new_watts >= 0.0,
+            "reservation must be non-negative"
+        );
+        let pos = self
+            .live
+            .iter()
+            .position(|&(id, _)| id == reservation.id)
+            .expect("resize of unknown reservation");
+        let delta = new_watts - reservation.watts;
+        if delta > 0.0 && delta > self.headroom() + 1e-12 {
+            return Err(InsufficientHeadroom {
+                requested: delta,
+                available: self.headroom(),
+            });
+        }
+        self.reserved = (self.reserved + delta).max(0.0);
+        self.live[pos].1 = new_watts;
+        reservation.watts = new_watts;
+        Ok(())
+    }
+
+    /// Moves the cap (the PID governor's actuator). Existing reservations
+    /// are never revoked: if the new cap is below the reserved total, the
+    /// headroom is simply zero until reservations drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is negative or non-finite.
+    pub fn set_cap(&mut self, cap: f64) {
+        assert!(cap.is_finite() && cap >= 0.0, "cap must be non-negative");
+        self.cap = cap;
+    }
+
+    /// Number of live reservations.
+    pub fn active_reservations(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut b = PowerBudget::new(100.0);
+        let r1 = b.reserve(40.0).unwrap();
+        let r2 = b.reserve(50.0).unwrap();
+        assert_eq!(b.reserved(), 90.0);
+        assert!((b.headroom() - 10.0).abs() < 1e-12);
+        b.release(r1);
+        assert_eq!(b.reserved(), 50.0);
+        b.release(r2);
+        assert_eq!(b.reserved(), 0.0);
+        assert_eq!(b.active_reservations(), 0);
+    }
+
+    #[test]
+    fn over_reservation_is_rejected_and_harmless() {
+        let mut b = PowerBudget::new(10.0);
+        let _r = b.reserve(8.0).unwrap();
+        let err = b.reserve(5.0).unwrap_err();
+        assert_eq!(err.requested, 5.0);
+        assert!((err.available - 2.0).abs() < 1e-12);
+        assert_eq!(b.reserved(), 8.0);
+        assert_eq!(b.active_reservations(), 1);
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let mut b = PowerBudget::new(10.0);
+        assert!(b.reserve(10.0).is_ok());
+        assert_eq!(b.headroom(), 0.0);
+        assert!(b.fits(0.0));
+        assert!(!b.fits(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "released twice")]
+    fn double_release_panics() {
+        let mut b = PowerBudget::new(10.0);
+        let r = b.reserve(1.0).unwrap();
+        b.release(r);
+        b.release(r);
+    }
+
+    #[test]
+    fn resize_up_and_down() {
+        let mut b = PowerBudget::new(20.0);
+        let mut r = b.reserve(5.0).unwrap();
+        b.resize(&mut r, 12.0).unwrap();
+        assert_eq!(b.reserved(), 12.0);
+        assert_eq!(r.watts(), 12.0);
+        b.resize(&mut r, 3.0).unwrap();
+        assert_eq!(b.reserved(), 3.0);
+        b.release(r);
+        assert_eq!(b.reserved(), 0.0);
+    }
+
+    #[test]
+    fn resize_beyond_cap_fails_without_change() {
+        let mut b = PowerBudget::new(10.0);
+        let mut r = b.reserve(6.0).unwrap();
+        let _other = b.reserve(3.0).unwrap();
+        assert!(b.resize(&mut r, 9.0).is_err());
+        assert_eq!(r.watts(), 6.0);
+        assert_eq!(b.reserved(), 9.0);
+    }
+
+    #[test]
+    fn lowering_cap_never_revokes() {
+        let mut b = PowerBudget::new(50.0);
+        let _r = b.reserve(40.0).unwrap();
+        b.set_cap(20.0);
+        assert_eq!(b.reserved(), 40.0);
+        assert_eq!(b.headroom(), 0.0);
+        assert!(!b.fits(1.0));
+    }
+
+    #[test]
+    fn raising_cap_creates_headroom() {
+        let mut b = PowerBudget::new(10.0);
+        let _r = b.reserve(10.0).unwrap();
+        b.set_cap(15.0);
+        assert!((b.headroom() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_display_mentions_watts() {
+        let e = InsufficientHeadroom {
+            requested: 5.0,
+            available: 1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("5.000"));
+        assert!(s.contains("1.000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_cap_panics() {
+        PowerBudget::new(-1.0);
+    }
+
+    #[test]
+    fn zero_watt_reservation_is_fine() {
+        let mut b = PowerBudget::new(0.0);
+        let r = b.reserve(0.0).unwrap();
+        b.release(r);
+    }
+}

@@ -1,0 +1,271 @@
+//! Technology nodes and ITRS-style scaling parameters.
+//!
+//! The paper evaluates its scheme at the 16 nm node and motivates it with
+//! the dark-silicon trend across generations. We model four generations at
+//! **fixed die area and fixed TDP**: each shrink roughly doubles the core
+//! count, scales capacitance by ~0.7× and voltage by ~0.9×, and increases
+//! the leakage share — the classic post-Dennard recipe under which total
+//! chip power at full tilt outgrows the TDP.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A CMOS technology generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TechNode {
+    /// 45 nm (baseline generation).
+    N45,
+    /// 32 nm.
+    N32,
+    /// 22 nm.
+    N22,
+    /// 16 nm (the paper's headline node).
+    N16,
+}
+
+/// Full parameter set of one technology generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechParams {
+    /// The node these parameters describe.
+    pub node: TechNode,
+    /// Feature size in nanometres (for display).
+    pub feature_nm: u32,
+    /// Mesh edge length at the reference die area (mesh is `edge × edge`).
+    pub mesh_edge: u16,
+    /// Nominal supply voltage, volts.
+    pub v_nominal: f64,
+    /// Minimum (near-threshold) supply voltage, volts.
+    pub v_min: f64,
+    /// Threshold voltage, volts (alpha-power-law delay model input).
+    pub v_threshold: f64,
+    /// Maximum core clock at nominal voltage, hertz.
+    pub f_max: f64,
+    /// Effective switched capacitance of one core, farads.
+    pub c_eff: f64,
+    /// Leakage current of one powered-on core at nominal voltage, amperes.
+    pub i_leak: f64,
+    /// Chip thermal design power, watts (held constant across nodes).
+    pub tdp: f64,
+}
+
+impl TechNode {
+    /// All modelled nodes, oldest first.
+    pub const ALL: [TechNode; 4] = [TechNode::N45, TechNode::N32, TechNode::N22, TechNode::N16];
+
+    /// Feature size in nanometres.
+    pub const fn feature_nm(self) -> u32 {
+        match self {
+            TechNode::N45 => 45,
+            TechNode::N32 => 32,
+            TechNode::N22 => 22,
+            TechNode::N16 => 16,
+        }
+    }
+
+    /// The parameter set for this node.
+    ///
+    /// Values follow the usual ITRS-flavoured scaling story at fixed die
+    /// area and fixed 80 W TDP:
+    ///
+    /// | node | cores | V_dd | f_max | C_eff | I_leak |
+    /// |------|-------|------|-------|-------|--------|
+    /// | 45 nm | 6×6 = 36  | 1.10 V | 2.0 GHz | 1.00 nF | 0.10 A |
+    /// | 32 nm | 8×8 = 64  | 1.00 V | 2.2 GHz | 0.70 nF | 0.14 A |
+    /// | 22 nm | 12×12 = 144 | 0.90 V | 2.4 GHz | 0.49 nF | 0.19 A |
+    /// | 16 nm | 16×16 = 256 | 0.80 V | 2.6 GHz | 0.34 nF | 0.25 A |
+    pub fn params(self) -> TechParams {
+        match self {
+            TechNode::N45 => TechParams {
+                node: self,
+                feature_nm: 45,
+                mesh_edge: 6,
+                v_nominal: 1.10,
+                v_min: 0.60,
+                v_threshold: 0.32,
+                f_max: 2.0e9,
+                c_eff: 1.00e-9,
+                i_leak: 0.10,
+                tdp: 80.0,
+            },
+            TechNode::N32 => TechParams {
+                node: self,
+                feature_nm: 32,
+                mesh_edge: 8,
+                v_nominal: 1.00,
+                v_min: 0.55,
+                v_threshold: 0.30,
+                f_max: 2.2e9,
+                c_eff: 0.70e-9,
+                i_leak: 0.14,
+                tdp: 80.0,
+            },
+            TechNode::N22 => TechParams {
+                node: self,
+                feature_nm: 22,
+                mesh_edge: 12,
+                v_nominal: 0.90,
+                v_min: 0.50,
+                v_threshold: 0.28,
+                f_max: 2.4e9,
+                c_eff: 0.49e-9,
+                i_leak: 0.19,
+                tdp: 80.0,
+            },
+            TechNode::N16 => TechParams {
+                node: self,
+                feature_nm: 16,
+                mesh_edge: 16,
+                v_nominal: 0.80,
+                v_min: 0.45,
+                v_threshold: 0.26,
+                f_max: 2.6e9,
+                c_eff: 0.34e-9,
+                i_leak: 0.25,
+                tdp: 80.0,
+            },
+        }
+    }
+
+    /// Number of cores at the reference die area (`mesh_edge²`).
+    pub fn core_count(self) -> usize {
+        let e = self.params().mesh_edge as usize;
+        e * e
+    }
+
+    /// Peak chip power if *every* core ran at nominal V/f with activity 1,
+    /// watts. Exceeds the TDP on scaled nodes — that excess *is* dark
+    /// silicon.
+    pub fn peak_power_all_cores(self) -> f64 {
+        let p = self.params();
+        let per_core = p.c_eff * p.v_nominal * p.v_nominal * p.f_max + p.v_nominal * p.i_leak;
+        per_core * self.core_count() as f64
+    }
+
+    /// Fraction of cores that **cannot** run at nominal V/f under the TDP
+    /// (the dark-silicon fraction), in `[0, 1)`.
+    pub fn dark_silicon_fraction(self) -> f64 {
+        let p = self.params();
+        let peak = self.peak_power_all_cores();
+        if peak <= p.tdp {
+            0.0
+        } else {
+            1.0 - p.tdp / peak
+        }
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}nm", self.feature_nm())
+    }
+}
+
+/// Error returned when parsing a [`TechNode`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTechNodeError(String);
+
+impl fmt::Display for ParseTechNodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown technology node `{}` (expected 45/32/22/16[nm])", self.0)
+    }
+}
+
+impl std::error::Error for ParseTechNodeError {}
+
+impl FromStr for TechNode {
+    type Err = ParseTechNodeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().trim_end_matches("nm") {
+            "45" => Ok(TechNode::N45),
+            "32" => Ok(TechNode::N32),
+            "22" => Ok(TechNode::N22),
+            "16" => Ok(TechNode::N16),
+            other => Err(ParseTechNodeError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_count_grows_with_scaling() {
+        let counts: Vec<usize> = TechNode::ALL.iter().map(|n| n.core_count()).collect();
+        assert_eq!(counts, vec![36, 64, 144, 256]);
+        assert!(counts.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn voltage_and_capacitance_shrink() {
+        let params: Vec<TechParams> = TechNode::ALL.iter().map(|n| n.params()).collect();
+        assert!(params.windows(2).all(|w| w[1].v_nominal < w[0].v_nominal));
+        assert!(params.windows(2).all(|w| w[1].c_eff < w[0].c_eff));
+        assert!(params.windows(2).all(|w| w[1].f_max > w[0].f_max));
+        assert!(params.windows(2).all(|w| w[1].i_leak > w[0].i_leak));
+    }
+
+    #[test]
+    fn tdp_is_constant_across_nodes() {
+        let tdps: Vec<f64> = TechNode::ALL.iter().map(|n| n.params().tdp).collect();
+        assert!(tdps.iter().all(|&t| t == tdps[0]));
+    }
+
+    #[test]
+    fn dark_silicon_fraction_grows_monotonically() {
+        let fracs: Vec<f64> = TechNode::ALL
+            .iter()
+            .map(|n| n.dark_silicon_fraction())
+            .collect();
+        assert!(
+            fracs.windows(2).all(|w| w[1] > w[0]),
+            "dark fraction must grow: {fracs:?}"
+        );
+        assert!(fracs[3] > 0.4, "16nm should be majority-constrained: {}", fracs[3]);
+        assert!(fracs[0] < 0.25, "45nm should be mostly lit: {}", fracs[0]);
+    }
+
+    #[test]
+    fn fraction_is_well_formed() {
+        for node in TechNode::ALL {
+            let f = node.dark_silicon_fraction();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn voltage_ordering_within_node() {
+        for node in TechNode::ALL {
+            let p = node.params();
+            assert!(p.v_threshold < p.v_min);
+            assert!(p.v_min < p.v_nominal);
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for node in TechNode::ALL {
+            let s = node.to_string();
+            assert_eq!(s.parse::<TechNode>().unwrap(), node);
+        }
+        assert_eq!("22".parse::<TechNode>().unwrap(), TechNode::N22);
+        assert!("7nm".parse::<TechNode>().is_err());
+        let err = "7nm".parse::<TechNode>().unwrap_err();
+        assert!(err.to_string().contains("unknown technology node"));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(TechNode::N16.to_string(), "16nm");
+        assert_eq!(TechNode::N45.to_string(), "45nm");
+    }
+
+    #[test]
+    fn peak_power_exceeds_tdp_on_scaled_nodes() {
+        for node in [TechNode::N22, TechNode::N16] {
+            assert!(node.peak_power_all_cores() > node.params().tdp);
+        }
+    }
+}

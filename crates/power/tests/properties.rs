@@ -1,0 +1,138 @@
+//! Property tests of the power substrate.
+
+use manytest_power::prelude::*;
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = TechNode> {
+    prop::sample::select(TechNode::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn ladder_is_monotone_for_any_size(node in arb_node(), levels in 2usize..12) {
+        let ladder = VfLadder::for_node(node, levels);
+        prop_assert_eq!(ladder.len(), levels);
+        let points: Vec<OperatingPoint> = ladder.iter().collect();
+        for w in points.windows(2) {
+            prop_assert!(w[1].voltage > w[0].voltage);
+            prop_assert!(w[1].frequency > w[0].frequency);
+        }
+        let p = node.params();
+        prop_assert!((ladder.max().voltage - p.v_nominal).abs() < 1e-12);
+        prop_assert!((ladder.min().voltage - p.v_min).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_model_is_positive_and_bounded(
+        node in arb_node(),
+        level in 0usize..5,
+        activity in 0.0f64..1.0,
+    ) {
+        let model = PowerModel::for_node(node);
+        let ladder = VfLadder::for_node(node, 5);
+        let op = ladder.point(VfLevel(level as u8));
+        let p = model.core_power(op, activity);
+        prop_assert!(p > 0.0, "leakage keeps powered cores above zero");
+        // No single core can draw more than the chip's peak-per-core.
+        let peak = node.peak_power_all_cores() / node.core_count() as f64;
+        prop_assert!(p <= peak * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn budget_reserve_release_is_conservative(
+        cap in 1.0f64..500.0,
+        requests in prop::collection::vec(0.0f64..100.0, 1..40),
+    ) {
+        let mut budget = PowerBudget::new(cap);
+        let mut granted = Vec::new();
+        for watts in requests {
+            match budget.reserve(watts) {
+                Ok(r) => granted.push(r),
+                Err(e) => {
+                    prop_assert!(e.requested > e.available - 1e-9);
+                }
+            }
+            prop_assert!(budget.reserved() <= cap + 1e-9);
+        }
+        let total: f64 = granted.iter().map(|r| r.watts()).sum();
+        prop_assert!((budget.reserved() - total).abs() < 1e-6);
+        for r in granted {
+            budget.release(r);
+        }
+        prop_assert!(budget.reserved().abs() < 1e-9);
+    }
+
+    #[test]
+    fn pid_cap_is_always_within_clamp(
+        target in 1.0f64..200.0,
+        measurements in prop::collection::vec(0.0f64..400.0, 1..100),
+    ) {
+        let mut pid = PidController::default_tuning();
+        for m in measurements {
+            let cap = pid.next_cap(target, m);
+            prop_assert!(cap >= 0.2 * target - 1e-9);
+            prop_assert!(cap <= 1.25 * target + 1e-9);
+            prop_assert!(cap.is_finite());
+        }
+    }
+
+    #[test]
+    fn naive_policy_caps_are_two_valued(
+        target in 1.0f64..200.0,
+        measurements in prop::collection::vec(0.0f64..400.0, 1..100),
+    ) {
+        let mut naive = NaiveTdpPolicy::new();
+        for m in measurements {
+            let cap = naive.next_cap(target, m);
+            let is_full = (cap - target).abs() < 1e-9;
+            let is_throttled = (cap - 0.5 * target).abs() < 1e-9;
+            prop_assert!(is_full || is_throttled);
+        }
+    }
+
+    #[test]
+    fn meter_shares_always_sum_to_one_or_zero(
+        charges in prop::collection::vec((0usize..4, 0.0f64..100.0, 0.0f64..1.0), 0..50),
+    ) {
+        let mut meter = PowerMeter::new();
+        for &(cat, watts, secs) in &charges {
+            meter.add(PowerCategory::ALL[cat], watts, secs);
+        }
+        let sum: f64 = PowerCategory::ALL.iter().map(|&c| meter.total_share(c)).sum();
+        if meter.total_energy_all() > 0.0 {
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(sum, 0.0);
+        }
+    }
+
+    #[test]
+    fn highest_under_is_the_supremum(node in arb_node(), cap_scale in 0.0f64..2.0) {
+        let model = PowerModel::for_node(node);
+        let ladder = VfLadder::for_node(node, 5);
+        let power_of = |op: OperatingPoint| model.core_power(op, 0.5);
+        let cap = power_of(ladder.max()) * cap_scale;
+        match ladder.highest_under(cap, power_of) {
+            Some(op) => {
+                prop_assert!(power_of(op) <= cap);
+                // No higher level also fits.
+                if let Some(up) = ladder.step_up(op.level) {
+                    prop_assert!(power_of(ladder.point(up)) > cap);
+                }
+            }
+            None => prop_assert!(power_of(ladder.min()) > cap),
+        }
+    }
+
+    #[test]
+    fn dark_fraction_matches_peak_and_tdp(node in arb_node()) {
+        let p = node.params();
+        let frac = node.dark_silicon_fraction();
+        let peak = node.peak_power_all_cores();
+        if peak <= p.tdp {
+            prop_assert_eq!(frac, 0.0);
+        } else {
+            prop_assert!((frac - (1.0 - p.tdp / peak)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Event calendar with deterministic ordering.
+//!
+//! [`EventQueue`] is a binary heap keyed by `(time, sequence)`: events that
+//! share a timestamp pop in the order they were scheduled (FIFO), which makes
+//! whole-system runs reproducible regardless of payload type or heap
+//! internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event carrying an arbitrary payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event<T> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotone sequence number; breaks ties among simultaneous events.
+    pub seq: u64,
+    /// The caller-defined payload.
+    pub payload: T,
+}
+
+struct HeapEntry<T>(Event<T>);
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .0
+            .time
+            .cmp(&self.0.time)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// A deterministic future-event calendar.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_sim::engine::EventQueue;
+/// use manytest_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(10), 'b');
+/// q.schedule(SimTime::from_ns(10), 'c'); // same instant: FIFO
+/// q.schedule(SimTime::from_ns(5), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for HeapEntry<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapEntry")
+            .field("time", &self.0.time)
+            .field("seq", &self.0.seq)
+            .finish()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue positioned at `t = 0`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event (simulation "now").
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// Returns the sequence number assigned to the event, which can be used
+    /// by callers to implement cancellation via tombstones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current queue time: the calendar
+    /// never travels backwards.
+    pub fn schedule(&mut self, time: SimTime, payload: T) -> u64 {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event { time, seq, payload }));
+        seq
+    }
+
+    /// Removes and returns the earliest pending event, advancing `now`.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let entry = self.heap.pop()?;
+        self.now = entry.0.time;
+        Some(entry.0)
+    }
+
+    /// Returns the time of the earliest pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    /// Pops the earliest event only if it fires strictly before `deadline`.
+    ///
+    /// This is the primitive the epoch loop uses: drain all events belonging
+    /// to the current control epoch, then hand control to the epoch-level
+    /// policies.
+    pub fn pop_before(&mut self, deadline: SimTime) -> Option<Event<T>> {
+        match self.peek_time() {
+            Some(t) if t < deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Drops all pending events, keeping the current time.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), 3);
+        q.schedule(SimTime::from_ns(10), 1);
+        q.schedule(SimTime::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_ns(42), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(5), ());
+    }
+
+    #[test]
+    fn pop_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(5), 'a');
+        q.schedule(SimTime::from_ns(15), 'b');
+        let deadline = SimTime::from_ns(10);
+        assert_eq!(q.pop_before(deadline).map(|e| e.payload), Some('a'));
+        assert_eq!(q.pop_before(deadline), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn pop_before_boundary_is_exclusive() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        assert_eq!(q.pop_before(SimTime::from_ns(10)), None);
+        assert!(q.pop_before(SimTime::from_ns(11)).is_some());
+    }
+
+    #[test]
+    fn clear_keeps_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(5), ());
+        q.pop();
+        q.schedule(SimTime::from_ns(9), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::from_ns(5));
+        // Scheduling after clear still honours monotone time.
+        q.schedule(q.now() + Duration::from_ns(1), ());
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_monotone() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), ());
+        let b = q.schedule(SimTime::from_ns(1), ());
+        assert!(b > a);
+    }
+}

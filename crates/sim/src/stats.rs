@@ -1,0 +1,371 @@
+//! Online statistics helpers used by the metrics layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford-style online mean/variance plus min/max.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_sim::stats::OnlineStats;
+///
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+    sum: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.mean = (n1 * self.mean + n2 * other.mean) / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)` with overflow/underflow bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, `lo >= hi`, or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Count of samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of samples at or above the range's upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total recorded samples including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(bin_center, count)` pairs, for plotting.
+    pub fn centers(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + w * (i as f64 + 0.5), c))
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. power,
+/// number-of-active-cores) sampled at irregular instants.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_t: Option<f64>,
+    last_v: f64,
+    weighted_sum: f64,
+    span: f64,
+    peak: Option<f64>,
+}
+
+impl TimeWeighted {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that the signal took value `v` starting at time `t` (seconds).
+    ///
+    /// The value is held constant until the next `record` call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` moves backwards.
+    pub fn record(&mut self, t: f64, v: f64) {
+        if let Some(last_t) = self.last_t {
+            assert!(t >= last_t, "time must be monotone");
+            let dt = t - last_t;
+            self.weighted_sum += self.last_v * dt;
+            self.span += dt;
+        }
+        self.last_t = Some(t);
+        self.last_v = v;
+        self.peak = Some(self.peak.map_or(v, |p: f64| p.max(v)));
+    }
+
+    /// Closes the signal at time `t` without starting a new segment.
+    pub fn finish(&mut self, t: f64) {
+        self.record(t, self.last_v);
+    }
+
+    /// Time-weighted mean over the recorded span (0 if the span is empty).
+    pub fn mean(&self) -> f64 {
+        if self.span > 0.0 {
+            self.weighted_sum / self.span
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest recorded value, if any.
+    pub fn peak(&self) -> Option<f64> {
+        self.peak
+    }
+
+    /// Total observed span in seconds.
+    pub fn span(&self) -> f64 {
+        self.span
+    }
+
+    /// Integral of the signal over the span (`mean × span`), e.g. energy in
+    /// joules when the signal is power in watts.
+    pub fn integral(&self) -> f64 {
+        self.weighted_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = OnlineStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        let before = a.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(-0.1);
+        h.push(0.0);
+        h.push(9.999);
+        h.push(10.0);
+        h.push(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_centers() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        let centers: Vec<f64> = h.centers().map(|(c, _)| c).collect();
+        assert_eq!(centers, vec![0.5, 1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn time_weighted_mean_of_step_signal() {
+        let mut tw = TimeWeighted::new();
+        tw.record(0.0, 10.0); // 10 W for 2 s
+        tw.record(2.0, 0.0); // 0 W for 2 s
+        tw.finish(4.0);
+        assert!((tw.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), Some(10.0));
+        assert!((tw.span() - 4.0).abs() < 1e-12);
+        assert!((tw.integral() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_empty_is_zero() {
+        let tw = TimeWeighted::new();
+        assert_eq!(tw.mean(), 0.0);
+        assert_eq!(tw.peak(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn time_weighted_rejects_backwards_time() {
+        let mut tw = TimeWeighted::new();
+        tw.record(5.0, 1.0);
+        tw.record(4.0, 1.0);
+    }
+}

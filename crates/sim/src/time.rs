@@ -1,0 +1,371 @@
+//! Strongly typed simulation time.
+//!
+//! All simulation time is kept in integer **nanoseconds** so that event
+//! ordering is exact and runs are reproducible across platforms; floating
+//! point only appears at the edges (seconds for reporting, rates for models).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute point in simulated time, in nanoseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_sim::time::{Duration, SimTime};
+///
+/// let t = SimTime::from_ms(2) + Duration::from_us(500);
+/// assert_eq!(t.as_ns(), 2_500_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_sim::time::Duration;
+///
+/// let d = Duration::from_us(3) * 4;
+/// assert_eq!(d.as_ns(), 12_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+/// Index of a fixed-size control epoch.
+///
+/// The power manager, runtime mapper and test scheduler all run once per
+/// epoch; [`Epoch`] is the discrete clock of those control loops.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Epoch(pub u64);
+
+impl SimTime {
+    /// The simulation origin (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The maximum representable time; used as an "infinite" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This time expressed in (floating point) seconds; for reporting only.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The epoch this instant falls in, for epochs of length `epoch_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn epoch(self, epoch_len: Duration) -> Epoch {
+        assert!(epoch_len.0 > 0, "epoch length must be positive");
+        Epoch(self.0 / epoch_len.0)
+    }
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The maximum representable duration; used as an "infinite" sentinel.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from floating point seconds, rounding to the
+    /// nearest nanosecond and saturating at the representable range.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            return Duration::ZERO;
+        }
+        let ns = (secs * 1e9).round();
+        if ns >= u64::MAX as f64 {
+            Duration::MAX
+        } else {
+            Duration(ns as u64)
+        }
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in (floating point) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Integer division rounding up; how many `chunk`s cover this duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn div_ceil(self, chunk: Duration) -> u64 {
+        assert!(chunk.0 > 0, "chunk must be positive");
+        self.0.div_ceil(chunk.0)
+    }
+}
+
+impl Epoch {
+    /// First epoch.
+    pub const ZERO: Epoch = Epoch(0);
+
+    /// The next epoch.
+    pub const fn next(self) -> Epoch {
+        Epoch(self.0 + 1)
+    }
+
+    /// Start time of this epoch for epochs of length `epoch_len`.
+    pub fn start(self, epoch_len: Duration) -> SimTime {
+        SimTime(self.0 * epoch_len.0)
+    }
+
+    /// End time (exclusive) of this epoch for epochs of length `epoch_len`.
+    pub fn end(self, epoch_len: Duration) -> SimTime {
+        SimTime((self.0 + 1) * epoch_len.0)
+    }
+
+    /// Raw epoch index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch#{}", self.0)
+    }
+}
+
+impl From<Duration> for SimTime {
+    fn from(d: Duration) -> SimTime {
+        SimTime(d.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(SimTime::from_us(1).as_ns(), 1_000);
+        assert_eq!(SimTime::from_ms(1).as_ns(), 1_000_000);
+        assert_eq!(SimTime::from_secs(1).as_ns(), 1_000_000_000);
+        assert_eq!(Duration::from_us(2).as_ns(), 2_000);
+        assert_eq!(Duration::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(Duration::from_secs(2).as_ns(), 2_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t0 = SimTime::from_ms(10);
+        let d = Duration::from_us(250);
+        let t1 = t0 + d;
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1 - d, t0);
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let early = SimTime::from_ms(1);
+        let late = SimTime::from_ms(5);
+        assert_eq!(early - late, Duration::ZERO);
+        assert_eq!(early.since(late), Duration::ZERO);
+        assert_eq!(Duration::from_ns(3) - Duration::from_ns(10), Duration::ZERO);
+    }
+
+    #[test]
+    fn epoch_boundaries() {
+        let len = Duration::from_ms(1);
+        assert_eq!(SimTime::ZERO.epoch(len), Epoch(0));
+        assert_eq!(SimTime::from_ns(999_999).epoch(len), Epoch(0));
+        assert_eq!(SimTime::from_ms(1).epoch(len), Epoch(1));
+        assert_eq!(Epoch(3).start(len), SimTime::from_ms(3));
+        assert_eq!(Epoch(3).end(len), SimTime::from_ms(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length must be positive")]
+    fn zero_epoch_len_panics() {
+        let _ = SimTime::ZERO.epoch(Duration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(Duration::from_secs_f64(-1.0), Duration::ZERO);
+        assert_eq!(Duration::from_secs_f64(1e-9), Duration::from_ns(1));
+        assert_eq!(Duration::from_secs_f64(0.5).as_ns(), 500_000_000);
+        assert_eq!(Duration::from_secs_f64(f64::MAX), Duration::MAX);
+    }
+
+    #[test]
+    fn div_ceil_covers() {
+        let d = Duration::from_ns(10);
+        assert_eq!(d.div_ceil(Duration::from_ns(3)), 4);
+        assert_eq!(d.div_ceil(Duration::from_ns(5)), 2);
+        assert_eq!(Duration::ZERO.div_ceil(Duration::from_ns(5)), 0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", SimTime::from_ms(1)).is_empty());
+        assert!(!format!("{}", Duration::from_ms(1)).is_empty());
+        assert!(!format!("{}", Epoch(7)).is_empty());
+    }
+
+    #[test]
+    fn epoch_next_and_index() {
+        assert_eq!(Epoch::ZERO.next(), Epoch(1));
+        assert_eq!(Epoch(41).next().index(), 42);
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        assert_eq!(SimTime::MAX + Duration::from_ns(1), SimTime::MAX);
+        assert_eq!(Duration::MAX + Duration::from_ns(1), Duration::MAX);
+    }
+}

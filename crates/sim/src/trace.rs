@@ -1,0 +1,235 @@
+//! Lightweight time-series tracing.
+//!
+//! The bench harness regenerates the paper's figures from traces recorded
+//! during a run: power over time, utilisation over time, tests in flight, …
+//! A [`Trace`] is a named collection of [`TraceSeries`], each a vector of
+//! `(t_seconds, value)` points.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single named series of `(time, value)` samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TraceSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample at time `t` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last recorded sample.
+    pub fn push(&mut self, t: f64, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(t >= last, "trace time must be monotone: {t} < {last}");
+        }
+        self.points.push((t, value));
+    }
+
+    /// The recorded samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest recorded value, if any.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |acc, v| {
+            Some(acc.map_or(v, |a: f64| a.max(v)))
+        })
+    }
+
+    /// Arithmetic mean of the recorded values (unweighted), if any.
+    pub fn mean_value(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+        }
+    }
+
+    /// Downsamples to at most `n` evenly spaced points (keeps endpoints).
+    pub fn downsample(&self, n: usize) -> TraceSeries {
+        if n == 0 || self.points.len() <= n {
+            return self.clone();
+        }
+        let step = (self.points.len() - 1) as f64 / (n - 1) as f64;
+        let points = (0..n)
+            .map(|i| self.points[(i as f64 * step).round() as usize])
+            .collect();
+        TraceSeries { points }
+    }
+}
+
+/// A named bundle of trace series.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_sim::trace::Trace;
+///
+/// let mut trace = Trace::new();
+/// trace.series_mut("power_w").push(0.0, 45.0);
+/// trace.series_mut("power_w").push(0.001, 47.5);
+/// assert_eq!(trace.series("power_w").unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    series: BTreeMap<String, TraceSeries>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the series with the given name, creating it if absent.
+    pub fn series_mut(&mut self, name: &str) -> &mut TraceSeries {
+        self.series.entry(name.to_owned()).or_default()
+    }
+
+    /// Returns the series with the given name, if recorded.
+    pub fn series(&self, name: &str) -> Option<&TraceSeries> {
+        self.series.get(name)
+    }
+
+    /// Names of all recorded series, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Number of recorded series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True if no series were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Renders the trace as CSV with one `time` column per series block.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (name, series) in &self.series {
+            out.push_str(&format!("# series: {name}\n"));
+            out.push_str("t_seconds,value\n");
+            for (t, v) in series.points() {
+                out.push_str(&format!("{t},{v}\n"));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Trace({} series", self.series.len())?;
+        for (name, s) in &self.series {
+            write!(f, "; {name}: {} pts", s.len())?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = TraceSeries::new();
+        s.push(0.0, 1.0);
+        s.push(1.0, 2.0);
+        assert_eq!(s.points(), &[(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(s.max_value(), Some(2.0));
+        assert_eq!(s.mean_value(), Some(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_push_panics() {
+        let mut s = TraceSeries::new();
+        s.push(2.0, 1.0);
+        s.push(1.0, 1.0);
+    }
+
+    #[test]
+    fn equal_times_are_allowed() {
+        let mut s = TraceSeries::new();
+        s.push(1.0, 1.0);
+        s.push(1.0, 2.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_series_stats() {
+        let s = TraceSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.max_value(), None);
+        assert_eq!(s.mean_value(), None);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let mut s = TraceSeries::new();
+        for i in 0..100 {
+            s.push(i as f64, i as f64);
+        }
+        let d = s.downsample(5);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.points()[0], (0.0, 0.0));
+        assert_eq!(d.points()[4], (99.0, 99.0));
+    }
+
+    #[test]
+    fn downsample_noop_when_small() {
+        let mut s = TraceSeries::new();
+        s.push(0.0, 1.0);
+        assert_eq!(s.downsample(10), s);
+        assert_eq!(s.downsample(0), s);
+    }
+
+    #[test]
+    fn trace_series_registry() {
+        let mut t = Trace::new();
+        t.series_mut("b").push(0.0, 1.0);
+        t.series_mut("a").push(0.0, 2.0);
+        assert_eq!(t.len(), 2);
+        let names: Vec<&str> = t.names().collect();
+        assert_eq!(names, vec!["a", "b"]); // sorted
+        assert!(t.series("missing").is_none());
+    }
+
+    #[test]
+    fn csv_contains_all_series() {
+        let mut t = Trace::new();
+        t.series_mut("x").push(0.5, 3.5);
+        let csv = t.to_csv();
+        assert!(csv.contains("# series: x"));
+        assert!(csv.contains("0.5,3.5"));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = Trace::new();
+        assert!(!format!("{t}").is_empty());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests of the simulation kernel.
+
+use manytest_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_stable(times in prop::collection::vec(0u64..1_000, 1..200)) {
+        let mut queue = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            queue.schedule(SimTime::from_ns(t), i);
+        }
+        let mut popped: Vec<(SimTime, usize)> = Vec::new();
+        while let Some(ev) = queue.pop() {
+            popped.push((ev.time, ev.payload));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        // Sorted by time; FIFO among equals (payload = insertion index).
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn pop_before_partitions_the_timeline(
+        times in prop::collection::vec(0u64..1_000, 1..100),
+        deadline in 0u64..1_000,
+    ) {
+        let mut queue = EventQueue::new();
+        for &t in &times {
+            queue.schedule(SimTime::from_ns(t), t);
+        }
+        let mut before = Vec::new();
+        while let Some(ev) = queue.pop_before(SimTime::from_ns(deadline)) {
+            before.push(ev.payload);
+        }
+        prop_assert!(before.iter().all(|&t| t < deadline));
+        prop_assert_eq!(before.len(), times.iter().filter(|&&t| t < deadline).count());
+        prop_assert_eq!(queue.len(), times.len() - before.len());
+    }
+
+    #[test]
+    fn histogram_conserves_every_sample(
+        samples in prop::collection::vec(-100.0f64..200.0, 0..300),
+    ) {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for &s in &samples {
+            h.push(s);
+        }
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        let binned: u64 = h.bins().iter().sum();
+        prop_assert_eq!(
+            binned + h.underflow() + h.overflow(),
+            samples.len() as u64
+        );
+    }
+
+    #[test]
+    fn time_weighted_matches_manual_integration(
+        segments in prop::collection::vec((1u64..1_000, 0.0f64..100.0), 1..50),
+    ) {
+        let mut tw = TimeWeighted::new();
+        let mut t = 0.0;
+        let mut manual = 0.0;
+        for &(dt_ms, v) in &segments {
+            tw.record(t, v);
+            let dt = dt_ms as f64 / 1e3;
+            manual += v * dt;
+            t += dt;
+        }
+        tw.finish(t);
+        prop_assert!((tw.integral() - manual).abs() < 1e-9 * (1.0 + manual));
+        prop_assert!((tw.mean() - manual / t).abs() < 1e-9 * (1.0 + manual));
+    }
+
+    #[test]
+    fn downsample_preserves_endpoints_and_bounds(
+        n_points in 2usize..500,
+        target in 2usize..64,
+    ) {
+        let mut s = TraceSeries::new();
+        for i in 0..n_points {
+            s.push(i as f64, (i * 7 % 13) as f64);
+        }
+        let d = s.downsample(target);
+        prop_assert!(d.len() <= n_points.max(target));
+        prop_assert_eq!(d.points()[0], s.points()[0]);
+        prop_assert_eq!(*d.points().last().unwrap(), *s.points().last().unwrap());
+    }
+
+    #[test]
+    fn stats_merge_is_associative_enough(
+        a in prop::collection::vec(-1e3f64..1e3, 1..50),
+        b in prop::collection::vec(-1e3f64..1e3, 1..50),
+        c in prop::collection::vec(-1e3f64..1e3, 1..50),
+    ) {
+        let build = |xs: &[f64]| {
+            let mut s = OnlineStats::new();
+            for &x in xs {
+                s.push(x);
+            }
+            s
+        };
+        // (a ∪ b) ∪ c vs a ∪ (b ∪ c)
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        let mut bc = build(&b);
+        bc.merge(&build(&c));
+        let mut right = build(&a);
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - right.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gen_exp_is_positive_and_finite(seed in any::<u64>(), rate in 0.001f64..1e6) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..50 {
+            let x = rng.gen_exp(rate);
+            prop_assert!(x.is_finite());
+            prop_assert!(x > 0.0);
+        }
+    }
+
+    #[test]
+    fn epoch_partition_is_exact(ns in 0u64..1u64 << 50, epoch_ms in 1u64..100) {
+        let len = Duration::from_ms(epoch_ms);
+        let t = SimTime::from_ns(ns);
+        let e = t.epoch(len);
+        prop_assert!(e.start(len) <= t);
+        prop_assert!(t < e.end(len));
+    }
+}

@@ -1,0 +1,356 @@
+//! Fault injection and detection bookkeeping.
+//!
+//! Online testing exists to catch **latent permanent faults** — wear-out
+//! damage that has already happened but has not yet corrupted an
+//! application. The evaluation plants faults at chosen times and measures
+//! how long the scheduler takes to find them (detection latency); a test
+//! routine detects a fault in its block with probability equal to its
+//! structural coverage.
+
+use crate::routine::TestRoutine;
+use manytest_power::VfLevel;
+use manytest_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultState {
+    /// Injected but not yet present (injection time in the future).
+    Pending,
+    /// Present and undetected.
+    Latent,
+    /// Found by a test at the recorded time.
+    Detected {
+        /// When the detecting routine completed, seconds.
+        at: f64,
+    },
+}
+
+/// One injected permanent fault on one core.
+///
+/// Some wear-out faults are **voltage dependent**: a marginal transistor
+/// may only violate timing at near-threshold voltage, or a leakage-induced
+/// defect may only misbehave at nominal. `visible_from`/`visible_to`
+/// bound the DVFS levels at which a test can observe the fault — this is
+/// exactly why the journal version insists tests must "cover all the
+/// voltage and frequency levels".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fault {
+    /// The faulty core.
+    pub core: usize,
+    /// When the fault becomes present, seconds.
+    pub inject_at: f64,
+    /// Current lifecycle state.
+    pub state: FaultState,
+    /// Lowest DVFS level at which the fault is observable (inclusive).
+    pub visible_from: VfLevel,
+    /// Highest DVFS level at which the fault is observable (inclusive).
+    pub visible_to: VfLevel,
+}
+
+impl Fault {
+    /// Creates a fault observable at every DVFS level, injected at
+    /// `inject_at` seconds.
+    pub fn new(core: usize, inject_at: f64) -> Self {
+        Fault {
+            core,
+            inject_at,
+            state: FaultState::Pending,
+            visible_from: VfLevel(0),
+            visible_to: VfLevel(u8::MAX),
+        }
+    }
+
+    /// Creates a voltage-dependent fault only observable when the test
+    /// runs at a level in `[from, to]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to`.
+    pub fn with_level_window(core: usize, inject_at: f64, from: VfLevel, to: VfLevel) -> Self {
+        assert!(from <= to, "level window inverted");
+        Fault {
+            core,
+            inject_at,
+            state: FaultState::Pending,
+            visible_from: from,
+            visible_to: to,
+        }
+    }
+
+    /// True if a test at `level` can observe this fault at all.
+    pub fn visible_at(&self, level: VfLevel) -> bool {
+        (self.visible_from..=self.visible_to).contains(&level)
+    }
+
+    /// Detection latency (detection time − injection time), if detected.
+    pub fn detection_latency(&self) -> Option<f64> {
+        match self.state {
+            FaultState::Detected { at } => Some((at - self.inject_at).max(0.0)),
+            _ => None,
+        }
+    }
+}
+
+/// The set of injected faults and their detection statistics.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_sbst::fault::{FaultLog, FaultState};
+/// use manytest_sbst::routine::RoutineLibrary;
+/// use manytest_sim::SimRng;
+///
+/// let mut log = FaultLog::new();
+/// log.inject(2, 0.010);
+/// log.activate_due(0.020);
+/// let lib = RoutineLibrary::standard();
+/// let mut rng = SimRng::seed_from(1);
+/// // A completed routine on the faulty core may detect it.
+/// let level = manytest_power::VfLevel(0);
+/// let detected = log.on_test_complete(2, lib.routine(manytest_sbst::routine::RoutineId(0)), level, 0.021, &mut rng);
+/// assert_eq!(detected, log.detected_count() == 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultLog {
+    faults: Vec<Fault>,
+}
+
+impl FaultLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a fault on `core` at `inject_at` seconds, observable at
+    /// every DVFS level.
+    pub fn inject(&mut self, core: usize, inject_at: f64) {
+        self.faults.push(Fault::new(core, inject_at));
+    }
+
+    /// Schedules a voltage-dependent fault observable only at levels in
+    /// `[from, to]`.
+    pub fn inject_windowed(&mut self, core: usize, inject_at: f64, from: VfLevel, to: VfLevel) {
+        self.faults
+            .push(Fault::with_level_window(core, inject_at, from, to));
+    }
+
+    /// Promotes pending faults whose injection time has passed to latent.
+    pub fn activate_due(&mut self, now: f64) {
+        for f in &mut self.faults {
+            if matches!(f.state, FaultState::Pending) && f.inject_at <= now {
+                f.state = FaultState::Latent;
+            }
+        }
+    }
+
+    /// Reports a completed `routine` on `core` at DVFS level `level` at
+    /// time `now`: every latent fault on that core that is *visible at
+    /// that level* is detected with probability `routine.coverage`.
+    /// Returns true if at least one fault was detected by this run.
+    pub fn on_test_complete(
+        &mut self,
+        core: usize,
+        routine: &TestRoutine,
+        level: VfLevel,
+        now: f64,
+        rng: &mut SimRng,
+    ) -> bool {
+        let mut any = false;
+        for f in &mut self.faults {
+            if f.core == core
+                && matches!(f.state, FaultState::Latent)
+                && f.visible_at(level)
+                && rng.gen_bool(routine.coverage)
+            {
+                f.state = FaultState::Detected { at: now };
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// All faults in injection order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of injected faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True if nothing was injected.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f.state, FaultState::Detected { .. }))
+            .count()
+    }
+
+    /// Number of faults still latent at the end of the run.
+    pub fn latent_count(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|f| matches!(f.state, FaultState::Latent))
+            .count()
+    }
+
+    /// Mean detection latency over detected faults, seconds.
+    pub fn mean_detection_latency(&self) -> Option<f64> {
+        let latencies: Vec<f64> = self
+            .faults
+            .iter()
+            .filter_map(Fault::detection_latency)
+            .collect();
+        if latencies.is_empty() {
+            None
+        } else {
+            Some(latencies.iter().sum::<f64>() / latencies.len() as f64)
+        }
+    }
+
+    /// Worst detection latency over detected faults, seconds.
+    pub fn max_detection_latency(&self) -> Option<f64> {
+        self.faults
+            .iter()
+            .filter_map(Fault::detection_latency)
+            .fold(None, |acc, l| Some(acc.map_or(l, |a: f64| a.max(l))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routine::RoutineLibrary;
+
+    use crate::routine::RoutineId;
+
+    fn routine() -> TestRoutine {
+        RoutineLibrary::standard().routine(RoutineId(0)).clone()
+    }
+
+    fn certain_routine() -> TestRoutine {
+        TestRoutine::new("perfect", 1_000, 0.8, 1.0)
+    }
+
+    #[test]
+    fn lifecycle_pending_latent_detected() {
+        let mut log = FaultLog::new();
+        log.inject(0, 1.0);
+        assert!(matches!(log.faults()[0].state, FaultState::Pending));
+        log.activate_due(0.5);
+        assert!(matches!(log.faults()[0].state, FaultState::Pending));
+        log.activate_due(1.0);
+        assert!(matches!(log.faults()[0].state, FaultState::Latent));
+        let mut rng = SimRng::seed_from(1);
+        let hit = log.on_test_complete(0, &certain_routine(), VfLevel(0), 2.5, &mut rng);
+        assert!(hit);
+        assert_eq!(log.detected_count(), 1);
+        assert_eq!(log.faults()[0].detection_latency(), Some(1.5));
+    }
+
+    #[test]
+    fn tests_on_other_cores_do_not_detect() {
+        let mut log = FaultLog::new();
+        log.inject(3, 0.0);
+        log.activate_due(1.0);
+        let mut rng = SimRng::seed_from(2);
+        assert!(!log.on_test_complete(4, &certain_routine(), VfLevel(0), 2.0, &mut rng));
+        assert_eq!(log.latent_count(), 1);
+    }
+
+    #[test]
+    fn pending_faults_are_not_detectable() {
+        let mut log = FaultLog::new();
+        log.inject(0, 10.0);
+        let mut rng = SimRng::seed_from(3);
+        assert!(!log.on_test_complete(0, &certain_routine(), VfLevel(0), 1.0, &mut rng));
+        assert_eq!(log.detected_count(), 0);
+    }
+
+    #[test]
+    fn detection_is_probabilistic_with_partial_coverage() {
+        // coverage 0.95 over many trials: most but not all single attempts
+        // succeed.
+        let mut hits = 0;
+        for seed in 0..200 {
+            let mut log = FaultLog::new();
+            log.inject(0, 0.0);
+            log.activate_due(0.0);
+            let mut rng = SimRng::seed_from(seed);
+            if log.on_test_complete(0, &routine(), VfLevel(0), 1.0, &mut rng) {
+                hits += 1;
+            }
+        }
+        assert!((170..=200).contains(&hits), "hits = {hits}");
+        assert!(hits < 200 || routine().coverage == 1.0);
+    }
+
+    #[test]
+    fn latency_statistics() {
+        let mut log = FaultLog::new();
+        log.inject(0, 0.0);
+        log.inject(1, 0.0);
+        log.activate_due(0.0);
+        let mut rng = SimRng::seed_from(4);
+        log.on_test_complete(0, &certain_routine(), VfLevel(0), 1.0, &mut rng);
+        log.on_test_complete(1, &certain_routine(), VfLevel(0), 3.0, &mut rng);
+        assert_eq!(log.mean_detection_latency(), Some(2.0));
+        assert_eq!(log.max_detection_latency(), Some(3.0));
+    }
+
+    #[test]
+    fn empty_log_statistics() {
+        let log = FaultLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.mean_detection_latency(), None);
+        assert_eq!(log.max_detection_latency(), None);
+        assert_eq!(log.detected_count(), 0);
+    }
+
+    #[test]
+    fn level_window_gates_detection() {
+        let mut log = FaultLog::new();
+        // Observable only at levels 0..=1 (a near-threshold-only fault).
+        log.inject_windowed(0, 0.0, VfLevel(0), VfLevel(1));
+        log.activate_due(0.0);
+        let mut rng = SimRng::seed_from(9);
+        // Testing at nominal (level 4) cannot see it.
+        assert!(!log.on_test_complete(0, &certain_routine(), VfLevel(4), 1.0, &mut rng));
+        assert_eq!(log.latent_count(), 1);
+        // Testing inside the window catches it.
+        assert!(log.on_test_complete(0, &certain_routine(), VfLevel(1), 2.0, &mut rng));
+        assert_eq!(log.detected_count(), 1);
+    }
+
+    #[test]
+    fn unwindowed_faults_are_visible_everywhere() {
+        let f = Fault::new(3, 0.0);
+        for level in 0..=10u8 {
+            assert!(f.visible_at(VfLevel(level)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window inverted")]
+    fn inverted_window_panics() {
+        Fault::with_level_window(0, 0.0, VfLevel(3), VfLevel(1));
+    }
+
+    #[test]
+    fn already_detected_faults_stay_detected() {
+        let mut log = FaultLog::new();
+        log.inject(0, 0.0);
+        log.activate_due(0.0);
+        let mut rng = SimRng::seed_from(5);
+        log.on_test_complete(0, &certain_routine(), VfLevel(0), 1.0, &mut rng);
+        log.on_test_complete(0, &certain_routine(), VfLevel(0), 9.0, &mut rng);
+        assert_eq!(log.faults()[0].detection_latency(), Some(1.0));
+    }
+}

@@ -1,0 +1,410 @@
+//! The power-aware online test scheduler.
+//!
+//! Every control epoch the simulator hands the scheduler the set of *idle*
+//! cores (with their criticalities) and the chip's current power headroom;
+//! the scheduler decides which cores start an SBST session, at which V/f
+//! level and with which routine. Three rules, straight from the paper:
+//!
+//! 1. **Non-intrusive** — only idle cores are candidates; a session is
+//!    aborted if the mapper reclaims the core (handled by the caller via
+//!    [`crate::session::SessionOutcome::Aborted`]).
+//! 2. **Power-aware** — sessions launch only while their projected power
+//!    fits the headroom left under the (PID-governed) budget; candidates
+//!    are served in descending criticality so the available watts go to
+//!    the cores that need testing most.
+//! 3. **Rotating coverage** — each core cycles through the routine library
+//!    and, per completed routine, through the DVFS ladder (least-tested
+//!    level first), so over time every core is tested at every level.
+
+use crate::coverage::VfCoverageLedger;
+use crate::routine::{RoutineId, RoutineLibrary};
+use manytest_power::{PowerModel, TechNode, VfLadder, VfLevel};
+use serde::{Deserialize, Serialize};
+
+/// An idle core offered to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestCandidate {
+    /// Dense core index.
+    pub core: usize,
+    /// Current test criticality (see [`manytest_aging`]).
+    pub criticality: f64,
+}
+
+/// A decision to start one test session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestLaunch {
+    /// Core to test.
+    pub core: usize,
+    /// Routine to run.
+    pub routine: RoutineId,
+    /// DVFS level to test at.
+    pub level: VfLevel,
+    /// Projected power draw of the session, watts.
+    pub power: f64,
+    /// Execution rate at the chosen level, instructions/second.
+    pub rate: f64,
+    /// Routine length, instructions.
+    pub instructions: u64,
+}
+
+impl TestLaunch {
+    /// Projected session duration, seconds.
+    pub fn duration(&self) -> f64 {
+        self.instructions as f64 / self.rate
+    }
+}
+
+/// Scheduler tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestSchedulerConfig {
+    /// Minimum criticality before a core is worth testing. Zero means
+    /// "test any idle core whenever power allows".
+    pub criticality_threshold: f64,
+    /// Upper bound on sessions started per planning call.
+    pub max_launches_per_epoch: usize,
+    /// Instructions per cycle of SBST code (test code is branchy; < 1).
+    pub ipc: f64,
+    /// Number of DVFS levels in the test ladder.
+    pub ladder_levels: usize,
+    /// Ablation switch: test only at this fixed level instead of rotating
+    /// through the ladder. `None` (default) = rotate — the paper's policy.
+    pub fixed_level: Option<u8>,
+}
+
+impl Default for TestSchedulerConfig {
+    fn default() -> Self {
+        TestSchedulerConfig {
+            criticality_threshold: 0.5,
+            max_launches_per_epoch: 64,
+            ipc: 0.8,
+            ladder_levels: 5,
+            fixed_level: None,
+        }
+    }
+}
+
+/// The power-aware online test scheduler (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use manytest_sbst::prelude::*;
+/// use manytest_power::TechNode;
+///
+/// let mut sched = TestScheduler::new(TestSchedulerConfig::default(), TechNode::N16);
+/// let candidates = [TestCandidate { core: 7, criticality: 3.0 }];
+/// let launches = sched.plan(&candidates, 5.0);
+/// assert_eq!(launches.len(), 1);
+/// let l = launches[0];
+/// sched.on_session_complete(l.core, l.routine, l.level);
+/// assert_eq!(sched.ledger().tests_on_core(7), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestScheduler {
+    config: TestSchedulerConfig,
+    model: PowerModel,
+    ladder: VfLadder,
+    library: RoutineLibrary,
+    cursors: Vec<RoutineId>,
+    ledger: VfCoverageLedger,
+    launches_attempted: u64,
+    launches_denied_power: u64,
+}
+
+impl TestScheduler {
+    /// Creates a scheduler for all cores of `node` with the standard
+    /// routine library.
+    pub fn new(config: TestSchedulerConfig, node: TechNode) -> Self {
+        Self::with_library(config, node, RoutineLibrary::standard(), node.core_count())
+    }
+
+    /// Creates a scheduler with an explicit library and core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_count` is zero or the config is inconsistent
+    /// (`ipc <= 0`, fewer than two ladder levels).
+    pub fn with_library(
+        config: TestSchedulerConfig,
+        node: TechNode,
+        library: RoutineLibrary,
+        core_count: usize,
+    ) -> Self {
+        assert!(core_count > 0, "need at least one core");
+        assert!(config.ipc > 0.0, "IPC must be positive");
+        assert!(config.ladder_levels >= 2, "need at least two DVFS levels");
+        if let Some(level) = config.fixed_level {
+            assert!(
+                (level as usize) < config.ladder_levels,
+                "fixed level outside the ladder"
+            );
+        }
+        TestScheduler {
+            config,
+            model: PowerModel::for_node(node),
+            ladder: VfLadder::for_node(node, config.ladder_levels),
+            library,
+            cursors: vec![RoutineId(0); core_count],
+            ledger: VfCoverageLedger::new(core_count, config.ladder_levels),
+            launches_attempted: 0,
+            launches_denied_power: 0,
+        }
+    }
+
+    /// The scheduler's configuration.
+    pub fn config(&self) -> &TestSchedulerConfig {
+        &self.config
+    }
+
+    /// The coverage ledger (per core × V/f level).
+    pub fn ledger(&self) -> &VfCoverageLedger {
+        &self.ledger
+    }
+
+    /// The routine library in use.
+    pub fn library(&self) -> &RoutineLibrary {
+        &self.library
+    }
+
+    /// The DVFS ladder tests are scheduled over.
+    pub fn ladder(&self) -> &VfLadder {
+        &self.ladder
+    }
+
+    /// Projected power of testing at `level` with routine `routine`.
+    pub fn session_power(&self, routine: RoutineId, level: VfLevel) -> f64 {
+        let op = self.ladder.point(level);
+        self.model.core_power(op, self.library.routine(routine).activity)
+    }
+
+    /// Plans this epoch's launches: candidates above the criticality
+    /// threshold, most critical first, greedily admitted while their
+    /// projected power fits `headroom_watts`.
+    pub fn plan(&mut self, candidates: &[TestCandidate], headroom_watts: f64) -> Vec<TestLaunch> {
+        let mut ranked: Vec<TestCandidate> = candidates
+            .iter()
+            .copied()
+            .filter(|c| c.criticality >= self.config.criticality_threshold)
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.criticality
+                .partial_cmp(&a.criticality)
+                .expect("criticality is never NaN")
+                .then(a.core.cmp(&b.core))
+        });
+        let mut remaining = headroom_watts;
+        let mut launches = Vec::new();
+        for cand in ranked {
+            if launches.len() >= self.config.max_launches_per_epoch {
+                break;
+            }
+            let level = match self.config.fixed_level {
+                Some(l) => VfLevel(l),
+                None => self.ledger.next_level_staggered(cand.core),
+            };
+            let routine_id = self.cursors[cand.core];
+            let routine = self.library.routine(routine_id);
+            let op = self.ladder.point(level);
+            let power = self.model.core_power(op, routine.activity);
+            self.launches_attempted += 1;
+            if power <= remaining {
+                remaining -= power;
+                launches.push(TestLaunch {
+                    core: cand.core,
+                    routine: routine_id,
+                    level,
+                    power,
+                    rate: op.frequency * self.config.ipc,
+                    instructions: routine.instructions,
+                });
+            } else {
+                self.launches_denied_power += 1;
+            }
+        }
+        launches
+    }
+
+    /// Records a completed session: coverage advances and the core's
+    /// routine cursor rotates.
+    pub fn on_session_complete(&mut self, core: usize, routine: RoutineId, level: VfLevel) {
+        self.ledger.record(core, level);
+        self.cursors[core] = self.library.next_in_rotation(routine);
+    }
+
+    /// Records an aborted session: no coverage credit; the same routine is
+    /// retried on the core's next idle period.
+    pub fn on_session_aborted(&mut self, _core: usize) {}
+
+    /// Number of planning attempts that were denied for lack of power.
+    pub fn denied_for_power(&self) -> u64 {
+        self.launches_denied_power
+    }
+
+    /// Number of launches considered (admitted + denied).
+    pub fn attempts(&self) -> u64 {
+        self.launches_attempted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler() -> TestScheduler {
+        TestScheduler::with_library(
+            TestSchedulerConfig::default(),
+            TechNode::N16,
+            RoutineLibrary::standard(),
+            16,
+        )
+    }
+
+    fn candidate(core: usize, crit: f64) -> TestCandidate {
+        TestCandidate {
+            core,
+            criticality: crit,
+        }
+    }
+
+    #[test]
+    fn most_critical_core_is_served_first() {
+        let mut s = scheduler();
+        let launches = s.plan(&[candidate(0, 1.0), candidate(1, 5.0), candidate(2, 3.0)], 100.0);
+        let order: Vec<usize> = launches.iter().map(|l| l.core).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn below_threshold_cores_are_skipped() {
+        let mut s = scheduler();
+        let launches = s.plan(&[candidate(0, 0.2), candidate(1, 0.8)], 100.0);
+        assert_eq!(launches.len(), 1);
+        assert_eq!(launches[0].core, 1);
+    }
+
+    #[test]
+    fn zero_headroom_launches_nothing() {
+        let mut s = scheduler();
+        let launches = s.plan(&[candidate(0, 5.0)], 0.0);
+        assert!(launches.is_empty());
+        assert_eq!(s.denied_for_power(), 1);
+    }
+
+    #[test]
+    fn headroom_limits_concurrent_sessions() {
+        let mut s = scheduler();
+        // Cores 0, 5, 10, 15 all start at level 0 (stagger period = 5), so
+        // every planned session costs the same.
+        let one_session = s.session_power(RoutineId(0), VfLevel(0));
+        let candidates: Vec<TestCandidate> =
+            (0..16).step_by(5).map(|c| candidate(c, 1.0)).collect();
+        let launches = s.plan(&candidates, one_session * 2.5);
+        assert_eq!(launches.len(), 2, "2.5 sessions of headroom admits 2");
+        let total: f64 = launches.iter().map(|l| l.power).sum();
+        assert!(total <= one_session * 2.5 + 1e-9);
+    }
+
+    #[test]
+    fn max_launches_cap_is_respected() {
+        let mut cfg = TestSchedulerConfig::default();
+        cfg.max_launches_per_epoch = 2;
+        let mut s = TestScheduler::with_library(cfg, TechNode::N16, RoutineLibrary::standard(), 8);
+        let candidates: Vec<TestCandidate> = (0..8).map(|c| candidate(c, 1.0)).collect();
+        assert_eq!(s.plan(&candidates, 1e9).len(), 2);
+    }
+
+    #[test]
+    fn completion_rotates_routines_and_levels() {
+        let mut s = scheduler();
+        let first = s.plan(&[candidate(0, 1.0)], 100.0)[0];
+        s.on_session_complete(first.core, first.routine, first.level);
+        let second = s.plan(&[candidate(0, 1.0)], 100.0)[0];
+        assert_ne!(first.routine, second.routine, "routine must rotate");
+        assert_ne!(first.level, second.level, "level must rotate");
+        assert_eq!(s.ledger().tests_on_core(0), 1);
+    }
+
+    #[test]
+    fn abort_gives_no_credit_and_repeats_routine() {
+        let mut s = scheduler();
+        let first = s.plan(&[candidate(0, 1.0)], 100.0)[0];
+        s.on_session_aborted(first.core);
+        let retry = s.plan(&[candidate(0, 1.0)], 100.0)[0];
+        assert_eq!(first.routine, retry.routine);
+        assert_eq!(s.ledger().tests_on_core(0), 0);
+    }
+
+    #[test]
+    fn all_levels_get_covered_over_time() {
+        let mut s = scheduler();
+        for _ in 0..(5 * 5) {
+            // 5 routines × 5 levels
+            let l = s.plan(&[candidate(3, 1.0)], 100.0)[0];
+            s.on_session_complete(l.core, l.routine, l.level);
+        }
+        assert!(s.ledger().core_fully_covered(3));
+    }
+
+    #[test]
+    fn near_threshold_tests_are_cheaper() {
+        let s = scheduler();
+        let low = s.session_power(RoutineId(0), VfLevel(0));
+        let high = s.session_power(RoutineId(0), VfLevel(4));
+        assert!(low < high);
+    }
+
+    #[test]
+    fn launch_duration_is_consistent() {
+        let mut s = scheduler();
+        let l = s.plan(&[candidate(0, 1.0)], 100.0)[0];
+        let expected = l.instructions as f64 / l.rate;
+        assert!((l.duration() - expected).abs() < 1e-15);
+        assert!(l.duration() > 0.0);
+    }
+
+    #[test]
+    fn denied_and_attempt_counters() {
+        let mut s = scheduler();
+        s.plan(&[candidate(0, 1.0), candidate(1, 1.0)], 1e-6);
+        assert_eq!(s.attempts(), 2);
+        assert_eq!(s.denied_for_power(), 2);
+    }
+
+    #[test]
+    fn fixed_level_pins_every_launch() {
+        let cfg = TestSchedulerConfig {
+            fixed_level: Some(4),
+            criticality_threshold: 0.0,
+            ..TestSchedulerConfig::default()
+        };
+        let mut s = TestScheduler::with_library(cfg, TechNode::N16, RoutineLibrary::standard(), 8);
+        for round in 0..3 {
+            let candidates: Vec<TestCandidate> = (0..8).map(|c| candidate(c, 1.0)).collect();
+            for l in s.plan(&candidates, 1e9) {
+                assert_eq!(l.level, VfLevel(4), "round {round}");
+                s.on_session_complete(l.core, l.routine, l.level);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed level outside")]
+    fn fixed_level_out_of_range_panics() {
+        let cfg = TestSchedulerConfig {
+            fixed_level: Some(9),
+            ..TestSchedulerConfig::default()
+        };
+        TestScheduler::with_library(cfg, TechNode::N16, RoutineLibrary::standard(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        TestScheduler::with_library(
+            TestSchedulerConfig::default(),
+            TechNode::N16,
+            RoutineLibrary::standard(),
+            0,
+        );
+    }
+}

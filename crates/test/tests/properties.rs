@@ -1,0 +1,159 @@
+//! Property tests of the SBST scheduler and its bookkeeping.
+
+use manytest_power::{TechNode, VfLevel};
+use manytest_sbst::prelude::*;
+use manytest_sim::SimRng;
+use proptest::prelude::*;
+
+fn scheduler(cores: usize, threshold: f64) -> TestScheduler {
+    TestScheduler::with_library(
+        TestSchedulerConfig {
+            criticality_threshold: threshold,
+            ..TestSchedulerConfig::default()
+        },
+        TechNode::N16,
+        RoutineLibrary::standard(),
+        cores,
+    )
+}
+
+proptest! {
+    #[test]
+    fn plan_never_exceeds_headroom(
+        headroom in 0.0f64..50.0,
+        crits in prop::collection::vec(0.0f64..5.0, 1..64),
+    ) {
+        let mut s = scheduler(crits.len(), 0.0);
+        let candidates: Vec<TestCandidate> = crits
+            .iter()
+            .enumerate()
+            .map(|(core, &criticality)| TestCandidate { core, criticality })
+            .collect();
+        let launches = s.plan(&candidates, headroom);
+        let total: f64 = launches.iter().map(|l| l.power).sum();
+        prop_assert!(total <= headroom + 1e-9);
+        // No core is launched twice in one plan.
+        let mut cores: Vec<usize> = launches.iter().map(|l| l.core).collect();
+        cores.sort_unstable();
+        let before = cores.len();
+        cores.dedup();
+        prop_assert_eq!(before, cores.len());
+    }
+
+    #[test]
+    fn plan_serves_descending_criticality(
+        crits in prop::collection::vec(0.5f64..5.0, 2..32),
+    ) {
+        let mut s = scheduler(crits.len(), 0.0);
+        let candidates: Vec<TestCandidate> = crits
+            .iter()
+            .enumerate()
+            .map(|(core, &criticality)| TestCandidate { core, criticality })
+            .collect();
+        let launches = s.plan(&candidates, f64::INFINITY);
+        let served: Vec<f64> = launches.iter().map(|l| crits[l.core]).collect();
+        for w in served.windows(2) {
+            prop_assert!(w[0] >= w[1], "service order must be descending");
+        }
+    }
+
+    #[test]
+    fn threshold_filters_exactly(
+        threshold in 0.0f64..3.0,
+        crits in prop::collection::vec(0.0f64..5.0, 1..40),
+    ) {
+        let mut s = scheduler(crits.len(), threshold);
+        let candidates: Vec<TestCandidate> = crits
+            .iter()
+            .enumerate()
+            .map(|(core, &criticality)| TestCandidate { core, criticality })
+            .collect();
+        let launches = s.plan(&candidates, f64::INFINITY);
+        let eligible = crits.iter().filter(|&&c| c >= threshold).count();
+        prop_assert_eq!(launches.len(), eligible.min(s.config().max_launches_per_epoch));
+        for l in &launches {
+            prop_assert!(crits[l.core] >= threshold);
+        }
+    }
+
+    #[test]
+    fn rotation_reaches_full_coverage(
+        core in 0usize..16,
+        extra_rounds in 0usize..3,
+    ) {
+        let mut s = scheduler(16, 0.0);
+        let rounds = s.library().len() * s.ladder().len() + extra_rounds;
+        for _ in 0..rounds {
+            let launches = s.plan(
+                &[TestCandidate { core, criticality: 1.0 }],
+                f64::INFINITY,
+            );
+            let l = launches[0];
+            s.on_session_complete(l.core, l.routine, l.level);
+        }
+        prop_assert!(s.ledger().core_fully_covered(core));
+    }
+
+    #[test]
+    fn ledger_counts_are_conserved(
+        records in prop::collection::vec((0usize..8, 0u8..5), 0..200),
+    ) {
+        let mut ledger = VfCoverageLedger::new(8, 5);
+        for &(core, level) in &records {
+            ledger.record(core, VfLevel(level));
+        }
+        let per_core: u64 = (0..8).map(|c| ledger.tests_on_core(c)).sum();
+        let per_level: u64 = ledger.tests_per_level().iter().sum();
+        prop_assert_eq!(per_core, records.len() as u64);
+        prop_assert_eq!(per_level, records.len() as u64);
+    }
+
+    #[test]
+    fn next_level_is_always_least_tested(
+        records in prop::collection::vec(0u8..4, 0..60),
+    ) {
+        let mut ledger = VfCoverageLedger::new(1, 4);
+        for &level in &records {
+            ledger.record(0, VfLevel(level));
+        }
+        let chosen = ledger.next_level(0);
+        let min = (0..4)
+            .map(|l| ledger.tests_at(0, VfLevel(l)))
+            .min()
+            .unwrap();
+        prop_assert_eq!(ledger.tests_at(0, chosen), min);
+    }
+
+    #[test]
+    fn detection_latency_is_nonnegative(
+        inject_at in 0.0f64..5.0,
+        test_at in 0.0f64..10.0,
+        seed in any::<u64>(),
+    ) {
+        let mut log = FaultLog::new();
+        log.inject(0, inject_at);
+        log.activate_due(test_at);
+        let routine = TestRoutine::new("perfect", 1_000, 0.8, 1.0);
+        let mut rng = SimRng::seed_from(seed);
+        log.on_test_complete(0, &routine, VfLevel(0), test_at, &mut rng);
+        if let Some(latency) = log.faults()[0].detection_latency() {
+            prop_assert!(latency >= 0.0);
+            prop_assert!(test_at >= inject_at, "detected ⇒ fault was active");
+        }
+    }
+
+    #[test]
+    fn session_progress_is_monotone(
+        steps in prop::collection::vec(0.0f64..1e-3, 1..50),
+    ) {
+        let mut session = TestSession::new(0, RoutineId(0), VfLevel(0), 1_000_000, 1e9, 0.0);
+        let mut last = 0.0;
+        for &dt in &steps {
+            session.advance(dt);
+            let p = session.progress();
+            prop_assert!(p >= last);
+            prop_assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! TGFF-style random task-graph generation.
+//!
+//! TGFF ("Task Graphs For Free") is the de-facto generator in this
+//! literature: it emits layered series-parallel DAGs with configurable
+//! size, fan-out, and volume distributions. [`TaskGraphGenerator`]
+//! reproduces that shape: tasks are placed in layers, every non-root layer
+//! draws edges from the previous layers, and compute/communication volumes
+//! are drawn log-uniformly from configured ranges.
+
+use crate::task::{Task, TaskGraph};
+use manytest_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration and factory for random task graphs.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_workload::gen::TaskGraphGenerator;
+/// use manytest_sim::SimRng;
+///
+/// let gen = TaskGraphGenerator {
+///     min_tasks: 4,
+///     max_tasks: 9,
+///     ..TaskGraphGenerator::default()
+/// };
+/// let mut rng = SimRng::seed_from(1);
+/// let g = gen.generate(&mut rng, "random");
+/// assert!((4..=9).contains(&g.task_count()));
+/// assert!(g.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraphGenerator {
+    /// Minimum number of tasks (inclusive).
+    pub min_tasks: usize,
+    /// Maximum number of tasks (inclusive).
+    pub max_tasks: usize,
+    /// Maximum tasks per layer.
+    pub max_layer_width: usize,
+    /// Maximum in-degree drawn for a non-root task.
+    pub max_in_degree: usize,
+    /// Minimum task compute volume, instructions.
+    pub min_instructions: u64,
+    /// Maximum task compute volume, instructions.
+    pub max_instructions: u64,
+    /// Minimum edge volume, bits.
+    pub min_bits: f64,
+    /// Maximum edge volume, bits.
+    pub max_bits: f64,
+}
+
+impl Default for TaskGraphGenerator {
+    /// Applications of 4–12 tasks (the size range of the classic NoC
+    /// benchmarks), 2–30 M instructions per task, 8–512 kbit messages.
+    fn default() -> Self {
+        TaskGraphGenerator {
+            min_tasks: 4,
+            max_tasks: 12,
+            max_layer_width: 4,
+            max_in_degree: 3,
+            min_instructions: 2_000_000,
+            max_instructions: 30_000_000,
+            min_bits: 8_000.0,
+            max_bits: 512_000.0,
+        }
+    }
+}
+
+impl TaskGraphGenerator {
+    /// Draws `x` log-uniformly in `[lo, hi]`.
+    fn log_uniform(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+        if lo >= hi {
+            return lo;
+        }
+        (rng.gen_f64_range(lo.ln(), hi.ln())).exp()
+    }
+
+    /// Generates one random task graph named `name`.
+    ///
+    /// The result always validates: it is a connected-enough layered DAG
+    /// with positive volumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (`min_tasks == 0`,
+    /// `min_tasks > max_tasks`, zero `max_layer_width`, volume ranges
+    /// inverted).
+    pub fn generate(&self, rng: &mut SimRng, name: impl Into<String>) -> TaskGraph {
+        assert!(self.min_tasks >= 1, "graphs need at least one task");
+        assert!(self.min_tasks <= self.max_tasks, "task range inverted");
+        assert!(self.max_layer_width >= 1, "layer width must be positive");
+        assert!(
+            self.min_instructions >= 1 && self.min_instructions <= self.max_instructions,
+            "instruction range invalid"
+        );
+        assert!(
+            self.min_bits >= 0.0 && self.min_bits <= self.max_bits,
+            "bit range invalid"
+        );
+        let n = rng.gen_range_inclusive(self.min_tasks as u64, self.max_tasks as u64) as usize;
+        let mut graph = TaskGraph::new(name);
+        // Assign tasks to layers.
+        let mut layers: Vec<Vec<crate::task::TaskId>> = Vec::new();
+        let mut placed = 0usize;
+        while placed < n {
+            let width = rng
+                .gen_range_inclusive(1, self.max_layer_width as u64)
+                .min((n - placed) as u64) as usize;
+            let layer: Vec<crate::task::TaskId> = (0..width)
+                .map(|_| {
+                    let instructions = Self::log_uniform(
+                        rng,
+                        self.min_instructions as f64,
+                        self.max_instructions as f64,
+                    )
+                    .round()
+                    .max(1.0) as u64;
+                    graph.add_task(Task { instructions })
+                })
+                .collect();
+            placed += width;
+            layers.push(layer);
+        }
+        // Wire each non-root task to 1..=max_in_degree parents from the
+        // previous layer (guaranteeing acyclicity and connectivity between
+        // consecutive layers).
+        for li in 1..layers.len() {
+            // Clone the parent layer ids (cheap Copy ids) to appease borrows.
+            let parents: Vec<crate::task::TaskId> = layers[li - 1].clone();
+            let children: Vec<crate::task::TaskId> = layers[li].clone();
+            for child in children {
+                let degree = rng
+                    .gen_range_inclusive(1, self.max_in_degree as u64)
+                    .min(parents.len() as u64) as usize;
+                let mut pool = parents.clone();
+                rng.shuffle(&mut pool);
+                for &parent in pool.iter().take(degree) {
+                    let bits = Self::log_uniform(rng, self.min_bits.max(1.0), self.max_bits);
+                    graph.add_edge(parent, child, bits);
+                }
+            }
+        }
+        debug_assert!(graph.validate().is_ok());
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from(0xC0FFEE)
+    }
+
+    #[test]
+    fn generated_graphs_validate() {
+        let g = TaskGraphGenerator::default();
+        let mut rng = rng();
+        for i in 0..200 {
+            let graph = g.generate(&mut rng, format!("app{i}"));
+            assert!(graph.validate().is_ok(), "graph {i} invalid");
+        }
+    }
+
+    #[test]
+    fn task_count_within_bounds() {
+        let g = TaskGraphGenerator {
+            min_tasks: 3,
+            max_tasks: 7,
+            ..TaskGraphGenerator::default()
+        };
+        let mut rng = rng();
+        for _ in 0..100 {
+            let n = g.generate(&mut rng, "x").task_count();
+            assert!((3..=7).contains(&n));
+        }
+    }
+
+    #[test]
+    fn volumes_within_bounds() {
+        let g = TaskGraphGenerator {
+            min_instructions: 1_000,
+            max_instructions: 2_000,
+            min_bits: 100.0,
+            max_bits: 200.0,
+            ..TaskGraphGenerator::default()
+        };
+        let mut rng = rng();
+        let graph = g.generate(&mut rng, "x");
+        for t in graph.tasks() {
+            assert!((1_000..=2_000).contains(&t.instructions));
+        }
+        for e in graph.edges() {
+            assert!((100.0..=200.0).contains(&e.bits));
+        }
+    }
+
+    #[test]
+    fn non_root_tasks_have_parents() {
+        let g = TaskGraphGenerator::default();
+        let mut rng = rng();
+        for _ in 0..50 {
+            let graph = g.generate(&mut rng, "x");
+            let roots = graph.roots();
+            for t in 0..graph.task_count() as u32 {
+                let id = crate::task::TaskId(t);
+                if !roots.contains(&id) {
+                    assert!(graph.predecessors(id).next().is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = TaskGraphGenerator::default();
+        let a = g.generate(&mut SimRng::seed_from(5), "x");
+        let b = g.generate(&mut SimRng::seed_from(5), "x");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_task_config() {
+        let g = TaskGraphGenerator {
+            min_tasks: 1,
+            max_tasks: 1,
+            ..TaskGraphGenerator::default()
+        };
+        let graph = g.generate(&mut rng(), "solo");
+        assert_eq!(graph.task_count(), 1);
+        assert!(graph.edges().is_empty());
+        assert!(graph.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "task range inverted")]
+    fn inverted_range_panics() {
+        let g = TaskGraphGenerator {
+            min_tasks: 9,
+            max_tasks: 3,
+            ..TaskGraphGenerator::default()
+        };
+        g.generate(&mut rng(), "bad");
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let x = TaskGraphGenerator::log_uniform(&mut r, 10.0, 1000.0);
+            assert!((10.0..=1000.0).contains(&x));
+        }
+        assert_eq!(TaskGraphGenerator::log_uniform(&mut r, 5.0, 5.0), 5.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Dynamic workloads: task-graph applications, generators and arrivals.
+//!
+//! The paper evaluates under "dynamic workloads": applications arrive at
+//! runtime, each one a task graph that the runtime mapper places onto a
+//! contiguous region of cores; tasks execute, communicate over the NoC and
+//! leave, freeing their cores (whose *idle periods* the test scheduler then
+//! exploits). This crate provides:
+//!
+//! * [`task`] — the task-graph data model ([`TaskGraph`]): a validated DAG
+//!   of compute volumes (instructions) and communication volumes (bits).
+//! * [`gen`] — a TGFF-style random generator ([`TaskGraphGenerator`]) of
+//!   layered DAGs, the standard way this literature builds synthetic
+//!   dynamic workloads.
+//! * [`presets`] — the classic NoC benchmark graphs (VOPD, MPEG-4 decoder,
+//!   MWD, PIP) with their published communication structures.
+//! * [`arrival`] — Poisson application arrivals ([`ArrivalProcess`]) and
+//!   weighted application mixes ([`WorkloadMix`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use manytest_workload::prelude::*;
+//! use manytest_sim::SimRng;
+//!
+//! let mut rng = SimRng::seed_from(7);
+//! let generator = TaskGraphGenerator::default();
+//! let graph = generator.generate(&mut rng, "app0");
+//! assert!(graph.validate().is_ok());
+//! assert!(graph.task_count() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod gen;
+pub mod presets;
+pub mod task;
+
+pub use arrival::{AppId, Application, ArrivalProcess, WorkloadMix};
+pub use gen::TaskGraphGenerator;
+pub use task::{GraphError, Task, TaskGraph, TaskId};
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::arrival::{AppId, Application, ArrivalProcess, WorkloadMix};
+    pub use crate::gen::TaskGraphGenerator;
+    pub use crate::presets;
+    pub use crate::task::{GraphError, Task, TaskGraph, TaskId};
+}

@@ -1,0 +1,98 @@
+//! Property tests of the workload substrate.
+
+use manytest_sim::SimRng;
+use manytest_workload::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn generator_respects_arbitrary_bounds(
+        seed in any::<u64>(),
+        min_tasks in 1usize..6,
+        extra_tasks in 0usize..10,
+        min_instr in 1_000u64..100_000,
+        instr_span in 0u64..1_000_000,
+    ) {
+        let config = TaskGraphGenerator {
+            min_tasks,
+            max_tasks: min_tasks + extra_tasks,
+            min_instructions: min_instr,
+            max_instructions: min_instr + instr_span,
+            ..TaskGraphGenerator::default()
+        };
+        let mut rng = SimRng::seed_from(seed);
+        let g = config.generate(&mut rng, "prop");
+        prop_assert!(g.validate().is_ok());
+        prop_assert!((min_tasks..=min_tasks + extra_tasks).contains(&g.task_count()));
+        for t in g.tasks() {
+            prop_assert!((min_instr..=min_instr + instr_span).contains(&t.instructions));
+        }
+    }
+
+    #[test]
+    fn topological_order_is_a_valid_schedule(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let g = TaskGraphGenerator::default().generate(&mut rng, "prop");
+        let order = g.topological_order().unwrap();
+        let position = |t: TaskId| order.iter().position(|&x| x == t).unwrap();
+        for e in g.edges() {
+            prop_assert!(position(e.from) < position(e.to));
+        }
+    }
+
+    #[test]
+    fn critical_path_bounds(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let g = TaskGraphGenerator::default().generate(&mut rng, "prop");
+        let cp = g.critical_path_len();
+        prop_assert!(cp >= 1);
+        prop_assert!(cp <= g.task_count());
+    }
+
+    #[test]
+    fn arrival_gaps_have_the_right_mean(seed in any::<u64>(), rate in 10.0f64..10_000.0) {
+        let mut proc = ArrivalProcess::poisson(rate);
+        let mut rng = SimRng::seed_from(seed);
+        let n = 3_000;
+        let total: f64 = (0..n)
+            .map(|_| proc.next_interarrival(&mut rng).as_secs_f64())
+            .sum();
+        let mean = total / n as f64;
+        let expected = 1.0 / rate;
+        // 3k samples of an exponential: mean within 10% w.h.p.
+        prop_assert!((mean - expected).abs() < expected * 0.1, "mean {mean} vs {expected}");
+    }
+
+    #[test]
+    fn mix_sampling_yields_valid_apps(seed in any::<u64>()) {
+        let mut mix = WorkloadMix::standard();
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..10 {
+            let g = mix.sample(&mut rng);
+            prop_assert!(g.validate().is_ok());
+            prop_assert!(g.task_count() >= 1);
+            prop_assert!(g.task_count() <= 12);
+        }
+    }
+
+    #[test]
+    fn total_volumes_are_consistent(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let g = TaskGraphGenerator::default().generate(&mut rng, "prop");
+        let manual_instr: u64 = g.tasks().iter().map(|t| t.instructions).sum();
+        prop_assert_eq!(g.total_instructions(), manual_instr);
+        let manual_bits: f64 = g.edges().iter().map(|e| e.bits).sum();
+        prop_assert!((g.total_bits() - manual_bits).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roots_have_no_predecessors_and_exist(seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let g = TaskGraphGenerator::default().generate(&mut rng, "prop");
+        let roots = g.roots();
+        prop_assert!(!roots.is_empty());
+        for r in roots {
+            prop_assert_eq!(g.predecessors(r).count(), 0);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Mapping strategy comparison: the baseline contiguous mapper (CoNA-style,
+//! test-agnostic) versus the paper's test-aware utilization-oriented
+//! mapping (TUM), on the same workload and seed.
+//!
+//! TUM leaves test-critical cores idle so the scheduler can reach them;
+//! the baseline blindly occupies them, stretching test intervals.
+//!
+//! ```sh
+//! cargo run --example mapping_comparison --release
+//! ```
+
+use manytest::prelude::*;
+
+fn run(mapper: MapperKind, seed: u64) -> Result<Report, BuildError> {
+    Ok(SystemBuilder::new(TechNode::N16)
+        .seed(seed)
+        .arrival_rate(600.0) // load high enough that mapping choices matter
+        .sim_time_ms(250)
+        .mapper(mapper)
+        .build()?
+        .run())
+}
+
+fn main() -> Result<(), BuildError> {
+    println!("metric                          baseline (CoNA)   test-aware (TUM)");
+    println!("------------------------------  ----------------  ----------------");
+    let seeds = [3, 17, 90];
+    let mut base_acc = Vec::new();
+    let mut tum_acc = Vec::new();
+    for &seed in &seeds {
+        base_acc.push(run(MapperKind::Baseline, seed)?);
+        tum_acc.push(run(MapperKind::TestAware, seed)?);
+    }
+    let mean = |f: &dyn Fn(&Report) -> f64, rs: &[Report]| -> f64 {
+        rs.iter().map(|r| f(r)).sum::<f64>() / rs.len() as f64
+    };
+    let rows: Vec<(&str, Box<dyn Fn(&Report) -> f64>, f64)> = vec![
+        ("throughput (MIPS)", Box::new(|r: &Report| r.throughput_mips), 1.0),
+        ("tests completed", Box::new(|r: &Report| r.tests_completed as f64), 1.0),
+        ("tests aborted", Box::new(|r: &Report| r.tests_aborted as f64), 1.0),
+        ("mean test interval (ms)", Box::new(|r: &Report| r.mean_test_interval), 1e3),
+        ("max test interval (ms)", Box::new(|r: &Report| r.max_test_interval), 1e3),
+        ("min tests on any core", Box::new(|r: &Report| r.min_tests_per_core as f64), 1.0),
+        ("mean hop cost (kbit-hops)", Box::new(|r: &Report| r.mean_hop_cost), 1e-3),
+    ];
+    for (name, f, scale) in &rows {
+        println!(
+            "{:<30}  {:>16.2}  {:>16.2}",
+            name,
+            mean(&|r| f(r), &base_acc) * scale,
+            mean(&|r| f(r), &tum_acc) * scale,
+        );
+    }
+    println!();
+    println!(
+        "Averaged over {} seeds. TUM should deliver equal-or-better throughput while\n\
+         completing more tests per core (higher minimum) with fewer aborts.",
+        seeds.len()
+    );
+    Ok(())
+}

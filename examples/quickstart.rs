@@ -1,0 +1,44 @@
+//! Quickstart: run the 16 nm platform for 300 simulated milliseconds with
+//! power-aware online testing enabled, and print the run summary.
+//!
+//! ```sh
+//! cargo run --example quickstart --release
+//! ```
+
+use manytest::prelude::*;
+
+fn main() -> Result<(), BuildError> {
+    let report = SystemBuilder::new(TechNode::N16)
+        .seed(2024)
+        .arrival_rate(300.0) // applications per second
+        .sim_time_ms(300)
+        .build()?
+        .run();
+
+    println!("== manytest quickstart: 16 nm, 16x16 mesh, 80 W TDP ==");
+    println!("{}", report.summary());
+    println!();
+    println!("applications:  {} arrived, {} completed", report.apps_arrived, report.apps_completed);
+    println!("throughput:    {:.0} MIPS", report.throughput_mips);
+    println!(
+        "power:         mean {:.1} W / peak {:.1} W under a {:.0} W TDP ({} cap violations)",
+        report.mean_power, report.peak_power, report.tdp, report.cap_violations
+    );
+    println!(
+        "testing:       {} sessions completed, {} aborted non-intrusively, {:.2}% of energy",
+        report.tests_completed,
+        report.tests_aborted,
+        report.test_energy_share * 100.0
+    );
+    println!(
+        "test interval: mean {:.1} ms, max {:.1} ms across {} cores",
+        report.mean_test_interval * 1e3,
+        report.max_test_interval * 1e3,
+        report.tests_per_core.len()
+    );
+    println!(
+        "dark silicon:  {:.0}% of cores cannot run at nominal V/f under this TDP",
+        report.dark_fraction * 100.0
+    );
+    Ok(())
+}

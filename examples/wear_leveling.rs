@@ -1,0 +1,61 @@
+//! Wear distribution under the two mappers: the test-aware
+//! utilization-oriented mapper also *levels* wear, because its utilisation
+//! term steers new applications away from recently-hot cores.
+//!
+//! Prints the per-core damage distribution (mean, spread, hottest/coolest
+//! ratio) after a long run under each mapper.
+//!
+//! ```sh
+//! cargo run --example wear_leveling --release
+//! ```
+
+use manytest::prelude::*;
+
+fn damage_stats(report: &Report) -> (f64, f64, f64) {
+    let n = report.damage_per_core.len() as f64;
+    let mean = report.damage_per_core.iter().sum::<f64>() / n;
+    let var = report
+        .damage_per_core
+        .iter()
+        .map(|d| (d - mean).powi(2))
+        .sum::<f64>()
+        / n;
+    let max = report.damage_per_core.iter().cloned().fold(0.0, f64::max);
+    let min = report
+        .damage_per_core
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    (mean, var.sqrt() / mean, max / min.max(1e-12))
+}
+
+fn main() -> Result<(), BuildError> {
+    println!("mapper            mean damage   rel. spread   hottest/coolest");
+    println!("----------------  ------------  ------------  ---------------");
+    for (name, kind) in [
+        ("baseline (CoNA)", MapperKind::Baseline),
+        ("test-aware (TUM)", MapperKind::TestAware),
+    ] {
+        let report = SystemBuilder::new(TechNode::N16)
+            .seed(13)
+            .arrival_rate(1_500.0)
+            .sim_time_ms(800)
+            .mapper(kind)
+            .build()?
+            .run();
+        let (mean, rel_spread, ratio) = damage_stats(&report);
+        println!(
+            "{:<16}  {:>12.4}  {:>11.1}%  {:>15.2}",
+            name,
+            mean,
+            rel_spread * 100.0,
+            ratio
+        );
+    }
+    println!();
+    println!(
+        "Lower spread and hottest/coolest ratio = more even aging across the die,\n\
+         which directly extends the chip's time to first wear-out failure."
+    );
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! `mtsim` — command-line front end for the manytest simulator.
+//!
+//! ```sh
+//! mtsim --node 16 --rate 800 --ms 300 --seed 7
+//! mtsim --node 45 --no-test --governor naive --mapper baseline
+//! mtsim --node 16 --faults 10 --windowed-faults 0.5 --trace-csv
+//! ```
+//!
+//! Prints the run report; `--trace-csv` additionally dumps the epoch
+//! traces as CSV to stdout (report goes to stderr in that case).
+
+use manytest::prelude::*;
+use std::process::ExitCode;
+
+struct Args {
+    node: TechNode,
+    rate: f64,
+    ms: u64,
+    seed: u64,
+    testing: bool,
+    governor: GovernorKind,
+    mapper: MapperKind,
+    faults: usize,
+    windowed_faults: f64,
+    intrusive: bool,
+    trace_csv: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            node: TechNode::N16,
+            rate: 500.0,
+            ms: 300,
+            seed: 1,
+            testing: true,
+            governor: GovernorKind::Pid,
+            mapper: MapperKind::TestAware,
+            faults: 0,
+            windowed_faults: 0.0,
+            intrusive: false,
+            trace_csv: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+mtsim — power-aware online testing of manycore systems (DATE 2015 reproduction)
+
+USAGE:
+    mtsim [OPTIONS]
+
+OPTIONS:
+    --node <45|32|22|16>        technology node            [default: 16]
+    --rate <APPS_PER_SEC>       application arrival rate   [default: 500]
+    --ms <MILLISECONDS>         simulated horizon          [default: 300]
+    --seed <SEED>               RNG seed                   [default: 1]
+    --no-test                   disable online testing
+    --governor <pid|naive|fixed> power governor            [default: pid]
+    --mapper <tum|baseline>     runtime mapper             [default: tum]
+    --faults <N>                inject N latent faults     [default: 0]
+    --windowed-faults <FRAC>    fraction of faults that are V/f dependent
+    --intrusive                 tests preempt tasks (ablation)
+    --trace-csv                 dump epoch traces as CSV on stdout
+    --help                      show this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--node" => {
+                args.node = value("--node")?
+                    .parse::<TechNode>()
+                    .map_err(|e| e.to_string())?;
+            }
+            "--rate" => {
+                args.rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("bad --rate: {e}"))?;
+            }
+            "--ms" => {
+                args.ms = value("--ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --ms: {e}"))?;
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--no-test" => args.testing = false,
+            "--governor" => {
+                args.governor = match value("--governor")?.as_str() {
+                    "pid" => GovernorKind::Pid,
+                    "naive" => GovernorKind::Naive,
+                    "fixed" => GovernorKind::FixedTdp,
+                    other => return Err(format!("unknown governor `{other}`")),
+                };
+            }
+            "--mapper" => {
+                args.mapper = match value("--mapper")?.as_str() {
+                    "tum" | "test-aware" => MapperKind::TestAware,
+                    "baseline" | "cona" => MapperKind::Baseline,
+                    other => return Err(format!("unknown mapper `{other}`")),
+                };
+            }
+            "--faults" => {
+                args.faults = value("--faults")?
+                    .parse()
+                    .map_err(|e| format!("bad --faults: {e}"))?;
+            }
+            "--windowed-faults" => {
+                args.windowed_faults = value("--windowed-faults")?
+                    .parse()
+                    .map_err(|e| format!("bad --windowed-faults: {e}"))?;
+            }
+            "--intrusive" => args.intrusive = true,
+            "--trace-csv" => args.trace_csv = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let system = SystemBuilder::new(args.node)
+        .seed(args.seed)
+        .arrival_rate(args.rate)
+        .sim_time_ms(args.ms)
+        .testing(args.testing)
+        .governor(args.governor)
+        .mapper(args.mapper)
+        .injected_faults(args.faults)
+        .vf_windowed_faults(args.windowed_faults)
+        .intrusive_testing(args.intrusive)
+        .build();
+    let system = match system {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: invalid configuration: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = system.run();
+    let out = |line: String| {
+        if args.trace_csv {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    out(format!(
+        "# mtsim: {} mesh, {} apps/s, {} ms, seed {}",
+        args.node, args.rate, args.ms, args.seed
+    ));
+    out(report.summary());
+    out(format!(
+        "apps: {} arrived / {} completed / {} in flight / {} rejected",
+        report.apps_arrived, report.apps_completed, report.apps_in_flight, report.apps_rejected
+    ));
+    if report.faults_injected > 0 {
+        out(format!(
+            "faults: {}/{} detected, mean latency {:.1} ms",
+            report.faults_detected,
+            report.faults_injected,
+            report.mean_detection_latency * 1e3
+        ));
+    }
+    if args.trace_csv {
+        print!("{}", report.trace.to_csv());
+    }
+    ExitCode::SUCCESS
+}

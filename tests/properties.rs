@@ -1,0 +1,180 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates through the facade.
+
+use manytest::noc::{xy_route, Coord, Mesh2D, Region, RegionSearch};
+use manytest::power::{PowerBudget, PowerModel, TechNode, VfLadder, VfLevel};
+use manytest::sim::{Duration, OnlineStats, SimRng, SimTime};
+use manytest::workload::TaskGraphGenerator;
+use proptest::prelude::*;
+
+fn arb_coord(max: u16) -> impl Strategy<Value = Coord> {
+    (0..max, 0..max).prop_map(|(x, y)| Coord::new(x, y))
+}
+
+proptest! {
+    // ---- NoC routing -----------------------------------------------------
+
+    #[test]
+    fn xy_routes_are_minimal_connected_and_inside(
+        (w, h) in (1u16..20, 1u16..20),
+        sx in 0u16..20, sy in 0u16..20, dx in 0u16..20, dy in 0u16..20,
+    ) {
+        let mesh = Mesh2D::new(w, h);
+        let src = Coord::new(sx % w, sy % h);
+        let dst = Coord::new(dx % w, dy % h);
+        let mut at = src;
+        let mut hops = 0;
+        for hop in xy_route(src, dst) {
+            prop_assert_eq!(hop.from, at);
+            at = hop.to();
+            prop_assert!(mesh.contains(at));
+            hops += 1;
+        }
+        prop_assert_eq!(at, dst);
+        prop_assert_eq!(hops, src.manhattan(dst));
+    }
+
+    #[test]
+    fn manhattan_is_a_metric(a in arb_coord(32), b in arb_coord(32), c in arb_coord(32)) {
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+        prop_assert_eq!(a.manhattan(a), 0);
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    // ---- Region search ---------------------------------------------------
+
+    #[test]
+    fn region_search_finds_enough_free_nodes(
+        (w, h) in (2u16..10, 2u16..10),
+        required in 1usize..20,
+        mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mesh = Mesh2D::new(w, h);
+        let is_free = |c: Coord| mask[mesh.node_id(c).index() % mask.len()];
+        let total_free = mesh.coords().filter(|&c| is_free(c)).count();
+        let search = RegionSearch::new(mesh);
+        match search.find(required, is_free, |_| 0.0) {
+            Some(choice) => {
+                prop_assert!(total_free >= required);
+                let in_region = choice.region.iter(mesh).filter(|&c| is_free(c)).count();
+                prop_assert!(in_region >= required);
+                prop_assert_eq!(in_region, choice.available);
+            }
+            None => prop_assert!(total_free < required),
+        }
+    }
+
+    #[test]
+    fn regions_clip_to_mesh((w, h) in (1u16..12, 1u16..12), cx in 0u16..12, cy in 0u16..12, r in 0u16..12) {
+        let mesh = Mesh2D::new(w, h);
+        let region = Region::new(Coord::new(cx % w, cy % h), r);
+        for c in region.iter(mesh) {
+            prop_assert!(mesh.contains(c));
+        }
+        prop_assert!(region.len(mesh) <= mesh.node_count());
+    }
+
+    // ---- Power budget ----------------------------------------------------
+
+    #[test]
+    fn budget_never_exceeds_cap_under_arbitrary_ops(
+        cap in 0.0f64..200.0,
+        ops in prop::collection::vec((any::<bool>(), 0.0f64..50.0), 1..60),
+    ) {
+        let mut budget = PowerBudget::new(cap);
+        let mut live = Vec::new();
+        for (release, watts) in ops {
+            if release && !live.is_empty() {
+                let r = live.remove(0);
+                budget.release(r);
+            } else if let Ok(r) = budget.reserve(watts) {
+                live.push(r);
+            }
+            prop_assert!(budget.reserved() <= budget.cap() + 1e-9);
+            let manual: f64 = live.iter().map(|r: &manytest::power::Reservation| r.watts()).sum();
+            prop_assert!((budget.reserved() - manual).abs() < 1e-6);
+        }
+    }
+
+    // ---- Power model -----------------------------------------------------
+
+    #[test]
+    fn power_is_monotone_in_level_and_activity(
+        level_a in 0u8..5, level_b in 0u8..5,
+        act_a in 0.0f64..1.0, act_b in 0.0f64..1.0,
+    ) {
+        let model = PowerModel::for_node(TechNode::N16);
+        let ladder = VfLadder::for_node(TechNode::N16, 5);
+        let (lo, hi) = if level_a <= level_b { (level_a, level_b) } else { (level_b, level_a) };
+        let p_lo = model.core_power(ladder.point(VfLevel(lo)), 0.5);
+        let p_hi = model.core_power(ladder.point(VfLevel(hi)), 0.5);
+        prop_assert!(p_lo <= p_hi);
+        let (alo, ahi) = if act_a <= act_b { (act_a, act_b) } else { (act_b, act_a) };
+        let q_lo = model.core_power(ladder.max(), alo);
+        let q_hi = model.core_power(ladder.max(), ahi);
+        prop_assert!(q_lo <= q_hi);
+    }
+
+    // ---- Task graph generator ---------------------------------------------
+
+    #[test]
+    fn generated_graphs_always_validate(seed in any::<u64>()) {
+        let generator = TaskGraphGenerator::default();
+        let mut rng = SimRng::seed_from(seed);
+        let g = generator.generate(&mut rng, "prop");
+        prop_assert!(g.validate().is_ok());
+        let order = g.topological_order().unwrap();
+        prop_assert_eq!(order.len(), g.task_count());
+    }
+
+    // ---- RNG --------------------------------------------------------------
+
+    #[test]
+    fn rng_ranges_are_respected(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::seed_from(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.gen_range(bound) < bound);
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn rng_derive_is_pure(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let root = SimRng::seed_from(seed);
+        let mut a = root.derive(&label);
+        let mut b = root.derive(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    // ---- Time arithmetic ---------------------------------------------------
+
+    #[test]
+    fn time_addition_is_consistent(base in 0u64..1u64 << 40, d1 in 0u64..1u64 << 20, d2 in 0u64..1u64 << 20) {
+        let t = SimTime::from_ns(base);
+        let a = Duration::from_ns(d1);
+        let b = Duration::from_ns(d2);
+        prop_assert_eq!((t + a) + b, (t + b) + a);
+        prop_assert_eq!((t + a) - t, a + Duration::ZERO);
+        prop_assert!((t + a).since(t) == a);
+    }
+
+    // ---- Statistics ---------------------------------------------------------
+
+    #[test]
+    fn online_stats_match_naive_computation(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut stats = OnlineStats::new();
+        for &x in &xs {
+            stats.push(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((stats.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((stats.variance() - var).abs() < 1e-4 * (1.0 + var));
+        prop_assert_eq!(stats.min().unwrap(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(stats.max().unwrap(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
+    }
+}

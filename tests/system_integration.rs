@@ -1,0 +1,202 @@
+//! Full-system integration tests spanning every crate: the assertions here
+//! are the paper's headline behaviours, checked end-to-end through the
+//! public facade API.
+
+use manytest::prelude::*;
+
+fn builder(node: TechNode) -> SystemBuilder {
+    SystemBuilder::new(node)
+        .seed(0xFEED)
+        .arrival_rate(400.0)
+        .sim_time_ms(300)
+}
+
+#[test]
+fn headline_throughput_penalty_is_below_one_percent_at_16nm() {
+    let base = builder(TechNode::N16).testing(false).build().unwrap().run();
+    let tested = builder(TechNode::N16).testing(true).build().unwrap().run();
+    let penalty = tested.throughput_penalty_vs(&base);
+    assert!(
+        penalty < 0.01,
+        "DATE'15 claims <1% penalty at 16nm; measured {:.3}%",
+        penalty * 100.0
+    );
+    assert!(tested.tests_completed > 0, "the tested run must actually test");
+}
+
+#[test]
+fn tdp_is_never_violated_across_nodes_and_governors() {
+    for node in TechNode::ALL {
+        for governor in [GovernorKind::Pid, GovernorKind::Naive, GovernorKind::FixedTdp] {
+            let r = builder(node)
+                .arrival_rate(3_000.0)
+                .sim_time_ms(150)
+                .governor(governor)
+                .build()
+                .unwrap()
+                .run();
+            assert_eq!(
+                r.cap_violations, 0,
+                "{node} with {governor:?} violated the TDP"
+            );
+        }
+    }
+}
+
+#[test]
+fn reports_are_bitwise_reproducible() {
+    let a = builder(TechNode::N22).build().unwrap().run();
+    let b = builder(TechNode::N22).build().unwrap().run();
+    assert_eq!(a, b, "same seed must give identical reports");
+}
+
+#[test]
+fn every_core_eventually_gets_tested() {
+    let r = builder(TechNode::N32)
+        .arrival_rate(200.0)
+        .sim_time_ms(500)
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        r.min_tests_per_core >= 1,
+        "after 500ms at light load every core should have been tested; min = {}",
+        r.min_tests_per_core
+    );
+}
+
+#[test]
+fn planted_faults_are_found_with_bounded_latency() {
+    let r = builder(TechNode::N22)
+        .sim_time_ms(600)
+        .injected_faults(10)
+        .build()
+        .unwrap()
+        .run();
+    assert_eq!(r.faults_injected, 10);
+    assert!(
+        r.faults_detected >= 8,
+        "most latent faults should be caught, got {}/10",
+        r.faults_detected
+    );
+    // Faults are injected in the first 300ms; with ~125ms test periods the
+    // mean detection latency should be a few periods at most.
+    assert!(
+        r.mean_detection_latency < 0.4,
+        "latency {:.3}s too large",
+        r.mean_detection_latency
+    );
+}
+
+#[test]
+fn test_energy_share_shrinks_with_load() {
+    let light = builder(TechNode::N16).arrival_rate(250.0).build().unwrap().run();
+    let heavy = builder(TechNode::N16)
+        .arrival_rate(4_000.0)
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        heavy.test_energy_share < light.test_energy_share,
+        "test share must shrink with load: light {:.3} vs heavy {:.3}",
+        light.test_energy_share,
+        heavy.test_energy_share
+    );
+}
+
+#[test]
+fn dark_silicon_grows_with_scaling_and_power_tracks_it() {
+    let mut last_dark = -1.0;
+    for node in TechNode::ALL {
+        let r = builder(node)
+            .arrival_rate(5_000.0)
+            .sim_time_ms(150)
+            .testing(false)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.dark_fraction > last_dark, "dark fraction must grow");
+        last_dark = r.dark_fraction;
+        assert!(r.mean_power <= r.tdp * 1.05);
+    }
+}
+
+#[test]
+fn pid_extracts_more_throughput_than_naive_at_saturation() {
+    let pid = builder(TechNode::N16)
+        .arrival_rate(6_000.0)
+        .governor(GovernorKind::Pid)
+        .build()
+        .unwrap()
+        .run();
+    let naive = builder(TechNode::N16)
+        .arrival_rate(6_000.0)
+        .governor(GovernorKind::Naive)
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        pid.throughput_mips > naive.throughput_mips,
+        "ICCD'14: PID budgeting should beat the naive TDP policy ({} vs {})",
+        pid.throughput_mips,
+        naive.throughput_mips
+    );
+}
+
+#[test]
+fn vf_coverage_completes_on_long_runs() {
+    let r = builder(TechNode::N32)
+        .arrival_rate(200.0)
+        .sim_time_ms(1_500)
+        .build()
+        .unwrap()
+        .run();
+    assert!(
+        r.full_vf_coverage,
+        "1.5s at light load must cover every (core, level) cell; per-level {:?}",
+        r.tests_per_level
+    );
+}
+
+#[test]
+fn trace_series_are_consistent_with_report() {
+    let r = builder(TechNode::N16).build().unwrap().run();
+    let power = r.trace.series("power_w").expect("power series");
+    // The peak epoch power in the trace matches the report.
+    let trace_peak = power.max_value().unwrap();
+    assert!((trace_peak - r.peak_power).abs() < 1e-6);
+    // No epoch in the trace exceeds the TDP band.
+    assert!(power.points().iter().all(|&(_, p)| p <= r.tdp * 1.01));
+}
+
+#[test]
+fn disabled_testing_is_a_true_baseline() {
+    let r = builder(TechNode::N45).testing(false).build().unwrap().run();
+    assert_eq!(r.tests_completed, 0);
+    assert_eq!(r.tests_aborted, 0);
+    assert_eq!(r.tests_denied_power, 0);
+    assert_eq!(r.test_energy_share, 0.0);
+    assert!(r.tests_per_core.iter().all(|&t| t == 0));
+}
+
+#[test]
+fn mapping_strategies_yield_comparable_throughput() {
+    let base = builder(TechNode::N16)
+        .arrival_rate(2_500.0)
+        .mapper(MapperKind::Baseline)
+        .build()
+        .unwrap()
+        .run();
+    let tum = builder(TechNode::N16)
+        .arrival_rate(2_500.0)
+        .mapper(MapperKind::TestAware)
+        .build()
+        .unwrap()
+        .run();
+    let diff = (base.throughput_mips - tum.throughput_mips).abs() / base.throughput_mips;
+    assert!(
+        diff < 0.05,
+        "test awareness must not cost real throughput (diff {:.2}%)",
+        diff * 100.0
+    );
+}
