@@ -76,12 +76,33 @@ impl Default for ThermalParams {
 /// assert!(grid.temperature(5) > grid.temperature(6));
 /// assert!(grid.temperature(6) > grid.temperature(15));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThermalGrid {
     width: usize,
     height: usize,
     params: ThermalParams,
     temps: Vec<f64>,
+    // Flattened neighbor adjacency (CSR layout), precomputed once at
+    // construction: tile `i`'s neighbors are
+    // `neighbor_idx[neighbor_off[i]..neighbor_off[i + 1]]`. The epoch
+    // loop substeps the grid thousands of times per run; rebuilding the
+    // four-way neighbor iterator per tile per substep dominated `step`'s
+    // index arithmetic before this.
+    neighbor_idx: Vec<u32>,
+    neighbor_off: Vec<u32>,
+    // Double-buffer for the explicit-Euler update, reused across steps.
+    scratch: Vec<f64>,
+}
+
+// The derived scratch/adjacency fields are construction invariants;
+// equality is the physical state (geometry, constants, temperatures).
+impl PartialEq for ThermalGrid {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width
+            && self.height == other.height
+            && self.params == other.params
+            && self.temps == other.temps
+    }
 }
 
 impl ThermalGrid {
@@ -92,11 +113,35 @@ impl ThermalGrid {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize, params: ThermalParams) -> Self {
         assert!(width > 0 && height > 0, "grid dimensions must be positive");
+        let tiles = width * height;
+        let mut neighbor_idx = Vec::with_capacity(4 * tiles);
+        let mut neighbor_off = Vec::with_capacity(tiles + 1);
+        neighbor_off.push(0);
+        for i in 0..tiles {
+            let x = i % width;
+            let y = i / width;
+            if x > 0 {
+                neighbor_idx.push((i - 1) as u32);
+            }
+            if x + 1 < width {
+                neighbor_idx.push((i + 1) as u32);
+            }
+            if y > 0 {
+                neighbor_idx.push((i - width) as u32);
+            }
+            if y + 1 < height {
+                neighbor_idx.push((i + width) as u32);
+            }
+            neighbor_off.push(neighbor_idx.len() as u32);
+        }
         ThermalGrid {
             width,
             height,
             params,
-            temps: vec![params.t_ambient; width * height],
+            temps: vec![params.t_ambient; tiles],
+            neighbor_idx,
+            neighbor_off,
+            scratch: vec![params.t_ambient; tiles],
         }
     }
 
@@ -139,22 +184,17 @@ impl ThermalGrid {
         self.temps.iter().sum::<f64>() / self.temps.len() as f64
     }
 
-    fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> {
-        let (w, h) = (self.width, self.height);
-        let x = i % w;
-        let y = i / w;
-        [
-            (x > 0).then(|| i - 1),
-            (x + 1 < w).then(|| i + 1),
-            (y > 0).then(|| i - w),
-            (y + 1 < h).then(|| i + w),
-        ]
-        .into_iter()
-        .flatten()
+    /// Neighbor tile indices of tile `i` (precomputed at construction).
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        let lo = self.neighbor_off[i] as usize;
+        let hi = self.neighbor_off[i + 1] as usize;
+        &self.neighbor_idx[lo..hi]
     }
 
     /// Advances the grid by `dt` seconds with the given per-tile powers
-    /// (watts), sub-stepping as needed for numerical stability.
+    /// (watts), sub-stepping as needed for numerical stability. Uses the
+    /// precomputed adjacency and an internal double-buffer, so stepping
+    /// never allocates.
     ///
     /// # Panics
     ///
@@ -170,17 +210,18 @@ impl ThermalGrid {
         let substeps = (dt / max_step).ceil().max(1.0) as usize;
         let h = dt / substeps as f64;
         let p = self.params;
-        let mut next = vec![0.0; self.temps.len()];
         for _ in 0..substeps {
             for i in 0..self.temps.len() {
                 let t = self.temps[i];
                 let mut flow = powers[i] - (t - p.t_ambient) / p.r_vertical;
-                for j in self.neighbors(i) {
-                    flow -= (t - self.temps[j]) / p.r_lateral;
+                let lo = self.neighbor_off[i] as usize;
+                let hi = self.neighbor_off[i + 1] as usize;
+                for &j in &self.neighbor_idx[lo..hi] {
+                    flow -= (t - self.temps[j as usize]) / p.r_lateral;
                 }
-                next[i] = t + h * flow / p.capacitance;
+                self.scratch[i] = t + h * flow / p.capacitance;
             }
-            std::mem::swap(&mut self.temps, &mut next);
+            std::mem::swap(&mut self.temps, &mut self.scratch);
         }
     }
 

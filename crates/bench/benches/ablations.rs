@@ -7,22 +7,22 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     group.bench_function("a1_intrusiveness", |b| {
-        b.iter(|| std::hint::black_box(a1_intrusiveness(Scale::Quick)))
+        b.iter(|| std::hint::black_box(a1_intrusiveness(Scale::Quick, 1)))
     });
     group.bench_function("a2_criticality_weights", |b| {
-        b.iter(|| std::hint::black_box(a2_criticality_weights(Scale::Quick)))
+        b.iter(|| std::hint::black_box(a2_criticality_weights(Scale::Quick, 1)))
     });
     group.bench_function("a3_abort_overhead", |b| {
-        b.iter(|| std::hint::black_box(a3_abort_overhead(Scale::Quick)))
+        b.iter(|| std::hint::black_box(a3_abort_overhead(Scale::Quick, 1)))
     });
     group.bench_function("a4_level_rotation", |b| {
-        b.iter(|| std::hint::black_box(a4_level_rotation(Scale::Quick)))
+        b.iter(|| std::hint::black_box(a4_level_rotation(Scale::Quick, 1)))
     });
     group.bench_function("a5_thermal_model", |b| {
-        b.iter(|| std::hint::black_box(a5_thermal_model(Scale::Quick)))
+        b.iter(|| std::hint::black_box(a5_thermal_model(Scale::Quick, 1)))
     });
     group.bench_function("a6_contention", |b| {
-        b.iter(|| std::hint::black_box(a6_contention(Scale::Quick)))
+        b.iter(|| std::hint::black_box(a6_contention(Scale::Quick, 1)))
     });
     group.finish();
 }

@@ -6,7 +6,7 @@ use manytest_bench::{e10_lifetime, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e10_lifetime");
     group.sample_size(10);
-    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e10_lifetime(Scale::Quick))));
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e10_lifetime(Scale::Quick, 1))));
     group.finish();
 }
 

@@ -6,7 +6,7 @@ use manytest_bench::{e1_tech_sweep, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_tech_sweep");
     group.sample_size(10);
-    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e1_tech_sweep(Scale::Quick))));
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e1_tech_sweep(Scale::Quick, 1))));
     group.finish();
 }
 

@@ -6,7 +6,7 @@ use manytest_bench::{e2_power_trace, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_power_trace");
     group.sample_size(10);
-    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e2_power_trace(Scale::Quick))));
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e2_power_trace(Scale::Quick, 1))));
     group.finish();
 }
 

@@ -6,7 +6,7 @@ use manytest_bench::{e3_test_power_share, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_test_power_share");
     group.sample_size(10);
-    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e3_test_power_share(Scale::Quick))));
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e3_test_power_share(Scale::Quick, 1))));
     group.finish();
 }
 

@@ -6,7 +6,7 @@ use manytest_bench::{e4_test_interval_vs_load, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_test_interval_vs_load");
     group.sample_size(10);
-    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e4_test_interval_vs_load(Scale::Quick))));
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e4_test_interval_vs_load(Scale::Quick, 1))));
     group.finish();
 }
 

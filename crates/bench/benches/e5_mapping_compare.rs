@@ -6,7 +6,7 @@ use manytest_bench::{e5_mapping_compare, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5_mapping_compare");
     group.sample_size(10);
-    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e5_mapping_compare(Scale::Quick))));
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e5_mapping_compare(Scale::Quick, 1))));
     group.finish();
 }
 

@@ -6,7 +6,7 @@ use manytest_bench::{e6_criticality_adaptation, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_criticality_adaptation");
     group.sample_size(10);
-    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e6_criticality_adaptation(Scale::Quick))));
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e6_criticality_adaptation(Scale::Quick, 1))));
     group.finish();
 }
 

@@ -6,7 +6,7 @@ use manytest_bench::{e7_vf_coverage, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_vf_coverage");
     group.sample_size(10);
-    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e7_vf_coverage(Scale::Quick))));
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e7_vf_coverage(Scale::Quick, 1))));
     group.finish();
 }
 

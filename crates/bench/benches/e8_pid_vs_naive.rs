@@ -6,7 +6,7 @@ use manytest_bench::{e8_pid_vs_naive, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8_pid_vs_naive");
     group.sample_size(10);
-    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e8_pid_vs_naive(Scale::Quick))));
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e8_pid_vs_naive(Scale::Quick, 1))));
     group.finish();
 }
 

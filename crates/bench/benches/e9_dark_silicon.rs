@@ -6,7 +6,7 @@ use manytest_bench::{e9_dark_silicon, Scale};
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_dark_silicon");
     group.sample_size(10);
-    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e9_dark_silicon(Scale::Quick))));
+    group.bench_function("quick", |b| b.iter(|| std::hint::black_box(e9_dark_silicon(Scale::Quick, 1))));
     group.finish();
 }
 

@@ -9,6 +9,58 @@ use manytest_noc::{xy_route, Coord, Mesh2D, RegionSearch};
 use manytest_power::{PowerModel, VfLadder};
 use manytest_sim::SimRng;
 use manytest_workload::presets;
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// Counting allocator so the map_context kernel can report allocations per
+// refill alongside its timing (the guarantee is zero after the first tick).
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn bench_map_context(c: &mut Criterion) {
+    let mut system = SystemBuilder::new(TechNode::N16)
+        .seed(2)
+        .build()
+        .expect("valid config");
+    // First tick sizes the scratch buffers.
+    std::hint::black_box(system.map_context(0.0).free_count());
+    // Allocation audit outside the timing harness (the harness itself
+    // allocates its sample vector).
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let mut t = 0.0;
+    for _ in 0..1_000 {
+        t += 1e-4;
+        std::hint::black_box(system.map_context(t).free_count());
+    }
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    println!("map_context/allocs_per_1000_warm_refills: {allocs} (target: 0)");
+    c.bench_function("map_context_refill_16nm", |b| {
+        b.iter(|| {
+            t += 1e-4;
+            std::hint::black_box(system.map_context(t).free_count())
+        })
+    });
+}
 
 fn bench_full_system_ms(c: &mut Criterion) {
     let mut group = c.benchmark_group("system");
@@ -94,6 +146,7 @@ fn bench_power_model(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_full_system_ms,
+    bench_map_context,
     bench_mapping,
     bench_region_search,
     bench_routing,

@@ -1,6 +1,11 @@
 //! Ablation studies of the design choices DESIGN.md calls out: what each
 //! ingredient of the proposed scheme is worth.
+//!
+//! Like the experiments, every driver takes a `jobs` worker count and
+//! funnels its runs through one [`Batch`](crate::runner::Batch), so the
+//! tables are identical for any `jobs` value.
 
+use crate::runner::Batch;
 use crate::Scale;
 use manytest_aging::CriticalityModel;
 use manytest_core::prelude::*;
@@ -28,12 +33,13 @@ pub struct A1Row {
 /// A1: the paper's scheduler is non-intrusive. Making tests preempt the
 /// workload instead shows what that property buys: intrusive testing keeps
 /// every session but stretches application latency and costs throughput.
-pub fn a1_intrusiveness(scale: Scale) -> Vec<A1Row> {
+pub fn a1_intrusiveness(scale: Scale, jobs: usize) -> Vec<A1Row> {
     let ms = scale.ms(300);
-    [false, true]
-        .iter()
-        .map(|&intrusive| {
-            let r = SystemBuilder::new(TechNode::N16)
+    let modes = [false, true];
+    let mut batch = Batch::new();
+    for &intrusive in modes.iter() {
+        batch.push(format!("a1/intrusive={intrusive}"), move || {
+            SystemBuilder::new(TechNode::N16)
                 .seed(90)
                 .sim_time_ms(ms)
                 .arrival_rate(2_500.0)
@@ -41,14 +47,18 @@ pub fn a1_intrusiveness(scale: Scale) -> Vec<A1Row> {
                 .intrusive_testing(intrusive)
                 .build()
                 .expect("valid config")
-                .run();
-            A1Row {
-                intrusive,
-                mips: r.throughput_mips,
-                app_latency: r.mean_app_latency,
-                tests: r.tests_completed,
-                aborted: r.tests_aborted,
-            }
+                .run()
+        });
+    }
+    modes
+        .iter()
+        .zip(batch.run(jobs))
+        .map(|(&intrusive, r)| A1Row {
+            intrusive,
+            mips: r.throughput_mips,
+            app_latency: r.mean_app_latency,
+            tests: r.tests_completed,
+            aborted: r.tests_aborted,
         })
         .collect()
 }
@@ -91,24 +101,30 @@ pub struct A2Row {
 /// (bounded intervals). Ablating each shows why both are needed: stress-only
 /// correlates best but lets idle cores starve; time-only bounds intervals
 /// but ignores wear.
-pub fn a2_criticality_weights(scale: Scale) -> Vec<A2Row> {
+pub fn a2_criticality_weights(scale: Scale, jobs: usize) -> Vec<A2Row> {
     let ms = scale.ms(500);
     let variants: [(&'static str, f64, f64); 3] = [
         ("stress-only", 1.0, 0.0),
         ("time-only", 0.0, 1.0),
         ("balanced", 0.6, 0.4),
     ];
-    variants
-        .iter()
-        .map(|&(name, w_stress, w_time)| {
-            let r = SystemBuilder::new(TechNode::N16)
+    let mut batch = Batch::new();
+    for &(name, w_stress, w_time) in variants.iter() {
+        batch.push(format!("a2/{name}"), move || {
+            SystemBuilder::new(TechNode::N16)
                 .seed(91)
                 .sim_time_ms(ms)
                 .arrival_rate(2_000.0)
                 .criticality(CriticalityModel::new(w_stress, w_time, 0.1, 1.0))
                 .build()
                 .expect("valid config")
-                .run();
+                .run()
+        });
+    }
+    variants
+        .iter()
+        .zip(batch.run(jobs))
+        .map(|(&(name, _, _), r)| {
             let n = r.damage_per_core.len() as f64;
             let mean_d = r.damage_per_core.iter().sum::<f64>() / n;
             let mean_t = r.tests_per_core.iter().map(|&t| t as f64).sum::<f64>() / n;
@@ -169,14 +185,19 @@ pub struct A3Row {
 /// A3: how the headline sub-1 % penalty depends on the cost of aborting a
 /// session — the penalty should scale roughly linearly in the overhead and
 /// stay under 1 % for any plausible restore cost.
-pub fn a3_abort_overhead(scale: Scale) -> Vec<A3Row> {
+///
+/// Submission order: the per-seed no-testing baselines first, then the
+/// overhead sweep (overhead-major, then seed). Everything goes into one
+/// batch — the penalty fold against the baselines happens afterwards.
+pub fn a3_abort_overhead(scale: Scale, jobs: usize) -> Vec<A3Row> {
     let ms = scale.ms(300);
     let seeds: Vec<u64> = (0..scale.seeds(6) as u64).map(|s| 92 + s).collect();
+    let overheads = [0.0, 50e-6, 500e-6, 2e-3];
+    let mut batch = Batch::new();
     // The per-run penalty is tiny (≪1 %), so it must be averaged over
     // seeds to rise above scheduling noise.
-    let baselines: Vec<_> = seeds
-        .iter()
-        .map(|&seed| {
+    for &seed in seeds.iter() {
+        batch.push(format!("a3/baseline/seed{seed}"), move || {
             SystemBuilder::new(TechNode::N16)
                 .seed(seed)
                 .sim_time_ms(ms)
@@ -186,25 +207,34 @@ pub fn a3_abort_overhead(scale: Scale) -> Vec<A3Row> {
                 .build()
                 .expect("valid config")
                 .run()
-        })
-        .collect();
-    [0.0, 50e-6, 500e-6, 2e-3]
-        .iter()
-        .map(|&overhead| {
-            let mut penalty = 0.0;
-            let mut aborted = 0;
-            for (i, &seed) in seeds.iter().enumerate() {
+        });
+    }
+    for &overhead in overheads.iter() {
+        for &seed in seeds.iter() {
+            batch.push(format!("a3/overhead{overhead}/seed{seed}"), move || {
                 let mut cfg = SystemConfig::for_node(TechNode::N16);
                 cfg.seed = seed;
                 cfg.horizon = manytest_sim::Duration::from_ms(ms);
                 cfg.arrival_rate = 2_500.0;
                 cfg.mapper = MapperKind::Baseline;
                 cfg.abort_overhead = manytest_sim::Duration::from_secs_f64(overhead);
-                let r = SystemBuilder::from_config(cfg)
+                SystemBuilder::from_config(cfg)
                     .build()
                     .expect("valid config")
-                    .run();
-                penalty += r.throughput_penalty_vs(&baselines[i]);
+                    .run()
+            });
+        }
+    }
+    let reports = batch.run(jobs);
+    let (baselines, sweeps) = reports.split_at(seeds.len());
+    overheads
+        .iter()
+        .enumerate()
+        .map(|(i, &overhead)| {
+            let mut penalty = 0.0;
+            let mut aborted = 0;
+            for (j, r) in sweeps[i * seeds.len()..(i + 1) * seeds.len()].iter().enumerate() {
+                penalty += r.throughput_penalty_vs(&baselines[j]);
                 aborted += r.tests_aborted;
             }
             A3Row {
@@ -237,9 +267,9 @@ pub struct A4Row {
 /// (voltage-dependent marginalities). The paper's ladder rotation finds
 /// them all; testing only at nominal V/f structurally misses every fault
 /// whose window lies below the top level.
-pub fn a4_level_rotation(scale: Scale) -> Vec<A4Row> {
+pub fn a4_level_rotation(scale: Scale, jobs: usize) -> Vec<A4Row> {
     let ms = scale.ms(1_200);
-    let run = |fixed: Option<u8>| -> Report {
+    let run = move |fixed: Option<u8>| -> Report {
         let mut cfg = SystemConfig::for_node(TechNode::N16);
         cfg.seed = 93;
         cfg.horizon = manytest_sim::Duration::from_ms(ms);
@@ -252,8 +282,12 @@ pub fn a4_level_rotation(scale: Scale) -> Vec<A4Row> {
             .expect("valid config")
             .run()
     };
-    let rotate = run(None);
-    let nominal_only = run(Some(4));
+    let mut batch = Batch::new();
+    batch.push("a4/ladder-rotation", move || run(None));
+    batch.push("a4/nominal-only", move || run(Some(4)));
+    let mut reports = batch.run(jobs).into_iter();
+    let rotate = reports.next().expect("rotation run");
+    let nominal_only = reports.next().expect("nominal run");
     vec![
         A4Row {
             policy: "ladder rotation (paper)",
@@ -330,22 +364,26 @@ fn damage_adaptation(r: &Report) -> (f64, f64, f64) {
 /// less — but the criticality adaptation (worn cores tested more) must
 /// survive the model change, showing the scheduler does not depend on the
 /// proxy's sharpness.
-pub fn a5_thermal_model(scale: Scale) -> Vec<A5Row> {
+pub fn a5_thermal_model(scale: Scale, jobs: usize) -> Vec<A5Row> {
     let ms = scale.ms(500);
-    let run = |transient: bool| -> Report {
-        SystemBuilder::new(TechNode::N16)
-            .seed(94)
-            .sim_time_ms(ms)
-            .arrival_rate(2_000.0)
-            .transient_thermal(transient)
-            .build()
-            .expect("valid config")
-            .run()
-    };
-    [false, true]
+    let modes = [false, true];
+    let mut batch = Batch::new();
+    for &transient in modes.iter() {
+        batch.push(format!("a5/transient={transient}"), move || {
+            SystemBuilder::new(TechNode::N16)
+                .seed(94)
+                .sim_time_ms(ms)
+                .arrival_rate(2_000.0)
+                .transient_thermal(transient)
+                .build()
+                .expect("valid config")
+                .run()
+        });
+    }
+    modes
         .iter()
-        .map(|&transient| {
-            let r = run(transient);
+        .zip(batch.run(jobs))
+        .map(|(&transient, r)| {
             let (spread, mean, corr) = damage_adaptation(&r);
             let peak_temp_c = r
                 .trace
@@ -406,29 +444,34 @@ pub struct A6Row {
 /// latencies where links run hot. At the evaluation's loads the effect is
 /// small (contiguous mapping keeps links cool), which *validates* the
 /// zero-load default used for the headline experiments.
-pub fn a6_contention(scale: Scale) -> Vec<A6Row> {
+pub fn a6_contention(scale: Scale, jobs: usize) -> Vec<A6Row> {
     let ms = scale.ms(300);
-    [false, true]
-        .iter()
-        .map(|&contention| {
-            let r = SystemBuilder::new(TechNode::N16)
+    let modes = [false, true];
+    let mut batch = Batch::new();
+    for &contention in modes.iter() {
+        batch.push(format!("a6/contention={contention}"), move || {
+            SystemBuilder::new(TechNode::N16)
                 .seed(95)
                 .sim_time_ms(ms)
                 .arrival_rate(3_000.0)
                 .model_contention(contention)
                 .build()
                 .expect("valid config")
-                .run();
-            A6Row {
-                contention,
-                mips: r.throughput_mips,
-                app_latency: r.mean_app_latency,
-                peak_link_load: r
-                    .trace
-                    .series("peak_link_load")
-                    .and_then(|s| s.max_value())
-                    .unwrap_or(0.0),
-            }
+                .run()
+        });
+    }
+    modes
+        .iter()
+        .zip(batch.run(jobs))
+        .map(|(&contention, r)| A6Row {
+            contention,
+            mips: r.throughput_mips,
+            app_latency: r.mean_app_latency,
+            peak_link_load: r
+                .trace
+                .series("peak_link_load")
+                .and_then(|s| s.max_value())
+                .unwrap_or(0.0),
         })
         .collect()
 }

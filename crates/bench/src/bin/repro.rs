@@ -1,22 +1,87 @@
 //! Regenerates every figure/table of the (reconstructed) evaluation.
 //!
 //! ```sh
-//! cargo run -p manytest-bench --bin repro --release          # everything
-//! cargo run -p manytest-bench --bin repro --release -- e1 e5 # a subset (e1..e10, a1..a6)
+//! cargo run -p manytest-bench --bin repro --release            # everything
+//! cargo run -p manytest-bench --bin repro --release -- e1 e5   # a subset (e1..e10, a1..a6)
 //! cargo run -p manytest-bench --bin repro --release -- --quick
+//! cargo run -p manytest-bench --bin repro --release -- --jobs 4
 //! ```
+//!
+//! Worker count: `--jobs N` (or `--jobs=N`) > the `MANYTEST_JOBS`
+//! environment variable > the machine's available parallelism. Tables go
+//! to stdout and are byte-identical for every worker count; the timing
+//! footer goes to stderr and `BENCH_repro.json`.
 
+use manytest_bench::runner::{default_jobs, jobs_executed};
 use manytest_bench::*;
+use std::time::Instant;
+
+/// Per-experiment timing record for `BENCH_repro.json`.
+struct Timing {
+    id: &'static str,
+    /// Serial-equivalent simulation runs the experiment submitted.
+    runs: u64,
+    wall_seconds: f64,
+}
+
+fn parse_jobs(args: &[String]) -> Option<usize> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+fn write_bench_json(path: &str, jobs: usize, scale: Scale, timings: &[Timing]) {
+    let total_runs: u64 = timings.iter().map(|t| t.runs).sum();
+    let total_wall: f64 = timings.iter().map(|t| t.wall_seconds).sum();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        if scale == Scale::Quick { "quick" } else { "full" }
+    ));
+    json.push_str("  \"experiments\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"runs\": {}, \"wall_seconds\": {:.6}}}{}\n",
+            t.id,
+            t.runs,
+            t.wall_seconds,
+            if i + 1 == timings.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_runs\": {total_runs},\n"));
+    json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6}\n"));
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    // 0 would mean "decide per batch"; resolving here keeps the footer and
+    // JSON honest about the worker count actually used everywhere.
+    let jobs = parse_jobs(&args).filter(|&n| n > 0).unwrap_or_else(default_jobs);
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            it.next(); // the flag's value is not an experiment id
+        } else if !a.starts_with("--") {
+            wanted.push(a.as_str());
+        }
+    }
     let all = wanted.is_empty();
     let want = |id: &str| all || wanted.contains(&id);
 
@@ -26,52 +91,76 @@ fn main() {
         scale
     );
 
+    let mut timings: Vec<Timing> = Vec::new();
+    let mut timed = |id: &'static str, run: &mut dyn FnMut()| {
+        let jobs_before = jobs_executed();
+        let start = Instant::now();
+        run();
+        timings.push(Timing {
+            id,
+            runs: jobs_executed() - jobs_before,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        });
+    };
+
     if want("e1") {
-        print_e1(&e1_tech_sweep(scale));
+        timed("e1", &mut || print_e1(&e1_tech_sweep(scale, jobs)));
     }
     if want("e2") {
-        print_e2(&e2_power_trace(scale));
+        timed("e2", &mut || print_e2(&e2_power_trace(scale, jobs)));
     }
     if want("e3") {
-        print_e3(&e3_test_power_share(scale));
+        timed("e3", &mut || print_e3(&e3_test_power_share(scale, jobs)));
     }
     if want("e4") {
-        print_e4(&e4_test_interval_vs_load(scale));
+        timed("e4", &mut || print_e4(&e4_test_interval_vs_load(scale, jobs)));
     }
     if want("e5") {
-        print_e5(&e5_mapping_compare(scale));
+        timed("e5", &mut || print_e5(&e5_mapping_compare(scale, jobs)));
     }
     if want("e6") {
-        print_e6(&e6_criticality_adaptation(scale));
+        timed("e6", &mut || print_e6(&e6_criticality_adaptation(scale, jobs)));
     }
     if want("e7") {
-        print_e7(&e7_vf_coverage(scale));
+        timed("e7", &mut || print_e7(&e7_vf_coverage(scale, jobs)));
     }
     if want("e8") {
-        print_e8(&e8_pid_vs_naive(scale));
+        timed("e8", &mut || print_e8(&e8_pid_vs_naive(scale, jobs)));
     }
     if want("e9") {
-        print_e9(&e9_dark_silicon(scale));
+        timed("e9", &mut || print_e9(&e9_dark_silicon(scale, jobs)));
     }
     if want("e10") {
-        print_e10(&e10_lifetime(scale));
+        timed("e10", &mut || print_e10(&e10_lifetime(scale, jobs)));
     }
     if want("a1") {
-        print_a1(&a1_intrusiveness(scale));
+        timed("a1", &mut || print_a1(&a1_intrusiveness(scale, jobs)));
     }
     if want("a2") {
-        print_a2(&a2_criticality_weights(scale));
+        timed("a2", &mut || print_a2(&a2_criticality_weights(scale, jobs)));
     }
     if want("a3") {
-        print_a3(&a3_abort_overhead(scale));
+        timed("a3", &mut || print_a3(&a3_abort_overhead(scale, jobs)));
     }
     if want("a4") {
-        print_a4(&a4_level_rotation(scale));
+        timed("a4", &mut || print_a4(&a4_level_rotation(scale, jobs)));
     }
     if want("a5") {
-        print_a5(&a5_thermal_model(scale));
+        timed("a5", &mut || print_a5(&a5_thermal_model(scale, jobs)));
     }
     if want("a6") {
-        print_a6(&a6_contention(scale));
+        timed("a6", &mut || print_a6(&a6_contention(scale, jobs)));
     }
+
+    // Timing lands on stderr + JSON so stdout stays byte-identical across
+    // worker counts (the determinism test diffs stdout).
+    let total_runs: u64 = timings.iter().map(|t| t.runs).sum();
+    let total_wall: f64 = timings.iter().map(|t| t.wall_seconds).sum();
+    eprintln!("# timing (jobs = {jobs})");
+    eprintln!("# id    runs  wall_s");
+    for t in &timings {
+        eprintln!("# {:<5} {:>4}  {:>7.3}", t.id, t.runs, t.wall_seconds);
+    }
+    eprintln!("# total {total_runs:>4}  {total_wall:>7.3}");
+    write_bench_json("BENCH_repro.json", jobs, scale, &timings);
 }

@@ -1,5 +1,11 @@
 //! The nine experiments (E1–E9) of the reconstructed evaluation.
+//!
+//! Every driver takes a `jobs` worker count and submits its independent
+//! simulation runs to one [`Batch`](crate::runner::Batch); results come
+//! back in submission order, so the folded tables are identical for any
+//! `jobs` value (`1` reproduces the old serial loops exactly).
 
+use crate::runner::Batch;
 use crate::Scale;
 use manytest_core::prelude::*;
 use manytest_power::TechNode;
@@ -16,7 +22,7 @@ fn build(node: TechNode, seed: u64, ms: u64, rate: f64) -> SystemBuilder {
 // ---------------------------------------------------------------------------
 
 /// One row of the E1 table.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct E1Row {
     /// Technology node.
     pub node: TechNode,
@@ -35,26 +41,35 @@ pub struct E1Row {
 }
 
 /// E1: run every node with testing on/off and report the penalty.
-pub fn e1_tech_sweep(scale: Scale) -> Vec<E1Row> {
+///
+/// Submission order: node-major, then seed, testing-off before testing-on.
+pub fn e1_tech_sweep(scale: Scale, jobs: usize) -> Vec<E1Row> {
     let ms = scale.ms(300);
     let seeds = scale.seeds(3);
+    let mut batch = Batch::new();
+    for &node in TechNode::ALL.iter() {
+        for s in 0..seeds as u64 {
+            for testing in [false, true] {
+                batch.push(format!("e1/{node}/seed{s}/testing={testing}"), move || {
+                    build(node, 10 + s, ms, 3_000.0)
+                        .testing(testing)
+                        .build()
+                        .expect("valid config")
+                        .run()
+                });
+            }
+        }
+    }
+    let mut reports = batch.run(jobs).into_iter();
     TechNode::ALL
         .iter()
         .map(|&node| {
             let mut mips_off = 0.0;
             let mut mips_on = 0.0;
             let mut tests = 0;
-            for s in 0..seeds as u64 {
-                let base = build(node, 10 + s, ms, 3_000.0)
-                    .testing(false)
-                    .build()
-                    .expect("valid config")
-                    .run();
-                let tested = build(node, 10 + s, ms, 3_000.0)
-                    .testing(true)
-                    .build()
-                    .expect("valid config")
-                    .run();
+            for _s in 0..seeds {
+                let base = reports.next().expect("one off-run per (node, seed)");
+                let tested = reports.next().expect("one on-run per (node, seed)");
                 mips_off += base.throughput_mips;
                 mips_on += tested.throughput_mips;
                 tests += tested.tests_completed;
@@ -112,11 +127,16 @@ pub struct E2Trace {
 
 /// E2: a bursty 16 nm run; the trace shows test power filling workload
 /// troughs while the total stays under the (PID-governed) cap.
-pub fn e2_power_trace(scale: Scale) -> E2Trace {
-    let report = build(TechNode::N16, 5, scale.ms(400), 2_000.0)
-        .build()
-        .expect("valid config")
-        .run();
+pub fn e2_power_trace(scale: Scale, jobs: usize) -> E2Trace {
+    let ms = scale.ms(400);
+    let mut batch = Batch::new();
+    batch.push("e2/trace", move || {
+        build(TechNode::N16, 5, ms, 2_000.0)
+            .build()
+            .expect("valid config")
+            .run()
+    });
+    let report = batch.run(jobs).pop().expect("one run");
     let workload = report.trace.series("workload_power_w").expect("series");
     let test = report.trace.series("test_power_w").expect("series");
     let total = report.trace.series("power_w").expect("series");
@@ -185,21 +205,26 @@ pub struct E3Row {
 
 /// E3: sweep the arrival rate and report the test-energy share (the TC'16
 /// abstract anchors this at ≈ 2 % of consumed power at realistic load).
-pub fn e3_test_power_share(scale: Scale) -> Vec<E3Row> {
+pub fn e3_test_power_share(scale: Scale, jobs: usize) -> Vec<E3Row> {
     let ms = scale.ms(300);
-    [250.0, 500.0, 1_000.0, 2_000.0, 4_000.0]
-        .iter()
-        .map(|&rate| {
-            let r = build(TechNode::N16, 21, ms, rate)
+    let rates = [250.0, 500.0, 1_000.0, 2_000.0, 4_000.0];
+    let mut batch = Batch::new();
+    for &rate in rates.iter() {
+        batch.push(format!("e3/rate{rate}"), move || {
+            build(TechNode::N16, 21, ms, rate)
                 .build()
                 .expect("valid config")
-                .run();
-            E3Row {
-                rate,
-                mean_power: r.mean_power,
-                test_share: r.test_energy_share,
-                tests: r.tests_completed,
-            }
+                .run()
+        });
+    }
+    rates
+        .iter()
+        .zip(batch.run(jobs))
+        .map(|(&rate, r)| E3Row {
+            rate,
+            mean_power: r.mean_power,
+            test_share: r.test_energy_share,
+            tests: r.tests_completed,
         })
         .collect()
 }
@@ -241,22 +266,27 @@ pub struct E4Row {
 
 /// E4: test intervals grow with load (fewer idle cores, less headroom) but
 /// stay bounded — the scheduler keeps exploiting temporarily free cores.
-pub fn e4_test_interval_vs_load(scale: Scale) -> Vec<E4Row> {
+pub fn e4_test_interval_vs_load(scale: Scale, jobs: usize) -> Vec<E4Row> {
     let ms = scale.ms(400);
-    [250.0, 500.0, 1_000.0, 2_000.0, 4_000.0]
-        .iter()
-        .map(|&rate| {
-            let r = build(TechNode::N16, 33, ms, rate)
+    let rates = [250.0, 500.0, 1_000.0, 2_000.0, 4_000.0];
+    let mut batch = Batch::new();
+    for &rate in rates.iter() {
+        batch.push(format!("e4/rate{rate}"), move || {
+            build(TechNode::N16, 33, ms, rate)
                 .build()
                 .expect("valid config")
-                .run();
-            E4Row {
-                rate,
-                mean_interval: r.mean_test_interval,
-                max_interval: r.max_test_interval,
-                min_tests: r.min_tests_per_core,
-                aborted: r.tests_aborted,
-            }
+                .run()
+        });
+    }
+    rates
+        .iter()
+        .zip(batch.run(jobs))
+        .map(|(&rate, r)| E4Row {
+            rate,
+            mean_interval: r.mean_test_interval,
+            max_interval: r.max_test_interval,
+            min_tests: r.min_tests_per_core,
+            aborted: r.tests_aborted,
         })
         .collect()
 }
@@ -305,49 +335,59 @@ pub struct E5Side {
 
 /// E5: same workload/seeds under all three mappers (first-fit lower
 /// bound, contiguous baseline, test-aware).
-pub fn e5_mapping_compare(scale: Scale) -> Vec<E5Side> {
+///
+/// Submission order: mapper-major, then seed.
+pub fn e5_mapping_compare(scale: Scale, jobs: usize) -> Vec<E5Side> {
     let ms = scale.ms(300);
     let seeds = scale.seeds(3);
-    let run_side = |kind: MapperKind| -> E5Side {
-        let mut acc = E5Side {
-            mapper: kind,
-            mips: 0.0,
-            tests: 0.0,
-            aborted: 0.0,
-            mean_interval: 0.0,
-            max_interval: 0.0,
-            min_tests: 0.0,
-            hop_cost: 0.0,
-        };
+    let kinds = [MapperKind::FirstFit, MapperKind::Baseline, MapperKind::TestAware];
+    let mut batch = Batch::new();
+    for &kind in kinds.iter() {
         for s in 0..seeds as u64 {
-            let r = build(TechNode::N16, 40 + s, ms, 2_500.0)
-                .mapper(kind)
-                .build()
-                .expect("valid config")
-                .run();
-            acc.mips += r.throughput_mips;
-            acc.tests += r.tests_completed as f64;
-            acc.aborted += r.tests_aborted as f64;
-            acc.mean_interval += r.mean_test_interval;
-            acc.max_interval += r.max_test_interval;
-            acc.min_tests += r.min_tests_per_core as f64;
-            acc.hop_cost += r.mean_hop_cost;
+            batch.push(format!("e5/{kind:?}/seed{s}"), move || {
+                build(TechNode::N16, 40 + s, ms, 2_500.0)
+                    .mapper(kind)
+                    .build()
+                    .expect("valid config")
+                    .run()
+            });
         }
-        let n = seeds as f64;
-        acc.mips /= n;
-        acc.tests /= n;
-        acc.aborted /= n;
-        acc.mean_interval /= n;
-        acc.max_interval /= n;
-        acc.min_tests /= n;
-        acc.hop_cost /= n;
-        acc
-    };
-    vec![
-        run_side(MapperKind::FirstFit),
-        run_side(MapperKind::Baseline),
-        run_side(MapperKind::TestAware),
-    ]
+    }
+    let reports = batch.run(jobs);
+    kinds
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| {
+            let mut acc = E5Side {
+                mapper: kind,
+                mips: 0.0,
+                tests: 0.0,
+                aborted: 0.0,
+                mean_interval: 0.0,
+                max_interval: 0.0,
+                min_tests: 0.0,
+                hop_cost: 0.0,
+            };
+            for r in &reports[i * seeds..(i + 1) * seeds] {
+                acc.mips += r.throughput_mips;
+                acc.tests += r.tests_completed as f64;
+                acc.aborted += r.tests_aborted as f64;
+                acc.mean_interval += r.mean_test_interval;
+                acc.max_interval += r.max_test_interval;
+                acc.min_tests += r.min_tests_per_core as f64;
+                acc.hop_cost += r.mean_hop_cost;
+            }
+            let n = seeds as f64;
+            acc.mips /= n;
+            acc.tests /= n;
+            acc.aborted /= n;
+            acc.mean_interval /= n;
+            acc.max_interval /= n;
+            acc.min_tests /= n;
+            acc.hop_cost /= n;
+            acc
+        })
+        .collect()
 }
 
 /// Prints the E5 table.
@@ -392,11 +432,16 @@ pub struct E6Adaptation {
 
 /// E6: at moderate load, the stress term of the criticality metric makes
 /// worn cores test more often; quintile means should rise monotonically.
-pub fn e6_criticality_adaptation(scale: Scale) -> E6Adaptation {
-    let r = build(TechNode::N16, 55, scale.ms(500), 2_000.0)
-        .build()
-        .expect("valid config")
-        .run();
+pub fn e6_criticality_adaptation(scale: Scale, jobs: usize) -> E6Adaptation {
+    let ms = scale.ms(500);
+    let mut batch = Batch::new();
+    batch.push("e6/adaptation", move || {
+        build(TechNode::N16, 55, ms, 2_000.0)
+            .build()
+            .expect("valid config")
+            .run()
+    });
+    let r = batch.run(jobs).pop().expect("one run");
     let n = r.damage_per_core.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
@@ -467,11 +512,16 @@ pub struct E7Coverage {
 
 /// E7: a long, lightly loaded run must distribute tests over all V/f
 /// levels (the journal's "cover all the voltage and frequency levels").
-pub fn e7_vf_coverage(scale: Scale) -> E7Coverage {
-    let r = build(TechNode::N16, 60, scale.ms(800), 500.0)
-        .build()
-        .expect("valid config")
-        .run();
+pub fn e7_vf_coverage(scale: Scale, jobs: usize) -> E7Coverage {
+    let ms = scale.ms(800);
+    let mut batch = Batch::new();
+    batch.push("e7/coverage", move || {
+        build(TechNode::N16, 60, ms, 500.0)
+            .build()
+            .expect("valid config")
+            .run()
+    });
+    let r = batch.run(jobs).pop().expect("one run");
     E7Coverage {
         cells: r.tests_per_core.len() * r.tests_per_level.len(),
         tests_per_level: r.tests_per_level,
@@ -517,24 +567,29 @@ pub struct E8Row {
 /// E8: under saturating demand, the PID governor extracts more throughput
 /// from the same TDP than the naive bang-bang policy (ICCD'14's >43 %
 /// claim is about exactly this gap).
-pub fn e8_pid_vs_naive(scale: Scale) -> Vec<E8Row> {
+pub fn e8_pid_vs_naive(scale: Scale, jobs: usize) -> Vec<E8Row> {
     let ms = scale.ms(300);
-    [GovernorKind::Pid, GovernorKind::Naive, GovernorKind::FixedTdp]
-        .iter()
-        .map(|&g| {
-            let r = build(TechNode::N16, 70, ms, 6_000.0)
+    let governors = [GovernorKind::Pid, GovernorKind::Naive, GovernorKind::FixedTdp];
+    let mut batch = Batch::new();
+    for &g in governors.iter() {
+        batch.push(format!("e8/{g:?}"), move || {
+            build(TechNode::N16, 70, ms, 6_000.0)
                 .governor(g)
                 .build()
                 .expect("valid config")
-                .run();
-            E8Row {
-                governor: g,
-                mips: r.throughput_mips,
-                mean_power: r.mean_power,
-                peak_power: r.peak_power,
-                violations: r.cap_violations,
-                tests: r.tests_completed,
-            }
+                .run()
+        });
+    }
+    governors
+        .iter()
+        .zip(batch.run(jobs))
+        .map(|(&g, r)| E8Row {
+            governor: g,
+            mips: r.throughput_mips,
+            mean_power: r.mean_power,
+            peak_power: r.peak_power,
+            violations: r.cap_violations,
+            tests: r.tests_completed,
         })
         .collect()
 }
@@ -579,24 +634,28 @@ pub struct E9Row {
 }
 
 /// E9: the context figure — demand outgrows the fixed TDP with scaling.
-pub fn e9_dark_silicon(scale: Scale) -> Vec<E9Row> {
+pub fn e9_dark_silicon(scale: Scale, jobs: usize) -> Vec<E9Row> {
     let ms = scale.ms(200);
-    TechNode::ALL
-        .iter()
-        .map(|&node| {
-            let r = build(node, 80, ms, 8_000.0)
+    let mut batch = Batch::new();
+    for &node in TechNode::ALL.iter() {
+        batch.push(format!("e9/{node}"), move || {
+            build(node, 80, ms, 8_000.0)
                 .testing(false)
                 .build()
                 .expect("valid config")
-                .run();
-            E9Row {
-                node,
-                cores: node.core_count(),
-                peak_demand: node.peak_power_all_cores(),
-                tdp: node.params().tdp,
-                dark_fraction: node.dark_silicon_fraction(),
-                measured_mean: r.mean_power,
-            }
+                .run()
+        });
+    }
+    TechNode::ALL
+        .iter()
+        .zip(batch.run(jobs))
+        .map(|(&node, r)| E9Row {
+            node,
+            cores: node.core_count(),
+            peak_demand: node.peak_power_all_cores(),
+            tdp: node.params().tdp,
+            dark_fraction: node.dark_silicon_fraction(),
+            measured_mean: r.mean_power,
         })
         .collect()
 }
@@ -627,18 +686,29 @@ pub struct E10Lifetime {
 /// quantifies the resulting weakest-link lifetime gain (the theme the
 /// same group develops into DATE'16's lifetime-aware mapping, which
 /// reports up to 62 % with a mapper optimised purely for lifetime).
-pub fn e10_lifetime(scale: Scale) -> E10Lifetime {
+///
+/// Submission order: mapper-major (baseline, then TUM), then seed.
+pub fn e10_lifetime(scale: Scale, jobs: usize) -> E10Lifetime {
     let ms = scale.ms(800);
     let seeds = scale.seeds(3);
+    let kinds = [MapperKind::Baseline, MapperKind::TestAware];
+    let mut batch = Batch::new();
+    for &kind in kinds.iter() {
+        for s in 0..seeds as u64 {
+            batch.push(format!("e10/{kind:?}/seed{s}"), move || {
+                build(TechNode::N16, 100 + s, ms, 1_500.0)
+                    .mapper(kind)
+                    .build()
+                    .expect("valid config")
+                    .run()
+            });
+        }
+    }
+    let reports = batch.run(jobs);
     let mut worst = [0.0f64; 2];
     let mut spread = [0.0f64; 2];
-    for (i, kind) in [MapperKind::Baseline, MapperKind::TestAware].iter().enumerate() {
-        for s in 0..seeds as u64 {
-            let r = build(TechNode::N16, 100 + s, ms, 1_500.0)
-                .mapper(*kind)
-                .build()
-                .expect("valid config")
-                .run();
+    for (i, _) in kinds.iter().enumerate() {
+        for r in &reports[i * seeds..(i + 1) * seeds] {
             let rates: Vec<f64> = r
                 .damage_per_core
                 .iter()

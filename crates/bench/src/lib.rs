@@ -11,6 +11,7 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod runner;
 
 pub use ablations::*;
 pub use experiments::*;

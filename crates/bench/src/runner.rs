@@ -1,0 +1,216 @@
+//! Deterministic parallel batch runner for the evaluation suite.
+//!
+//! Every experiment in this crate boils down to a list of *independent*
+//! `System::run()` simulations (nodes × seeds × on/off configurations)
+//! whose results are then folded into a table. [`Batch`] executes such a
+//! list across a pool of scoped worker threads and returns the results
+//! **in submission order, keyed by index** — so the fold, and therefore
+//! every printed table, is bit-identical to the old serial loop no matter
+//! how many workers run or in which order they finish. Determinism falls
+//! out of keying, not locking: each run seeds its own `SystemBuilder`, so
+//! no cross-run state exists to race on.
+//!
+//! ```
+//! use manytest_bench::runner::Batch;
+//!
+//! let mut batch = Batch::new();
+//! for i in 0..8u64 {
+//!     batch.push(format!("square/{i}"), move || i * i);
+//! }
+//! assert_eq!(batch.run(4), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Jobs executed by all batches since process start (used by `repro` to
+/// attribute serial-equivalent run counts to each experiment).
+static TOTAL_JOBS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of batch jobs executed so far in this process.
+pub fn jobs_executed() -> u64 {
+    TOTAL_JOBS.load(Ordering::Relaxed)
+}
+
+/// The worker count used when a batch is run with `jobs = 0`: the
+/// `MANYTEST_JOBS` environment variable if set to a positive integer,
+/// otherwise the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::env::var("MANYTEST_JOBS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Wall-clock accounting for one executed batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchStats {
+    /// Number of jobs the batch contained (serial-equivalent runs).
+    pub runs: usize,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock seconds from first launch to last completion.
+    pub wall_seconds: f64,
+}
+
+struct Job<'scope, R> {
+    label: String,
+    run: Box<dyn FnOnce() -> R + Send + 'scope>,
+}
+
+/// An ordered list of labelled, independent jobs.
+///
+/// `push` order defines result order; [`Batch::run`] executes the jobs on
+/// up to `jobs` scoped threads and returns one result per job, index `i`
+/// of the output corresponding to the `i`-th `push`. A panicking job does
+/// not poison the others — every job still runs — but the first panic (in
+/// submission order) is re-raised from `run` with the job's label logged
+/// to stderr.
+pub struct Batch<'scope, R> {
+    jobs: Vec<Job<'scope, R>>,
+}
+
+impl<R> Default for Batch<'_, R> {
+    fn default() -> Self {
+        Batch { jobs: Vec::new() }
+    }
+}
+
+impl<'scope, R: Send> Batch<'scope, R> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a job. `label` names the job in panic diagnostics.
+    pub fn push(&mut self, label: impl Into<String>, run: impl FnOnce() -> R + Send + 'scope) {
+        self.jobs.push(Job {
+            label: label.into(),
+            run: Box::new(run),
+        });
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Executes all jobs on up to `jobs` worker threads (`0` = the
+    /// [`default_jobs`] parallelism) and returns the results in
+    /// submission order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first (by submission order) panic of any job.
+    pub fn run(self, jobs: usize) -> Vec<R> {
+        self.run_timed(jobs).0
+    }
+
+    /// Like [`Batch::run`], additionally reporting wall-clock stats.
+    pub fn run_timed(self, jobs: usize) -> (Vec<R>, BatchStats) {
+        let n = self.jobs.len();
+        TOTAL_JOBS.fetch_add(n as u64, Ordering::Relaxed);
+        let requested = if jobs == 0 { default_jobs() } else { jobs };
+        let workers = requested.min(n.max(1));
+        let start = Instant::now();
+        let outcomes = if workers <= 1 || n <= 1 {
+            // Serial path: run inline on the caller's thread. This is the
+            // reference behaviour the parallel path must reproduce.
+            self.jobs
+                .into_iter()
+                .map(|job| {
+                    catch_unwind(AssertUnwindSafe(job.run)).map_err(|p| (job.label, p))
+                })
+                .collect::<Vec<_>>()
+        } else {
+            // Parallel path: a shared cursor hands out job indices; each
+            // result lands in its submission slot, so completion order is
+            // irrelevant to the output.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<Job<'scope, R>>>> =
+                self.jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+            let results: Vec<Mutex<Option<_>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let job = slots[i]
+                            .lock()
+                            .expect("job slot lock")
+                            .take()
+                            .expect("each index is claimed exactly once");
+                        let outcome = catch_unwind(AssertUnwindSafe(job.run))
+                            .map_err(|p| (job.label, p));
+                        *results[i].lock().expect("result slot lock") = Some(outcome);
+                    });
+                }
+            });
+            results
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot lock")
+                        .expect("every job ran to completion")
+                })
+                .collect()
+        };
+        let stats = BatchStats {
+            runs: n,
+            workers,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        };
+        let mut out = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(r) => out.push(r),
+                Err((label, payload)) => {
+                    eprintln!("batch job '{label}' panicked");
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn counter_tracks_jobs() {
+        let before = jobs_executed();
+        let mut batch = Batch::new();
+        for i in 0..5u64 {
+            batch.push(format!("j{i}"), move || i);
+        }
+        batch.run(2);
+        assert!(jobs_executed() >= before + 5);
+    }
+}

@@ -1,0 +1,17 @@
+//! Regression test for the tentpole guarantee: experiment output does not
+//! depend on the worker count. E1 is the broadest driver (every tech node
+//! × testing on/off), so it exercises the full submission-order fold.
+
+use manytest_bench::{e1_tech_sweep, Scale};
+
+#[test]
+fn e1_is_identical_for_one_and_four_workers() {
+    let serial = e1_tech_sweep(Scale::Quick, 1);
+    let parallel = e1_tech_sweep(Scale::Quick, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (row_serial, row_parallel) in serial.iter().zip(parallel.iter()) {
+        // Row-by-row comparison (E1Row: PartialEq over every field,
+        // including exact f64 throughput values).
+        assert_eq!(row_serial, row_parallel);
+    }
+}

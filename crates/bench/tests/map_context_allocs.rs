@@ -1,0 +1,58 @@
+//! Holds `System::map_context` to its documented guarantee: zero heap
+//! allocations after the first control tick. The snapshot must be rebuilt
+//! every epoch for every pending app, so an allocation here multiplies
+//! across the whole evaluation suite.
+//!
+//! This file contains exactly one test: the counting allocator is
+//! process-global, and a concurrent test in the same binary would pollute
+//! the measurement.
+
+use manytest_core::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn map_context_allocates_nothing_after_the_first_tick() {
+    let mut system = SystemBuilder::new(TechNode::N16)
+        .seed(7)
+        .build()
+        .expect("valid config");
+    // First tick: the scratch buffers size themselves to the platform.
+    std::hint::black_box(system.map_context(0.0).free_count());
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let mut t = 0.0;
+    for _ in 0..1_000 {
+        t += 1e-4;
+        std::hint::black_box(system.map_context(t).free_count());
+    }
+    let allocations = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "System::map_context heap-allocated {allocations} times across \
+         1000 warm refills; the scratch-buffer guarantee is broken"
+    );
+}

@@ -238,6 +238,11 @@ pub struct System {
     apps_rejected: u64,
     measured_last: f64,
     tdp: f64,
+    // Scratch buffers for the epoch control loop: rebuilt in place every
+    // tick so the steady-state hot path never touches the heap.
+    ctx_scratch: MapContext,
+    candidates_scratch: Vec<TestCandidate>,
+    powers_scratch: Vec<f64>,
 }
 
 impl std::fmt::Debug for System {
@@ -350,6 +355,9 @@ impl System {
             apps_rejected: 0,
             measured_last: 0.0,
             tdp: params.tdp,
+            ctx_scratch: MapContext::all_free(mesh),
+            candidates_scratch: Vec::with_capacity(n),
+            powers_scratch: Vec::with_capacity(n),
             config,
         })
     }
@@ -437,28 +445,36 @@ impl System {
         }
     }
 
-    fn map_context(&self, now: f64) -> MapContext {
+    /// Rebuilds the mapper's platform snapshot for time `now` and returns
+    /// it. The snapshot lives in a scratch buffer owned by the system, so
+    /// after the first control tick this performs **zero heap
+    /// allocations** — `crates/bench/benches/kernels.rs` and the
+    /// `map_context_allocs` integration test hold it to that.
+    pub fn map_context(&mut self, now: f64) -> &MapContext {
         let n = self.mesh.node_count();
-        let mut free = Vec::with_capacity(n);
-        let mut util = Vec::with_capacity(n);
-        let mut crit = Vec::with_capacity(n);
+        let ctx = &mut self.ctx_scratch;
+        ctx.reset(self.mesh);
         for i in 0..n {
-            free.push(self.cores[i].is_free_for_mapping());
             let s = self.stress.core(i);
-            util.push(s.utilization.clamp(0.0, 1.0));
             // A core with a session in flight is about to *complete* a
             // test: mapping onto it wastes the invested test energy, so it
             // is maximally undesirable to a test-aware mapper.
             let in_test = if self.cores[i].session.is_some() { 5.0 } else { 0.0 };
-            crit.push(self.criticality.criticality(s, now).max(0.0) + in_test);
+            ctx.push_node(
+                self.cores[i].is_free_for_mapping(),
+                s.utilization.clamp(0.0, 1.0),
+                self.criticality.criticality(s, now).max(0.0) + in_test,
+            );
         }
-        MapContext::from_parts(self.mesh, free, util, crit)
+        debug_assert!(ctx.is_complete());
+        &self.ctx_scratch
     }
 
     fn admit_pending(&mut self, now: f64) {
         loop {
-            let Some(front) = self.pending.front() else { break };
-            let task_count = front.graph.task_count();
+            let Some(task_count) = self.pending.front().map(|f| f.graph.task_count()) else {
+                break;
+            };
             if task_count > self.mesh.node_count() {
                 // Can never fit on this platform.
                 self.pending.pop_front();
@@ -478,8 +494,9 @@ impl System {
             }) else {
                 break; // not even near-threshold fits: wait for power
             };
-            let ctx = self.map_context(now);
-            let Some(mapping) = self.mapper.map(&ctx, &front.graph) else {
+            self.map_context(now);
+            let front = self.pending.front().expect("checked non-empty above");
+            let Some(mapping) = self.mapper.map(&self.ctx_scratch, &front.graph) else {
                 break; // fragmentation: wait for departures
             };
             let watts = task_count as f64
@@ -526,18 +543,25 @@ impl System {
     }
 
     fn schedule_tests(&mut self, now: f64) {
-        let candidates: Vec<TestCandidate> = (0..self.cores.len())
-            .filter(|&i| self.cores[i].is_test_candidate())
-            .map(|i| TestCandidate {
-                core: i,
-                criticality: self.criticality.criticality(self.stress.core(i), now),
-            })
-            .collect();
+        // Reuse the candidate buffer across ticks (`plan` takes `&mut
+        // self.scheduler`, so the buffer is moved out for the call).
+        let mut candidates = std::mem::take(&mut self.candidates_scratch);
+        candidates.clear();
+        candidates.extend(
+            (0..self.cores.len())
+                .filter(|&i| self.cores[i].is_test_candidate())
+                .map(|i| TestCandidate {
+                    core: i,
+                    criticality: self.criticality.criticality(self.stress.core(i), now),
+                }),
+        );
         if candidates.is_empty() {
+            self.candidates_scratch = candidates;
             return;
         }
         let headroom = self.budget.headroom();
         let launches = self.scheduler.plan(&candidates, headroom);
+        self.candidates_scratch = candidates;
         for launch in launches {
             let Ok(reservation) = self.budget.reserve(launch.power) else {
                 continue;
@@ -812,13 +836,12 @@ impl System {
         if let Some(grid) = &mut self.thermal {
             // Transient thermal path: advance the RC grid with this
             // epoch's per-tile powers, then charge damage at the *actual*
-            // tile temperature.
-            let powers: Vec<f64> = self
-                .epoch_energy
-                .iter()
-                .map(|&e| e / epoch_secs)
-                .collect();
-            grid.step(&powers, epoch_secs);
+            // tile temperature. The power vector lives in a scratch
+            // buffer so steady-state epochs stay allocation-free.
+            let powers = &mut self.powers_scratch;
+            powers.clear();
+            powers.extend(self.epoch_energy.iter().map(|&e| e / epoch_secs));
+            grid.step(powers, epoch_secs);
             for core in 0..self.cores.len() {
                 let busy = (self.epoch_busy[core] / epoch_secs).clamp(0.0, 1.0);
                 let temperature = grid.temperature(core);

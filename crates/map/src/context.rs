@@ -65,6 +65,33 @@ impl MapContext {
         }
     }
 
+    /// Empties the context and re-targets it at `mesh`, keeping the
+    /// vectors' capacity. Together with [`MapContext::push_node`] this
+    /// lets a hot loop rebuild the snapshot every control tick without
+    /// touching the heap.
+    pub fn reset(&mut self, mesh: Mesh2D) {
+        self.mesh = mesh;
+        self.free.clear();
+        self.utilization.clear();
+        self.criticality.clear();
+    }
+
+    /// Appends the state of the next node (dense-id order). Callers must
+    /// push exactly `mesh.node_count()` entries after a [`MapContext::reset`];
+    /// [`MapContext::is_complete`] checks that.
+    pub fn push_node(&mut self, free: bool, utilization: f64, criticality: f64) {
+        debug_assert!((0.0..=1.0).contains(&utilization));
+        debug_assert!(criticality.is_finite() && criticality >= 0.0);
+        self.free.push(free);
+        self.utilization.push(utilization);
+        self.criticality.push(criticality);
+    }
+
+    /// Whether every node of the mesh has an entry.
+    pub fn is_complete(&self) -> bool {
+        self.free.len() == self.mesh.node_count()
+    }
+
     /// The mesh this context describes.
     pub fn mesh(&self) -> Mesh2D {
         self.mesh

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace builds in an environment with no crates.io access, so the
+//! real `serde` cannot be fetched. The simulator only ever uses serde as
+//! an *annotation* — `#[derive(Serialize, Deserialize)]` on model types —
+//! and never serializes anything at runtime (reports are printed as text
+//! and JSON is written by hand). This crate supplies just enough surface
+//! for those annotations to compile: two empty marker traits and, behind
+//! the `derive` feature, no-op derive macros of the same names.
+//!
+//! Swapping the real serde back in is a one-line change in the workspace
+//! manifest; no source file needs to change.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait mirroring `serde::Serialize`. Carries no behaviour.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`. Carries no behaviour.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing:
+//! the workspace never serializes at runtime, it only annotates types.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any input the real derive would.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any input the real derive would.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
