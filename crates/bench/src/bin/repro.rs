@@ -5,15 +5,26 @@
 //! cargo run -p manytest-bench --bin repro --release -- e1 e5   # a subset (e1..e10, a1..a6)
 //! cargo run -p manytest-bench --bin repro --release -- --quick
 //! cargo run -p manytest-bench --bin repro --release -- --jobs 4
+//! cargo run -p manytest-bench --bin repro --release -- e3 --events telemetry/
+//! cargo run -p manytest-bench --bin repro --release -- explain e3
 //! ```
 //!
 //! Worker count: `--jobs N` (or `--jobs=N`) > the `MANYTEST_JOBS`
 //! environment variable > the machine's available parallelism. Tables go
 //! to stdout and are byte-identical for every worker count; the timing
 //! footer goes to stderr and `BENCH_repro.json`.
+//!
+//! `--events DIR` additionally runs one instrumented probe per selected
+//! experiment and writes its decision telemetry to `DIR/<id>.jsonl`,
+//! after validating the event counts against the run's report.
+//! `explain <id>` replaces the tables entirely: it runs the probe for
+//! one experiment and prints a human-readable decision timeline plus
+//! counter/histogram summaries.
 
-use manytest_bench::runner::{default_jobs, jobs_executed};
+use manytest_bench::events::{explain, write_event_logs, PROBE_IDS};
+use manytest_bench::runner::{default_jobs, job_stats, jobs_executed, JobStats};
 use manytest_bench::*;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Per-experiment timing record for `BENCH_repro.json`.
@@ -22,6 +33,10 @@ struct Timing {
     /// Serial-equivalent simulation runs the experiment submitted.
     runs: u64,
     wall_seconds: f64,
+    /// Summed per-job wall-clock seconds (serial-equivalent busy time).
+    busy_seconds: f64,
+    /// Mean number of jobs queued behind each job as it started.
+    mean_queue_depth: f64,
 }
 
 fn parse_jobs(args: &[String]) -> Option<usize> {
@@ -37,9 +52,23 @@ fn parse_jobs(args: &[String]) -> Option<usize> {
     None
 }
 
+fn parse_events_dir(args: &[String]) -> Option<PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--events" {
+            return it.next().map(PathBuf::from);
+        }
+        if let Some(v) = a.strip_prefix("--events=") {
+            return Some(PathBuf::from(v));
+        }
+    }
+    None
+}
+
 fn write_bench_json(path: &str, jobs: usize, scale: Scale, timings: &[Timing]) {
     let total_runs: u64 = timings.iter().map(|t| t.runs).sum();
     let total_wall: f64 = timings.iter().map(|t| t.wall_seconds).sum();
+    let total_busy: f64 = timings.iter().map(|t| t.busy_seconds).sum();
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&format!("  \"jobs\": {jobs},\n"));
@@ -50,16 +79,20 @@ fn write_bench_json(path: &str, jobs: usize, scale: Scale, timings: &[Timing]) {
     json.push_str("  \"experiments\": [\n");
     for (i, t) in timings.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"id\": \"{}\", \"runs\": {}, \"wall_seconds\": {:.6}}}{}\n",
+            "    {{\"id\": \"{}\", \"runs\": {}, \"wall_seconds\": {:.6}, \
+             \"busy_seconds\": {:.6}, \"mean_queue_depth\": {:.3}}}{}\n",
             t.id,
             t.runs,
             t.wall_seconds,
+            t.busy_seconds,
+            t.mean_queue_depth,
             if i + 1 == timings.len() { "" } else { "," }
         ));
     }
     json.push_str("  ],\n");
     json.push_str(&format!("  \"total_runs\": {total_runs},\n"));
-    json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6}\n"));
+    json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
+    json.push_str(&format!("  \"total_busy_seconds\": {total_busy:.6}\n"));
     json.push_str("}\n");
     if let Err(e) = std::fs::write(path, json) {
         eprintln!("warning: could not write {path}: {e}");
@@ -73,15 +106,35 @@ fn main() {
     // 0 would mean "decide per batch"; resolving here keeps the footer and
     // JSON honest about the worker count actually used everywhere.
     let jobs = parse_jobs(&args).filter(|&n| n > 0).unwrap_or_else(default_jobs);
-    let mut wanted: Vec<&str> = Vec::new();
+    let events_dir = parse_events_dir(&args);
+    let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" {
+        if a == "--jobs" || a == "--events" {
             it.next(); // the flag's value is not an experiment id
         } else if !a.starts_with("--") {
-            wanted.push(a.as_str());
+            positional.push(a.as_str());
         }
     }
+
+    // `repro explain <id>`: one probe, human-readable decision timeline.
+    if positional.first() == Some(&"explain") {
+        let Some(&id) = positional.get(1) else {
+            eprintln!("usage: repro explain <experiment id> [--quick]");
+            eprintln!("known ids: {}", PROBE_IDS.join(" "));
+            std::process::exit(2);
+        };
+        match explain(id, scale) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("unknown experiment id '{id}'; known ids: {}", PROBE_IDS.join(" "));
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    let wanted = positional;
+
     let all = wanted.is_empty();
     let want = |id: &str| all || wanted.contains(&id);
 
@@ -94,12 +147,21 @@ fn main() {
     let mut timings: Vec<Timing> = Vec::new();
     let mut timed = |id: &'static str, run: &mut dyn FnMut()| {
         let jobs_before = jobs_executed();
+        let stats_before: JobStats = job_stats();
         let start = Instant::now();
         run();
+        let stats_after = job_stats();
+        let runs = jobs_executed() - jobs_before;
         timings.push(Timing {
             id,
-            runs: jobs_executed() - jobs_before,
+            runs,
             wall_seconds: start.elapsed().as_secs_f64(),
+            busy_seconds: stats_after.busy_seconds - stats_before.busy_seconds,
+            mean_queue_depth: if runs == 0 {
+                0.0
+            } else {
+                (stats_after.queue_depth_sum - stats_before.queue_depth_sum) / runs as f64
+            },
         });
     };
 
@@ -152,15 +214,38 @@ fn main() {
         timed("a6", &mut || print_a6(&a6_contention(scale, jobs)));
     }
 
+    // Telemetry dump: one instrumented probe per selected experiment.
+    // Runs after the tables so stdout stays byte-identical with and
+    // without --events (the determinism test diffs stdout).
+    if let Some(dir) = events_dir {
+        let ids: Vec<&str> = PROBE_IDS.iter().copied().filter(|id| want(id)).collect();
+        match write_event_logs(&dir, &ids, scale, jobs) {
+            Ok(written) => {
+                eprintln!("# event logs -> {}", dir.display());
+                for (id, count) in written {
+                    eprintln!("#   {id}.jsonl: {count} events (validated)");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: event telemetry failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     // Timing lands on stderr + JSON so stdout stays byte-identical across
     // worker counts (the determinism test diffs stdout).
     let total_runs: u64 = timings.iter().map(|t| t.runs).sum();
     let total_wall: f64 = timings.iter().map(|t| t.wall_seconds).sum();
+    let total_busy: f64 = timings.iter().map(|t| t.busy_seconds).sum();
     eprintln!("# timing (jobs = {jobs})");
-    eprintln!("# id    runs  wall_s");
+    eprintln!("# id    runs  wall_s   busy_s  mean_qdepth");
     for t in &timings {
-        eprintln!("# {:<5} {:>4}  {:>7.3}", t.id, t.runs, t.wall_seconds);
+        eprintln!(
+            "# {:<5} {:>4}  {:>7.3}  {:>7.3}  {:>11.2}",
+            t.id, t.runs, t.wall_seconds, t.busy_seconds, t.mean_queue_depth
+        );
     }
-    eprintln!("# total {total_runs:>4}  {total_wall:>7.3}");
+    eprintln!("# total {total_runs:>4}  {total_wall:>7.3}  {total_busy:>7.3}");
     write_bench_json("BENCH_repro.json", jobs, scale, &timings);
 }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod events;
 pub mod experiments;
 pub mod runner;
 

@@ -20,6 +20,7 @@
 //! assert_eq!(batch.run(4), vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+use manytest_sim::enter_job_scope;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -29,9 +30,47 @@ use std::time::Instant;
 /// attribute serial-equivalent run counts to each experiment).
 static TOTAL_JOBS: AtomicU64 = AtomicU64::new(0);
 
+/// Monotone id generator for batch jobs; feeds the per-job RNG audit
+/// scope so a `SimRng` handle leaking across two jobs is caught in debug
+/// builds (see `manytest_sim::enter_job_scope`).
+static JOB_IDS: AtomicU64 = AtomicU64::new(1);
+
 /// Total number of batch jobs executed so far in this process.
 pub fn jobs_executed() -> u64 {
     TOTAL_JOBS.load(Ordering::Relaxed)
+}
+
+/// Cumulative per-job accounting across every batch this process ran.
+///
+/// `repro` snapshots this before/after each experiment and diffs, turning
+/// process-global counters into per-experiment metrics for the bench JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct JobStats {
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Summed per-job wall-clock seconds (serial-equivalent busy time).
+    pub busy_seconds: f64,
+    /// Summed queue depth observed as each job was claimed (jobs still
+    /// waiting behind it); divide by `jobs` for the mean depth.
+    pub queue_depth_sum: f64,
+}
+
+static JOB_STATS: Mutex<JobStats> = Mutex::new(JobStats {
+    jobs: 0,
+    busy_seconds: 0.0,
+    queue_depth_sum: 0.0,
+});
+
+/// Snapshot of the cumulative [`JobStats`] for this process.
+pub fn job_stats() -> JobStats {
+    *JOB_STATS.lock().expect("job stats lock")
+}
+
+fn record_job(busy_seconds: f64, queue_depth: f64) {
+    let mut stats = JOB_STATS.lock().expect("job stats lock");
+    stats.jobs += 1;
+    stats.busy_seconds += busy_seconds;
+    stats.queue_depth_sum += queue_depth;
 }
 
 /// The worker count used when a batch is run with `jobs = 0`: the
@@ -58,6 +97,14 @@ pub struct BatchStats {
     pub workers: usize,
     /// Wall-clock seconds from first launch to last completion.
     pub wall_seconds: f64,
+    /// Summed per-job wall-clock seconds; `busy_seconds / wall_seconds`
+    /// approximates the speedup actually achieved.
+    pub busy_seconds: f64,
+    /// The slowest single job, seconds (the critical path floor).
+    pub max_job_seconds: f64,
+    /// Mean number of jobs still queued as each job started (0 for the
+    /// last job; deterministic, derived from submission index).
+    pub mean_queue_depth: f64,
 }
 
 struct Job<'scope, R> {
@@ -125,14 +172,32 @@ impl<'scope, R: Send> Batch<'scope, R> {
         let requested = if jobs == 0 { default_jobs() } else { jobs };
         let workers = requested.min(n.max(1));
         let start = Instant::now();
+        // Per-batch accounting: (busy sum, slowest job, queue-depth sum).
+        let accum = Mutex::new((0.0f64, 0.0f64, 0.0f64));
+        // Runs one job inside its own RNG-audit scope with timing. The
+        // queue depth is derived from the submission index (jobs still
+        // waiting behind this one), so it is identical on every schedule.
+        let run_one = |i: usize, job: Job<'scope, R>| {
+            let depth = (n - 1 - i) as f64;
+            let _scope = enter_job_scope(JOB_IDS.fetch_add(1, Ordering::Relaxed));
+            let t0 = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(job.run)).map_err(|p| (job.label, p));
+            let secs = t0.elapsed().as_secs_f64();
+            record_job(secs, depth);
+            let mut a = accum.lock().expect("batch stats lock");
+            a.0 += secs;
+            a.1 = a.1.max(secs);
+            a.2 += depth;
+            drop(a);
+            outcome
+        };
         let outcomes = if workers <= 1 || n <= 1 {
             // Serial path: run inline on the caller's thread. This is the
             // reference behaviour the parallel path must reproduce.
             self.jobs
                 .into_iter()
-                .map(|job| {
-                    catch_unwind(AssertUnwindSafe(job.run)).map_err(|p| (job.label, p))
-                })
+                .enumerate()
+                .map(|(i, job)| run_one(i, job))
                 .collect::<Vec<_>>()
         } else {
             // Parallel path: a shared cursor hands out job indices; each
@@ -154,9 +219,7 @@ impl<'scope, R: Send> Batch<'scope, R> {
                             .expect("job slot lock")
                             .take()
                             .expect("each index is claimed exactly once");
-                        let outcome = catch_unwind(AssertUnwindSafe(job.run))
-                            .map_err(|p| (job.label, p));
-                        *results[i].lock().expect("result slot lock") = Some(outcome);
+                        *results[i].lock().expect("result slot lock") = Some(run_one(i, job));
                     });
                 }
             });
@@ -169,10 +232,15 @@ impl<'scope, R: Send> Batch<'scope, R> {
                 })
                 .collect()
         };
+        let (busy_seconds, max_job_seconds, depth_sum) =
+            accum.into_inner().expect("batch stats lock");
         let stats = BatchStats {
             runs: n,
             workers,
             wall_seconds: start.elapsed().as_secs_f64(),
+            busy_seconds,
+            max_job_seconds,
+            mean_queue_depth: if n == 0 { 0.0 } else { depth_sum / n as f64 },
         };
         let mut out = Vec::with_capacity(n);
         let mut first_panic = None;
@@ -212,5 +280,56 @@ mod tests {
         }
         batch.run(2);
         assert!(jobs_executed() >= before + 5);
+    }
+
+    #[test]
+    fn batch_stats_account_for_every_job() {
+        let before = job_stats();
+        let mut batch = Batch::new();
+        for i in 0..6u64 {
+            batch.push(format!("j{i}"), move || i * i);
+        }
+        let (results, stats) = batch.run_timed(3);
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25]);
+        assert_eq!(stats.runs, 6);
+        assert_eq!(stats.workers, 3);
+        assert!(stats.busy_seconds >= 0.0);
+        assert!(stats.max_job_seconds <= stats.busy_seconds + 1e-12);
+        // Depths are 5,4,3,2,1,0 regardless of schedule → mean 2.5.
+        assert!((stats.mean_queue_depth - 2.5).abs() < 1e-12);
+        let after = job_stats();
+        assert_eq!(after.jobs, before.jobs + 6);
+        assert!(after.busy_seconds >= before.busy_seconds);
+        assert!((after.queue_depth_sum - before.queue_depth_sum - 15.0).abs() < 1e-9);
+    }
+
+    /// Every batch job gets its own audit scope: a `SimRng` handle that
+    /// was first drawn inside one job must not be drawn in another.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn shared_rng_across_jobs_is_caught() {
+        use manytest_sim::SimRng;
+        use std::sync::Arc;
+
+        let shared = Arc::new(Mutex::new(SimRng::seed_from(7)));
+        let mut batch = Batch::new();
+        for i in 0..2 {
+            let rng = Arc::clone(&shared);
+            batch.push(format!("leak{i}"), move || {
+                rng.lock().expect("shared rng lock").next_u64()
+            });
+        }
+        // Serial execution so both jobs run on one thread — the audit
+        // must still fire, because scopes, not threads, define jobs.
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| batch.run(1)))
+            .expect_err("second draw must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("crossed a batch job boundary"),
+            "unexpected panic message: {msg}"
+        );
     }
 }

@@ -48,11 +48,34 @@ fn map_context_allocates_nothing_after_the_first_tick() {
     for _ in 0..1_000 {
         t += 1e-4;
         std::hint::black_box(system.map_context(t).free_count());
+        // Telemetry shares the guarantee: events are stack-only values and
+        // the default null observer must discard them without touching the
+        // heap, so emission can sit on the control loop's hot path.
+        system.observe(
+            t,
+            SimEvent::CapAdjusted {
+                cap: 100.0,
+                measured: 42.0,
+                headroom: 58.0,
+                reservations: 3,
+            },
+        );
+        system.observe(
+            t,
+            SimEvent::TestLaunched {
+                core: 7,
+                routine: 1,
+                level: 2,
+                power: 0.5,
+                headroom: 57.5,
+            },
+        );
     }
     let allocations = ALLOC_CALLS.load(Ordering::Relaxed) - before;
     assert_eq!(
         allocations, 0,
         "System::map_context heap-allocated {allocations} times across \
-         1000 warm refills; the scratch-buffer guarantee is broken"
+         1000 warm refills (with event emission); the scratch-buffer and \
+         null-observer guarantees are broken"
     );
 }

@@ -1,0 +1,160 @@
+//! Consistency checks between captured telemetry and report aggregates.
+//!
+//! Every decision the control loop makes is double-entried: once as a
+//! structured [`manytest_sim::SimEvent`] and once in the aggregate
+//! counters the report is built from. [`validate_events`] reconciles the
+//! two — if a count diverges, either an emission point is missing/doubled
+//! or an aggregate is wrong, and both are bugs worth failing a CI run
+//! over. The event log keeps per-kind counts exact even when its sample
+//! buffer saturates, so these invariants hold at any capture capacity.
+
+use crate::metrics::Report;
+use std::fmt::Write as _;
+
+/// Checks every event-count invariant against the report's aggregates.
+///
+/// Invariants (all exact equalities):
+///
+/// * `TestLaunched == tests_completed + tests_aborted + tests_in_flight`
+/// * `TestCompleted == tests_completed`, `TestAborted == tests_aborted`
+/// * `TestDeniedPower == tests_denied_power`
+/// * `AppArrived == apps_arrived`, `AppRejected == apps_rejected`,
+///   `AppCompleted == apps_completed`
+/// * `AppMapped == apps_completed + apps_in_flight − apps_pending`
+///   (everything admitted is either done or still running; pending apps
+///   were never mapped)
+/// * `FaultDetected == faults_detected`
+///
+/// # Errors
+///
+/// Returns one line per violated invariant, joined with newlines. A
+/// report with no captured events (the default) trivially passes only if
+/// its aggregates are all zero-consistent — call this on runs built with
+/// `SystemBuilder::capture_events`.
+pub fn validate_events(report: &Report) -> Result<(), String> {
+    let ev = &report.events;
+    let checks: [(&str, u64, u64); 9] = [
+        (
+            "TestLaunched == tests_completed + tests_aborted + tests_in_flight",
+            ev.count("TestLaunched"),
+            report.tests_completed + report.tests_aborted + report.tests_in_flight,
+        ),
+        (
+            "TestCompleted == tests_completed",
+            ev.count("TestCompleted"),
+            report.tests_completed,
+        ),
+        (
+            "TestAborted == tests_aborted",
+            ev.count("TestAborted"),
+            report.tests_aborted,
+        ),
+        (
+            "TestDeniedPower == tests_denied_power",
+            ev.count("TestDeniedPower"),
+            report.tests_denied_power,
+        ),
+        (
+            "AppArrived == apps_arrived",
+            ev.count("AppArrived"),
+            report.apps_arrived,
+        ),
+        (
+            "AppRejected == apps_rejected",
+            ev.count("AppRejected"),
+            report.apps_rejected,
+        ),
+        (
+            "AppCompleted == apps_completed",
+            ev.count("AppCompleted"),
+            report.apps_completed,
+        ),
+        (
+            "AppMapped == apps_completed + apps_in_flight - apps_pending",
+            ev.count("AppMapped"),
+            report.apps_completed + report.apps_in_flight - report.apps_pending,
+        ),
+        (
+            "FaultDetected == faults_detected",
+            ev.count("FaultDetected"),
+            report.faults_detected,
+        ),
+    ];
+    let mut errors = String::new();
+    for (invariant, from_events, from_report) in checks {
+        if from_events != from_report {
+            let _ = writeln!(
+                errors,
+                "event-count invariant violated: {invariant} \
+                 (events say {from_events}, report says {from_report})"
+            );
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.trim_end().to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use manytest_sim::SimEvent;
+
+    #[test]
+    fn empty_report_passes() {
+        validate_events(&Report::default()).expect("all-zero report reconciles");
+    }
+
+    #[test]
+    fn consistent_counts_pass() {
+        let mut r = Report::default();
+        r.tests_completed = 2;
+        r.tests_aborted = 1;
+        r.apps_arrived = 1;
+        for _ in 0..3 {
+            r.events.push(
+                0.0,
+                SimEvent::TestLaunched {
+                    core: 0,
+                    routine: 0,
+                    level: 0,
+                    power: 1.0,
+                    headroom: 1.0,
+                },
+            );
+        }
+        for _ in 0..2 {
+            r.events.push(
+                0.0,
+                SimEvent::TestCompleted {
+                    core: 0,
+                    routine: 0,
+                    level: 0,
+                    covered_levels: 1,
+                    interval: -1.0,
+                },
+            );
+        }
+        r.events.push(
+            0.0,
+            SimEvent::TestAborted {
+                core: 0,
+                reason: manytest_sim::AbortReason::MappedOver,
+            },
+        );
+        r.events.push(0.0, SimEvent::AppArrived { app: 0, tasks: 1 });
+        validate_events(&r).expect("consistent counts");
+    }
+
+    #[test]
+    fn divergent_counts_name_the_invariant() {
+        let mut r = Report::default();
+        r.events.push(0.0, SimEvent::AppArrived { app: 0, tasks: 1 });
+        // apps_arrived stays 0 → mismatch.
+        let err = validate_events(&r).unwrap_err();
+        assert!(err.contains("AppArrived == apps_arrived"), "got: {err}");
+        assert!(err.contains("events say 1, report says 0"), "got: {err}");
+    }
+}

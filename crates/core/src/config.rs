@@ -85,6 +85,14 @@ pub struct SystemConfig {
     /// is non-intrusive (false); intrusive mode quantifies what that
     /// property is worth.
     pub intrusive_testing: bool,
+    /// Cap on samples stored per trace series; once full a series halves
+    /// itself and doubles its sampling stride (`None` = keep every epoch
+    /// sample, the historical behaviour).
+    pub trace_max_samples: Option<usize>,
+    /// Capture decision telemetry: keep up to this many structured events
+    /// in an in-memory log returned on the report (`None` = no capture;
+    /// the control loop then runs with the zero-cost null observer).
+    pub event_capacity: Option<usize>,
 }
 
 impl SystemConfig {
@@ -113,6 +121,8 @@ impl SystemConfig {
             transient_thermal: false,
             abort_overhead: Duration::from_us(50),
             intrusive_testing: false,
+            trace_max_samples: None,
+            event_capacity: None,
         }
     }
 

@@ -45,12 +45,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod config;
 pub mod error;
 pub mod exec;
 pub mod metrics;
 pub mod system;
 
+pub use audit::validate_events;
 pub use config::{GovernorKind, MapperKind, SystemConfig};
 pub use error::BuildError;
 pub use metrics::Report;
@@ -58,9 +60,14 @@ pub use system::{System, SystemBuilder};
 
 /// Convenience re-exports for downstream crates and binaries.
 pub mod prelude {
+    pub use crate::audit::validate_events;
     pub use crate::config::{GovernorKind, MapperKind, SystemConfig};
     pub use crate::error::BuildError;
     pub use crate::metrics::Report;
     pub use crate::system::{System, SystemBuilder};
     pub use manytest_power::TechNode;
+    pub use manytest_sim::{
+        jsonl_kind_counts, AbortReason, CounterRegistry, EventLog, JsonlWriter, NullObserver,
+        Observer, SimEvent,
+    };
 }

@@ -1,6 +1,6 @@
 //! Run-level metrics and the final report.
 
-use manytest_sim::{OnlineStats, Trace};
+use manytest_sim::{EventLog, OnlineStats, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Everything a finished run reports; the bench harness regenerates the
@@ -15,6 +15,9 @@ pub struct Report {
     pub apps_completed: u64,
     /// Applications still pending/running at the end.
     pub apps_in_flight: u64,
+    /// Applications still waiting in the pending queue at the end
+    /// (a subset of [`Report::apps_in_flight`]).
+    pub apps_pending: u64,
     /// Applications rejected because they can never fit the mesh.
     pub apps_rejected: u64,
     /// Total workload instructions executed.
@@ -43,6 +46,8 @@ pub struct Report {
     pub tests_completed: u64,
     /// SBST sessions aborted by arriving work (non-intrusive preemption).
     pub tests_aborted: u64,
+    /// SBST sessions still running when the horizon ended.
+    pub tests_in_flight: u64,
     /// Launches denied because the power headroom was exhausted.
     pub tests_denied_power: u64,
     /// Completed full routine-library passes per core, minimum over cores.
@@ -79,6 +84,10 @@ pub struct Report {
 
     /// Epoch-resolution time series (power, cap, tests in flight, …).
     pub trace: Trace,
+    /// Structured decision telemetry captured during the run. Empty
+    /// unless the run opted in via `SystemBuilder::capture_events`; the
+    /// per-kind counts are exact even if the sample buffer saturated.
+    pub events: EventLog,
 }
 
 impl Report {

@@ -9,10 +9,13 @@ use manytest_map::{ConaMapper, FirstFitMapper, MapContext, Mapper, TestAwareMapp
 use manytest_noc::{ContentionModel, LinkEnergyModel, LinkLoads, Mesh2D, TrafficMatrix};
 use manytest_power::{
     NaiveTdpPolicy, OperatingPoint, PidController, PowerBudget, PowerCategory, PowerGovernor,
-    PowerMeter, PowerModel, VfLadder,
+    PowerMeter, PowerModel, VfLadder, VfLevel,
 };
-use manytest_sbst::{FaultLog, TestCandidate, TestScheduler, TestSession};
-use manytest_sim::{Epoch, EventQueue, SimRng, SimTime, Trace};
+use manytest_sbst::{FaultLog, TestCandidate, TestDenial, TestLaunch, TestScheduler, TestSession};
+use manytest_sim::{
+    AbortReason, Epoch, EventLog, EventQueue, NullObserver, Observer, SimEvent, SimRng, SimTime,
+    Trace,
+};
 use manytest_workload::{AppId, Application, ArrivalProcess, TaskId, WorkloadMix};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -191,6 +194,23 @@ impl SystemBuilder {
         self
     }
 
+    /// Captures structured decision telemetry: the control loop records
+    /// up to `capacity` events into an in-memory log returned on
+    /// [`Report::events`] (per-kind counts stay exact past the cap).
+    /// Without this call the run uses the zero-cost null observer.
+    pub fn capture_events(mut self, capacity: usize) -> Self {
+        self.config.event_capacity = Some(capacity);
+        self
+    }
+
+    /// Bounds every trace series to at most `max_samples` stored points,
+    /// decimating on insert (values below 2 are raised to 2). Default:
+    /// keep every epoch sample.
+    pub fn trace_bound(mut self, max_samples: usize) -> Self {
+        self.config.trace_max_samples = Some(max_samples);
+        self
+    }
+
     /// Validates the configuration and constructs the system.
     ///
     /// # Errors
@@ -238,11 +258,14 @@ pub struct System {
     apps_rejected: u64,
     measured_last: f64,
     tdp: f64,
+    observer: Box<dyn Observer>,
     // Scratch buffers for the epoch control loop: rebuilt in place every
     // tick so the steady-state hot path never touches the heap.
     ctx_scratch: MapContext,
     candidates_scratch: Vec<TestCandidate>,
     powers_scratch: Vec<f64>,
+    launches_scratch: Vec<TestLaunch>,
+    denials_scratch: Vec<TestDenial>,
 }
 
 impl std::fmt::Debug for System {
@@ -350,14 +373,23 @@ impl System {
             rng_faults,
             faults,
             metrics: MetricsCollector::default(),
-            trace: Trace::new(),
+            trace: match config.trace_max_samples {
+                Some(max) => Trace::bounded(max.max(2)),
+                None => Trace::new(),
+            },
             next_app_id: 0,
             apps_rejected: 0,
             measured_last: 0.0,
             tdp: params.tdp,
+            observer: match config.event_capacity {
+                Some(cap) => Box::new(EventLog::bounded(cap)),
+                None => Box::new(NullObserver),
+            },
             ctx_scratch: MapContext::all_free(mesh),
             candidates_scratch: Vec::with_capacity(n),
             powers_scratch: Vec::with_capacity(n),
+            launches_scratch: Vec::new(),
+            denials_scratch: Vec::new(),
             config,
         })
     }
@@ -365,6 +397,24 @@ impl System {
     /// The configuration the system runs under.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// Replaces the decision-telemetry observer (e.g. with a streaming
+    /// JSONL writer). Call before [`System::run`]; the observer installed
+    /// at finalize time supplies [`Report::events`] via
+    /// [`Observer::take_log`].
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = observer;
+    }
+
+    /// Emits one telemetry event through the installed observer. This is
+    /// the single choke point every control-loop emission funnels
+    /// through; with the default [`NullObserver`] it is a no-op, and the
+    /// `map_context_allocs` counting-allocator test holds it to zero heap
+    /// allocations.
+    #[inline]
+    pub fn observe(&mut self, now: f64, ev: SimEvent) {
+        self.observer.on_event(now, &ev);
     }
 
     /// The platform mesh.
@@ -428,8 +478,29 @@ impl System {
         self.cores[core].accrued_since = now;
     }
 
+    /// The telemetry ladder index a mode runs at ([`VfLevel::GATED`] = off).
+    fn mode_level(mode: CoreMode) -> i16 {
+        match mode {
+            CoreMode::Off => VfLevel::GATED,
+            CoreMode::Idle(op) | CoreMode::Busy(op) => op.level.telemetry_index(),
+            CoreMode::Testing(op, _) => op.level.telemetry_index(),
+        }
+    }
+
     fn set_mode(&mut self, core: usize, now: f64, mode: CoreMode) {
         self.charge_core(core, now);
+        let from = Self::mode_level(self.cores[core].mode);
+        let to = Self::mode_level(mode);
+        if from != to {
+            self.observer.on_event(
+                now,
+                &SimEvent::DvfsTransition {
+                    core: core as u32,
+                    from,
+                    to,
+                },
+            );
+        }
         self.cores[core].mode = mode;
     }
 
@@ -438,7 +509,21 @@ impl System {
     fn control(&mut self, now: f64) {
         let cap = self.governor.next_cap(self.tdp, self.measured_last);
         self.budget.set_cap(cap);
-        self.faults.activate_due(now);
+        self.observer.on_event(
+            now,
+            &SimEvent::CapAdjusted {
+                cap,
+                measured: self.measured_last,
+                headroom: self.budget.headroom(),
+                reservations: self.budget.active_reservations() as u32,
+            },
+        );
+        {
+            let obs = &mut self.observer;
+            self.faults.activate_due_with(now, |core| {
+                obs.on_event(now, &SimEvent::FaultActivated { core: core as u32 });
+            });
+        }
         self.admit_pending(now);
         if self.config.testing_enabled {
             self.schedule_tests(now);
@@ -477,8 +562,15 @@ impl System {
             };
             if task_count > self.mesh.node_count() {
                 // Can never fit on this platform.
-                self.pending.pop_front();
+                let app = self.pending.pop_front().expect("checked front");
                 self.apps_rejected += 1;
+                self.observer.on_event(
+                    now,
+                    &SimEvent::AppRejected {
+                        app: app.id.0,
+                        tasks: task_count as u32,
+                    },
+                );
                 continue;
             }
             let free = self.cores.iter().filter(|c| c.is_free_for_mapping()).count();
@@ -503,16 +595,33 @@ impl System {
                 * self.model.core_power(op, PowerModel::WORKLOAD_ACTIVITY);
             let Ok(reservation) = self.budget.reserve(watts) else { break };
             let app = self.pending.pop_front().expect("checked front");
-            self.metrics.queue_wait.push(now - app.arrival.as_secs_f64());
-            self.metrics.hop_cost.push(mapping.weighted_hop_cost(&app.graph));
+            let queue_wait = now - app.arrival.as_secs_f64();
+            let hop_cost = mapping.weighted_hop_cost(&app.graph);
+            self.metrics.queue_wait.push(queue_wait);
+            self.metrics.hop_cost.push(hop_cost);
             let id = app.id;
+            let (bb_min, bb_max) = mapping.bounding_box().expect("mapping is non-empty");
+            self.observer.on_event(
+                now,
+                &SimEvent::AppMapped {
+                    app: id.0,
+                    tasks: task_count as u32,
+                    first_node: self.mesh.node_id(mapping.coord_of(TaskId(0))).index() as u32,
+                    region_w: (bb_max.x - bb_min.x + 1) as u16,
+                    region_h: (bb_max.y - bb_min.y + 1) as u16,
+                    level: op.level.0,
+                    hop_cost,
+                    queue_wait,
+                    headroom: self.budget.headroom(),
+                },
+            );
             // Claim the cores (aborting any test sessions on them).
             for t in 0..task_count as u32 {
                 let task = TaskId(t);
                 let coord = mapping.coord_of(task);
                 let core = self.mesh.node_id(coord).index();
                 if self.cores[core].session.is_some() {
-                    self.abort_session(core, now);
+                    self.abort_session(core, now, AbortReason::MappedOver);
                 }
                 debug_assert!(self.cores[core].owner.is_none());
                 self.cores[core].owner = Some((id, task));
@@ -560,9 +669,22 @@ impl System {
             return;
         }
         let headroom = self.budget.headroom();
-        let launches = self.scheduler.plan(&candidates, headroom);
+        let mut launches = std::mem::take(&mut self.launches_scratch);
+        let mut denials = std::mem::take(&mut self.denials_scratch);
+        self.scheduler
+            .plan_into(&candidates, headroom, &mut launches, &mut denials);
         self.candidates_scratch = candidates;
-        for launch in launches {
+        for d in &denials {
+            self.observer.on_event(
+                now,
+                &SimEvent::TestDeniedPower {
+                    core: d.core as u32,
+                    needed: d.power,
+                    headroom: d.headroom,
+                },
+            );
+        }
+        for launch in &launches {
             let Ok(reservation) = self.budget.reserve(launch.power) else {
                 continue;
             };
@@ -581,15 +703,27 @@ impl System {
             self.cores[core].session_reservation = Some(reservation);
             let gen = self.cores[core].session_gen;
             self.set_mode(core, now, CoreMode::Testing(op, activity));
+            self.observer.on_event(
+                now,
+                &SimEvent::TestLaunched {
+                    core: core as u32,
+                    routine: launch.routine.0,
+                    level: launch.level.0,
+                    power: launch.power,
+                    headroom: self.budget.headroom(),
+                },
+            );
             let finish = now + launch.duration();
             self.queue.schedule(
                 SimTime::from_ns((finish * 1e9).round() as u64),
                 Ev::SessionFinish { core, gen },
             );
         }
+        self.launches_scratch = launches;
+        self.denials_scratch = denials;
     }
 
-    fn abort_session(&mut self, core: usize, now: f64) {
+    fn abort_session(&mut self, core: usize, now: f64, reason: AbortReason) {
         let slot = &mut self.cores[core];
         debug_assert!(slot.session.is_some());
         slot.session = None;
@@ -601,6 +735,13 @@ impl System {
         self.budget.release(reservation);
         self.scheduler.on_session_aborted(core);
         self.metrics.tests_aborted += 1;
+        self.observer.on_event(
+            now,
+            &SimEvent::TestAborted {
+                core: core as u32,
+                reason,
+            },
+        );
         let owner_op = self.owner_op(core);
         let mode = match owner_op {
             Some(op) => CoreMode::Idle(op),
@@ -631,6 +772,13 @@ impl System {
         let id = AppId(self.next_app_id);
         self.next_app_id += 1;
         self.metrics.apps_arrived += 1;
+        self.observer.on_event(
+            now,
+            &SimEvent::AppArrived {
+                app: id.0,
+                tasks: graph.task_count() as u32,
+            },
+        );
         self.pending.push_back(Application {
             id,
             graph,
@@ -669,7 +817,7 @@ impl System {
             // core's architectural state after the SBST routine costs a
             // small fixed overhead — the source of the (sub-1 %)
             // throughput penalty the paper reports.
-            self.abort_session(core, now);
+            self.abort_session(core, now, AbortReason::TaskPreempted);
             duration += self.config.abort_overhead.as_secs_f64();
         }
         debug_assert!(
@@ -767,7 +915,15 @@ impl System {
             let app = self.running.remove(&app_id).expect("app is running");
             self.budget.release(app.reservation);
             self.metrics.apps_completed += 1;
-            self.metrics.app_latency.push(now - app.arrived_at);
+            let latency = now - app.arrived_at;
+            self.metrics.app_latency.push(latency);
+            self.observer.on_event(
+                now,
+                &SimEvent::AppCompleted {
+                    app: app_id,
+                    latency,
+                },
+            );
         }
     }
 
@@ -786,13 +942,48 @@ impl System {
             .on_session_complete(core, session.routine(), session.level());
         self.stress.note_test_complete(core, now);
         let routine = self.scheduler.library().routine(session.routine()).clone();
-        self.faults
-            .on_test_complete(core, &routine, session.level(), now, &mut self.rng_faults);
-        self.metrics.tests_completed += 1;
-        if let Some(&prev) = self.cores[core].test_times.last() {
-            self.metrics.test_interval.push(now - prev);
+        {
+            let obs = &mut self.observer;
+            self.faults.on_test_complete_with(
+                core,
+                &routine,
+                session.level(),
+                now,
+                &mut self.rng_faults,
+                |faulty_core, latency| {
+                    obs.on_event(
+                        now,
+                        &SimEvent::FaultDetected {
+                            core: faulty_core as u32,
+                            latency,
+                        },
+                    );
+                },
+            );
         }
+        self.metrics.tests_completed += 1;
+        let interval = match self.cores[core].test_times.last() {
+            Some(&prev) => {
+                self.metrics.test_interval.push(now - prev);
+                now - prev
+            }
+            None => -1.0, // first completion on this core
+        };
         self.cores[core].test_times.push(now);
+        let ledger = self.scheduler.ledger();
+        let covered_levels = (0..ledger.level_count())
+            .filter(|&l| ledger.tests_at(core, VfLevel(l as u8)) > 0)
+            .count() as u8;
+        self.observer.on_event(
+            now,
+            &SimEvent::TestCompleted {
+                core: core as u32,
+                routine: session.routine().0,
+                level: session.level().0,
+                covered_levels,
+                interval,
+            },
+        );
         let mode = match self.owner_op(core) {
             Some(op) => CoreMode::Idle(op),
             None => CoreMode::Off,
@@ -887,7 +1078,8 @@ impl System {
 
     // ----- report ----------------------------------------------------------
 
-    fn finalize(self) -> Report {
+    fn finalize(mut self) -> Report {
+        let events = self.observer.take_log().unwrap_or_default();
         let sim_seconds = self.meter.total_seconds();
         let n = self.cores.len();
         let ledger = self.scheduler.ledger();
@@ -899,6 +1091,7 @@ impl System {
             apps_arrived: self.metrics.apps_arrived,
             apps_completed: self.metrics.apps_completed,
             apps_in_flight: (self.pending.len() + self.running.len()) as u64,
+            apps_pending: self.pending.len() as u64,
             apps_rejected: self.apps_rejected,
             instructions_executed: self.metrics.instructions,
             throughput_mips: if sim_seconds > 0.0 {
@@ -916,6 +1109,11 @@ impl System {
             noc_energy_share: self.meter.total_share(PowerCategory::Noc),
             tests_completed: self.metrics.tests_completed,
             tests_aborted: self.metrics.tests_aborted,
+            tests_in_flight: self
+                .cores
+                .iter()
+                .filter(|c| c.session.is_some())
+                .count() as u64,
             tests_denied_power: self.scheduler.denied_for_power(),
             min_tests_per_core: tests_per_core.iter().copied().min().unwrap_or(0),
             max_tests_per_core: tests_per_core.iter().copied().max().unwrap_or(0),
@@ -932,6 +1130,7 @@ impl System {
             dark_fraction: self.config.node.dark_silicon_fraction(),
             mean_hop_cost: self.metrics.hop_cost.mean(),
             trace: self.trace,
+            events,
         }
     }
 }
@@ -940,6 +1139,7 @@ impl System {
 mod tests {
     use super::*;
     use manytest_power::TechNode;
+    use manytest_sim::TraceSeries;
 
     fn quick(node: TechNode) -> SystemBuilder {
         SystemBuilder::new(node).seed(11).sim_time_ms(160).arrival_rate(200.0)
@@ -1241,5 +1441,49 @@ mod tests {
             let r = quick(node).sim_time_ms(20).build().unwrap().run();
             assert!(r.apps_arrived > 0, "{node} run produced no arrivals");
         }
+    }
+
+    #[test]
+    fn captured_events_reconcile_with_the_report() {
+        let r = quick(TechNode::N16)
+            .capture_events(1 << 16)
+            .injected_faults(4)
+            .build()
+            .unwrap()
+            .run();
+        assert!(!r.events.is_empty(), "capture must record events");
+        assert_eq!(r.events.dropped(), 0, "capacity must suffice for this run");
+        crate::audit::validate_events(&r).expect("event counts reconcile with aggregates");
+        // Spot-check the two invariants the paper's control loop lives by.
+        assert_eq!(r.events.count("TestDeniedPower"), r.tests_denied_power);
+        assert_eq!(
+            r.events.count("TestLaunched"),
+            r.tests_completed + r.tests_aborted + r.tests_in_flight
+        );
+        // Capture must not perturb the simulation itself.
+        let plain = quick(TechNode::N16).injected_faults(4).build().unwrap().run();
+        assert_eq!(plain.instructions_executed, r.instructions_executed);
+        assert_eq!(plain.tests_completed, r.tests_completed);
+        assert_eq!(plain.trace, r.trace);
+    }
+
+    #[test]
+    fn default_runs_capture_no_events() {
+        let r = quick(TechNode::N16).build().unwrap().run();
+        assert!(r.events.is_empty(), "null observer must keep the log empty");
+        assert_eq!(r.events.total(), 0);
+    }
+
+    #[test]
+    fn bounded_trace_caps_series_length() {
+        let bounded = quick(TechNode::N16).trace_bound(64).build().unwrap().run();
+        let full = quick(TechNode::N16).build().unwrap().run();
+        let series = bounded.trace.series("power_w").expect("power series exists");
+        assert!(series.len() <= 64, "bound must cap the series, got {}", series.len());
+        assert!(series.len() >= 32, "decimation halves at worst, got {}", series.len());
+        assert_eq!(full.trace.series("power_w").map(TraceSeries::len), Some(160));
+        // Bounding the trace is observability-only: the run itself is identical.
+        assert_eq!(bounded.instructions_executed, full.instructions_executed);
+        assert_eq!(bounded.tests_completed, full.tests_completed);
     }
 }

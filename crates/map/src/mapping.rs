@@ -88,16 +88,27 @@ impl Mapping {
         total as f64 / app.edges().len() as f64
     }
 
+    /// The `(min, max)` corner coordinates of the mapping's bounding box,
+    /// or `None` for an empty mapping.
+    pub fn bounding_box(&self) -> Option<(Coord, Coord)> {
+        let first = *self.slots.first()?;
+        let mut min = first;
+        let mut max = first;
+        for &c in &self.slots[1..] {
+            min.x = min.x.min(c.x);
+            min.y = min.y.min(c.y);
+            max.x = max.x.max(c.x);
+            max.y = max.y.max(c.y);
+        }
+        Some((min, max))
+    }
+
     /// The bounding-box area of the mapping (dispersion proxy).
     pub fn bounding_box_area(&self) -> usize {
-        if self.slots.is_empty() {
-            return 0;
+        match self.bounding_box() {
+            Some((min, max)) => (max.x - min.x + 1) as usize * (max.y - min.y + 1) as usize,
+            None => 0,
         }
-        let min_x = self.slots.iter().map(|c| c.x).min().unwrap();
-        let max_x = self.slots.iter().map(|c| c.x).max().unwrap();
-        let min_y = self.slots.iter().map(|c| c.y).min().unwrap();
-        let max_y = self.slots.iter().map(|c| c.y).max().unwrap();
-        (max_x - min_x + 1) as usize * (max_y - min_y + 1) as usize
     }
 
     /// Checks the mapping against a mesh and application: right arity,
@@ -149,8 +160,10 @@ mod tests {
     fn bounding_box() {
         let m = Mapping::new(vec![Coord::new(1, 1), Coord::new(3, 2)]);
         assert_eq!(m.bounding_box_area(), 6);
+        assert_eq!(m.bounding_box(), Some((Coord::new(1, 1), Coord::new(3, 2))));
         let empty = Mapping::new(vec![]);
         assert_eq!(empty.bounding_box_area(), 0);
+        assert_eq!(empty.bounding_box(), None);
     }
 
     #[test]

@@ -17,6 +17,19 @@ use std::fmt;
 )]
 pub struct VfLevel(pub u8);
 
+impl VfLevel {
+    /// Telemetry index meaning "no operating point: the core is
+    /// power-gated". Keeps DVFS-transition events one-dimensional —
+    /// a transition is `from: i16, to: i16` where either end may be off.
+    pub const GATED: i16 = -1;
+
+    /// This level as a telemetry index (always non-negative; compare
+    /// with [`VfLevel::GATED`]).
+    pub fn telemetry_index(self) -> i16 {
+        i16::from(self.0)
+    }
+}
+
 /// One voltage/frequency operating point.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OperatingPoint {

@@ -17,6 +17,9 @@
 //!   histograms, time-weighted averages) used by the metrics layer.
 //! * [`trace`] — a lightweight trace sink for time-series output (power
 //!   traces, utilisation traces) consumed by the bench harness.
+//! * [`obs`] — structured decision telemetry: the [`Observer`] hook the
+//!   control loop emits typed [`SimEvent`]s through, plus concrete sinks
+//!   (bounded [`EventLog`], streaming JSONL writer, [`CounterRegistry`]).
 //!
 //! # Examples
 //!
@@ -34,13 +37,18 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use engine::{Event, EventQueue};
-pub use rng::SimRng;
+pub use obs::{
+    jsonl_kind_counts, AbortReason, CounterRegistry, EventLog, JsonlWriter, NullObserver, Observer,
+    SimEvent,
+};
+pub use rng::{enter_job_scope, JobScopeGuard, SimRng};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{Duration, Epoch, SimTime};
 pub use trace::{Trace, TraceSeries};
@@ -48,7 +56,11 @@ pub use trace::{Trace, TraceSeries};
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::engine::{Event, EventQueue};
-    pub use crate::rng::SimRng;
+    pub use crate::obs::{
+        jsonl_kind_counts, AbortReason, CounterRegistry, EventLog, JsonlWriter, NullObserver,
+        Observer, SimEvent,
+    };
+    pub use crate::rng::{enter_job_scope, JobScopeGuard, SimRng};
     pub use crate::stats::{Histogram, OnlineStats, TimeWeighted};
     pub use crate::time::{Duration, Epoch, SimTime};
     pub use crate::trace::{Trace, TraceSeries};

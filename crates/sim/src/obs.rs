@@ -1,0 +1,831 @@
+//! Structured decision telemetry: observer hooks, typed events, sinks.
+//!
+//! End-of-run aggregates tell you *what* a run produced; they cannot tell
+//! you *why* — which epoch denied a test for power, what the headroom was
+//! at that instant, which application displaced a session. This module is
+//! the telemetry backbone: the control loop emits one [`SimEvent`] per
+//! decision through an [`Observer`], and sinks turn the stream into
+//! whatever a consumer needs:
+//!
+//! * [`NullObserver`] — the default; every hook compiles to a no-op so
+//!   the hot path stays allocation-free.
+//! * [`EventLog`] — a bounded in-memory sink returned on the report.
+//!   Per-kind counts stay **exact** even when the sample buffer is full,
+//!   so aggregate invariants can always be checked against the report.
+//! * [`JsonlWriter`] — streams one JSON object per event to any
+//!   [`std::io::Write`] (files, pipes, test buffers).
+//! * [`CounterRegistry`] — named counters plus fixed-bucket
+//!   [`Histogram`]s with deterministic iteration order, for summaries.
+//!
+//! Events are plain `Copy` data: emitting one never touches the heap, and
+//! JSON is rendered only inside sinks that asked for it.
+
+use crate::stats::Histogram;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+
+/// Why an SBST session was torn down before completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// The mapper claimed the core for an arriving application.
+    MappedOver,
+    /// A task of the core's owning application became ready mid-session.
+    TaskPreempted,
+}
+
+impl AbortReason {
+    /// Stable lower-snake name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AbortReason::MappedOver => "mapped_over",
+            AbortReason::TaskPreempted => "task_preempted",
+        }
+    }
+}
+
+/// One structured decision made by the epoch control loop or resolved in
+/// the event plane. Stack-only (`Copy`): constructing and emitting an
+/// event allocates nothing.
+///
+/// Times are *not* part of the payload — every observer hook receives the
+/// event's timestamp separately, so sinks that do not need it pay nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// An application entered the pending queue.
+    AppArrived {
+        /// Application id.
+        app: u64,
+        /// Task count of its graph.
+        tasks: u32,
+    },
+    /// An application can never fit the platform and was dropped.
+    AppRejected {
+        /// Application id.
+        app: u64,
+        /// Task count of its graph.
+        tasks: u32,
+    },
+    /// An application was admitted and placed.
+    AppMapped {
+        /// Application id.
+        app: u64,
+        /// Task count of its graph.
+        tasks: u32,
+        /// Dense node index of task 0's core.
+        first_node: u32,
+        /// Bounding-box width of the mapping, in mesh columns.
+        region_w: u16,
+        /// Bounding-box height of the mapping, in mesh rows.
+        region_h: u16,
+        /// DVFS level the app was admitted at.
+        level: u8,
+        /// Communication-weighted hop cost of the placement.
+        hop_cost: f64,
+        /// Seconds the app waited in the pending queue.
+        queue_wait: f64,
+        /// Power headroom left *after* the app's reservation, watts.
+        headroom: f64,
+    },
+    /// An admitted application finished its last task.
+    AppCompleted {
+        /// Application id.
+        app: u64,
+        /// Arrival-to-completion latency, seconds.
+        latency: f64,
+    },
+    /// An SBST session started.
+    TestLaunched {
+        /// Core under test.
+        core: u32,
+        /// Routine id.
+        routine: u16,
+        /// DVFS level tested at.
+        level: u8,
+        /// Reserved session power, watts.
+        power: f64,
+        /// Headroom left after the reservation, watts.
+        headroom: f64,
+    },
+    /// The scheduler wanted to test a core but the headroom was exhausted.
+    TestDeniedPower {
+        /// Core that was denied.
+        core: u32,
+        /// Watts the session would have needed.
+        needed: f64,
+        /// Watts that were actually left at the denial.
+        headroom: f64,
+    },
+    /// A session was torn down before completing.
+    TestAborted {
+        /// Core whose session died.
+        core: u32,
+        /// What displaced it.
+        reason: AbortReason,
+    },
+    /// A session ran to completion.
+    TestCompleted {
+        /// Core that was tested.
+        core: u32,
+        /// Routine that completed.
+        routine: u16,
+        /// DVFS level tested at.
+        level: u8,
+        /// DVFS levels on this core with ≥ 1 completed test afterwards.
+        covered_levels: u8,
+        /// Seconds since this core's previous completion (< 0 = first).
+        interval: f64,
+    },
+    /// The governor moved the admission cap.
+    CapAdjusted {
+        /// New cap, watts.
+        cap: f64,
+        /// Last epoch's measured power, watts.
+        measured: f64,
+        /// Headroom under the new cap, watts.
+        headroom: f64,
+        /// Live power reservations at that instant.
+        reservations: u32,
+    },
+    /// A core's operating level changed (−1 = power-gated).
+    DvfsTransition {
+        /// The core.
+        core: u32,
+        /// Previous ladder index, −1 when the core was off.
+        from: i16,
+        /// New ladder index, −1 when the core turns off.
+        to: i16,
+    },
+    /// An injected fault became present (latent) on a core.
+    FaultActivated {
+        /// The faulty core.
+        core: u32,
+    },
+    /// A completed test routine caught a latent fault.
+    FaultDetected {
+        /// The faulty core.
+        core: u32,
+        /// Injection-to-detection latency, seconds.
+        latency: f64,
+    },
+}
+
+impl SimEvent {
+    /// Number of event kinds (array size for exact per-kind counters).
+    pub const KIND_COUNT: usize = 12;
+
+    /// All kind names, in [`SimEvent::kind_index`] order.
+    pub const KINDS: [&'static str; Self::KIND_COUNT] = [
+        "AppArrived",
+        "AppRejected",
+        "AppMapped",
+        "AppCompleted",
+        "TestLaunched",
+        "TestDeniedPower",
+        "TestAborted",
+        "TestCompleted",
+        "CapAdjusted",
+        "DvfsTransition",
+        "FaultActivated",
+        "FaultDetected",
+    ];
+
+    /// Dense index of this event's kind, for fixed-size counter arrays.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            SimEvent::AppArrived { .. } => 0,
+            SimEvent::AppRejected { .. } => 1,
+            SimEvent::AppMapped { .. } => 2,
+            SimEvent::AppCompleted { .. } => 3,
+            SimEvent::TestLaunched { .. } => 4,
+            SimEvent::TestDeniedPower { .. } => 5,
+            SimEvent::TestAborted { .. } => 6,
+            SimEvent::TestCompleted { .. } => 7,
+            SimEvent::CapAdjusted { .. } => 8,
+            SimEvent::DvfsTransition { .. } => 9,
+            SimEvent::FaultActivated { .. } => 10,
+            SimEvent::FaultDetected { .. } => 11,
+        }
+    }
+
+    /// The event's kind name (stable, used as the JSON `kind` field).
+    pub fn kind(&self) -> &'static str {
+        Self::KINDS[self.kind_index()]
+    }
+
+    /// Appends this event as one JSON object (no trailing newline) to
+    /// `out`. Floats use Rust's shortest-round-trip `Display`, which is
+    /// deterministic, so identical runs render byte-identical JSON.
+    pub fn write_json(&self, t: f64, out: &mut String) {
+        let kind = self.kind();
+        let _ = write!(out, "{{\"t\":{t},\"kind\":\"{kind}\"");
+        match *self {
+            SimEvent::AppArrived { app, tasks } | SimEvent::AppRejected { app, tasks } => {
+                let _ = write!(out, ",\"app\":{app},\"tasks\":{tasks}");
+            }
+            SimEvent::AppMapped {
+                app,
+                tasks,
+                first_node,
+                region_w,
+                region_h,
+                level,
+                hop_cost,
+                queue_wait,
+                headroom,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"app\":{app},\"tasks\":{tasks},\"first_node\":{first_node},\
+                     \"region_w\":{region_w},\"region_h\":{region_h},\"level\":{level},\
+                     \"hop_cost\":{hop_cost},\"queue_wait\":{queue_wait},\"headroom\":{headroom}"
+                );
+            }
+            SimEvent::AppCompleted { app, latency } => {
+                let _ = write!(out, ",\"app\":{app},\"latency\":{latency}");
+            }
+            SimEvent::TestLaunched {
+                core,
+                routine,
+                level,
+                power,
+                headroom,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"core\":{core},\"routine\":{routine},\"level\":{level},\
+                     \"power\":{power},\"headroom\":{headroom}"
+                );
+            }
+            SimEvent::TestDeniedPower {
+                core,
+                needed,
+                headroom,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"core\":{core},\"needed\":{needed},\"headroom\":{headroom}"
+                );
+            }
+            SimEvent::TestAborted { core, reason } => {
+                let _ = write!(out, ",\"core\":{core},\"reason\":\"{}\"", reason.as_str());
+            }
+            SimEvent::TestCompleted {
+                core,
+                routine,
+                level,
+                covered_levels,
+                interval,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"core\":{core},\"routine\":{routine},\"level\":{level},\
+                     \"covered_levels\":{covered_levels},\"interval\":{interval}"
+                );
+            }
+            SimEvent::CapAdjusted {
+                cap,
+                measured,
+                headroom,
+                reservations,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"cap\":{cap},\"measured\":{measured},\"headroom\":{headroom},\
+                     \"reservations\":{reservations}"
+                );
+            }
+            SimEvent::DvfsTransition { core, from, to } => {
+                let _ = write!(out, ",\"core\":{core},\"from\":{from},\"to\":{to}");
+            }
+            SimEvent::FaultActivated { core } => {
+                let _ = write!(out, ",\"core\":{core}");
+            }
+            SimEvent::FaultDetected { core, latency } => {
+                let _ = write!(out, ",\"core\":{core},\"latency\":{latency}");
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// A decision-event sink. The control loop calls [`Observer::on_event`]
+/// once per decision; the default implementation of every other method is
+/// a no-op so trivial sinks stay trivial.
+pub trait Observer {
+    /// Receives one event emitted at simulated time `t` (seconds).
+    fn on_event(&mut self, t: f64, ev: &SimEvent);
+
+    /// Hands over an [`EventLog`] if this observer accumulated one
+    /// (called once, when a run finalizes its report).
+    fn take_log(&mut self) -> Option<EventLog> {
+        None
+    }
+}
+
+/// The default observer: drops every event. Keeps the epoch control loop
+/// free of observer overhead — the counting-allocator test in
+/// `crates/bench/tests/map_context_allocs.rs` holds the emission path to
+/// zero heap allocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    #[inline]
+    fn on_event(&mut self, _t: f64, _ev: &SimEvent) {}
+}
+
+/// A bounded in-memory event sink.
+///
+/// Stores up to `capacity` timestamped events; further events are counted
+/// but not stored (`dropped`). Per-kind counts are maintained for **all**
+/// events, stored or dropped, so count-based invariants (`TestLaunched ==
+/// TestCompleted + TestAborted + in-flight`, …) reconcile exactly with
+/// the report even when the sample buffer saturates.
+///
+/// # Examples
+///
+/// ```
+/// use manytest_sim::obs::{EventLog, Observer, SimEvent};
+///
+/// let mut log = EventLog::bounded(16);
+/// log.on_event(0.5, &SimEvent::FaultActivated { core: 3 });
+/// assert_eq!(log.count("FaultActivated"), 1);
+/// assert!(log.to_jsonl().contains("\"kind\":\"FaultActivated\""));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<(f64, SimEvent)>,
+    capacity: usize,
+    dropped: u64,
+    kind_counts: [u64; SimEvent::KIND_COUNT],
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog {
+            events: Vec::new(),
+            capacity: usize::MAX,
+            dropped: 0,
+            kind_counts: [0; SimEvent::KIND_COUNT],
+        }
+    }
+}
+
+impl EventLog {
+    /// An unbounded log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A log that stores at most `capacity` events (but counts them all).
+    pub fn bounded(capacity: usize) -> Self {
+        EventLog {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Records one event.
+    pub fn push(&mut self, t: f64, ev: SimEvent) {
+        self.kind_counts[ev.kind_index()] += 1;
+        if self.events.len() < self.capacity {
+            self.events.push((t, ev));
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The stored `(t, event)` samples, in emission order.
+    pub fn events(&self) -> &[(f64, SimEvent)] {
+        &self.events
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was stored.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events observed but not stored because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The configured sample capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Exact count of events of the named kind (stored *and* dropped).
+    /// Unknown names count zero.
+    pub fn count(&self, kind: &str) -> u64 {
+        SimEvent::KINDS
+            .iter()
+            .position(|&k| k == kind)
+            .map_or(0, |i| self.kind_counts[i])
+    }
+
+    /// `(kind, exact count)` pairs for every kind, in stable order.
+    pub fn kind_counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        SimEvent::KINDS.iter().zip(self.kind_counts).map(|(&k, c)| (k, c))
+    }
+
+    /// Total events observed (stored and dropped).
+    pub fn total(&self) -> u64 {
+        self.kind_counts.iter().sum()
+    }
+
+    /// Renders the stored samples as JSON Lines (one object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for (t, ev) in &self.events {
+            ev.write_json(*t, &mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Streams the stored samples as JSON Lines to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first I/O error from the writer.
+    pub fn write_jsonl<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut line = String::with_capacity(128);
+        for (t, ev) in &self.events {
+            line.clear();
+            ev.write_json(*t, &mut line);
+            line.push('\n');
+            w.write_all(line.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Renders the stored samples as a two-column CSV (`t,kind`), a
+    /// compact form for spreadsheet-side counting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t,kind\n");
+        for (t, ev) in &self.events {
+            let _ = writeln!(out, "{t},{}", ev.kind());
+        }
+        out
+    }
+}
+
+impl Observer for EventLog {
+    fn on_event(&mut self, t: f64, ev: &SimEvent) {
+        self.push(t, *ev);
+    }
+
+    fn take_log(&mut self) -> Option<EventLog> {
+        Some(std::mem::take(self))
+    }
+}
+
+/// Streams each event as one JSON line into any writer the moment it is
+/// emitted (no buffering of the run in memory). The first I/O error is
+/// remembered and surfaced by [`JsonlWriter::finish`].
+#[derive(Debug)]
+pub struct JsonlWriter<W: io::Write> {
+    inner: W,
+    line: String,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlWriter<W> {
+    /// Wraps a writer.
+    pub fn new(inner: W) -> Self {
+        JsonlWriter {
+            inner,
+            line: String::with_capacity(128),
+            error: None,
+        }
+    }
+
+    /// Unwraps the inner writer, reporting any deferred I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first write error encountered while streaming.
+    pub fn finish(self) -> io::Result<W> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.inner),
+        }
+    }
+}
+
+impl<W: io::Write> Observer for JsonlWriter<W> {
+    fn on_event(&mut self, t: f64, ev: &SimEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        self.line.clear();
+        ev.write_json(t, &mut self.line);
+        self.line.push('\n');
+        if let Err(e) = self.inner.write_all(self.line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Named counters plus named fixed-bucket histograms with deterministic
+/// (sorted) iteration order. As an [`Observer`] it counts events by kind;
+/// richer consumers record derived quantities through
+/// [`CounterRegistry::record`].
+///
+/// # Examples
+///
+/// ```
+/// use manytest_sim::obs::CounterRegistry;
+///
+/// let mut reg = CounterRegistry::new();
+/// reg.declare_histogram("queue_wait_ms", 0.0, 10.0, 5);
+/// reg.record("queue_wait_ms", 2.5);
+/// reg.incr("launches");
+/// assert_eq!(reg.counter("launches"), 1);
+/// assert_eq!(reg.histogram("queue_wait_ms").unwrap().total(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CounterRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1 to the named counter (creating it at 0).
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to the named counter (creating it at 0).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Declares (or replaces) a histogram spanning `[lo, hi)` with `bins`
+    /// equal-width buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` (see [`Histogram::new`]).
+    pub fn declare_histogram(&mut self, name: &str, lo: f64, hi: f64, bins: usize) {
+        self.histograms
+            .insert(name.to_owned(), Histogram::new(lo, hi, bins));
+    }
+
+    /// Records one sample into a declared histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram was never declared — an undeclared record
+    /// is a telemetry wiring bug, not a runtime condition.
+    pub fn record(&mut self, name: &str, x: f64) {
+        self.histograms
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("histogram '{name}' was never declared"))
+            .push(x);
+    }
+
+    /// The named histogram, if declared.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Plain-text summary: one `name = value` line per counter, then one
+    /// block per histogram with per-bucket bars. Deterministic order.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let _ = writeln!(out, "{name} = {v}");
+        }
+        for (name, h) in self.histograms() {
+            let _ = writeln!(
+                out,
+                "{name}: {} samples ({} under, {} over)",
+                h.total(),
+                h.underflow(),
+                h.overflow()
+            );
+            let peak = h.bins().iter().copied().max().unwrap_or(0).max(1);
+            for (center, count) in h.centers() {
+                let bar = "#".repeat((count * 40 / peak) as usize);
+                let _ = writeln!(out, "  {center:>10.3} | {count:>6} {bar}");
+            }
+        }
+        out
+    }
+}
+
+impl Observer for CounterRegistry {
+    fn on_event(&mut self, _t: f64, ev: &SimEvent) {
+        self.incr(ev.kind());
+    }
+}
+
+/// Counts `"kind"` occurrences per line of a JSON-Lines event stream
+/// (the inverse of [`EventLog::to_jsonl`], good enough for validation
+/// without a JSON parser — the workspace deliberately has none).
+pub fn jsonl_kind_counts(text: &str) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for line in text.lines() {
+        let Some(pos) = line.find("\"kind\":\"") else {
+            continue;
+        };
+        let rest = &line[pos + 8..];
+        let Some(end) = rest.find('"') else { continue };
+        *counts.entry(rest[..end].to_owned()).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<(f64, SimEvent)> {
+        vec![
+            (0.001, SimEvent::AppArrived { app: 0, tasks: 4 }),
+            (
+                0.002,
+                SimEvent::AppMapped {
+                    app: 0,
+                    tasks: 4,
+                    first_node: 17,
+                    region_w: 2,
+                    region_h: 2,
+                    level: 4,
+                    hop_cost: 6.0,
+                    queue_wait: 0.001,
+                    headroom: 12.5,
+                },
+            ),
+            (
+                0.003,
+                SimEvent::TestLaunched {
+                    core: 3,
+                    routine: 1,
+                    level: 0,
+                    power: 0.25,
+                    headroom: 3.5,
+                },
+            ),
+            (
+                0.004,
+                SimEvent::TestAborted {
+                    core: 3,
+                    reason: AbortReason::MappedOver,
+                },
+            ),
+            (0.005, SimEvent::FaultDetected { core: 3, latency: 0.004 }),
+        ]
+    }
+
+    #[test]
+    fn kind_index_matches_kind_table() {
+        for (t, ev) in sample_events() {
+            assert_eq!(SimEvent::KINDS[ev.kind_index()], ev.kind(), "at t={t}");
+        }
+    }
+
+    #[test]
+    fn json_lines_carry_kind_and_fields() {
+        let mut log = EventLog::new();
+        for (t, ev) in sample_events() {
+            log.push(t, ev);
+        }
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 5);
+        assert!(jsonl.contains("\"kind\":\"AppMapped\""));
+        assert!(jsonl.contains("\"region_w\":2"));
+        assert!(jsonl.contains("\"reason\":\"mapped_over\""));
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"t\":"));
+            assert!(line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn bounded_log_keeps_exact_counts_while_dropping_samples() {
+        let mut log = EventLog::bounded(2);
+        for _ in 0..10 {
+            log.push(1.0, SimEvent::FaultActivated { core: 0 });
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 8);
+        assert_eq!(log.count("FaultActivated"), 10);
+        assert_eq!(log.total(), 10);
+    }
+
+    #[test]
+    fn jsonl_and_csv_round_trip_the_kind_counts() {
+        let mut log = EventLog::new();
+        for (t, ev) in sample_events() {
+            log.push(t, ev);
+        }
+        let from_jsonl = jsonl_kind_counts(&log.to_jsonl());
+        // CSV rows carry the same kinds; count them independently.
+        let csv = log.to_csv();
+        let mut from_csv: BTreeMap<String, u64> = BTreeMap::new();
+        for line in csv.lines().skip(1) {
+            let kind = line.split(',').nth(1).expect("t,kind row");
+            *from_csv.entry(kind.to_owned()).or_insert(0) += 1;
+        }
+        assert_eq!(from_jsonl, from_csv);
+        for (kind, n) in log.kind_counts() {
+            assert_eq!(from_jsonl.get(kind).copied().unwrap_or(0), n, "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_streams_identical_bytes() {
+        let mut log = EventLog::new();
+        let mut sink = JsonlWriter::new(Vec::new());
+        for (t, ev) in sample_events() {
+            log.push(t, ev);
+            sink.on_event(t, &ev);
+        }
+        let streamed = sink.finish().expect("vec never fails");
+        assert_eq!(String::from_utf8(streamed).unwrap(), log.to_jsonl());
+    }
+
+    #[test]
+    fn take_log_drains_the_observer() {
+        let mut log = EventLog::new();
+        log.on_event(1.0, &SimEvent::FaultActivated { core: 1 });
+        let taken = log.take_log().expect("event log yields itself");
+        assert_eq!(taken.len(), 1);
+        assert_eq!(log.len(), 0, "taking must leave an empty log behind");
+    }
+
+    #[test]
+    fn registry_counts_events_and_renders_summary() {
+        let mut reg = CounterRegistry::new();
+        for (t, ev) in sample_events() {
+            reg.on_event(t, &ev);
+        }
+        assert_eq!(reg.counter("AppArrived"), 1);
+        assert_eq!(reg.counter("nonexistent"), 0);
+        reg.declare_histogram("wait_ms", 0.0, 4.0, 4);
+        reg.record("wait_ms", 1.0);
+        reg.record("wait_ms", 9.0); // overflow
+        let s = reg.summary();
+        assert!(s.contains("AppArrived = 1"));
+        assert!(s.contains("wait_ms: 2 samples (0 under, 1 over)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "never declared")]
+    fn recording_into_undeclared_histogram_panics() {
+        CounterRegistry::new().record("missing", 1.0);
+    }
+
+    #[test]
+    fn null_observer_is_a_noop() {
+        let mut obs = NullObserver;
+        obs.on_event(0.0, &SimEvent::FaultActivated { core: 0 });
+        assert!(obs.take_log().is_none());
+    }
+
+    #[test]
+    fn kind_counts_survive_when_only_counts_remain() {
+        // A log with capacity 0 stores nothing but still reconciles.
+        let mut log = EventLog::bounded(0);
+        for (t, ev) in sample_events() {
+            log.push(t, ev);
+        }
+        assert!(log.is_empty());
+        assert_eq!(log.total(), 5);
+        assert_eq!(log.count("TestLaunched"), 1);
+    }
+}

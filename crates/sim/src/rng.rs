@@ -9,6 +9,52 @@
 
 use serde::{Deserialize, Serialize};
 
+#[cfg(debug_assertions)]
+thread_local! {
+    /// The batch-job id the current thread is executing, if any.
+    static JOB_SCOPE: std::cell::Cell<Option<u64>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Marks the current thread as executing batch job `id` until the guard
+/// drops. While a scope is active, every [`SimRng`] binds itself to the
+/// job on first draw; a handle that later draws inside a *different* job
+/// panics (debug builds only). This is the per-batch RNG audit: a shared
+/// RNG handle crossing a job boundary would make results depend on job
+/// execution order and silently break the batch runner's determinism
+/// guarantee.
+///
+/// Release builds compile both the guard and the per-draw check to
+/// nothing. Scopes nest; the guard restores the previous scope on drop.
+pub fn enter_job_scope(id: u64) -> JobScopeGuard {
+    #[cfg(debug_assertions)]
+    {
+        JobScopeGuard {
+            prev: JOB_SCOPE.with(|s| s.replace(Some(id))),
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = id;
+        JobScopeGuard {}
+    }
+}
+
+/// RAII guard returned by [`enter_job_scope`]; restores the previous
+/// scope (usually "none") when dropped.
+#[derive(Debug)]
+pub struct JobScopeGuard {
+    #[cfg(debug_assertions)]
+    prev: Option<u64>,
+}
+
+#[cfg(debug_assertions)]
+impl Drop for JobScopeGuard {
+    fn drop(&mut self) {
+        JOB_SCOPE.with(|s| s.set(self.prev));
+    }
+}
+
 /// A deterministic random number generator with labelled sub-streams.
 ///
 /// # Examples
@@ -28,11 +74,32 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(faults2.next_u64(), f1);
 /// assert_ne!(w1, f1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct SimRng {
     seed: u64,
     state: [u64; 4],
+    /// Batch job this handle first drew inside, for the job-boundary
+    /// audit. Not part of the generator's value: cloning resets it and
+    /// equality ignores it.
+    #[cfg(debug_assertions)]
+    job_tag: Option<u64>,
 }
+
+impl Clone for SimRng {
+    fn clone(&self) -> Self {
+        // A clone is an independent handle: it may legitimately be used
+        // by a different job, so it starts unbound.
+        SimRng::from_parts(self.seed, self.state)
+    }
+}
+
+impl PartialEq for SimRng {
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed && self.state == other.state
+    }
+}
+
+impl Eq for SimRng {}
 
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -43,6 +110,15 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 impl SimRng {
+    fn from_parts(seed: u64, state: [u64; 4]) -> Self {
+        SimRng {
+            seed,
+            state,
+            #[cfg(debug_assertions)]
+            job_tag: None,
+        }
+    }
+
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
         let mut sm = seed;
@@ -52,7 +128,24 @@ impl SimRng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        SimRng { seed, state }
+        SimRng::from_parts(seed, state)
+    }
+
+    /// Debug-build check that this handle stays inside one batch job.
+    #[cfg(debug_assertions)]
+    fn audit_job_scope(&mut self) {
+        let Some(scope) = JOB_SCOPE.with(std::cell::Cell::get) else {
+            return; // not inside a batch job: nothing to audit
+        };
+        match self.job_tag {
+            None => self.job_tag = Some(scope),
+            Some(tag) => assert!(
+                tag == scope,
+                "SimRng handle crossed a batch job boundary (first drawn in job \
+                 {tag}, now drawing in job {scope}); every batch job must \
+                 construct its own seeded RNG to keep runs deterministic"
+            ),
+        }
     }
 
     /// Derives an independent child stream identified by `label`.
@@ -76,6 +169,8 @@ impl SimRng {
 
     /// Next 64 uniformly distributed bits (xoshiro256** step).
     pub fn next_u64(&mut self) -> u64 {
+        #[cfg(debug_assertions)]
+        self.audit_job_scope();
         let s = &mut self.state;
         let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = s[1] << 17;
@@ -331,5 +426,53 @@ mod tests {
         let mut rng = SimRng::seed_from(37);
         assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
         assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn equality_ignores_job_tag_and_clone_resets_it() {
+        let mut a = SimRng::seed_from(41);
+        {
+            let _scope = enter_job_scope(7);
+            a.next_u64(); // binds `a` to job 7 in debug builds
+        }
+        let mut b = a.clone();
+        assert_eq!(a, b, "clone equals original regardless of audit tag");
+        let from_b = {
+            // The clone is a fresh handle: a different job may use it.
+            let _scope = enter_job_scope(8);
+            b.next_u64()
+        };
+        assert_eq!(a.next_u64(), from_b, "streams stay in lockstep");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "crossed a batch job boundary")]
+    fn drawing_across_job_scopes_panics_in_debug() {
+        let mut rng = SimRng::seed_from(43);
+        {
+            let _scope = enter_job_scope(1);
+            rng.next_u64();
+        }
+        let _scope = enter_job_scope(2);
+        rng.next_u64();
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn job_scopes_nest_and_restore() {
+        let mut rng = SimRng::seed_from(47);
+        let outer = enter_job_scope(1);
+        rng.next_u64();
+        {
+            let mut inner_rng = SimRng::seed_from(48);
+            let _inner = enter_job_scope(2);
+            inner_rng.next_u64();
+        }
+        // Back in job 1: the original handle is still valid here.
+        rng.next_u64();
+        drop(outer);
+        // Outside any scope the audit is inert.
+        rng.next_u64();
     }
 }

@@ -152,6 +152,16 @@ impl Histogram {
         }
     }
 
+    /// Lower bound of the binned range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the binned range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
     /// Per-bin counts.
     pub fn bins(&self) -> &[u64] {
         &self.bins

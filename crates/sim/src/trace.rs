@@ -10,18 +10,54 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A single named series of `(time, value)` samples.
+///
+/// A series is unbounded by default. [`TraceSeries::with_bound`] caps the
+/// stored sample count: when the cap is reached the series halves itself
+/// (keeping every second point) and doubles its sampling stride, so a
+/// multi-second run records a uniform thinning of the full signal in
+/// bounded memory instead of growing without limit.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TraceSeries {
     points: Vec<(f64, f64)>,
+    bound: Option<usize>,
+    /// Keep one sample out of every `stride` offered (power of two).
+    stride: u64,
+    /// Samples offered via `push` over the series' lifetime.
+    seen: u64,
 }
 
 impl TraceSeries {
-    /// Creates an empty series.
+    /// Creates an empty, unbounded series.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends a sample at time `t` (seconds).
+    /// Creates an empty series that stores at most `max_samples` points,
+    /// decimating on insert once the cap is reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_samples < 2` — a bounded series must at least be
+    /// able to retain a first and a latest sample.
+    pub fn with_bound(max_samples: usize) -> Self {
+        assert!(
+            max_samples >= 2,
+            "trace bound must be at least 2, got {max_samples}"
+        );
+        TraceSeries {
+            bound: Some(max_samples),
+            ..Self::default()
+        }
+    }
+
+    /// The sample cap, if this series is bounded.
+    pub fn bound(&self) -> Option<usize> {
+        self.bound
+    }
+
+    /// Appends a sample at time `t` (seconds). On a bounded series the
+    /// sample may be decimated away; the thinning is deterministic (a
+    /// function of the push count alone, never of time or memory).
     ///
     /// # Panics
     ///
@@ -29,6 +65,28 @@ impl TraceSeries {
     pub fn push(&mut self, t: f64, value: f64) {
         if let Some(&(last, _)) = self.points.last() {
             assert!(t >= last, "trace time must be monotone: {t} < {last}");
+        }
+        let stride = self.stride.max(1);
+        let keep = self.seen % stride == 0;
+        self.seen += 1;
+        if !keep {
+            return;
+        }
+        if let Some(bound) = self.bound {
+            if self.points.len() >= bound {
+                // Halve: keep even indices (offered-index multiples of the
+                // doubled stride), then record every second sample onward.
+                let mut i = 0;
+                self.points.retain(|_| {
+                    let keep = i % 2 == 0;
+                    i += 1;
+                    keep
+                });
+                self.stride = stride * 2;
+                if (self.seen - 1) % self.stride != 0 {
+                    return; // this sample falls off the coarser grid
+                }
+            }
         }
         self.points.push((t, value));
     }
@@ -65,15 +123,29 @@ impl TraceSeries {
     }
 
     /// Downsamples to at most `n` evenly spaced points (keeps endpoints).
+    /// Index rounding never emits the same source point twice, so the
+    /// result can be shorter than `n` for very small `n`.
     pub fn downsample(&self, n: usize) -> TraceSeries {
         if n == 0 || self.points.len() <= n {
             return self.clone();
         }
-        let step = (self.points.len() - 1) as f64 / (n - 1) as f64;
-        let points = (0..n)
-            .map(|i| self.points[(i as f64 * step).round() as usize])
-            .collect();
-        TraceSeries { points }
+        let last_idx = self.points.len() - 1;
+        let step = last_idx as f64 / (n - 1) as f64;
+        let mut points = Vec::with_capacity(n);
+        let mut prev = usize::MAX;
+        for i in 0..n {
+            // n == 1 makes step infinite and 0 * inf NaN; the saturating
+            // cast turns both into index 0, which is the right endpoint.
+            let idx = ((i as f64 * step).round() as usize).min(last_idx);
+            if idx != prev {
+                points.push(self.points[idx]);
+                prev = idx;
+            }
+        }
+        TraceSeries {
+            points,
+            ..Self::default()
+        }
     }
 }
 
@@ -92,17 +164,39 @@ impl TraceSeries {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Trace {
     series: BTreeMap<String, TraceSeries>,
+    default_bound: Option<usize>,
 }
 
 impl Trace {
-    /// Creates an empty trace.
+    /// Creates an empty trace; series created through it are unbounded.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Returns the series with the given name, creating it if absent.
+    /// Creates an empty trace whose series each store at most
+    /// `max_samples` points (decimating on insert once full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_samples < 2` (see [`TraceSeries::with_bound`]).
+    pub fn bounded(max_samples: usize) -> Self {
+        assert!(
+            max_samples >= 2,
+            "trace bound must be at least 2, got {max_samples}"
+        );
+        Trace {
+            series: BTreeMap::new(),
+            default_bound: Some(max_samples),
+        }
+    }
+
+    /// Returns the series with the given name, creating it if absent
+    /// (with this trace's default sample bound, if any).
     pub fn series_mut(&mut self, name: &str) -> &mut TraceSeries {
-        self.series.entry(name.to_owned()).or_default()
+        let bound = self.default_bound;
+        self.series.entry(name.to_owned()).or_insert_with(|| {
+            bound.map_or_else(TraceSeries::new, TraceSeries::with_bound)
+        })
     }
 
     /// Returns the series with the given name, if recorded.
@@ -127,12 +221,14 @@ impl Trace {
 
     /// Renders the trace as CSV with one `time` column per series block.
     pub fn to_csv(&self) -> String {
-        let mut out = String::new();
+        use fmt::Write as _;
+        let total: usize = self.series.values().map(TraceSeries::len).sum();
+        let mut out = String::with_capacity(total * 16);
         for (name, series) in &self.series {
-            out.push_str(&format!("# series: {name}\n"));
+            let _ = writeln!(out, "# series: {name}");
             out.push_str("t_seconds,value\n");
             for (t, v) in series.points() {
-                out.push_str(&format!("{t},{v}\n"));
+                let _ = writeln!(out, "{t},{v}");
             }
         }
         out
@@ -231,5 +327,95 @@ mod tests {
     fn display_is_nonempty() {
         let t = Trace::new();
         assert!(!format!("{t}").is_empty());
+    }
+
+    #[test]
+    fn downsample_never_duplicates_points_for_small_n() {
+        // Sweep small (len, n) pairs: output times must be strictly
+        // increasing (a duplicated source index would repeat a time) and
+        // both endpoints must survive whenever n >= 2.
+        for len in 2..20usize {
+            let mut s = TraceSeries::new();
+            for i in 0..len {
+                s.push(i as f64, i as f64);
+            }
+            for n in 1..=len {
+                let d = s.downsample(n);
+                assert!(d.len() <= n, "len {len} n {n}");
+                let times: Vec<f64> = d.points().iter().map(|&(t, _)| t).collect();
+                for w in times.windows(2) {
+                    assert!(w[0] < w[1], "duplicate point at len {len} n {n}");
+                }
+                assert_eq!(times[0], 0.0, "first endpoint at len {len} n {n}");
+                if n >= 2 {
+                    assert_eq!(
+                        *times.last().unwrap(),
+                        (len - 1) as f64,
+                        "last endpoint at len {len} n {n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downsample_to_one_point_keeps_first() {
+        let mut s = TraceSeries::new();
+        for i in 0..5 {
+            s.push(i as f64, 10.0 * i as f64);
+        }
+        let d = s.downsample(1);
+        assert_eq!(d.points(), &[(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn bounded_series_caps_length_and_keeps_endpoint_spread() {
+        let mut s = TraceSeries::with_bound(8);
+        for i in 0..100 {
+            s.push(i as f64, i as f64);
+        }
+        assert!(s.len() <= 8, "len {} exceeds bound", s.len());
+        assert!(s.len() >= 4, "decimation should not empty the series");
+        assert_eq!(s.points()[0], (0.0, 0.0), "first sample survives");
+        // Samples stay uniformly strided over the offered index space.
+        let times: Vec<f64> = s.points().iter().map(|&(t, _)| t).collect();
+        let stride = times[1] - times[0];
+        for w in times.windows(2) {
+            assert_eq!(w[1] - w[0], stride, "uniform stride");
+        }
+        assert_eq!(s.bound(), Some(8));
+    }
+
+    #[test]
+    fn bounded_series_is_deterministic_in_push_count_only() {
+        let run = || {
+            let mut s = TraceSeries::with_bound(4);
+            for i in 0..33 {
+                s.push(i as f64 * 0.5, i as f64);
+            }
+            s
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn trace_bound_below_two_panics() {
+        let _ = TraceSeries::with_bound(1);
+    }
+
+    #[test]
+    fn bounded_trace_applies_bound_to_new_series() {
+        let mut t = Trace::bounded(4);
+        for i in 0..50 {
+            t.series_mut("p").push(i as f64, 1.0);
+        }
+        assert!(t.series("p").unwrap().len() <= 4);
+        // Unbounded traces stay unbounded.
+        let mut u = Trace::new();
+        for i in 0..50 {
+            u.series_mut("p").push(i as f64, 1.0);
+        }
+        assert_eq!(u.series("p").unwrap().len(), 50);
     }
 }

@@ -137,9 +137,16 @@ impl FaultLog {
 
     /// Promotes pending faults whose injection time has passed to latent.
     pub fn activate_due(&mut self, now: f64) {
+        self.activate_due_with(now, |_| {});
+    }
+
+    /// [`FaultLog::activate_due`] with a telemetry hook: `on_activate`
+    /// receives the core of every fault promoted by this call.
+    pub fn activate_due_with(&mut self, now: f64, mut on_activate: impl FnMut(usize)) {
         for f in &mut self.faults {
             if matches!(f.state, FaultState::Pending) && f.inject_at <= now {
                 f.state = FaultState::Latent;
+                on_activate(f.core);
             }
         }
     }
@@ -156,6 +163,21 @@ impl FaultLog {
         now: f64,
         rng: &mut SimRng,
     ) -> bool {
+        self.on_test_complete_with(core, routine, level, now, rng, |_, _| {})
+    }
+
+    /// [`FaultLog::on_test_complete`] with a telemetry hook: `on_detect`
+    /// receives `(core, detection_latency_seconds)` for every fault this
+    /// run detects. The RNG draw order is identical to the hook-less form.
+    pub fn on_test_complete_with(
+        &mut self,
+        core: usize,
+        routine: &TestRoutine,
+        level: VfLevel,
+        now: f64,
+        rng: &mut SimRng,
+        mut on_detect: impl FnMut(usize, f64),
+    ) -> bool {
         let mut any = false;
         for f in &mut self.faults {
             if f.core == core
@@ -164,6 +186,7 @@ impl FaultLog {
                 && rng.gen_bool(routine.coverage)
             {
                 f.state = FaultState::Detected { at: now };
+                on_detect(f.core, (now - f.inject_at).max(0.0));
                 any = true;
             }
         }
@@ -341,6 +364,28 @@ mod tests {
     #[should_panic(expected = "window inverted")]
     fn inverted_window_panics() {
         Fault::with_level_window(0, 0.0, VfLevel(3), VfLevel(1));
+    }
+
+    #[test]
+    fn telemetry_hooks_see_activations_and_detections() {
+        let mut log = FaultLog::new();
+        log.inject(2, 1.0);
+        log.inject(5, 3.0);
+        let mut activated = Vec::new();
+        log.activate_due_with(2.0, |core| activated.push(core));
+        assert_eq!(activated, vec![2], "only the due fault activates");
+        let mut rng = SimRng::seed_from(6);
+        let mut detections = Vec::new();
+        let hit = log.on_test_complete_with(
+            2,
+            &certain_routine(),
+            VfLevel(0),
+            4.5,
+            &mut rng,
+            |core, latency| detections.push((core, latency)),
+        );
+        assert!(hit);
+        assert_eq!(detections, vec![(2, 3.5)]);
     }
 
     #[test]

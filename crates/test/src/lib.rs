@@ -56,7 +56,7 @@ pub mod session;
 pub use coverage::VfCoverageLedger;
 pub use fault::{Fault, FaultLog, FaultState};
 pub use routine::{RoutineId, RoutineLibrary, TestRoutine};
-pub use scheduler::{TestCandidate, TestLaunch, TestScheduler, TestSchedulerConfig};
+pub use scheduler::{TestCandidate, TestDenial, TestLaunch, TestScheduler, TestSchedulerConfig};
 pub use session::{SessionOutcome, TestSession};
 
 /// Convenience re-exports for downstream crates.
@@ -64,6 +64,6 @@ pub mod prelude {
     pub use crate::coverage::VfCoverageLedger;
     pub use crate::fault::{Fault, FaultLog, FaultState};
     pub use crate::routine::{RoutineId, RoutineLibrary, TestRoutine};
-    pub use crate::scheduler::{TestCandidate, TestLaunch, TestScheduler, TestSchedulerConfig};
+    pub use crate::scheduler::{TestCandidate, TestDenial, TestLaunch, TestScheduler, TestSchedulerConfig};
     pub use crate::session::{SessionOutcome, TestSession};
 }

@@ -54,6 +54,21 @@ impl TestLaunch {
     }
 }
 
+/// A decision *not* to start a session for lack of power, with the
+/// headroom at the instant of the denial — the telemetry record behind
+/// [`TestScheduler::denied_for_power`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestDenial {
+    /// Core that wanted a test.
+    pub core: usize,
+    /// Level the session would have run at.
+    pub level: VfLevel,
+    /// Watts the session would have needed.
+    pub power: f64,
+    /// Watts that were actually left when the denial happened.
+    pub headroom: f64,
+}
+
 /// Scheduler tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TestSchedulerConfig {
@@ -109,6 +124,9 @@ pub struct TestScheduler {
     ledger: VfCoverageLedger,
     launches_attempted: u64,
     launches_denied_power: u64,
+    /// Reused ranking buffer for [`TestScheduler::plan_into`]; always
+    /// empty between calls (so equality/serialisation see no difference).
+    rank_scratch: Vec<TestCandidate>,
 }
 
 impl TestScheduler {
@@ -148,6 +166,7 @@ impl TestScheduler {
             ledger: VfCoverageLedger::new(core_count, config.ladder_levels),
             launches_attempted: 0,
             launches_denied_power: 0,
+            rank_scratch: Vec::new(),
         }
     }
 
@@ -181,11 +200,33 @@ impl TestScheduler {
     /// threshold, most critical first, greedily admitted while their
     /// projected power fits `headroom_watts`.
     pub fn plan(&mut self, candidates: &[TestCandidate], headroom_watts: f64) -> Vec<TestLaunch> {
-        let mut ranked: Vec<TestCandidate> = candidates
-            .iter()
-            .copied()
-            .filter(|c| c.criticality >= self.config.criticality_threshold)
-            .collect();
+        let mut launches = Vec::new();
+        let mut denials = Vec::new();
+        self.plan_into(candidates, headroom_watts, &mut launches, &mut denials);
+        launches
+    }
+
+    /// Allocation-reusing form of [`TestScheduler::plan`]: clears and
+    /// fills caller-owned buffers with this epoch's launches *and* the
+    /// power denials (core, level, needed watts, headroom at denial), so
+    /// the control loop can both act and emit telemetry without building
+    /// fresh vectors every epoch.
+    pub fn plan_into(
+        &mut self,
+        candidates: &[TestCandidate],
+        headroom_watts: f64,
+        launches: &mut Vec<TestLaunch>,
+        denials: &mut Vec<TestDenial>,
+    ) {
+        launches.clear();
+        denials.clear();
+        let mut ranked = std::mem::take(&mut self.rank_scratch);
+        ranked.extend(
+            candidates
+                .iter()
+                .copied()
+                .filter(|c| c.criticality >= self.config.criticality_threshold),
+        );
         ranked.sort_by(|a, b| {
             b.criticality
                 .partial_cmp(&a.criticality)
@@ -193,8 +234,7 @@ impl TestScheduler {
                 .then(a.core.cmp(&b.core))
         });
         let mut remaining = headroom_watts;
-        let mut launches = Vec::new();
-        for cand in ranked {
+        for cand in &ranked {
             if launches.len() >= self.config.max_launches_per_epoch {
                 break;
             }
@@ -219,9 +259,16 @@ impl TestScheduler {
                 });
             } else {
                 self.launches_denied_power += 1;
+                denials.push(TestDenial {
+                    core: cand.core,
+                    level,
+                    power,
+                    headroom: remaining,
+                });
             }
         }
-        launches
+        ranked.clear();
+        self.rank_scratch = ranked;
     }
 
     /// Records a completed session: coverage advances and the core's
@@ -368,6 +415,45 @@ mod tests {
         s.plan(&[candidate(0, 1.0), candidate(1, 1.0)], 1e-6);
         assert_eq!(s.attempts(), 2);
         assert_eq!(s.denied_for_power(), 2);
+    }
+
+    #[test]
+    fn plan_into_reports_denials_with_headroom() {
+        let mut s = scheduler();
+        let one_session = s.session_power(RoutineId(0), VfLevel(0));
+        // Stagger-aligned cores so both sessions cost the same; headroom
+        // admits exactly one, the second is denied with the leftovers.
+        let candidates = [candidate(0, 2.0), candidate(5, 1.0)];
+        let mut launches = Vec::new();
+        let mut denials = Vec::new();
+        s.plan_into(&candidates, one_session * 1.5, &mut launches, &mut denials);
+        assert_eq!(launches.len(), 1);
+        assert_eq!(denials.len(), 1);
+        let d = denials[0];
+        assert_eq!(d.core, 5);
+        assert!((d.power - one_session).abs() < 1e-12);
+        assert!((d.headroom - one_session * 0.5).abs() < 1e-9);
+        assert!(d.headroom < d.power, "denial means needed > headroom");
+        assert_eq!(s.denied_for_power(), 1);
+        // Buffers are cleared on reuse.
+        s.plan_into(&candidates, 1e9, &mut launches, &mut denials);
+        assert_eq!(launches.len(), 2);
+        assert!(denials.is_empty());
+    }
+
+    #[test]
+    fn plan_and_plan_into_agree() {
+        let mut a = scheduler();
+        let mut b = scheduler();
+        let candidates: Vec<TestCandidate> = (0..16).map(|c| candidate(c, 1.0)).collect();
+        let headroom = a.session_power(RoutineId(0), VfLevel(0)) * 3.2;
+        let via_plan = a.plan(&candidates, headroom);
+        let mut via_into = Vec::new();
+        let mut denials = Vec::new();
+        b.plan_into(&candidates, headroom, &mut via_into, &mut denials);
+        assert_eq!(via_plan, via_into);
+        assert_eq!(a.denied_for_power(), b.denied_for_power());
+        assert_eq!(a, b, "scratch buffer must not leak into scheduler state");
     }
 
     #[test]
