@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! cargo run -p manytest-bench --bin repro --release            # everything
-//! cargo run -p manytest-bench --bin repro --release -- e1 e5   # a subset (e1..e10, a1..a6)
+//! cargo run -p manytest-bench --bin repro --release -- e1 e5   # a subset (e1..e11, a1..a6)
 //! cargo run -p manytest-bench --bin repro --release -- --quick
 //! cargo run -p manytest-bench --bin repro --release -- --jobs 4
 //! cargo run -p manytest-bench --bin repro --release -- e3 --events telemetry/
@@ -140,7 +140,7 @@ fn main() {
 
     println!("# manytest reproduction — DATE 2015 power-aware online testing");
     println!(
-        "# scale: {:?} (pass --quick for short runs; select with ids e1..e10 and a1..a6)\n",
+        "# scale: {:?} (pass --quick for short runs; select with ids e1..e11 and a1..a6)\n",
         scale
     );
 
@@ -194,6 +194,9 @@ fn main() {
     }
     if want("e10") {
         timed("e10", &mut || print_e10(&e10_lifetime(scale, jobs)));
+    }
+    if want("e11") {
+        timed("e11", &mut || print_e11(&e11_fault_response(scale, jobs)));
     }
     if want("a1") {
         timed("a1", &mut || print_a1(&a1_intrusiveness(scale, jobs)));

@@ -31,9 +31,9 @@ pub const PROBE_EVENT_CAPACITY: usize = 1 << 17;
 const PROBE_FAULTS: usize = 8;
 
 /// Experiments that have a probe (all of them).
-pub const PROBE_IDS: [&str; 16] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "a1", "a2", "a3", "a4", "a5",
-    "a6",
+pub const PROBE_IDS: [&str; 17] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2", "a3", "a4",
+    "a5", "a6",
 ];
 
 /// The probe configuration for one experiment id, mirroring that
@@ -57,6 +57,10 @@ pub fn probe_builder(id: &str, scale: Scale) -> Option<SystemBuilder> {
         "e8" => base(TechNode::N16, 70, 300, 6_000.0),
         "e9" => base(TechNode::N16, 80, 200, 8_000.0).testing(false),
         "e10" => base(TechNode::N16, 100, 800, 1_500.0),
+        "e11" => base(TechNode::N16, 110, 400, 2_000.0)
+            .fault_response(FaultResponsePolicy::MigrateRegion)
+            .intermittent_faults(0.25)
+            .test_false_positives(0.01),
         "a1" => base(TechNode::N16, 90, 300, 2_500.0).mapper(MapperKind::Baseline),
         "a2" => base(TechNode::N16, 91, 500, 2_000.0),
         "a3" => base(TechNode::N16, 92, 300, 2_500.0).mapper(MapperKind::Baseline),
@@ -238,6 +242,36 @@ fn describe(out: &mut String, t: f64, ev: &SimEvent) {
             "fault DETECTED on core {core} ({:.3} ms after activation)",
             latency * 1e3
         ),
+        SimEvent::CoreSuspected { core, level } => write!(
+            out,
+            "core {core} SUSPECT: confirmation retests queued at V/f level {level}"
+        ),
+        SimEvent::CoreQuarantined { core, retests } => write!(
+            out,
+            "core {core} QUARANTINED after {retests} confirmation retests (power-gated)"
+        ),
+        SimEvent::CoreCleared { core, retests } => write!(
+            out,
+            "core {core} cleared: {retests} retests failed to reproduce the fault"
+        ),
+        SimEvent::AppAborted { app, core } => {
+            write!(out, "app {app} ABORTED (victim of core {core} quarantine)")
+        }
+        SimEvent::AppRestarted { app, core } => write!(
+            out,
+            "app {app} restarted elsewhere (victim of core {core} quarantine)"
+        ),
+        SimEvent::AppMigrated {
+            app,
+            core,
+            moved_tasks,
+            delay,
+        } => write!(
+            out,
+            "app {app} migrated off core {core}: {moved_tasks} tasks moved, \
+             {:.3} ms state-transfer delay",
+            delay * 1e3
+        ),
     };
     out.push('\n');
 }
@@ -332,6 +366,35 @@ pub fn explain(id: &str, scale: Scale) -> Option<String> {
             cap.mean(),
             cap.max().unwrap_or(0.0),
             cap.count()
+        );
+    }
+    if report.cores_suspected + report.cores_quarantined + report.cores_cleared > 0 {
+        let n = report.tests_per_core.len() as u64;
+        let _ = writeln!(out, "\ndegradation:");
+        let _ = writeln!(
+            out,
+            "  healthy cores: {} of {} at end of run",
+            report.healthy_cores_end, n
+        );
+        let _ = writeln!(
+            out,
+            "  suspicions {}  quarantines {} ({} false)  cleared {}  \
+             confirmation retests {}",
+            report.cores_suspected,
+            report.cores_quarantined,
+            report.false_quarantines,
+            report.cores_cleared,
+            report.confirmation_retests
+        );
+        let _ = writeln!(
+            out,
+            "  victim apps: {} aborted, {} restarted, {} migrated",
+            report.apps_aborted, report.apps_restarted, report.apps_migrated
+        );
+        let _ = writeln!(
+            out,
+            "  corruption exposure: {:.3} core-seconds of work on fault-carrying cores",
+            report.corruption_exposure
         );
     }
     out.push('\n');

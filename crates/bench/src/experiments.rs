@@ -769,3 +769,115 @@ pub fn print_e9(rows: &[E9Row]) {
     }
     println!();
 }
+
+// ---------------------------------------------------------------------------
+// E11 — fault response: quarantine, victim handling, graceful degradation
+// ---------------------------------------------------------------------------
+
+/// The four victim-handling policies E11 sweeps, in print order.
+pub const E11_POLICIES: [FaultResponsePolicy; 4] = [
+    FaultResponsePolicy::Ignore,
+    FaultResponsePolicy::Abort,
+    FaultResponsePolicy::RestartElsewhere,
+    FaultResponsePolicy::MigrateRegion,
+];
+
+/// One row of the E11 table: seed-averaged outcomes for one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E11Row {
+    /// Victim-handling policy under test.
+    pub policy: FaultResponsePolicy,
+    /// Mean cores quarantined by the end of the run.
+    pub quarantined: f64,
+    /// Mean healthy cores remaining at the end of the run.
+    pub healthy_end: f64,
+    /// Mean throughput, MIPS.
+    pub mips: f64,
+    /// Mean victim applications aborted by a quarantine.
+    pub aborted: f64,
+    /// Mean victim applications restarted elsewhere.
+    pub restarted: f64,
+    /// Mean victim applications migrated in place.
+    pub migrated: f64,
+    /// Mean corruption exposure: core-seconds of application work
+    /// executed on a core carrying an active fault.
+    pub exposure: f64,
+}
+
+/// E11: close the detect→respond loop. Injects the same solid faults
+/// under each victim-handling policy and reports what quarantining costs
+/// (capacity, throughput, victim churn) and buys (corruption exposure).
+///
+/// Submission order: policy-major, then seed.
+pub fn e11_fault_response(scale: Scale, jobs: usize) -> Vec<E11Row> {
+    let ms = scale.ms(400);
+    let seeds = scale.seeds(3);
+    let mut batch = Batch::new();
+    for &policy in &E11_POLICIES {
+        for s in 0..seeds as u64 {
+            batch.push(format!("e11/{policy}/seed{s}"), move || {
+                build(TechNode::N22, 110 + s, ms, 2_000.0)
+                    .injected_faults(8)
+                    .fault_response(policy)
+                    .build()
+                    .expect("valid config")
+                    .run()
+            });
+        }
+    }
+    let mut reports = batch.run(jobs).into_iter();
+    E11_POLICIES
+        .iter()
+        .map(|&policy| {
+            let mut row = E11Row {
+                policy,
+                quarantined: 0.0,
+                healthy_end: 0.0,
+                mips: 0.0,
+                aborted: 0.0,
+                restarted: 0.0,
+                migrated: 0.0,
+                exposure: 0.0,
+            };
+            for _s in 0..seeds {
+                let r = reports.next().expect("one run per (policy, seed)");
+                row.quarantined += r.cores_quarantined as f64;
+                row.healthy_end += r.healthy_cores_end as f64;
+                row.mips += r.throughput_mips;
+                row.aborted += r.apps_aborted as f64;
+                row.restarted += r.apps_restarted as f64;
+                row.migrated += r.apps_migrated as f64;
+                row.exposure += r.corruption_exposure;
+            }
+            let n = seeds as f64;
+            row.quarantined /= n;
+            row.healthy_end /= n;
+            row.mips /= n;
+            row.aborted /= n;
+            row.restarted /= n;
+            row.migrated /= n;
+            row.exposure /= n;
+            row
+        })
+        .collect()
+}
+
+/// Prints the E11 table.
+pub fn print_e11(rows: &[E11Row]) {
+    println!("## E11 — fault response: quarantine cost vs corruption exposure");
+    println!("policy    quarantined  healthy_end       MIPS  aborted  restarted  migrated  exposure_cs");
+    for r in rows {
+        println!(
+            "{:<8}  {:>11.1}  {:>11.1}  {:>9.0}  {:>7.1}  {:>9.1}  {:>8.1}  {:>11.4}",
+            r.policy.as_str(),
+            r.quarantined,
+            r.healthy_end,
+            r.mips,
+            r.aborted,
+            r.restarted,
+            r.migrated,
+            r.exposure
+        );
+    }
+    println!();
+}

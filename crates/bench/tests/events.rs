@@ -12,7 +12,7 @@ use manytest_core::prelude::*;
 /// parallelism must not reorder, drop or reformat a single event.
 #[test]
 fn event_logs_are_byte_identical_across_worker_counts() {
-    let ids = ["e3", "e5"];
+    let ids = ["e3", "e5", "e11"];
     let dir = std::env::temp_dir().join(format!("manytest-events-{}", std::process::id()));
     let serial_dir = dir.join("serial");
     let parallel_dir = dir.join("parallel");
@@ -36,7 +36,7 @@ fn event_logs_are_byte_identical_across_worker_counts() {
 /// log carries.
 #[test]
 fn event_counts_reconcile_with_reports_and_jsonl() {
-    for (id, report) in capture_events(&["e3", "e9"], Scale::Quick, 2) {
+    for (id, report) in capture_events(&["e3", "e9", "e11"], Scale::Quick, 2) {
         validate_events(&report).unwrap_or_else(|e| panic!("probe {id}: {e}"));
         assert_eq!(report.events.dropped(), 0, "probe {id} overflowed its log");
         // The lifecycle invariant the scheduler lives by, stated directly.
@@ -80,4 +80,16 @@ fn explain_renders_a_decision_timeline() {
         text.contains("TestLaunched = "),
         "missing counter block:\n{text}"
     );
+}
+
+/// The fault-response probe must engage the whole detect→respond loop
+/// and `explain` must render its graceful-degradation summary.
+#[test]
+fn explain_e11_renders_the_degradation_block() {
+    let text = explain("e11", Scale::Quick).expect("known id");
+    assert!(text.contains("degradation:"), "missing degradation block:\n{text}");
+    assert!(text.contains("healthy cores:"), "missing capacity line:\n{text}");
+    assert!(text.contains("confirmation retests"), "missing retest count:\n{text}");
+    assert!(text.contains("victim apps:"), "missing victim line:\n{text}");
+    assert!(text.contains("corruption exposure:"), "missing exposure line:\n{text}");
 }

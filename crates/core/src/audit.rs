@@ -9,21 +9,33 @@
 //! buffer saturates, so these invariants hold at any capture capacity.
 
 use crate::metrics::Report;
+use manytest_sim::SimEvent;
 use std::fmt::Write as _;
 
 /// Checks every event-count invariant against the report's aggregates.
 ///
-/// Invariants (all exact equalities):
+/// Invariants (exact equalities unless noted):
 ///
 /// * `TestLaunched == tests_completed + tests_aborted + tests_in_flight`
 /// * `TestCompleted == tests_completed`, `TestAborted == tests_aborted`
 /// * `TestDeniedPower == tests_denied_power`
 /// * `AppArrived == apps_arrived`, `AppRejected == apps_rejected`,
 ///   `AppCompleted == apps_completed`
-/// * `AppMapped == apps_completed + apps_in_flight − apps_pending`
-///   (everything admitted is either done or still running; pending apps
-///   were never mapped)
-/// * `FaultDetected == faults_detected`
+/// * `AppMapped == apps_completed + apps_in_flight − apps_pending +
+///   apps_aborted + apps_restarted` (every mapping either runs to
+///   completion, is still in flight, was killed by a quarantine, or was a
+///   first placement of an app that later restarted and was mapped again)
+/// * `FaultDetected == fault_detections` (occurrences, not end-state)
+/// * Response pipeline: `CoreSuspected == cores_suspected`,
+///   `CoreQuarantined == cores_quarantined`, `CoreCleared ==
+///   cores_cleared`, `AppAborted == apps_aborted`, `AppRestarted ==
+///   apps_restarted`, `AppMigrated == apps_migrated`, and the inequality
+///   `CoreSuspected >= CoreQuarantined + CoreCleared` (a suspicion may
+///   still be open at the end of the run)
+/// * Sequence invariant (checked only when no events were dropped): after
+///   a core's `CoreQuarantined` event, no `TestLaunched` targets it, no
+///   `AppMapped` places task 0 on it, and no `DvfsTransition` powers it
+///   back on — a quarantined core is power-gated and stays that way.
 ///
 /// # Errors
 ///
@@ -33,7 +45,7 @@ use std::fmt::Write as _;
 /// `SystemBuilder::capture_events`.
 pub fn validate_events(report: &Report) -> Result<(), String> {
     let ev = &report.events;
-    let checks: [(&str, u64, u64); 9] = [
+    let checks: [(&str, u64, u64); 15] = [
         (
             "TestLaunched == tests_completed + tests_aborted + tests_in_flight",
             ev.count("TestLaunched"),
@@ -70,14 +82,47 @@ pub fn validate_events(report: &Report) -> Result<(), String> {
             report.apps_completed,
         ),
         (
-            "AppMapped == apps_completed + apps_in_flight - apps_pending",
+            "AppMapped == apps_completed + apps_in_flight - apps_pending \
+             + apps_aborted + apps_restarted",
             ev.count("AppMapped"),
-            report.apps_completed + report.apps_in_flight - report.apps_pending,
+            report.apps_completed + report.apps_in_flight - report.apps_pending
+                + report.apps_aborted
+                + report.apps_restarted,
         ),
         (
-            "FaultDetected == faults_detected",
+            "FaultDetected == fault_detections",
             ev.count("FaultDetected"),
-            report.faults_detected,
+            report.fault_detections,
+        ),
+        (
+            "CoreSuspected == cores_suspected",
+            ev.count("CoreSuspected"),
+            report.cores_suspected,
+        ),
+        (
+            "CoreQuarantined == cores_quarantined",
+            ev.count("CoreQuarantined"),
+            report.cores_quarantined,
+        ),
+        (
+            "CoreCleared == cores_cleared",
+            ev.count("CoreCleared"),
+            report.cores_cleared,
+        ),
+        (
+            "AppAborted == apps_aborted",
+            ev.count("AppAborted"),
+            report.apps_aborted,
+        ),
+        (
+            "AppRestarted == apps_restarted",
+            ev.count("AppRestarted"),
+            report.apps_restarted,
+        ),
+        (
+            "AppMigrated == apps_migrated",
+            ev.count("AppMigrated"),
+            report.apps_migrated,
         ),
     ];
     let mut errors = String::new();
@@ -90,10 +135,80 @@ pub fn validate_events(report: &Report) -> Result<(), String> {
             );
         }
     }
+    let (suspected, quarantined, cleared) = (
+        ev.count("CoreSuspected"),
+        ev.count("CoreQuarantined"),
+        ev.count("CoreCleared"),
+    );
+    if suspected < quarantined + cleared {
+        let _ = writeln!(
+            errors,
+            "event-count invariant violated: CoreSuspected >= CoreQuarantined + CoreCleared \
+             ({suspected} < {quarantined} + {cleared})"
+        );
+    }
+    // The sequence invariant needs the complete sample stream, not just
+    // counts; skip it (honestly) when the bounded log overflowed.
+    if ev.dropped() == 0 {
+        validate_quarantine_sequence(report, &mut errors);
+    }
     if errors.is_empty() {
         Ok(())
     } else {
         Err(errors.trim_end().to_owned())
+    }
+}
+
+/// Scans the event stream for activity on quarantined cores: once a
+/// core's `CoreQuarantined` event is emitted, any `TestLaunched` on it,
+/// any `AppMapped` placing task 0 on it, and any `DvfsTransition` turning
+/// it back on (to a non-gated level) is a response-pipeline bug.
+fn validate_quarantine_sequence(report: &Report, errors: &mut String) {
+    let mesh_nodes = report
+        .events
+        .events()
+        .iter()
+        .map(|(_, e)| match *e {
+            SimEvent::CoreQuarantined { core, .. }
+            | SimEvent::TestLaunched { core, .. }
+            | SimEvent::DvfsTransition { core, .. } => core as usize + 1,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    if mesh_nodes == 0 {
+        return;
+    }
+    let mut quarantined = vec![false; mesh_nodes];
+    for &(t, ev) in report.events.events() {
+        match ev {
+            SimEvent::CoreQuarantined { core, .. } => {
+                quarantined[core as usize] = true;
+            }
+            SimEvent::TestLaunched { core, .. } if quarantined[core as usize] => {
+                let _ = writeln!(
+                    errors,
+                    "sequence invariant violated: TestLaunched on quarantined core {core} at t={t}"
+                );
+            }
+            SimEvent::AppMapped { first_node, .. }
+                if (first_node as usize) < mesh_nodes && quarantined[first_node as usize] =>
+            {
+                let _ = writeln!(
+                    errors,
+                    "sequence invariant violated: AppMapped onto quarantined core {first_node} at t={t}"
+                );
+            }
+            SimEvent::DvfsTransition { core, to, .. }
+                if to >= 0 && quarantined[core as usize] =>
+            {
+                let _ = writeln!(
+                    errors,
+                    "sequence invariant violated: quarantined core {core} powered back on at t={t}"
+                );
+            }
+            _ => {}
+        }
     }
 }
 
@@ -156,5 +271,93 @@ mod tests {
         let err = validate_events(&r).unwrap_err();
         assert!(err.contains("AppArrived == apps_arrived"), "got: {err}");
         assert!(err.contains("events say 1, report says 0"), "got: {err}");
+    }
+
+    #[test]
+    fn response_pipeline_counts_reconcile() {
+        let mut r = Report::default();
+        r.cores_suspected = 2;
+        r.cores_quarantined = 1;
+        r.cores_cleared = 1;
+        r.apps_restarted = 1;
+        r.fault_detections = 1;
+        // The restarted app was mapped once before its restart; its
+        // second placement is still pending, so AppMapped totals 1.
+        r.events.push(
+            0.05,
+            SimEvent::AppMapped {
+                app: 7,
+                tasks: 2,
+                first_node: 3,
+                region_w: 1,
+                region_h: 2,
+                level: 1,
+                hop_cost: 1.0,
+                queue_wait: 0.0,
+                headroom: 5.0,
+            },
+        );
+        r.events.push(0.1, SimEvent::FaultDetected { core: 3, latency: 0.1 });
+        r.events.push(0.1, SimEvent::CoreSuspected { core: 3, level: 2 });
+        r.events.push(0.2, SimEvent::CoreSuspected { core: 5, level: 0 });
+        r.events.push(0.3, SimEvent::CoreQuarantined { core: 3, retests: 1 });
+        r.events.push(0.3, SimEvent::AppRestarted { app: 7, core: 3 });
+        r.apps_pending = 1;
+        r.apps_in_flight = 1;
+        r.events.push(0.4, SimEvent::CoreCleared { core: 5, retests: 3 });
+        validate_events(&r).expect("consistent response pipeline");
+    }
+
+    #[test]
+    fn suspicion_inequality_is_enforced() {
+        let mut r = Report::default();
+        r.cores_quarantined = 1;
+        r.events.push(0.3, SimEvent::CoreQuarantined { core: 3, retests: 0 });
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("CoreSuspected >= CoreQuarantined + CoreCleared"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn activity_on_a_quarantined_core_is_flagged() {
+        let mut r = Report::default();
+        r.cores_suspected = 1;
+        r.cores_quarantined = 1;
+        r.tests_completed = 0;
+        r.tests_in_flight = 1;
+        r.events.push(0.1, SimEvent::CoreSuspected { core: 2, level: 1 });
+        r.events.push(0.2, SimEvent::CoreQuarantined { core: 2, retests: 1 });
+        r.events.push(
+            0.3,
+            SimEvent::TestLaunched {
+                core: 2,
+                routine: 0,
+                level: 1,
+                power: 0.2,
+                headroom: 4.0,
+            },
+        );
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("TestLaunched on quarantined core 2"),
+            "got: {err}"
+        );
+
+        // Powering the core back on is flagged too; gating (to = −1) is not.
+        let mut r = Report::default();
+        r.cores_suspected = 1;
+        r.cores_quarantined = 1;
+        r.events.push(0.1, SimEvent::CoreSuspected { core: 4, level: 0 });
+        r.events.push(0.2, SimEvent::CoreQuarantined { core: 4, retests: 2 });
+        r.events.push(0.2, SimEvent::DvfsTransition { core: 4, from: 3, to: -1 });
+        validate_events(&r).expect("gating a quarantined core is fine");
+        r.events.push(0.5, SimEvent::DvfsTransition { core: 4, from: -1, to: 2 });
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("quarantined core 4 powered back on"),
+            "got: {err}"
+        );
     }
 }

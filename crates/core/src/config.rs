@@ -28,6 +28,41 @@ pub enum MapperKind {
     FirstFit,
 }
 
+/// What happens to an application whose core is quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultResponsePolicy {
+    /// Detection-only: the core keeps executing (the pre-response
+    /// behaviour, and the corruption-exposure worst case).
+    Ignore,
+    /// Kill the victim application outright; its work is lost.
+    Abort,
+    /// Tear the victim down and re-queue it for a fresh contiguous
+    /// placement on healthy cores, restarting from its first task.
+    RestartElsewhere,
+    /// Remap the victim in place: surviving tasks keep their progress,
+    /// displaced tasks move to healthy cores, and the state transfer is
+    /// charged as a delay plus NoC traffic.
+    MigrateRegion,
+}
+
+impl FaultResponsePolicy {
+    /// Stable lowercase name for tables and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultResponsePolicy::Ignore => "ignore",
+            FaultResponsePolicy::Abort => "abort",
+            FaultResponsePolicy::RestartElsewhere => "restart",
+            FaultResponsePolicy::MigrateRegion => "migrate",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultResponsePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Everything a [`crate::System`] needs to run.
 ///
 /// Construct through [`crate::SystemBuilder`]; the fields are public so
@@ -72,6 +107,24 @@ pub struct SystemConfig {
     /// at exactly one DVFS level), in `[0, 1]`. Such faults are only
     /// caught because the scheduler rotates tests through the ladder.
     pub vf_windowed_fault_fraction: f64,
+    /// What happens to applications on a quarantined core.
+    pub fault_response: FaultResponsePolicy,
+    /// Confirmation retests (K) a detection must survive before the core
+    /// is quarantined; 0 disables confirmation (first detection
+    /// quarantines immediately). Any retest that reproduces the symptom
+    /// confirms; K retests with no reproduction clear the core.
+    pub confirmation_retests: u8,
+    /// Fraction of injected faults that are *intermittent* — they
+    /// manifest on any given observation with reduced probability, so
+    /// confirmation retests may clear them (and quarantine them late).
+    pub intermittent_fault_fraction: f64,
+    /// Per-completed-test probability of reporting a fault on a healthy
+    /// core (applied to every routine in the library). Exercises the
+    /// suspect→cleared path.
+    pub test_false_positive_rate: f64,
+    /// Architectural-state transfer time charged to each *moved* task
+    /// under [`FaultResponsePolicy::MigrateRegion`].
+    pub migration_delay: Duration,
     /// Mesh edge override (None = the node's edge at reference area).
     pub mesh_edge_override: Option<u16>,
     /// Model NoC link contention: message latencies are inflated by a
@@ -116,6 +169,11 @@ impl SystemConfig {
             criticality: CriticalityModel::default(),
             injected_faults: 0,
             vf_windowed_fault_fraction: 0.0,
+            fault_response: FaultResponsePolicy::RestartElsewhere,
+            confirmation_retests: 3,
+            intermittent_fault_fraction: 0.0,
+            test_false_positive_rate: 0.0,
+            migration_delay: Duration::from_us(200),
             mesh_edge_override: None,
             model_contention: false,
             transient_thermal: false,
@@ -158,6 +216,20 @@ mod tests {
     fn kinds_are_comparable() {
         assert_ne!(GovernorKind::Pid, GovernorKind::Naive);
         assert_ne!(MapperKind::Baseline, MapperKind::TestAware);
+        assert_ne!(FaultResponsePolicy::Abort, FaultResponsePolicy::MigrateRegion);
+    }
+
+    #[test]
+    fn fault_response_names_are_stable() {
+        for (p, s) in [
+            (FaultResponsePolicy::Ignore, "ignore"),
+            (FaultResponsePolicy::Abort, "abort"),
+            (FaultResponsePolicy::RestartElsewhere, "restart"),
+            (FaultResponsePolicy::MigrateRegion, "migrate"),
+        ] {
+            assert_eq!(p.as_str(), s);
+            assert_eq!(p.to_string(), s);
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@ use std::fmt;
 
 /// Error returned by [`crate::system::SystemBuilder::build`] when the
 /// configuration is inconsistent.
-#[derive(Debug, Clone, PartialEq, Eq)]
+// Not `Eq`: `InvalidFaultFraction` carries the rejected f64.
+#[derive(Debug, Clone, PartialEq)]
 pub enum BuildError {
     /// The epoch length is zero.
     ZeroEpoch,
@@ -18,6 +19,16 @@ pub enum BuildError {
     EmptyWorkloadMix,
     /// The mesh edge override is zero.
     ZeroMesh,
+    /// A fault-injection fraction or rate is NaN or outside `[0, 1]`.
+    InvalidFaultFraction {
+        /// The offending configuration field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// Faults were requested but the horizon is zero, so no injection
+    /// time exists (faults spread over the first half of the run).
+    FaultsNeedHorizon,
 }
 
 impl fmt::Display for BuildError {
@@ -33,6 +44,12 @@ impl fmt::Display for BuildError {
             BuildError::TooFewDvfsLevels => write!(f, "need at least two DVFS levels"),
             BuildError::EmptyWorkloadMix => write!(f, "workload mix has no sources"),
             BuildError::ZeroMesh => write!(f, "mesh edge must be positive"),
+            BuildError::InvalidFaultFraction { field, value } => {
+                write!(f, "{field} must be a probability in [0,1], got {value}")
+            }
+            BuildError::FaultsNeedHorizon => {
+                write!(f, "fault injection needs a positive horizon to place faults in")
+            }
         }
     }
 }
@@ -52,6 +69,11 @@ mod tests {
             BuildError::TooFewDvfsLevels,
             BuildError::EmptyWorkloadMix,
             BuildError::ZeroMesh,
+            BuildError::InvalidFaultFraction {
+                field: "vf_windowed_fault_fraction",
+                value: f64::NAN,
+            },
+            BuildError::FaultsNeedHorizon,
         ] {
             let s = e.to_string();
             assert!(!s.is_empty());

@@ -114,6 +114,10 @@ pub struct RunningApp {
     pub arrived_at: f64,
     /// Admission time, seconds.
     pub started_at: f64,
+    /// Admission-instance counter: task events carry the value current at
+    /// scheduling time, so events from before a restart or migration of
+    /// the same application id are recognised as stale and dropped.
+    pub inc: u64,
 }
 
 impl RunningApp {
@@ -190,6 +194,7 @@ mod tests {
             done_count: 0,
             arrived_at: 0.0,
             started_at: 0.001,
+            inc: 0,
         }
     }
 

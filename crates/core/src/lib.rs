@@ -53,7 +53,7 @@ pub mod metrics;
 pub mod system;
 
 pub use audit::validate_events;
-pub use config::{GovernorKind, MapperKind, SystemConfig};
+pub use config::{FaultResponsePolicy, GovernorKind, MapperKind, SystemConfig};
 pub use error::BuildError;
 pub use metrics::Report;
 pub use system::{System, SystemBuilder};
@@ -61,7 +61,7 @@ pub use system::{System, SystemBuilder};
 /// Convenience re-exports for downstream crates and binaries.
 pub mod prelude {
     pub use crate::audit::validate_events;
-    pub use crate::config::{GovernorKind, MapperKind, SystemConfig};
+    pub use crate::config::{FaultResponsePolicy, GovernorKind, MapperKind, SystemConfig};
     pub use crate::error::BuildError;
     pub use crate::metrics::Report;
     pub use crate::system::{System, SystemBuilder};

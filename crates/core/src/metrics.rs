@@ -70,10 +70,41 @@ pub struct Report {
 
     /// Faults injected.
     pub faults_injected: u64,
-    /// Faults detected by tests.
+    /// Faults in the `Detected` state at the end of the run.
     pub faults_detected: u64,
+    /// Detection *occurrences* over the run. A cleared suspect demotes
+    /// its fault back to latent, so a fault can be detected more than
+    /// once; this counter — not [`Report::faults_detected`] — reconciles
+    /// with `FaultDetected` telemetry events.
+    pub fault_detections: u64,
     /// Mean fault detection latency, seconds (0 when none detected).
     pub mean_detection_latency: f64,
+
+    /// Cores that entered `Suspect` (detections that opened a
+    /// confirmation round).
+    pub cores_suspected: u64,
+    /// Cores confirmed faulty and withdrawn.
+    pub cores_quarantined: u64,
+    /// Suspects cleared back to healthy after K unconfirmed retests.
+    pub cores_cleared: u64,
+    /// Quarantines of cores with no *solid* active fault (intermittent
+    /// symptoms confirmed by chance) — the cost of believing retests.
+    pub false_quarantines: u64,
+    /// Confirmation retest sessions completed.
+    pub confirmation_retests: u64,
+    /// Cores still healthy when the run ended.
+    pub healthy_cores_end: u64,
+    /// Applications killed outright by a quarantine (`Abort` policy).
+    pub apps_aborted: u64,
+    /// Applications re-queued for a fresh placement (`RestartElsewhere`).
+    pub apps_restarted: u64,
+    /// Applications remapped in place (`MigrateRegion`).
+    pub apps_migrated: u64,
+    /// Corruption exposure: core-seconds of application work executed on
+    /// a core between its first fault activation and its quarantine (or
+    /// the end of the run). The quantity the paper's test-frequency
+    /// tuning implicitly minimises.
+    pub corruption_exposure: f64,
 
     /// Mean utilisation over cores at the end of the run.
     pub mean_utilization: f64,
@@ -128,6 +159,15 @@ impl Report {
             ("max test interval (ms)", format!("{:.1}", self.max_test_interval * 1e3)),
             ("full V/f coverage", self.full_vf_coverage.to_string()),
             ("faults detected", format!("{}/{}", self.faults_detected, self.faults_injected)),
+            ("cores quarantined", format!(
+                "{} ({} false)",
+                self.cores_quarantined, self.false_quarantines
+            )),
+            ("apps aborted/restarted/migrated", format!(
+                "{}/{}/{}",
+                self.apps_aborted, self.apps_restarted, self.apps_migrated
+            )),
+            ("corruption exposure (core-ms)", format!("{:.2}", self.corruption_exposure * 1e3)),
             ("dark fraction", format!("{:.1} %", self.dark_fraction * 100.0)),
         ];
         let mut out = String::from("| metric | value |\n|---|---|\n");
@@ -184,6 +224,24 @@ pub struct MetricsCollector {
     pub tests_aborted: u64,
     /// Epochs violating the cap.
     pub cap_violations: u64,
+    /// Cores that entered `Suspect`.
+    pub cores_suspected: u64,
+    /// Cores confirmed faulty and withdrawn.
+    pub cores_quarantined: u64,
+    /// Suspects cleared back to healthy.
+    pub cores_cleared: u64,
+    /// Quarantines with no solid active fault on the core.
+    pub false_quarantines: u64,
+    /// Confirmation retest sessions completed.
+    pub confirmation_retests: u64,
+    /// Applications killed by quarantine.
+    pub apps_aborted: u64,
+    /// Applications re-queued by quarantine.
+    pub apps_restarted: u64,
+    /// Applications remapped in place by quarantine.
+    pub apps_migrated: u64,
+    /// Core-seconds of app work on fault-active, not-yet-quarantined cores.
+    pub corruption_exposure: f64,
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! The integrated system: builder, epoch loop and event handlers.
 
-use crate::config::{GovernorKind, MapperKind, SystemConfig};
+use crate::config::{FaultResponsePolicy, GovernorKind, MapperKind, SystemConfig};
 use crate::error::BuildError;
 use crate::exec::{CoreMode, CoreSlot, RunningApp, TaskState};
 use crate::metrics::{MetricsCollector, Report};
@@ -11,13 +11,23 @@ use manytest_power::{
     NaiveTdpPolicy, OperatingPoint, PidController, PowerBudget, PowerCategory, PowerGovernor,
     PowerMeter, PowerModel, VfLadder, VfLevel,
 };
-use manytest_sbst::{FaultLog, TestCandidate, TestDenial, TestLaunch, TestScheduler, TestSession};
+use manytest_sbst::{
+    Fault, FaultLog, HealthBoard, RetestRequest, TestCandidate, TestDenial, TestLaunch,
+    TestScheduler, TestSession,
+};
 use manytest_sim::{
     AbortReason, Epoch, EventLog, EventQueue, NullObserver, Observer, SimEvent, SimRng, SimTime,
     Trace,
 };
 use manytest_workload::{AppId, Application, ArrivalProcess, TaskId, WorkloadMix};
 use std::collections::{BTreeMap, VecDeque};
+
+/// Manifestation probability of an intermittent fault on any single
+/// observation (solid faults re-fire with probability 1).
+const INTERMITTENT_REFIRE: f64 = 0.35;
+
+/// Architectural-state payload a migrated task ships across the NoC.
+const MIGRATION_STATE_BITS: f64 = 65_536.0;
 
 /// A cap that never moves: the raw TDP (used as a governor baseline).
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,10 +45,12 @@ impl PowerGovernor for FixedCap {
 enum Ev {
     /// The arrival process fires: enqueue an application, rearm.
     Arrival,
-    /// All inputs of a task have arrived; it may start.
-    TaskReady { app: u64, task: TaskId },
-    /// A running task completes.
-    TaskFinish { app: u64, task: TaskId },
+    /// All inputs of a task have arrived; it may start. `inc` is the
+    /// app's admission-instance counter at scheduling time (restarts and
+    /// migrations bump it, orphaning earlier events).
+    TaskReady { app: u64, task: TaskId, inc: u64 },
+    /// A running task completes (same `inc` staleness rule).
+    TaskFinish { app: u64, task: TaskId, inc: u64 },
     /// An SBST session completes (if `gen` still matches the core's
     /// session generation — aborted sessions leave stale events behind).
     SessionFinish { core: usize, gen: u64 },
@@ -137,6 +149,41 @@ impl SystemBuilder {
     /// exactly one DVFS level).
     pub fn vf_windowed_faults(mut self, fraction: f64) -> Self {
         self.config.vf_windowed_fault_fraction = fraction;
+        self
+    }
+
+    /// Selects what happens to applications on a quarantined core.
+    pub fn fault_response(mut self, policy: FaultResponsePolicy) -> Self {
+        self.config.fault_response = policy;
+        self
+    }
+
+    /// Sets K, the confirmation retests a detection must survive before
+    /// the core is quarantined (0 = quarantine on first detection).
+    pub fn confirmation_retests(mut self, k: u8) -> Self {
+        self.config.confirmation_retests = k;
+        self
+    }
+
+    /// Makes `fraction` of injected faults intermittent: they manifest on
+    /// any single observation with reduced probability, so confirmation
+    /// retests may clear them.
+    pub fn intermittent_faults(mut self, fraction: f64) -> Self {
+        self.config.intermittent_fault_fraction = fraction;
+        self
+    }
+
+    /// Per-completed-test probability of a spurious fault report on a
+    /// healthy core (exercises the suspect→cleared path).
+    pub fn test_false_positives(mut self, rate: f64) -> Self {
+        self.config.test_false_positive_rate = rate;
+        self
+    }
+
+    /// Per-moved-task state-transfer delay charged under
+    /// [`FaultResponsePolicy::MigrateRegion`], microseconds.
+    pub fn migration_delay_us(mut self, us: u64) -> Self {
+        self.config.migration_delay = manytest_sim::Duration::from_us(us);
         self
     }
 
@@ -252,9 +299,11 @@ pub struct System {
     rng_workload: SimRng,
     rng_faults: SimRng,
     faults: FaultLog,
+    health: HealthBoard,
     metrics: MetricsCollector,
     trace: Trace,
     next_app_id: u64,
+    next_inc: u64,
     apps_rejected: u64,
     measured_last: f64,
     tdp: f64,
@@ -263,6 +312,7 @@ pub struct System {
     // tick so the steady-state hot path never touches the heap.
     ctx_scratch: MapContext,
     candidates_scratch: Vec<TestCandidate>,
+    retests_scratch: Vec<RetestRequest>,
     powers_scratch: Vec<f64>,
     launches_scratch: Vec<TestLaunch>,
     denials_scratch: Vec<TestDenial>,
@@ -281,6 +331,19 @@ impl std::fmt::Debug for System {
 
 impl System {
     fn new(config: SystemConfig, mix: WorkloadMix) -> Result<Self, BuildError> {
+        for (field, value) in [
+            ("vf_windowed_fault_fraction", config.vf_windowed_fault_fraction),
+            ("intermittent_fault_fraction", config.intermittent_fault_fraction),
+            ("test_false_positive_rate", config.test_false_positive_rate),
+        ] {
+            // `contains` is false for NaN, so NaN is rejected here too.
+            if !(0.0..=1.0).contains(&value) {
+                return Err(BuildError::InvalidFaultFraction { field, value });
+            }
+        }
+        if config.injected_faults > 0 && config.horizon.is_zero() {
+            return Err(BuildError::FaultsNeedHorizon);
+        }
         if config.epoch.is_zero() {
             return Err(BuildError::ZeroEpoch);
         }
@@ -319,7 +382,8 @@ impl System {
         let scheduler = TestScheduler::with_library(
             scheduler_cfg,
             config.node,
-            manytest_sbst::RoutineLibrary::standard(),
+            manytest_sbst::RoutineLibrary::standard()
+                .with_false_positive_rate(config.test_false_positive_rate),
             n,
         );
         let mut rng_faults = root.derive("faults");
@@ -327,14 +391,22 @@ impl System {
         for _ in 0..config.injected_faults {
             let core = rng_faults.gen_range(n as u64) as usize;
             let at = rng_faults.next_f64() * config.horizon.as_secs_f64() * 0.5;
-            if rng_faults.gen_bool(config.vf_windowed_fault_fraction) {
+            let mut fault = if rng_faults.gen_bool(config.vf_windowed_fault_fraction) {
                 // Voltage-dependent: observable at exactly one level.
                 let level =
                     manytest_power::VfLevel(rng_faults.gen_range(config.dvfs_levels as u64) as u8);
-                faults.inject_windowed(core, at, level, level);
+                Fault::with_level_window(core, at, level, level)
             } else {
-                faults.inject(core, at);
+                Fault::new(core, at)
+            };
+            // Guarded draw: the default (0.0) consumes no randomness, so
+            // pre-existing seeds reproduce their historical fault sets.
+            if config.intermittent_fault_fraction > 0.0
+                && rng_faults.gen_bool(config.intermittent_fault_fraction)
+            {
+                fault = fault.with_refire(INTERMITTENT_REFIRE);
             }
+            faults.inject_fault(fault);
         }
         Ok(System {
             mesh,
@@ -372,12 +444,14 @@ impl System {
             rng_workload: root.derive("workload"),
             rng_faults,
             faults,
+            health: HealthBoard::new(n),
             metrics: MetricsCollector::default(),
             trace: match config.trace_max_samples {
                 Some(max) => Trace::bounded(max.max(2)),
                 None => Trace::new(),
             },
             next_app_id: 0,
+            next_inc: 0,
             apps_rejected: 0,
             measured_last: 0.0,
             tdp: params.tdp,
@@ -387,6 +461,7 @@ impl System {
             },
             ctx_scratch: MapContext::all_free(mesh),
             candidates_scratch: Vec::with_capacity(n),
+            retests_scratch: Vec::with_capacity(n),
             powers_scratch: Vec::with_capacity(n),
             launches_scratch: Vec::new(),
             denials_scratch: Vec::new(),
@@ -427,14 +502,21 @@ impl System {
         let first_gap = self.arrivals.next_interarrival(&mut self.rng_workload);
         self.queue.schedule(SimTime::ZERO + first_gap, Ev::Arrival);
         let epochs = self.config.epoch_count();
+        // Completions cluster at shared timestamps (synchronised task
+        // graphs, epoch-aligned launches); draining each cluster in one
+        // heap pass skips the per-event sift-down of the old
+        // one-at-a-time loop. Handler-scheduled same-time events sort
+        // after the batch, so the handling order is unchanged.
+        let mut batch = Vec::with_capacity(64);
         for e in 0..epochs {
             let epoch = Epoch(e);
             let t0 = epoch.start(self.config.epoch);
             let t1 = epoch.end(self.config.epoch);
             self.control(t0.as_secs_f64());
-            while let Some(ev) = self.queue.pop_before(t1) {
-                let now = ev.time.as_secs_f64();
-                self.handle(ev.payload, now);
+            while self.queue.pop_batch_before(t1, &mut batch) > 0 {
+                for ev in batch.drain(..) {
+                    self.handle(ev.payload, ev.time.as_secs_f64());
+                }
             }
             self.close_epoch(t1.as_secs_f64());
         }
@@ -474,6 +556,16 @@ impl System {
         self.epoch_energy[core] += watts * dt;
         if matches!(mode, CoreMode::Busy(_)) {
             self.epoch_busy[core] += dt;
+            // Corruption exposure: app work executed on this core while a
+            // fault was (or was about to be) resident, before the
+            // response pipeline withdrew the core. A quarantined core is
+            // never Busy, so this stops accruing exactly at quarantine.
+            if let Some(t0) = self.faults.first_inject_at(core) {
+                let overlap = now - since.max(t0);
+                if overlap > 0.0 {
+                    self.metrics.corruption_exposure += overlap;
+                }
+            }
         }
         self.cores[core].accrued_since = now;
     }
@@ -545,8 +637,9 @@ impl System {
             // test: mapping onto it wastes the invested test energy, so it
             // is maximally undesirable to a test-aware mapper.
             let in_test = if self.cores[i].session.is_some() { 5.0 } else { 0.0 };
-            ctx.push_node(
+            ctx.push_node_health(
                 self.cores[i].is_free_for_mapping(),
+                !self.health.is_quarantined(i),
                 s.utilization.clamp(0.0, 1.0),
                 self.criticality.criticality(s, now).max(0.0) + in_test,
             );
@@ -573,7 +666,11 @@ impl System {
                 );
                 continue;
             }
-            let free = self.cores.iter().filter(|c| c.is_free_for_mapping()).count();
+            let free = (0..self.cores.len())
+                .filter(|&i| {
+                    self.cores[i].is_free_for_mapping() && !self.health.is_quarantined(i)
+                })
+                .count();
             if free < task_count {
                 break;
             }
@@ -629,6 +726,8 @@ impl System {
             }
             let graph = app.graph;
             let roots = graph.roots();
+            let inc = self.next_inc;
+            self.next_inc += 1;
             let running = RunningApp {
                 id,
                 tasks: vec![TaskState::Waiting; task_count],
@@ -640,12 +739,13 @@ impl System {
                 done_count: 0,
                 arrived_at: app.arrival.as_secs_f64(),
                 started_at: now,
+                inc,
             };
             self.running.insert(id.0, running);
             for root in roots {
                 self.queue.schedule(
                     SimTime::from_ns((now * 1e9).round() as u64),
-                    Ev::TaskReady { app: id.0, task: root },
+                    Ev::TaskReady { app: id.0, task: root, inc },
                 );
             }
         }
@@ -658,22 +758,38 @@ impl System {
         candidates.clear();
         candidates.extend(
             (0..self.cores.len())
-                .filter(|&i| self.cores[i].is_test_candidate())
+                .filter(|&i| self.cores[i].is_test_candidate() && self.health.is_healthy(i))
                 .map(|i| TestCandidate {
                     core: i,
                     criticality: self.criticality.criticality(self.stress.core(i), now),
                 }),
         );
-        if candidates.is_empty() {
+        // Suspect cores go through the priority retest lane instead of
+        // the ranked pool: pinned to the level the detection happened at,
+        // exempt from the criticality threshold, served first.
+        let mut retests = std::mem::take(&mut self.retests_scratch);
+        retests.clear();
+        retests.extend(
+            (0..self.cores.len())
+                .filter(|&i| self.cores[i].is_test_candidate())
+                .filter_map(|i| {
+                    self.health
+                        .suspect_level(i)
+                        .map(|level| RetestRequest { core: i, level })
+                }),
+        );
+        if candidates.is_empty() && retests.is_empty() {
             self.candidates_scratch = candidates;
+            self.retests_scratch = retests;
             return;
         }
         let headroom = self.budget.headroom();
         let mut launches = std::mem::take(&mut self.launches_scratch);
         let mut denials = std::mem::take(&mut self.denials_scratch);
         self.scheduler
-            .plan_into(&candidates, headroom, &mut launches, &mut denials);
+            .plan_with_retests_into(&retests, &candidates, headroom, &mut launches, &mut denials);
         self.candidates_scratch = candidates;
+        self.retests_scratch = retests;
         for d in &denials {
             self.observer.on_event(
                 now,
@@ -761,8 +877,8 @@ impl System {
     fn handle(&mut self, ev: Ev, now: f64) {
         match ev {
             Ev::Arrival => self.on_arrival(now),
-            Ev::TaskReady { app, task } => self.on_task_ready(app, task, now),
-            Ev::TaskFinish { app, task } => self.on_task_finish(app, task, now),
+            Ev::TaskReady { app, task, inc } => self.on_task_ready(app, task, inc, now),
+            Ev::TaskFinish { app, task, inc } => self.on_task_finish(app, task, inc, now),
             Ev::SessionFinish { core, gen } => self.on_session_finish(core, gen, now),
         }
     }
@@ -789,9 +905,15 @@ impl System {
         self.queue.schedule(next, Ev::Arrival);
     }
 
-    fn on_task_ready(&mut self, app_id: u64, task: TaskId, now: f64) {
+    fn on_task_ready(&mut self, app_id: u64, task: TaskId, inc: u64, now: f64) {
         let (coord, op, duration) = {
-            let app = &self.running[&app_id];
+            // Stale events outlive their app (abort) or its placement
+            // (restart, migration): drop anything whose instance counter
+            // no longer matches.
+            let Some(app) = self.running.get(&app_id) else { return };
+            if app.inc != inc {
+                return;
+            }
             debug_assert!(matches!(app.tasks[task.index()], TaskState::Waiting));
             let coord = app.mapping.coord_of(task);
             let rate = app.op.frequency * self.config.workload_ipc;
@@ -809,7 +931,7 @@ impl System {
                 let retry = now + session.remaining_seconds().max(1e-9) + 1e-9;
                 self.queue.schedule(
                     SimTime::from_ns((retry * 1e9).round() as u64),
-                    Ev::TaskReady { app: app_id, task },
+                    Ev::TaskReady { app: app_id, task, inc },
                 );
                 return;
             }
@@ -830,11 +952,15 @@ impl System {
             TaskState::Running { finish };
         self.queue.schedule(
             SimTime::from_ns((finish * 1e9).round() as u64),
-            Ev::TaskFinish { app: app_id, task },
+            Ev::TaskFinish { app: app_id, task, inc },
         );
     }
 
-    fn on_task_finish(&mut self, app_id: u64, task: TaskId, now: f64) {
+    fn on_task_finish(&mut self, app_id: u64, task: TaskId, inc: u64, now: f64) {
+        match self.running.get(&app_id) {
+            Some(app) if app.inc == inc => {}
+            _ => return, // stale: the app was torn down or re-placed
+        }
         // Release the core first.
         let coord = self.running[&app_id].mapping.coord_of(task);
         let core = self.mesh.node_id(coord).index();
@@ -907,7 +1033,7 @@ impl System {
         for (to, ready) in newly_ready {
             self.queue.schedule(
                 SimTime::from_ns((ready * 1e9).round() as u64),
-                Ev::TaskReady { app: app_id, task: to },
+                Ev::TaskReady { app: app_id, task: to, inc },
             );
         }
         // Application completion.
@@ -942,25 +1068,43 @@ impl System {
             .on_session_complete(core, session.routine(), session.level());
         self.stress.note_test_complete(core, now);
         let routine = self.scheduler.library().routine(session.routine()).clone();
-        {
-            let obs = &mut self.observer;
-            self.faults.on_test_complete_with(
-                core,
-                &routine,
-                session.level(),
-                now,
-                &mut self.rng_faults,
-                |faulty_core, latency| {
-                    obs.on_event(
-                        now,
-                        &SimEvent::FaultDetected {
-                            core: faulty_core as u32,
-                            latency,
-                        },
-                    );
-                },
-            );
-        }
+        let respond = !matches!(self.config.fault_response, FaultResponsePolicy::Ignore);
+        let is_retest = respond && self.health.is_suspect(core);
+        let symptom = if is_retest {
+            // Confirmation retest: draw only over the faults actually
+            // present on this core — a fault-free core can never confirm,
+            // so false positives are structurally unable to quarantine a
+            // healthy core. No false-alarm draw here either: confirmation
+            // compares failure signatures, which a spurious pass/fail
+            // flip cannot fake twice.
+            self.faults
+                .confirm(core, &routine, session.level(), now, &mut self.rng_faults)
+        } else {
+            let detected = {
+                let obs = &mut self.observer;
+                self.faults.on_test_complete_with(
+                    core,
+                    &routine,
+                    session.level(),
+                    now,
+                    &mut self.rng_faults,
+                    |faulty_core, latency| {
+                        obs.on_event(
+                            now,
+                            &SimEvent::FaultDetected {
+                                core: faulty_core as u32,
+                                latency,
+                            },
+                        );
+                    },
+                )
+            };
+            // Guarded draw: a zero rate (the default) consumes no
+            // randomness, keeping historical seeds bit-identical.
+            detected
+                || (routine.false_positive_rate > 0.0
+                    && self.rng_faults.gen_bool(routine.false_positive_rate))
+        };
         self.metrics.tests_completed += 1;
         let interval = match self.cores[core].test_times.last() {
             Some(&prev) => {
@@ -984,11 +1128,304 @@ impl System {
                 interval,
             },
         );
-        let mode = match self.owner_op(core) {
-            Some(op) => CoreMode::Idle(op),
-            None => CoreMode::Off,
+        if is_retest {
+            self.metrics.confirmation_retests += 1;
+            let (used, remaining) = self.health.note_retest_complete(core);
+            if symptom {
+                self.quarantine_core(core, u32::from(used), now);
+            } else if remaining == 0 {
+                // K retests, no reproduction: the platform stops
+                // believing the original detection.
+                self.health.clear(core);
+                self.faults.demote_to_latent(core);
+                self.metrics.cores_cleared += 1;
+                self.observer.on_event(
+                    now,
+                    &SimEvent::CoreCleared {
+                        core: core as u32,
+                        retests: u32::from(used),
+                    },
+                );
+            }
+        } else if respond && symptom && self.health.is_healthy(core) {
+            self.metrics.cores_suspected += 1;
+            self.observer.on_event(
+                now,
+                &SimEvent::CoreSuspected {
+                    core: core as u32,
+                    level: session.level().0,
+                },
+            );
+            if self.config.confirmation_retests == 0 {
+                self.quarantine_core(core, 0, now);
+            } else {
+                self.health
+                    .mark_suspect(core, session.level(), self.config.confirmation_retests);
+            }
+        }
+        let mode = if self.health.is_quarantined(core) {
+            CoreMode::Off
+        } else {
+            match self.owner_op(core) {
+                Some(op) => CoreMode::Idle(op),
+                None => CoreMode::Off,
+            }
         };
         self.set_mode(core, now, mode);
+    }
+
+    // ----- fault response -------------------------------------------------
+
+    /// Withdraws `core` permanently: records the quarantine (and whether
+    /// it was false), relocates or kills the victim application per the
+    /// configured policy, power-gates the core and derates the admission
+    /// budget to the surviving capacity. The `CoreQuarantined` event is
+    /// emitted *before* the gating `DvfsTransition`, which the audit
+    /// sequence invariant relies on.
+    fn quarantine_core(&mut self, core: usize, retests: u32, now: f64) {
+        self.health.quarantine(core);
+        self.metrics.cores_quarantined += 1;
+        if !self.faults.has_solid_active_fault(core, now) {
+            // Nothing solid on the core: intermittent symptoms or false
+            // positives were confirmed by chance. Capacity lost for less
+            // than a hard fault — the price of believing retests.
+            self.metrics.false_quarantines += 1;
+        }
+        self.observer.on_event(
+            now,
+            &SimEvent::CoreQuarantined {
+                core: core as u32,
+                retests,
+            },
+        );
+        if let Some((victim, _)) = self.cores[core].owner {
+            match self.config.fault_response {
+                FaultResponsePolicy::Ignore => unreachable!("Ignore never quarantines"),
+                FaultResponsePolicy::Abort => self.abort_app(victim.0, core, now),
+                FaultResponsePolicy::RestartElsewhere => self.restart_app(victim.0, core, now),
+                FaultResponsePolicy::MigrateRegion => self.migrate_app(victim.0, core, now),
+            }
+        }
+        if self.cores[core].owner.is_none() {
+            self.set_mode(core, now, CoreMode::Off);
+        }
+        debug_assert!(
+            self.cores[core].owner.is_none(),
+            "quarantined core must be vacated"
+        );
+        let n = self.cores.len();
+        self.budget
+            .set_derating((n - self.health.quarantined_count()) as f64 / n as f64);
+    }
+
+    /// Tears a running application down: frees every core it still owns,
+    /// returns its power reservation, and orphans its in-flight events
+    /// (their instance counter no longer matches any running app — and if
+    /// the app is later re-admitted under the same id, the new instance
+    /// gets a fresh counter). Returns the pieces a restart needs.
+    fn teardown_app(&mut self, app_id: u64, now: f64) -> (AppId, manytest_workload::TaskGraph, f64) {
+        let app = self
+            .running
+            .remove(&app_id)
+            .expect("victim application is running");
+        for t in 0..app.tasks.len() {
+            let task = TaskId(t as u32);
+            let core = self.mesh.node_id(app.mapping.coord_of(task)).index();
+            if self.cores[core].owner == Some((app.id, task)) {
+                self.cores[core].owner = None;
+                self.set_mode(core, now, CoreMode::Off);
+            }
+        }
+        self.budget.release(app.reservation);
+        (app.id, app.graph, app.arrived_at)
+    }
+
+    fn abort_app(&mut self, app_id: u64, core: usize, now: f64) {
+        let (id, _graph, _arrived) = self.teardown_app(app_id, now);
+        self.metrics.apps_aborted += 1;
+        self.observer.on_event(
+            now,
+            &SimEvent::AppAborted {
+                app: id.0,
+                core: core as u32,
+            },
+        );
+    }
+
+    /// Re-queues the victim at the *front* of the pending queue with its
+    /// original arrival stamp: it lost its progress, not its priority.
+    fn restart_app(&mut self, app_id: u64, core: usize, now: f64) {
+        let (id, graph, arrived_at) = self.teardown_app(app_id, now);
+        self.metrics.apps_restarted += 1;
+        self.observer.on_event(
+            now,
+            &SimEvent::AppRestarted {
+                app: id.0,
+                core: core as u32,
+            },
+        );
+        self.pending.push_front(Application {
+            id,
+            graph,
+            arrival: SimTime::from_ns((arrived_at * 1e9).round() as u64),
+        });
+    }
+
+    /// Remaps the victim in place: surviving tasks keep their progress,
+    /// displaced live tasks move to healthy cores and pay the
+    /// architectural-state transfer as a completion delay plus NoC
+    /// traffic. Falls back to [`System::restart_app`] when no healthy
+    /// placement exists.
+    fn migrate_app(&mut self, app_id: u64, bad_core: usize, now: f64) {
+        // Remap context: the app's own nodes are offered back as free;
+        // the quarantined node (like every unhealthy node) is excluded.
+        {
+            let n = self.mesh.node_count();
+            let ctx = &mut self.ctx_scratch;
+            ctx.reset(self.mesh);
+            for i in 0..n {
+                let mine = self.cores[i]
+                    .owner
+                    .map_or(false, |(a, _)| a.0 == app_id);
+                let s = self.stress.core(i);
+                let in_test = if self.cores[i].session.is_some() { 5.0 } else { 0.0 };
+                ctx.push_node_health(
+                    self.cores[i].is_free_for_mapping() || mine,
+                    !self.health.is_quarantined(i),
+                    s.utilization.clamp(0.0, 1.0),
+                    self.criticality.criticality(s, now).max(0.0) + in_test,
+                );
+            }
+        }
+        let Some(new_mapping) = self
+            .mapper
+            .remap(&self.ctx_scratch, &self.running[&app_id].graph)
+        else {
+            self.restart_app(app_id, bad_core, now);
+            return;
+        };
+        let inc = self.next_inc;
+        self.next_inc += 1;
+        let delay = self.config.migration_delay.as_secs_f64();
+        let task_count = self.running[&app_id].tasks.len();
+        let op = self.running[&app_id].op;
+        let old_mapping = {
+            let app = self.running.get_mut(&app_id).expect("victim is running");
+            app.inc = inc;
+            std::mem::replace(&mut app.mapping, new_mapping)
+        };
+        let mut moved_tasks = 0u32;
+        let mut total_delay = 0.0;
+        // Vacate every displaced task's old core before claiming any new
+        // one: a moved task may land on a sibling's old core, which is
+        // only safe once the whole old footprint is released.
+        for t in 0..task_count {
+            let task = TaskId(t as u32);
+            let old = old_mapping.coord_of(task);
+            if old == self.running[&app_id].mapping.coord_of(task) {
+                continue;
+            }
+            let oc = self.mesh.node_id(old).index();
+            if self.cores[oc].owner == Some((AppId(app_id), task)) {
+                self.cores[oc].owner = None;
+                self.set_mode(oc, now, CoreMode::Off);
+            }
+        }
+        for t in 0..task_count {
+            let task = TaskId(t as u32);
+            let old = old_mapping.coord_of(task);
+            let new = self.running[&app_id].mapping.coord_of(task);
+            if old == new {
+                continue;
+            }
+            let state = self.running[&app_id].tasks[t];
+            if matches!(state, TaskState::Done { .. }) {
+                continue; // finished tasks have no live state to move
+            }
+            moved_tasks += 1;
+            total_delay += delay;
+            let nc = self.mesh.node_id(new).index();
+            if self.cores[nc].session.is_some() {
+                self.abort_session(nc, now, AbortReason::MappedOver);
+            }
+            debug_assert!(self.cores[nc].owner.is_none());
+            self.cores[nc].owner = Some((AppId(app_id), task));
+            let mode = if matches!(state, TaskState::Running { .. }) {
+                CoreMode::Busy(op)
+            } else {
+                CoreMode::Idle(op)
+            };
+            self.set_mode(nc, now, mode);
+            // The state transfer crosses the NoC like any other message.
+            self.traffic.charge_route(old, new, MIGRATION_STATE_BITS);
+            if self.config.model_contention {
+                self.epoch_traffic.charge_route(old, new, MIGRATION_STATE_BITS);
+            }
+            let cost = self.link_model.message_cost(old, new, MIGRATION_STATE_BITS);
+            self.meter.add_energy(PowerCategory::Noc, cost.energy);
+        }
+        // Re-issue the in-flight timing under the new instance counter;
+        // moved tasks finish (or become ready) one transfer-delay late.
+        for t in 0..task_count {
+            let task = TaskId(t as u32);
+            let moved =
+                old_mapping.coord_of(task) != self.running[&app_id].mapping.coord_of(task);
+            let penalty = if moved { delay } else { 0.0 };
+            match self.running[&app_id].tasks[t] {
+                TaskState::Running { finish } => {
+                    let finish = finish + penalty;
+                    self.running
+                        .get_mut(&app_id)
+                        .expect("victim is running")
+                        .tasks[t] = TaskState::Running { finish };
+                    self.queue.schedule(
+                        SimTime::from_ns((finish * 1e9).round() as u64),
+                        Ev::TaskFinish { app: app_id, task, inc },
+                    );
+                }
+                TaskState::Waiting if self.running[&app_id].predecessors_done(task) => {
+                    let ready = {
+                        let app = &self.running[&app_id];
+                        app.input_ready_time(task, |p, to| {
+                            let bits = app
+                                .graph
+                                .edges()
+                                .iter()
+                                .find(|e| e.from == p && e.to == to)
+                                .map(|e| e.bits)
+                                .unwrap_or(0.0);
+                            let src = app.mapping.coord_of(p);
+                            let dst = app.mapping.coord_of(to);
+                            let base = self.link_model.message_cost(src, dst, bits).latency;
+                            match &self.link_loads {
+                                Some(loads) => {
+                                    base * self.contention.route_factor(loads, src, dst)
+                                }
+                                None => base,
+                            }
+                        })
+                    };
+                    let ready = ready.max(now) + penalty;
+                    self.queue.schedule(
+                        SimTime::from_ns((ready * 1e9).round() as u64),
+                        Ev::TaskReady { app: app_id, task, inc },
+                    );
+                }
+                // Still waiting on predecessors (their completion will
+                // wake it under the new counter), or already done.
+                TaskState::Waiting | TaskState::Done { .. } => {}
+            }
+        }
+        self.metrics.apps_migrated += 1;
+        self.observer.on_event(
+            now,
+            &SimEvent::AppMigrated {
+                app: app_id,
+                core: bad_core as u32,
+                moved_tasks,
+                delay: total_delay,
+            },
+        );
     }
 
     // ----- epoch close ----------------------------------------------------
@@ -1024,6 +1461,11 @@ impl System {
         self.trace
             .series_mut("active_tests")
             .push(t1, testing as f64);
+        // Graceful-degradation trajectory: capacity surviving quarantine.
+        self.trace.series_mut("healthy_cores").push(
+            t1,
+            (self.cores.len() - self.health.quarantined_count()) as f64,
+        );
         if let Some(grid) = &mut self.thermal {
             // Transient thermal path: advance the RC grid with this
             // epoch's per-tile powers, then charge damage at the *actual*
@@ -1125,7 +1567,18 @@ impl System {
             damage_per_core,
             faults_injected: self.faults.len() as u64,
             faults_detected: self.faults.detected_count() as u64,
+            fault_detections: self.faults.detections(),
             mean_detection_latency: self.faults.mean_detection_latency().unwrap_or(0.0),
+            cores_suspected: self.metrics.cores_suspected,
+            cores_quarantined: self.metrics.cores_quarantined,
+            cores_cleared: self.metrics.cores_cleared,
+            false_quarantines: self.metrics.false_quarantines,
+            confirmation_retests: self.metrics.confirmation_retests,
+            healthy_cores_end: (self.cores.len() - self.health.quarantined_count()) as u64,
+            apps_aborted: self.metrics.apps_aborted,
+            apps_restarted: self.metrics.apps_restarted,
+            apps_migrated: self.metrics.apps_migrated,
+            corruption_exposure: self.metrics.corruption_exposure,
             mean_utilization: self.stress.mean_utilization(),
             dark_fraction: self.config.node.dark_silicon_fraction(),
             mean_hop_cost: self.metrics.hop_cost.mean(),
@@ -1224,6 +1677,175 @@ mod tests {
             SystemBuilder::from_config(cfg).build().err(),
             Some(BuildError::TooFewDvfsLevels)
         );
+    }
+
+    #[test]
+    fn fault_config_validation_errors() {
+        for (mutate, field) in [
+            (
+                (|c: &mut SystemConfig| c.vf_windowed_fault_fraction = 1.5)
+                    as fn(&mut SystemConfig),
+                "vf_windowed_fault_fraction",
+            ),
+            (
+                |c: &mut SystemConfig| c.intermittent_fault_fraction = -0.1,
+                "intermittent_fault_fraction",
+            ),
+            (
+                |c: &mut SystemConfig| c.test_false_positive_rate = f64::NAN,
+                "test_false_positive_rate",
+            ),
+        ] {
+            let mut cfg = SystemConfig::for_node(TechNode::N16);
+            mutate(&mut cfg);
+            match SystemBuilder::from_config(cfg).build().err() {
+                Some(BuildError::InvalidFaultFraction { field: f, .. }) => {
+                    assert_eq!(f, field);
+                }
+                other => panic!("expected InvalidFaultFraction for {field}, got {other:?}"),
+            }
+        }
+        // Faults with no horizon to place them in: rejected before the
+        // generic horizon check so the message names the real problem.
+        let mut cfg = SystemConfig::for_node(TechNode::N16);
+        cfg.injected_faults = 3;
+        cfg.horizon = manytest_sim::Duration::ZERO;
+        assert_eq!(
+            SystemBuilder::from_config(cfg).build().err(),
+            Some(BuildError::FaultsNeedHorizon)
+        );
+    }
+
+    #[test]
+    fn detections_drive_quarantines_and_capacity_degrades() {
+        let r = quick(TechNode::N22)
+            .sim_time_ms(400)
+            .injected_faults(6)
+            .build()
+            .unwrap()
+            .run();
+        let n = r.tests_per_core.len() as u64;
+        assert!(r.cores_quarantined > 0, "solid faults must confirm: {r:?}");
+        assert!(r.confirmation_retests > 0, "quarantine needs K retests first");
+        assert!(r.cores_suspected >= r.cores_quarantined + r.cores_cleared);
+        assert!(r.healthy_cores_end < n, "quarantine must cost capacity");
+        assert_eq!(r.false_quarantines, 0, "solid faults are true positives");
+        let healthy = r.trace.series("healthy_cores").expect("trajectory series");
+        assert_eq!(healthy.max_value(), Some(n as f64));
+        let end = healthy.points().last().unwrap().1;
+        assert!(end < n as f64, "trajectory must end degraded: {end} vs {n}");
+    }
+
+    #[test]
+    fn false_positives_never_permanently_quarantine() {
+        let r = quick(TechNode::N16)
+            .sim_time_ms(300)
+            .test_false_positives(0.05)
+            .build()
+            .unwrap()
+            .run();
+        let n = r.tests_per_core.len() as u64;
+        assert!(r.cores_suspected > 0, "5% false alarms must open suspicions");
+        assert!(r.cores_cleared > 0, "clean cores must clear on retests");
+        assert_eq!(r.cores_quarantined, 0, "no fault can ever confirm");
+        assert_eq!(r.healthy_cores_end, n, "full capacity survives");
+    }
+
+    #[test]
+    fn response_policies_reconcile_and_keep_quarantined_cores_dark() {
+        use crate::config::FaultResponsePolicy as P;
+        for policy in [P::Abort, P::RestartElsewhere, P::MigrateRegion] {
+            let r = quick(TechNode::N22)
+                .sim_time_ms(400)
+                .arrival_rate(2_000.0)
+                .injected_faults(8)
+                .fault_response(policy)
+                .capture_events(1 << 16)
+                .build()
+                .unwrap()
+                .run();
+            assert_eq!(r.events.dropped(), 0);
+            crate::audit::validate_events(&r).unwrap_or_else(|e| {
+                panic!("policy {policy}: {e}");
+            });
+            assert!(r.cores_quarantined > 0, "policy {policy} saw no quarantine");
+        }
+    }
+
+    #[test]
+    fn ignoring_faults_maximises_corruption_exposure() {
+        let run = |policy| {
+            quick(TechNode::N22)
+                .sim_time_ms(400)
+                .arrival_rate(2_000.0)
+                .injected_faults(8)
+                .fault_response(policy)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let ignored = run(FaultResponsePolicy::Ignore);
+        let handled = run(FaultResponsePolicy::RestartElsewhere);
+        assert_eq!(ignored.cores_suspected, 0, "Ignore is detection-only");
+        assert_eq!(ignored.cores_quarantined, 0);
+        assert!(ignored.corruption_exposure > 0.0, "faulty cores keep working");
+        assert!(handled.cores_quarantined > 0);
+        assert!(
+            handled.corruption_exposure <= ignored.corruption_exposure,
+            "withdrawing faulty cores cannot increase exposure: {} vs {}",
+            handled.corruption_exposure,
+            ignored.corruption_exposure
+        );
+    }
+
+    #[test]
+    fn zero_confirmation_retests_quarantine_on_first_detection() {
+        let r = quick(TechNode::N22)
+            .sim_time_ms(400)
+            .injected_faults(6)
+            .confirmation_retests(0)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.cores_quarantined > 0);
+        assert_eq!(r.confirmation_retests, 0, "K=0 skips confirmation");
+        assert_eq!(r.cores_suspected, r.cores_quarantined + r.cores_cleared);
+    }
+
+    #[test]
+    fn intermittent_faults_are_harder_to_confirm() {
+        let r = quick(TechNode::N22)
+            .sim_time_ms(500)
+            .injected_faults(10)
+            .intermittent_faults(1.0)
+            .build()
+            .unwrap()
+            .run();
+        // Every fault is intermittent, so any quarantine is "false" in
+        // the solid-fault sense, and some suspicions should fail to
+        // reproduce within K retests and clear.
+        assert_eq!(r.false_quarantines, r.cores_quarantined);
+        assert!(
+            r.cores_cleared > 0 || r.cores_quarantined > 0,
+            "detections must at least open suspicions: {r:?}"
+        );
+    }
+
+    #[test]
+    fn response_pipeline_is_deterministic() {
+        let run = || {
+            quick(TechNode::N22)
+                .sim_time_ms(300)
+                .arrival_rate(1_000.0)
+                .injected_faults(8)
+                .intermittent_faults(0.5)
+                .test_false_positives(0.02)
+                .fault_response(crate::config::FaultResponsePolicy::MigrateRegion)
+                .build()
+                .unwrap()
+                .run()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -26,11 +26,14 @@ pub struct MapContext {
     free: Vec<bool>,
     utilization: Vec<f64>,
     criticality: Vec<f64>,
+    /// Health mask: quarantined nodes are `false` and never offered to a
+    /// mapper, regardless of occupancy.
+    healthy: Vec<bool>,
 }
 
 impl MapContext {
-    /// A context where every node is free with zero utilisation and zero
-    /// criticality.
+    /// A context where every node is free and healthy with zero
+    /// utilisation and zero criticality.
     pub fn all_free(mesh: Mesh2D) -> Self {
         let n = mesh.node_count();
         MapContext {
@@ -38,6 +41,7 @@ impl MapContext {
             free: vec![true; n],
             utilization: vec![0.0; n],
             criticality: vec![0.0; n],
+            healthy: vec![true; n],
         }
     }
 
@@ -57,11 +61,13 @@ impl MapContext {
             free.len() == n && utilization.len() == n && criticality.len() == n,
             "state vectors must have one entry per node"
         );
+        let healthy = vec![true; n];
         MapContext {
             mesh,
             free,
             utilization,
             criticality,
+            healthy,
         }
     }
 
@@ -74,15 +80,30 @@ impl MapContext {
         self.free.clear();
         self.utilization.clear();
         self.criticality.clear();
+        self.healthy.clear();
     }
 
-    /// Appends the state of the next node (dense-id order). Callers must
-    /// push exactly `mesh.node_count()` entries after a [`MapContext::reset`];
-    /// [`MapContext::is_complete`] checks that.
+    /// Appends the state of the next node (dense-id order), assumed
+    /// healthy. Callers must push exactly `mesh.node_count()` entries
+    /// after a [`MapContext::reset`]; [`MapContext::is_complete`] checks
+    /// that.
     pub fn push_node(&mut self, free: bool, utilization: f64, criticality: f64) {
+        self.push_node_health(free, true, utilization, criticality);
+    }
+
+    /// [`MapContext::push_node`] with an explicit health bit: quarantined
+    /// nodes push `healthy = false` and are invisible to mappers.
+    pub fn push_node_health(
+        &mut self,
+        free: bool,
+        healthy: bool,
+        utilization: f64,
+        criticality: f64,
+    ) {
         debug_assert!((0.0..=1.0).contains(&utilization));
         debug_assert!(criticality.is_finite() && criticality >= 0.0);
         self.free.push(free);
+        self.healthy.push(healthy);
         self.utilization.push(utilization);
         self.criticality.push(criticality);
     }
@@ -97,15 +118,27 @@ impl MapContext {
         self.mesh
     }
 
-    /// Whether the node at `c` is free (idle and not testing).
+    /// Whether the node at `c` is mappable: unoccupied *and* healthy.
     pub fn is_free(&self, c: Coord) -> bool {
-        self.free[self.mesh.node_id(c).index()]
+        let i = self.mesh.node_id(c).index();
+        self.free[i] && self.healthy[i]
     }
 
     /// Marks the node at `c` free or occupied.
     pub fn set_free(&mut self, c: Coord, free: bool) {
         let i = self.mesh.node_id(c).index();
         self.free[i] = free;
+    }
+
+    /// Whether the node at `c` is healthy (not quarantined).
+    pub fn is_healthy(&self, c: Coord) -> bool {
+        self.healthy[self.mesh.node_id(c).index()]
+    }
+
+    /// Marks the node at `c` healthy or quarantined.
+    pub fn set_healthy(&mut self, c: Coord, healthy: bool) {
+        let i = self.mesh.node_id(c).index();
+        self.healthy[i] = healthy;
     }
 
     /// Recent utilisation of the node at `c`, in `[0, 1]`.
@@ -143,9 +176,18 @@ impl MapContext {
         self.criticality[i] = value;
     }
 
-    /// Number of free nodes.
+    /// Number of mappable nodes (free *and* healthy).
     pub fn free_count(&self) -> usize {
-        self.free.iter().filter(|&&f| f).count()
+        self.free
+            .iter()
+            .zip(&self.healthy)
+            .filter(|&(&f, &h)| f && h)
+            .count()
+    }
+
+    /// Number of healthy nodes (occupied or not).
+    pub fn healthy_count(&self) -> usize {
+        self.healthy.iter().filter(|&&h| h).count()
     }
 }
 
@@ -184,6 +226,35 @@ mod tests {
             vec![0.0; 4],
         );
         assert_eq!(ctx.free_count(), 3);
+    }
+
+    #[test]
+    fn quarantined_nodes_vanish_from_the_free_set() {
+        let mut ctx = MapContext::all_free(Mesh2D::new(3, 3));
+        let c = Coord::new(1, 1);
+        assert!(ctx.is_healthy(c));
+        ctx.set_healthy(c, false);
+        assert!(!ctx.is_free(c), "unhealthy implies unmappable");
+        assert!(!ctx.is_healthy(c));
+        assert_eq!(ctx.free_count(), 8);
+        assert_eq!(ctx.healthy_count(), 8);
+        // Occupancy state is orthogonal and preserved.
+        ctx.set_healthy(c, true);
+        assert!(ctx.is_free(c));
+    }
+
+    #[test]
+    fn push_node_health_builds_the_mask_incrementally() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut ctx = MapContext::all_free(mesh);
+        ctx.reset(mesh);
+        ctx.push_node(true, 0.0, 0.0);
+        ctx.push_node_health(true, false, 0.0, 0.0);
+        ctx.push_node_health(false, true, 0.5, 1.0);
+        ctx.push_node(true, 0.0, 0.0);
+        assert!(ctx.is_complete());
+        assert_eq!(ctx.free_count(), 2, "the quarantined free node does not count");
+        assert_eq!(ctx.healthy_count(), 3);
     }
 
     #[test]

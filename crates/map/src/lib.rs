@@ -60,6 +60,18 @@ pub trait Mapper {
     /// Maps `app` onto free cores described by `ctx`.
     fn map(&self, ctx: &MapContext, app: &TaskGraph) -> Option<Mapping>;
 
+    /// Re-maps a *running* application displaced by a core quarantine.
+    ///
+    /// The caller builds `ctx` so that the app's own surviving nodes are
+    /// marked free (they are available to the new placement) while the
+    /// quarantined node is unhealthy. The default is a fresh [`Mapper::map`]
+    /// — a contiguous placement on the healthy pool; strategies with
+    /// migration-specific logic (e.g. minimising moved state) can
+    /// override.
+    fn remap(&self, ctx: &MapContext, app: &TaskGraph) -> Option<Mapping> {
+        self.map(ctx, app)
+    }
+
     /// Human-readable strategy name (for reports).
     fn name(&self) -> &str;
 }

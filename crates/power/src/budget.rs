@@ -66,6 +66,11 @@ pub struct PowerBudget {
     reserved: f64,
     next_id: u64,
     live: Vec<(u64, f64)>,
+    /// Fraction of the cap actually usable, in `[0, 1]`. Quarantining a
+    /// core derates the budget proportionally: a power-gated core cannot
+    /// dissipate its TDP share, and pretending it could would let the PID
+    /// governor hand its watts to the survivors as free test headroom.
+    derating: f64,
 }
 
 impl PowerBudget {
@@ -81,12 +86,38 @@ impl PowerBudget {
             reserved: 0.0,
             next_id: 0,
             live: Vec::new(),
+            derating: 1.0,
         }
     }
 
-    /// Current cap, watts.
+    /// Current cap, watts (before derating).
     pub fn cap(&self) -> f64 {
         self.cap
+    }
+
+    /// The cap actually enforced: `cap × derating`, watts.
+    pub fn effective_cap(&self) -> f64 {
+        self.cap * self.derating
+    }
+
+    /// Current derating factor, in `[0, 1]` (1 = no cores withdrawn).
+    pub fn derating(&self) -> f64 {
+        self.derating
+    }
+
+    /// Sets the usable fraction of the cap (see the field doc). Existing
+    /// reservations are never revoked: if the derated cap falls below the
+    /// reserved total, headroom is zero until reservations drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `derating` is not in `[0, 1]`.
+    pub fn set_derating(&mut self, derating: f64) {
+        assert!(
+            (0.0..=1.0).contains(&derating),
+            "derating must be in [0,1], got {derating}"
+        );
+        self.derating = derating;
     }
 
     /// Total reserved power, watts.
@@ -94,9 +125,9 @@ impl PowerBudget {
         self.reserved
     }
 
-    /// Remaining headroom (`cap − reserved`, floored at 0).
+    /// Remaining headroom (`effective cap − reserved`, floored at 0).
     pub fn headroom(&self) -> f64 {
-        (self.cap - self.reserved).max(0.0)
+        (self.effective_cap() - self.reserved).max(0.0)
     }
 
     /// True if a reservation of `watts` would fit right now.
@@ -310,5 +341,30 @@ mod tests {
         let mut b = PowerBudget::new(0.0);
         let r = b.reserve(0.0).unwrap();
         b.release(r);
+    }
+
+    #[test]
+    fn derating_shrinks_headroom_without_touching_the_cap() {
+        let mut b = PowerBudget::new(100.0);
+        let _r = b.reserve(40.0).unwrap();
+        b.set_derating(0.75);
+        assert_eq!(b.cap(), 100.0, "nominal cap is unchanged");
+        assert!((b.effective_cap() - 75.0).abs() < 1e-12);
+        assert!((b.headroom() - 35.0).abs() < 1e-12);
+        assert!(b.fits(35.0));
+        assert!(!b.fits(36.0));
+        // Derating below the reserved total floors headroom at zero but
+        // never revokes.
+        b.set_derating(0.25);
+        assert_eq!(b.headroom(), 0.0);
+        assert_eq!(b.reserved(), 40.0);
+        b.set_derating(1.0);
+        assert!((b.headroom() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "derating must be in")]
+    fn derating_outside_unit_interval_panics() {
+        PowerBudget::new(10.0).set_derating(1.5);
     }
 }

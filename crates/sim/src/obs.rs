@@ -169,11 +169,62 @@ pub enum SimEvent {
         /// Injection-to-detection latency, seconds.
         latency: f64,
     },
+    /// A detection moved a core into the `Suspect` health state; K
+    /// confirmation retests were queued at the detecting V/f level.
+    CoreSuspected {
+        /// The suspect core.
+        core: u32,
+        /// DVFS ladder index the detection happened at.
+        level: u8,
+    },
+    /// Confirmation retests upheld the detection: the core is withdrawn
+    /// from mapping and power-gated for the rest of the run.
+    CoreQuarantined {
+        /// The quarantined core.
+        core: u32,
+        /// Confirmation retests that completed before the verdict.
+        retests: u32,
+    },
+    /// Confirmation retests failed to reproduce the detection; the core
+    /// returns to `Healthy`.
+    CoreCleared {
+        /// The cleared core.
+        core: u32,
+        /// Confirmation retests that completed before the verdict.
+        retests: u32,
+    },
+    /// A quarantine killed an application outright (`Abort` policy).
+    AppAborted {
+        /// Application id.
+        app: u64,
+        /// The quarantined core that carried it.
+        core: u32,
+    },
+    /// A quarantine sent an application back to the pending queue for a
+    /// fresh placement (`RestartElsewhere` policy).
+    AppRestarted {
+        /// Application id.
+        app: u64,
+        /// The quarantined core that carried it.
+        core: u32,
+    },
+    /// A quarantine remapped an application in place onto healthy nodes
+    /// (`MigrateRegion` policy).
+    AppMigrated {
+        /// Application id.
+        app: u64,
+        /// The quarantined core it was moved off.
+        core: u32,
+        /// Tasks whose placement changed.
+        moved_tasks: u32,
+        /// State-transfer delay charged to the app, seconds.
+        delay: f64,
+    },
 }
 
 impl SimEvent {
     /// Number of event kinds (array size for exact per-kind counters).
-    pub const KIND_COUNT: usize = 12;
+    pub const KIND_COUNT: usize = 18;
 
     /// All kind names, in [`SimEvent::kind_index`] order.
     pub const KINDS: [&'static str; Self::KIND_COUNT] = [
@@ -189,6 +240,12 @@ impl SimEvent {
         "DvfsTransition",
         "FaultActivated",
         "FaultDetected",
+        "CoreSuspected",
+        "CoreQuarantined",
+        "CoreCleared",
+        "AppAborted",
+        "AppRestarted",
+        "AppMigrated",
     ];
 
     /// Dense index of this event's kind, for fixed-size counter arrays.
@@ -206,6 +263,12 @@ impl SimEvent {
             SimEvent::DvfsTransition { .. } => 9,
             SimEvent::FaultActivated { .. } => 10,
             SimEvent::FaultDetected { .. } => 11,
+            SimEvent::CoreSuspected { .. } => 12,
+            SimEvent::CoreQuarantined { .. } => 13,
+            SimEvent::CoreCleared { .. } => 14,
+            SimEvent::AppAborted { .. } => 15,
+            SimEvent::AppRestarted { .. } => 16,
+            SimEvent::AppMigrated { .. } => 17,
         }
     }
 
@@ -304,6 +367,28 @@ impl SimEvent {
             }
             SimEvent::FaultDetected { core, latency } => {
                 let _ = write!(out, ",\"core\":{core},\"latency\":{latency}");
+            }
+            SimEvent::CoreSuspected { core, level } => {
+                let _ = write!(out, ",\"core\":{core},\"level\":{level}");
+            }
+            SimEvent::CoreQuarantined { core, retests }
+            | SimEvent::CoreCleared { core, retests } => {
+                let _ = write!(out, ",\"core\":{core},\"retests\":{retests}");
+            }
+            SimEvent::AppAborted { app, core } | SimEvent::AppRestarted { app, core } => {
+                let _ = write!(out, ",\"app\":{app},\"core\":{core}");
+            }
+            SimEvent::AppMigrated {
+                app,
+                core,
+                moved_tasks,
+                delay,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"app\":{app},\"core\":{core},\"moved_tasks\":{moved_tasks},\
+                     \"delay\":{delay}"
+                );
             }
         }
         out.push('}');
@@ -708,6 +793,20 @@ mod tests {
                 },
             ),
             (0.005, SimEvent::FaultDetected { core: 3, latency: 0.004 }),
+            (0.006, SimEvent::CoreSuspected { core: 3, level: 2 }),
+            (0.007, SimEvent::CoreQuarantined { core: 3, retests: 3 }),
+            (0.008, SimEvent::CoreCleared { core: 5, retests: 3 }),
+            (0.009, SimEvent::AppAborted { app: 1, core: 3 }),
+            (0.010, SimEvent::AppRestarted { app: 2, core: 3 }),
+            (
+                0.011,
+                SimEvent::AppMigrated {
+                    app: 3,
+                    core: 3,
+                    moved_tasks: 4,
+                    delay: 0.0002,
+                },
+            ),
         ]
     }
 
@@ -725,10 +824,13 @@ mod tests {
             log.push(t, ev);
         }
         let jsonl = log.to_jsonl();
-        assert_eq!(jsonl.lines().count(), 5);
+        assert_eq!(jsonl.lines().count(), 11);
         assert!(jsonl.contains("\"kind\":\"AppMapped\""));
         assert!(jsonl.contains("\"region_w\":2"));
         assert!(jsonl.contains("\"reason\":\"mapped_over\""));
+        assert!(jsonl.contains("\"kind\":\"CoreQuarantined\""));
+        assert!(jsonl.contains("\"retests\":3"));
+        assert!(jsonl.contains("\"moved_tasks\":4"));
         for line in jsonl.lines() {
             assert!(line.starts_with("{\"t\":"));
             assert!(line.ends_with('}'));
@@ -825,7 +927,8 @@ mod tests {
             log.push(t, ev);
         }
         assert!(log.is_empty());
-        assert_eq!(log.total(), 5);
+        assert_eq!(log.total(), 11);
         assert_eq!(log.count("TestLaunched"), 1);
+        assert_eq!(log.count("CoreSuspected"), 1);
     }
 }

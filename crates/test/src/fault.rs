@@ -11,6 +11,29 @@ use crate::routine::TestRoutine;
 use manytest_power::VfLevel;
 use manytest_sim::SimRng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A [`Fault::try_with_level_window`] rejection: the observability window
+/// was inverted (`from > to`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelWindowInverted {
+    /// The lower bound that was supplied.
+    pub from: VfLevel,
+    /// The upper bound that was supplied.
+    pub to: VfLevel,
+}
+
+impl std::fmt::Display for LevelWindowInverted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "level window inverted: from {} > to {}",
+            self.from.0, self.to.0
+        )
+    }
+}
+
+impl std::error::Error for LevelWindowInverted {}
 
 /// Lifecycle of an injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,10 +69,16 @@ pub struct Fault {
     pub visible_from: VfLevel,
     /// Highest DVFS level at which the fault is observable (inclusive).
     pub visible_to: VfLevel,
+    /// Probability that the fault *manifests* during any one observation
+    /// attempt. `1.0` models a solid permanent fault (the original
+    /// behaviour); lower values model intermittent wear-out symptoms that
+    /// a confirmation retest may fail to reproduce. The effective
+    /// per-test detection probability is `coverage * refire`.
+    pub refire: f64,
 }
 
 impl Fault {
-    /// Creates a fault observable at every DVFS level, injected at
+    /// Creates a solid fault observable at every DVFS level, injected at
     /// `inject_at` seconds.
     pub fn new(core: usize, inject_at: f64) -> Self {
         Fault {
@@ -58,24 +87,63 @@ impl Fault {
             state: FaultState::Pending,
             visible_from: VfLevel(0),
             visible_to: VfLevel(u8::MAX),
+            refire: 1.0,
         }
     }
 
     /// Creates a voltage-dependent fault only observable when the test
     /// runs at a level in `[from, to]`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `from > to`.
-    pub fn with_level_window(core: usize, inject_at: f64, from: VfLevel, to: VfLevel) -> Self {
-        assert!(from <= to, "level window inverted");
-        Fault {
+    /// Returns [`LevelWindowInverted`] if `from > to`.
+    pub fn try_with_level_window(
+        core: usize,
+        inject_at: f64,
+        from: VfLevel,
+        to: VfLevel,
+    ) -> Result<Self, LevelWindowInverted> {
+        if from > to {
+            return Err(LevelWindowInverted { from, to });
+        }
+        Ok(Fault {
             core,
             inject_at,
             state: FaultState::Pending,
             visible_from: from,
             visible_to: to,
-        }
+            refire: 1.0,
+        })
+    }
+
+    /// Panicking convenience form of [`Fault::try_with_level_window`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to`.
+    pub fn with_level_window(core: usize, inject_at: f64, from: VfLevel, to: VfLevel) -> Self {
+        Self::try_with_level_window(core, inject_at, from, to)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Sets the per-observation manifestation probability (see
+    /// [`Fault::refire`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `refire` is not a probability in `[0, 1]`.
+    pub fn with_refire(mut self, refire: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&refire),
+            "refire must be a probability, got {refire}"
+        );
+        self.refire = refire;
+        self
+    }
+
+    /// True if this fault reproduces on every observation attempt.
+    pub fn is_solid(&self) -> bool {
+        self.refire >= 1.0
     }
 
     /// True if a test at `level` can observe this fault at all.
@@ -114,6 +182,18 @@ impl Fault {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultLog {
     faults: Vec<Fault>,
+    /// Per-core indices into `faults`, in injection order. Keeps
+    /// [`FaultLog::on_test_complete`] from scanning every injected fault
+    /// on every test completion; because each core's index list preserves
+    /// the global injection order, the RNG draw sequence is identical to
+    /// the full scan it replaced.
+    by_core: BTreeMap<usize, Vec<usize>>,
+    /// Detection *occurrences*: incremented on every detection, never
+    /// decremented. [`FaultLog::demote_to_latent`] can return a fault to
+    /// `Latent` (a cleared suspect), so this counter — not
+    /// [`FaultLog::detected_count`] — reconciles with `FaultDetected`
+    /// telemetry events.
+    detections: u64,
 }
 
 impl FaultLog {
@@ -122,17 +202,28 @@ impl FaultLog {
         Self::default()
     }
 
+    fn push_fault(&mut self, fault: Fault) {
+        let idx = self.faults.len();
+        self.by_core.entry(fault.core).or_default().push(idx);
+        self.faults.push(fault);
+    }
+
     /// Schedules a fault on `core` at `inject_at` seconds, observable at
     /// every DVFS level.
     pub fn inject(&mut self, core: usize, inject_at: f64) {
-        self.faults.push(Fault::new(core, inject_at));
+        self.push_fault(Fault::new(core, inject_at));
     }
 
     /// Schedules a voltage-dependent fault observable only at levels in
     /// `[from, to]`.
     pub fn inject_windowed(&mut self, core: usize, inject_at: f64, from: VfLevel, to: VfLevel) {
-        self.faults
-            .push(Fault::with_level_window(core, inject_at, from, to));
+        self.push_fault(Fault::with_level_window(core, inject_at, from, to));
+    }
+
+    /// Schedules an arbitrary pre-built fault (e.g. an intermittent one
+    /// built with [`Fault::with_refire`]).
+    pub fn inject_fault(&mut self, fault: Fault) {
+        self.push_fault(fault);
     }
 
     /// Promotes pending faults whose injection time has passed to latent.
@@ -178,19 +269,116 @@ impl FaultLog {
         rng: &mut SimRng,
         mut on_detect: impl FnMut(usize, f64),
     ) -> bool {
+        let Some(indices) = self.by_core.get(&core) else {
+            return false;
+        };
         let mut any = false;
-        for f in &mut self.faults {
-            if f.core == core
-                && matches!(f.state, FaultState::Latent)
+        // Indices are in injection order, so the RNG draws happen in the
+        // same sequence as the historical whole-log scan (which consumed a
+        // draw only for latent, level-visible faults on this core).
+        for &i in indices {
+            let f = &mut self.faults[i];
+            if matches!(f.state, FaultState::Latent)
                 && f.visible_at(level)
-                && rng.gen_bool(routine.coverage)
+                && rng.gen_bool(routine.coverage * f.refire)
             {
                 f.state = FaultState::Detected { at: now };
+                self.detections += 1;
                 on_detect(f.core, (now - f.inject_at).max(0.0));
                 any = true;
             }
         }
         any
+    }
+
+    /// Runs a *confirmation retest* on `core`: draws over every fault on
+    /// the core that is latent **or already detected** and visible at
+    /// `level`, using the same `coverage * refire` probability as a
+    /// regular test. Returns true if any fault manifested.
+    ///
+    /// Unlike [`FaultLog::on_test_complete`], confirmation neither counts
+    /// toward [`FaultLog::detections`] nor reports detection telemetry —
+    /// it answers one question: *does the symptom reproduce?* A latent
+    /// fault that manifests here is promoted to `Detected` (the retest
+    /// found it first). Because the draw is taken only over faults
+    /// actually present on the core, a fault-free core can never confirm:
+    /// false-positive detections always clear.
+    pub fn confirm(
+        &mut self,
+        core: usize,
+        routine: &TestRoutine,
+        level: VfLevel,
+        now: f64,
+        rng: &mut SimRng,
+    ) -> bool {
+        let Some(indices) = self.by_core.get(&core) else {
+            return false;
+        };
+        let mut any = false;
+        for &i in indices {
+            let f = &mut self.faults[i];
+            let present = matches!(f.state, FaultState::Latent | FaultState::Detected { .. });
+            if present && f.visible_at(level) && rng.gen_bool(routine.coverage * f.refire) {
+                if matches!(f.state, FaultState::Latent) {
+                    f.state = FaultState::Detected { at: now };
+                }
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Returns every detected fault on `core` to `Latent`, forgetting its
+    /// detection time. Called when confirmation retests fail to reproduce
+    /// a symptom and the core is cleared back to healthy — the fault (if
+    /// any) is still there, still undetected as far as the platform knows.
+    pub fn demote_to_latent(&mut self, core: usize) {
+        if let Some(indices) = self.by_core.get(&core) {
+            for &i in indices {
+                let f = &mut self.faults[i];
+                if matches!(f.state, FaultState::Detected { .. }) {
+                    f.state = FaultState::Latent;
+                }
+            }
+        }
+    }
+
+    /// True if `core` carries at least one fault already injected by
+    /// `now` (latent or detected).
+    pub fn has_active_fault(&self, core: usize, now: f64) -> bool {
+        self.by_core.get(&core).is_some_and(|idx| {
+            idx.iter().any(|&i| {
+                let f = &self.faults[i];
+                f.inject_at <= now && !matches!(f.state, FaultState::Pending)
+            })
+        })
+    }
+
+    /// True if `core` carries an active **solid** fault (`refire == 1`)
+    /// by `now`. Quarantining a core whose only faults are intermittent
+    /// is counted as a *false quarantine* by the degradation report.
+    pub fn has_solid_active_fault(&self, core: usize, now: f64) -> bool {
+        self.by_core.get(&core).is_some_and(|idx| {
+            idx.iter().any(|&i| {
+                let f = &self.faults[i];
+                f.inject_at <= now && !matches!(f.state, FaultState::Pending) && f.is_solid()
+            })
+        })
+    }
+
+    /// Earliest injection time of any fault on `core`, if one exists.
+    pub fn first_inject_at(&self, core: usize) -> Option<f64> {
+        self.by_core.get(&core).and_then(|idx| {
+            idx.iter()
+                .map(|&i| self.faults[i].inject_at)
+                .fold(None, |acc: Option<f64>, t| Some(acc.map_or(t, |a| a.min(t))))
+        })
+    }
+
+    /// Total detection occurrences (see the field doc on why this can
+    /// exceed [`FaultLog::detected_count`]).
+    pub fn detections(&self) -> u64 {
+        self.detections
     }
 
     /// All faults in injection order.
@@ -386,6 +574,133 @@ mod tests {
         );
         assert!(hit);
         assert_eq!(detections, vec![(2, 3.5)]);
+    }
+
+    /// The historical implementation of `on_test_complete_with`: a scan
+    /// over *every* injected fault. Kept verbatim (modulo the refire
+    /// factor, which is 1.0 for all faults in this test) as the reference
+    /// for the determinism proof below.
+    fn reference_full_scan(
+        faults: &mut [Fault],
+        core: usize,
+        routine: &TestRoutine,
+        level: VfLevel,
+        now: f64,
+        rng: &mut SimRng,
+    ) -> bool {
+        let mut any = false;
+        for f in faults.iter_mut() {
+            if f.core == core
+                && matches!(f.state, FaultState::Latent)
+                && f.visible_at(level)
+                && rng.gen_bool(routine.coverage * f.refire)
+            {
+                f.state = FaultState::Detected { at: now };
+                any = true;
+            }
+        }
+        any
+    }
+
+    #[test]
+    fn indexed_scan_preserves_rng_draw_order_of_full_scan() {
+        // Many faults spread over a few cores, tested in an interleaved
+        // order: the per-core index must consume exactly the same RNG
+        // draws as the whole-log scan, leaving both the fault states and
+        // the *downstream* RNG stream identical.
+        let plan: Vec<(usize, f64)> = (0..24).map(|i| (i % 5, 0.001 * i as f64)).collect();
+        let mut indexed = FaultLog::new();
+        let mut reference: Vec<Fault> = Vec::new();
+        for &(core, at) in &plan {
+            indexed.inject(core, at);
+            reference.push(Fault::new(core, at));
+        }
+        indexed.activate_due(1.0);
+        for f in &mut reference {
+            f.state = FaultState::Latent;
+        }
+        let r = routine(); // partial coverage: draws actually matter
+        let mut rng_a = SimRng::seed_from(42);
+        let mut rng_b = SimRng::seed_from(42);
+        for step in 0..40 {
+            let core = (step * 3) % 5;
+            let level = VfLevel((step % 3) as u8);
+            let now = 2.0 + step as f64;
+            let a = indexed.on_test_complete(core, &r, level, now, &mut rng_a);
+            let b = reference_full_scan(&mut reference, core, &r, level, now, &mut rng_b);
+            assert_eq!(a, b, "outcome diverged at step {step}");
+        }
+        assert_eq!(indexed.faults(), reference.as_slice(), "fault states diverged");
+        for i in 0..16 {
+            assert_eq!(rng_a.next_f64(), rng_b.next_f64(), "RNG stream diverged at draw {i}");
+        }
+    }
+
+    #[test]
+    fn try_with_level_window_rejects_inverted_windows() {
+        let err = Fault::try_with_level_window(0, 0.0, VfLevel(3), VfLevel(1)).unwrap_err();
+        assert_eq!(err, LevelWindowInverted { from: VfLevel(3), to: VfLevel(1) });
+        assert!(err.to_string().contains("level window inverted"));
+        assert!(Fault::try_with_level_window(0, 0.0, VfLevel(1), VfLevel(1)).is_ok());
+    }
+
+    #[test]
+    fn intermittent_faults_dodge_some_observations() {
+        // refire 0.0: the fault never manifests, even to a perfect routine.
+        let mut log = FaultLog::new();
+        log.inject_fault(Fault::new(0, 0.0).with_refire(0.0));
+        log.activate_due(0.0);
+        let mut rng = SimRng::seed_from(7);
+        for step in 0..20 {
+            assert!(!log.on_test_complete(0, &certain_routine(), VfLevel(0), 1.0 + step as f64, &mut rng));
+        }
+        assert_eq!(log.latent_count(), 1);
+    }
+
+    #[test]
+    fn confirm_reproduces_solid_faults_and_never_fires_on_clean_cores() {
+        let mut log = FaultLog::new();
+        log.inject(2, 0.0);
+        log.activate_due(0.0);
+        let mut rng = SimRng::seed_from(8);
+        // Detected by a normal test, then confirmed by a retest.
+        assert!(log.on_test_complete(2, &certain_routine(), VfLevel(0), 1.0, &mut rng));
+        assert!(log.confirm(2, &certain_routine(), VfLevel(0), 1.5, &mut rng));
+        // A fault-free core cannot confirm, no matter the routine or seed.
+        assert!(!log.confirm(3, &certain_routine(), VfLevel(0), 1.5, &mut rng));
+        assert_eq!(log.detections(), 1, "confirmation is not a new detection");
+    }
+
+    #[test]
+    fn demote_returns_detected_faults_to_latent_but_keeps_the_occurrence_count() {
+        let mut log = FaultLog::new();
+        log.inject(1, 0.0);
+        log.activate_due(0.0);
+        let mut rng = SimRng::seed_from(9);
+        assert!(log.on_test_complete(1, &certain_routine(), VfLevel(0), 1.0, &mut rng));
+        assert_eq!((log.detected_count(), log.detections()), (1, 1));
+        log.demote_to_latent(1);
+        assert_eq!(log.detected_count(), 0);
+        assert_eq!(log.latent_count(), 1);
+        assert_eq!(log.detections(), 1, "occurrences survive the demotion");
+        // The fault can be re-detected later — a second occurrence.
+        assert!(log.on_test_complete(1, &certain_routine(), VfLevel(0), 2.0, &mut rng));
+        assert_eq!(log.detections(), 2);
+    }
+
+    #[test]
+    fn active_fault_queries_respect_time_and_solidity() {
+        let mut log = FaultLog::new();
+        log.inject(0, 5.0);
+        log.inject_fault(Fault::new(1, 0.0).with_refire(0.3));
+        log.activate_due(1.0);
+        assert!(!log.has_active_fault(0, 1.0), "not yet activated");
+        assert!(log.has_active_fault(1, 1.0));
+        assert!(!log.has_solid_active_fault(1, 1.0), "intermittent is not solid");
+        log.activate_due(6.0);
+        assert!(log.has_solid_active_fault(0, 6.0));
+        assert_eq!(log.first_inject_at(0), Some(5.0));
+        assert_eq!(log.first_inject_at(9), None);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Per-core health state machine: the bridge between fault *detection*
+//! and fault *response*.
+//!
+//! Detection alone is telemetry; the paper's online testing only pays off
+//! if a detected core is actually withdrawn before it corrupts more
+//! application work. The [`HealthBoard`] tracks one [`CoreHealth`] per
+//! core:
+//!
+//! ```text
+//!            detection (or false positive)
+//! Healthy ──────────────────────────────────▶ Suspect { level, remaining }
+//!    ▲                                            │
+//!    │  K retests, symptom never reproduced       │ any retest reproduces
+//!    └────────────────────────────────────────────┤ the symptom
+//!                                                 ▼
+//!                                            Quarantined   (terminal)
+//! ```
+//!
+//! A `Suspect` core stays schedulable for *tests* (the confirmation
+//! retests run on it, pinned to the detecting V/f level) but takes no new
+//! application work. `Quarantined` is terminal for the run: the core is
+//! power-gated, removed from the mapper's free set, and its share of the
+//! power budget is derated away.
+
+use manytest_power::VfLevel;
+use serde::{Deserialize, Serialize};
+
+/// Health state of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoreHealth {
+    /// No open detection; full citizen of the mapper and scheduler.
+    Healthy,
+    /// A detection is awaiting confirmation.
+    Suspect {
+        /// DVFS level the detection happened at; retests are pinned here.
+        level: VfLevel,
+        /// Confirmation retests still to run before the core is cleared.
+        remaining: u8,
+        /// Confirmation retests completed so far in this suspicion.
+        used: u8,
+    },
+    /// Confirmed faulty and withdrawn for the rest of the run.
+    Quarantined,
+}
+
+/// The per-core health table (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use manytest_sbst::health::{CoreHealth, HealthBoard};
+/// use manytest_power::VfLevel;
+///
+/// let mut board = HealthBoard::new(4);
+/// board.mark_suspect(2, VfLevel(1), 3);
+/// assert!(board.is_suspect(2));
+/// assert!(!board.is_healthy(2));
+/// let used = board.quarantine(2);
+/// assert_eq!(used, 0);
+/// assert_eq!(board.healthy_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthBoard {
+    states: Vec<CoreHealth>,
+}
+
+impl HealthBoard {
+    /// A board with every core healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        HealthBoard {
+            states: vec![CoreHealth::Healthy; cores],
+        }
+    }
+
+    /// The health state of `core`.
+    pub fn state(&self, core: usize) -> CoreHealth {
+        self.states[core]
+    }
+
+    /// True if `core` is fully healthy.
+    pub fn is_healthy(&self, core: usize) -> bool {
+        matches!(self.states[core], CoreHealth::Healthy)
+    }
+
+    /// True if `core` awaits confirmation retests.
+    pub fn is_suspect(&self, core: usize) -> bool {
+        matches!(self.states[core], CoreHealth::Suspect { .. })
+    }
+
+    /// True if `core` is withdrawn for the rest of the run.
+    pub fn is_quarantined(&self, core: usize) -> bool {
+        matches!(self.states[core], CoreHealth::Quarantined)
+    }
+
+    /// The pinned retest level of a suspect core.
+    pub fn suspect_level(&self, core: usize) -> Option<VfLevel> {
+        match self.states[core] {
+            CoreHealth::Suspect { level, .. } => Some(level),
+            _ => None,
+        }
+    }
+
+    /// Opens a suspicion on `core`: `retests` confirmations pinned to
+    /// `level`. No-op unless the core is currently healthy (an open
+    /// suspicion keeps its original level and budget; a quarantined core
+    /// never comes back).
+    pub fn mark_suspect(&mut self, core: usize, level: VfLevel, retests: u8) {
+        if matches!(self.states[core], CoreHealth::Healthy) {
+            self.states[core] = CoreHealth::Suspect {
+                level,
+                remaining: retests,
+                used: 0,
+            };
+        }
+    }
+
+    /// Records one completed confirmation retest on a suspect core.
+    /// Returns `(used, remaining)` after the decrement; `(0, 0)` if the
+    /// core was not suspect.
+    pub fn note_retest_complete(&mut self, core: usize) -> (u8, u8) {
+        match &mut self.states[core] {
+            CoreHealth::Suspect { remaining, used, .. } => {
+                *remaining = remaining.saturating_sub(1);
+                *used = used.saturating_add(1);
+                (*used, *remaining)
+            }
+            _ => (0, 0),
+        }
+    }
+
+    /// Moves `core` to `Quarantined` (terminal). Returns the number of
+    /// confirmation retests that had completed in the suspicion.
+    pub fn quarantine(&mut self, core: usize) -> u8 {
+        let used = match self.states[core] {
+            CoreHealth::Suspect { used, .. } => used,
+            _ => 0,
+        };
+        self.states[core] = CoreHealth::Quarantined;
+        used
+    }
+
+    /// Clears a suspect `core` back to `Healthy`. Returns the number of
+    /// confirmation retests that had completed; no-op (returning 0) on a
+    /// quarantined core — quarantine is terminal.
+    pub fn clear(&mut self, core: usize) -> u8 {
+        match self.states[core] {
+            CoreHealth::Suspect { used, .. } => {
+                self.states[core] = CoreHealth::Healthy;
+                used
+            }
+            CoreHealth::Healthy => 0,
+            CoreHealth::Quarantined => 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Never true; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Cores currently `Healthy`.
+    pub fn healthy_count(&self) -> usize {
+        self.states.iter().filter(|s| matches!(s, CoreHealth::Healthy)).count()
+    }
+
+    /// Cores currently `Suspect`.
+    pub fn suspect_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, CoreHealth::Suspect { .. }))
+            .count()
+    }
+
+    /// Cores currently `Quarantined`.
+    pub fn quarantined_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, CoreHealth::Quarantined))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_board_is_all_healthy() {
+        let board = HealthBoard::new(8);
+        assert_eq!(board.len(), 8);
+        assert_eq!(board.healthy_count(), 8);
+        assert_eq!(board.suspect_count(), 0);
+        assert_eq!(board.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn suspicion_tracks_level_and_retest_budget() {
+        let mut board = HealthBoard::new(4);
+        board.mark_suspect(1, VfLevel(2), 3);
+        assert_eq!(board.suspect_level(1), Some(VfLevel(2)));
+        assert_eq!(board.note_retest_complete(1), (1, 2));
+        assert_eq!(board.note_retest_complete(1), (2, 1));
+        assert_eq!(board.note_retest_complete(1), (3, 0));
+        // Exhausting the budget does not auto-clear; the caller decides.
+        assert!(board.is_suspect(1));
+        assert_eq!(board.clear(1), 3);
+        assert!(board.is_healthy(1));
+    }
+
+    #[test]
+    fn re_marking_an_open_suspect_keeps_the_original_suspicion() {
+        let mut board = HealthBoard::new(2);
+        board.mark_suspect(0, VfLevel(1), 3);
+        board.note_retest_complete(0);
+        board.mark_suspect(0, VfLevel(4), 9);
+        assert_eq!(board.suspect_level(0), Some(VfLevel(1)));
+        assert_eq!(board.note_retest_complete(0), (2, 1));
+    }
+
+    #[test]
+    fn quarantine_is_terminal() {
+        let mut board = HealthBoard::new(3);
+        board.mark_suspect(2, VfLevel(0), 2);
+        board.note_retest_complete(2);
+        assert_eq!(board.quarantine(2), 1);
+        assert!(board.is_quarantined(2));
+        // Neither clearing nor re-suspecting resurrects the core.
+        assert_eq!(board.clear(2), 0);
+        assert!(board.is_quarantined(2));
+        board.mark_suspect(2, VfLevel(0), 2);
+        assert!(board.is_quarantined(2));
+        assert_eq!(board.healthy_count(), 2);
+    }
+
+    #[test]
+    fn retest_noted_on_non_suspect_core_is_a_noop() {
+        let mut board = HealthBoard::new(2);
+        assert_eq!(board.note_retest_complete(0), (0, 0));
+        assert!(board.is_healthy(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        HealthBoard::new(0);
+    }
+}

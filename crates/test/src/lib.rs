@@ -24,6 +24,9 @@
 //! * [`fault`] — fault injection and detection bookkeeping ([`FaultLog`]):
 //!   latent faults planted in cores are detected when a routine covering
 //!   them completes, yielding detection-latency statistics.
+//! * [`health`] — the per-core health state machine ([`HealthBoard`]):
+//!   detections open a `Suspect` state resolved by priority confirmation
+//!   retests into either `Quarantined` (withdrawn) or back to `Healthy`.
 //!
 //! # Examples
 //!
@@ -49,21 +52,28 @@
 
 pub mod coverage;
 pub mod fault;
+pub mod health;
 pub mod routine;
 pub mod scheduler;
 pub mod session;
 
 pub use coverage::VfCoverageLedger;
-pub use fault::{Fault, FaultLog, FaultState};
+pub use fault::{Fault, FaultLog, FaultState, LevelWindowInverted};
+pub use health::{CoreHealth, HealthBoard};
 pub use routine::{RoutineId, RoutineLibrary, TestRoutine};
-pub use scheduler::{TestCandidate, TestDenial, TestLaunch, TestScheduler, TestSchedulerConfig};
+pub use scheduler::{
+    RetestRequest, TestCandidate, TestDenial, TestLaunch, TestScheduler, TestSchedulerConfig,
+};
 pub use session::{SessionOutcome, TestSession};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::coverage::VfCoverageLedger;
-    pub use crate::fault::{Fault, FaultLog, FaultState};
+    pub use crate::fault::{Fault, FaultLog, FaultState, LevelWindowInverted};
+    pub use crate::health::{CoreHealth, HealthBoard};
     pub use crate::routine::{RoutineId, RoutineLibrary, TestRoutine};
-    pub use crate::scheduler::{TestCandidate, TestDenial, TestLaunch, TestScheduler, TestSchedulerConfig};
+    pub use crate::scheduler::{
+        RetestRequest, TestCandidate, TestDenial, TestLaunch, TestScheduler, TestSchedulerConfig,
+    };
     pub use crate::session::{SessionOutcome, TestSession};
 }

@@ -40,6 +40,11 @@ pub struct TestRoutine {
     pub activity: f64,
     /// Structural fault coverage of the targeted block, in `[0, 1]`.
     pub coverage: f64,
+    /// Probability that a completed run reports a fault on a *healthy*
+    /// core — signature aliasing, marginal timing at the test V/f point,
+    /// sensor noise. Zero (the default) models an ideal routine; nonzero
+    /// values exercise the confirmation-retest path.
+    pub false_positive_rate: f64,
 }
 
 impl TestRoutine {
@@ -64,7 +69,22 @@ impl TestRoutine {
             instructions,
             activity,
             coverage,
+            false_positive_rate: 0.0,
         }
+    }
+
+    /// Sets the false-positive rate (see the field doc).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not a probability in `[0, 1]`.
+    pub fn with_false_positive_rate(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "false-positive rate must be in [0,1]"
+        );
+        self.false_positive_rate = rate;
+        self
     }
 
     /// Wall time of the routine on a core running at `frequency` Hz with
@@ -149,6 +169,21 @@ impl RoutineLibrary {
     /// Total instruction volume of one full pass.
     pub fn pass_instructions(&self) -> u64 {
         self.routines.iter().map(|r| r.instructions).sum()
+    }
+
+    /// Returns the library with every routine's false-positive rate set
+    /// to `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not a probability in `[0, 1]`.
+    pub fn with_false_positive_rate(mut self, rate: f64) -> Self {
+        self.routines = self
+            .routines
+            .into_iter()
+            .map(|r| r.with_false_positive_rate(rate))
+            .collect();
+        self
     }
 
     /// Highest activity factor over the library (worst-case test power).
@@ -238,5 +273,23 @@ mod tests {
     #[test]
     fn display_id() {
         assert_eq!(RoutineId(3).to_string(), "r3");
+    }
+
+    #[test]
+    fn false_positive_rate_defaults_to_zero_and_applies_library_wide() {
+        let lib = RoutineLibrary::standard();
+        for (_, r) in lib.iter() {
+            assert_eq!(r.false_positive_rate, 0.0);
+        }
+        let noisy = lib.with_false_positive_rate(0.02);
+        for (_, r) in noisy.iter() {
+            assert_eq!(r.false_positive_rate, 0.02);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "false-positive rate")]
+    fn invalid_false_positive_rate_panics() {
+        TestRoutine::new("x", 10, 0.5, 0.5).with_false_positive_rate(1.5);
     }
 }

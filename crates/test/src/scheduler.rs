@@ -30,6 +30,19 @@ pub struct TestCandidate {
     pub criticality: f64,
 }
 
+/// A priority confirmation retest ordered by the health state machine: a
+/// core in `Suspect` must re-run a test *at the level the detection
+/// happened at* before any routine testing is considered. Retests bypass
+/// the criticality threshold — the whole point is to resolve the suspect
+/// verdict quickly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetestRequest {
+    /// The suspect core.
+    pub core: usize,
+    /// DVFS level the original detection happened at.
+    pub level: VfLevel,
+}
+
 /// A decision to start one test session.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TestLaunch {
@@ -218,8 +231,55 @@ impl TestScheduler {
         launches: &mut Vec<TestLaunch>,
         denials: &mut Vec<TestDenial>,
     ) {
+        self.plan_with_retests_into(&[], candidates, headroom_watts, launches, denials);
+    }
+
+    /// [`TestScheduler::plan_into`] with a priority lane: every
+    /// [`RetestRequest`] is served *before* any ranked candidate, pinned
+    /// to the level the detection happened at and exempt from the
+    /// criticality threshold. Retests still compete for the same headroom
+    /// and count against `max_launches_per_epoch` — confirmation is
+    /// urgent, not free.
+    pub fn plan_with_retests_into(
+        &mut self,
+        retests: &[RetestRequest],
+        candidates: &[TestCandidate],
+        headroom_watts: f64,
+        launches: &mut Vec<TestLaunch>,
+        denials: &mut Vec<TestDenial>,
+    ) {
         launches.clear();
         denials.clear();
+        let mut remaining = headroom_watts;
+        for req in retests {
+            if launches.len() >= self.config.max_launches_per_epoch {
+                break;
+            }
+            let routine_id = self.cursors[req.core];
+            let routine = self.library.routine(routine_id);
+            let op = self.ladder.point(req.level);
+            let power = self.model.core_power(op, routine.activity);
+            self.launches_attempted += 1;
+            if power <= remaining {
+                remaining -= power;
+                launches.push(TestLaunch {
+                    core: req.core,
+                    routine: routine_id,
+                    level: req.level,
+                    power,
+                    rate: op.frequency * self.config.ipc,
+                    instructions: routine.instructions,
+                });
+            } else {
+                self.launches_denied_power += 1;
+                denials.push(TestDenial {
+                    core: req.core,
+                    level: req.level,
+                    power,
+                    headroom: remaining,
+                });
+            }
+        }
         let mut ranked = std::mem::take(&mut self.rank_scratch);
         ranked.extend(
             candidates
@@ -233,7 +293,6 @@ impl TestScheduler {
                 .expect("criticality is never NaN")
                 .then(a.core.cmp(&b.core))
         });
-        let mut remaining = headroom_watts;
         for cand in &ranked {
             if launches.len() >= self.config.max_launches_per_epoch {
                 break;
@@ -471,6 +530,79 @@ mod tests {
                 s.on_session_complete(l.core, l.routine, l.level);
             }
         }
+    }
+
+    #[test]
+    fn retests_are_served_first_at_the_pinned_level() {
+        let mut s = scheduler();
+        // The suspect core fails the criticality threshold *and* would
+        // rotate to a different level — the retest overrides both.
+        let retests = [RetestRequest { core: 7, level: VfLevel(3) }];
+        let candidates = [candidate(0, 5.0), candidate(7, 0.1)];
+        let mut launches = Vec::new();
+        let mut denials = Vec::new();
+        s.plan_with_retests_into(&retests, &candidates, 1e9, &mut launches, &mut denials);
+        assert_eq!(launches.len(), 2);
+        assert_eq!(launches[0].core, 7, "retest comes before the ranked lane");
+        assert_eq!(launches[0].level, VfLevel(3), "retest is pinned to the detecting level");
+        assert_eq!(launches[1].core, 0);
+    }
+
+    #[test]
+    fn retests_compete_for_headroom_and_the_launch_cap() {
+        let mut s = scheduler();
+        // Cursor starts at routine 0 on every core.
+        let retest_power = s.session_power(RoutineId(0), VfLevel(2));
+        let retests = [
+            RetestRequest { core: 1, level: VfLevel(2) },
+            RetestRequest { core: 2, level: VfLevel(2) },
+        ];
+        let mut launches = Vec::new();
+        let mut denials = Vec::new();
+        // Headroom for exactly one retest: the second is denied, the
+        // ranked candidate behind it is denied too.
+        s.plan_with_retests_into(
+            &retests,
+            &[candidate(0, 5.0)],
+            retest_power * 1.2,
+            &mut launches,
+            &mut denials,
+        );
+        assert_eq!(launches.len(), 1);
+        assert_eq!(launches[0].core, 1);
+        assert_eq!(denials.len(), 2);
+        assert_eq!(denials[0].core, 2);
+
+        // Launch cap: one slot, claimed by the retest.
+        let mut cfg = TestSchedulerConfig::default();
+        cfg.max_launches_per_epoch = 1;
+        let mut s = TestScheduler::with_library(cfg, TechNode::N16, RoutineLibrary::standard(), 8);
+        s.plan_with_retests_into(
+            &[RetestRequest { core: 3, level: VfLevel(0) }],
+            &[candidate(0, 5.0)],
+            1e9,
+            &mut launches,
+            &mut denials,
+        );
+        assert_eq!(launches.len(), 1);
+        assert_eq!(launches[0].core, 3);
+    }
+
+    #[test]
+    fn plan_with_empty_retests_matches_plan_into() {
+        let mut a = scheduler();
+        let mut b = scheduler();
+        let candidates: Vec<TestCandidate> = (0..16).map(|c| candidate(c, 1.0)).collect();
+        let headroom = a.session_power(RoutineId(0), VfLevel(0)) * 3.2;
+        let mut la = Vec::new();
+        let mut da = Vec::new();
+        let mut lb = Vec::new();
+        let mut db = Vec::new();
+        a.plan_into(&candidates, headroom, &mut la, &mut da);
+        b.plan_with_retests_into(&[], &candidates, headroom, &mut lb, &mut db);
+        assert_eq!(la, lb);
+        assert_eq!(da, db);
+        assert_eq!(a, b);
     }
 
     #[test]
