@@ -25,6 +25,8 @@ use std::fmt::Write as _;
 ///   apps_aborted + apps_restarted` (every mapping either runs to
 ///   completion, is still in flight, was killed by a quarantine, or was a
 ///   first placement of an app that later restarted and was mapped again)
+/// * `CapAdjusted == cap_adjustments` (one governor move per epoch)
+/// * `FaultActivated == fault_activations` (occurrences)
 /// * `FaultDetected == fault_detections` (occurrences, not end-state)
 /// * Response pipeline: `CoreSuspected == cores_suspected`,
 ///   `CoreQuarantined == cores_quarantined`, `CoreCleared ==
@@ -45,7 +47,17 @@ use std::fmt::Write as _;
 /// `SystemBuilder::capture_events`.
 pub fn validate_events(report: &Report) -> Result<(), String> {
     let ev = &report.events;
-    let checks: [(&str, u64, u64); 15] = [
+    let checks: [(&str, u64, u64); 17] = [
+        (
+            "CapAdjusted == cap_adjustments",
+            ev.count("CapAdjusted"),
+            report.cap_adjustments,
+        ),
+        (
+            "FaultActivated == fault_activations",
+            ev.count("FaultActivated"),
+            report.fault_activations,
+        ),
         (
             "TestLaunched == tests_completed + tests_aborted + tests_in_flight",
             ev.count("TestLaunched"),

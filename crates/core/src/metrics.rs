@@ -37,6 +37,9 @@ pub struct Report {
     pub tdp: f64,
     /// Epochs whose measured power exceeded the TDP (with 1 % tolerance).
     pub cap_violations: u64,
+    /// Admission-cap moves by the governor (one per control epoch);
+    /// reconciles with `CapAdjusted` telemetry events.
+    pub cap_adjustments: u64,
     /// Fraction of consumed energy spent on SBST testing.
     pub test_energy_share: f64,
     /// Fraction of consumed energy spent on the NoC.
@@ -77,6 +80,9 @@ pub struct Report {
     /// once; this counter — not [`Report::faults_detected`] — reconciles
     /// with `FaultDetected` telemetry events.
     pub fault_detections: u64,
+    /// Fault activation *occurrences* (injected faults becoming latent
+    /// on their core); reconciles with `FaultActivated` events.
+    pub fault_activations: u64,
     /// Mean fault detection latency, seconds (0 when none detected).
     pub mean_detection_latency: f64,
 
@@ -224,6 +230,10 @@ pub struct MetricsCollector {
     pub tests_aborted: u64,
     /// Epochs violating the cap.
     pub cap_violations: u64,
+    /// Governor cap moves (one per control epoch).
+    pub cap_adjustments: u64,
+    /// Fault activation occurrences.
+    pub fault_activations: u64,
     /// Cores that entered `Suspect`.
     pub cores_suspected: u64,
     /// Cores confirmed faulty and withdrawn.

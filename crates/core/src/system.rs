@@ -601,6 +601,7 @@ impl System {
     fn control(&mut self, now: f64) {
         let cap = self.governor.next_cap(self.tdp, self.measured_last);
         self.budget.set_cap(cap);
+        self.metrics.cap_adjustments += 1;
         self.observer.on_event(
             now,
             &SimEvent::CapAdjusted {
@@ -612,7 +613,9 @@ impl System {
         );
         {
             let obs = &mut self.observer;
+            let activations = &mut self.metrics.fault_activations;
             self.faults.activate_due_with(now, |core| {
+                *activations += 1;
                 obs.on_event(now, &SimEvent::FaultActivated { core: core as u32 });
             });
         }
@@ -655,6 +658,7 @@ impl System {
             };
             if task_count > self.mesh.node_count() {
                 // Can never fit on this platform.
+                // lint:allow(panic-in-hot-path, reason = "front() returned Some three lines up and nothing touched the queue since")
                 let app = self.pending.pop_front().expect("checked front");
                 self.apps_rejected += 1;
                 self.observer.on_event(
@@ -684,6 +688,7 @@ impl System {
                 break; // not even near-threshold fits: wait for power
             };
             self.map_context(now);
+            // lint:allow(panic-in-hot-path, reason = "loop header breaks when the queue is empty; no admission path pops between there and here")
             let front = self.pending.front().expect("checked non-empty above");
             let Some(mapping) = self.mapper.map(&self.ctx_scratch, &front.graph) else {
                 break; // fragmentation: wait for departures
@@ -691,12 +696,14 @@ impl System {
             let watts = task_count as f64
                 * self.model.core_power(op, PowerModel::WORKLOAD_ACTIVITY);
             let Ok(reservation) = self.budget.reserve(watts) else { break };
+            // lint:allow(panic-in-hot-path, reason = "same front() entry the mapper just placed; the queue is untouched since the loop header check")
             let app = self.pending.pop_front().expect("checked front");
             let queue_wait = now - app.arrival.as_secs_f64();
             let hop_cost = mapping.weighted_hop_cost(&app.graph);
             self.metrics.queue_wait.push(queue_wait);
             self.metrics.hop_cost.push(hop_cost);
             let id = app.id;
+            // lint:allow(panic-in-hot-path, reason = "the mapper only returns mappings for non-empty graphs, and task graphs are validated non-empty at construction")
             let (bb_min, bb_max) = mapping.bounding_box().expect("mapping is non-empty");
             self.observer.on_event(
                 now,
@@ -842,13 +849,15 @@ impl System {
     fn abort_session(&mut self, core: usize, now: f64, reason: AbortReason) {
         let slot = &mut self.cores[core];
         debug_assert!(slot.session.is_some());
+        debug_assert!(
+            slot.session_reservation.is_some(),
+            "active session holds a reservation"
+        );
         slot.session = None;
         slot.session_gen += 1;
-        let reservation = slot
-            .session_reservation
-            .take()
-            .expect("active session holds a reservation");
-        self.budget.release(reservation);
+        if let Some(reservation) = slot.session_reservation.take() {
+            self.budget.release(reservation);
+        }
         self.scheduler.on_session_aborted(core);
         self.metrics.tests_aborted += 1;
         self.observer.on_event(
@@ -948,8 +957,11 @@ impl System {
         );
         self.set_mode(core, now, CoreMode::Busy(op));
         let finish = now + duration;
-        self.running.get_mut(&app_id).expect("app is running").tasks[task.index()] =
-            TaskState::Running { finish };
+        let Some(app) = self.running.get_mut(&app_id) else {
+            debug_assert!(false, "app {app_id} was checked running above");
+            return;
+        };
+        app.tasks[task.index()] = TaskState::Running { finish };
         self.queue.schedule(
             SimTime::from_ns((finish * 1e9).round() as u64),
             Ev::TaskFinish { app: app_id, task, inc },
@@ -961,35 +973,34 @@ impl System {
             Some(app) if app.inc == inc => {}
             _ => return, // stale: the app was torn down or re-placed
         }
+        // Work on the entry by value: one invariant-checked removal up
+        // front replaces every panicking lookup below; the entry goes
+        // back into the map at the end unless the app completed.
+        let Some(mut app) = self.running.remove(&app_id) else { return };
         // Release the core first.
-        let coord = self.running[&app_id].mapping.coord_of(task);
+        let coord = app.mapping.coord_of(task);
         let core = self.mesh.node_id(coord).index();
         self.cores[core].owner = None;
         self.set_mode(core, now, CoreMode::Off);
         // Record completion and instructions, and hand the task's share of
         // the power reservation back so later admissions (and tests) can
         // use it.
-        let instructions = self.running[&app_id].graph.task(task).instructions;
-        self.metrics.instructions += instructions;
-        {
-            let app = self.running.get_mut(&app_id).expect("app is running");
-            app.tasks[task.index()] = TaskState::Done { at: now };
-            app.done_count += 1;
-            if !app.is_complete() {
-                let shrunk = (app.reservation.watts() - app.per_task_watts).max(0.0);
-                self.budget
-                    .resize(&mut app.reservation, shrunk)
-                    .expect("shrinking a reservation cannot fail");
-            }
+        self.metrics.instructions += app.graph.task(task).instructions;
+        app.tasks[task.index()] = TaskState::Done { at: now };
+        app.done_count += 1;
+        if !app.is_complete() {
+            let shrunk = (app.reservation.watts() - app.per_task_watts).max(0.0);
+            let resized = self.budget.resize(&mut app.reservation, shrunk);
+            debug_assert!(resized.is_ok(), "shrinking a reservation cannot fail");
         }
         // Send output messages: charge NoC traffic + energy.
-        let out_edges: Vec<(TaskId, f64)> = self.running[&app_id]
+        let out_edges: Vec<(TaskId, f64)> = app
             .graph
             .out_edges(task)
             .map(|e| (e.to, e.bits))
             .collect();
         for (to, bits) in &out_edges {
-            let dst = self.running[&app_id].mapping.coord_of(*to);
+            let dst = app.mapping.coord_of(*to);
             self.traffic.charge_route(coord, dst, *bits);
             if self.config.model_contention {
                 self.epoch_traffic.charge_route(coord, dst, *bits);
@@ -998,38 +1009,35 @@ impl System {
             self.meter.add_energy(PowerCategory::Noc, cost.energy);
         }
         // Wake successors whose inputs are now complete.
-        let newly_ready: Vec<(TaskId, f64)> = {
-            let app = &self.running[&app_id];
-            out_edges
-                .iter()
-                .map(|&(to, _)| to)
-                .filter(|&to| {
-                    matches!(app.tasks[to.index()], TaskState::Waiting)
-                        && app.predecessors_done(to)
-                })
-                .map(|to| {
-                    let ready = app.input_ready_time(to, |p, t| {
-                        let bits = app
-                            .graph
-                            .edges()
-                            .iter()
-                            .find(|e| e.from == p && e.to == t)
-                            .map(|e| e.bits)
-                            .unwrap_or(0.0);
-                        let src = app.mapping.coord_of(p);
-                        let dst = app.mapping.coord_of(t);
-                        let base = self.link_model.message_cost(src, dst, bits).latency;
-                        match &self.link_loads {
-                            Some(loads) => {
-                                base * self.contention.route_factor(loads, src, dst)
-                            }
-                            None => base,
+        let newly_ready: Vec<(TaskId, f64)> = out_edges
+            .iter()
+            .map(|&(to, _)| to)
+            .filter(|&to| {
+                matches!(app.tasks[to.index()], TaskState::Waiting)
+                    && app.predecessors_done(to)
+            })
+            .map(|to| {
+                let ready = app.input_ready_time(to, |p, t| {
+                    let bits = app
+                        .graph
+                        .edges()
+                        .iter()
+                        .find(|e| e.from == p && e.to == t)
+                        .map(|e| e.bits)
+                        .unwrap_or(0.0);
+                    let src = app.mapping.coord_of(p);
+                    let dst = app.mapping.coord_of(t);
+                    let base = self.link_model.message_cost(src, dst, bits).latency;
+                    match &self.link_loads {
+                        Some(loads) => {
+                            base * self.contention.route_factor(loads, src, dst)
                         }
-                    });
-                    (to, ready.max(now))
-                })
-                .collect()
-        };
+                        None => base,
+                    }
+                });
+                (to, ready.max(now))
+            })
+            .collect();
         for (to, ready) in newly_ready {
             self.queue.schedule(
                 SimTime::from_ns((ready * 1e9).round() as u64),
@@ -1037,8 +1045,7 @@ impl System {
             );
         }
         // Application completion.
-        if self.running[&app_id].is_complete() {
-            let app = self.running.remove(&app_id).expect("app is running");
+        if app.is_complete() {
             self.budget.release(app.reservation);
             self.metrics.apps_completed += 1;
             let latency = now - app.arrived_at;
@@ -1050,20 +1057,26 @@ impl System {
                     latency,
                 },
             );
+        } else {
+            self.running.insert(app_id, app);
         }
     }
 
     fn on_session_finish(&mut self, core: usize, gen: u64, now: f64) {
-        if self.cores[core].session_gen != gen || self.cores[core].session.is_none() {
+        if self.cores[core].session_gen != gen {
             return; // stale event from an aborted session
         }
-        let session = self.cores[core].session.take().expect("checked above");
+        let Some(session) = self.cores[core].session.take() else {
+            return; // stale event from an aborted session
+        };
         self.cores[core].session_gen += 1;
-        let reservation = self.cores[core]
-            .session_reservation
-            .take()
-            .expect("active session holds a reservation");
-        self.budget.release(reservation);
+        debug_assert!(
+            self.cores[core].session_reservation.is_some(),
+            "active session holds a reservation"
+        );
+        if let Some(reservation) = self.cores[core].session_reservation.take() {
+            self.budget.release(reservation);
+        }
         self.scheduler
             .on_session_complete(core, session.routine(), session.level());
         self.stress.note_test_complete(core, now);
@@ -1200,6 +1213,7 @@ impl System {
         );
         if let Some((victim, _)) = self.cores[core].owner {
             match self.config.fault_response {
+                // lint:allow(panic-in-hot-path, reason = "structurally dead: confirmation retests (the only quarantine trigger) are disabled under Ignore")
                 FaultResponsePolicy::Ignore => unreachable!("Ignore never quarantines"),
                 FaultResponsePolicy::Abort => self.abort_app(victim.0, core, now),
                 FaultResponsePolicy::RestartElsewhere => self.restart_app(victim.0, core, now),
@@ -1222,12 +1236,15 @@ impl System {
     /// returns its power reservation, and orphans its in-flight events
     /// (their instance counter no longer matches any running app — and if
     /// the app is later re-admitted under the same id, the new instance
-    /// gets a fresh counter). Returns the pieces a restart needs.
-    fn teardown_app(&mut self, app_id: u64, now: f64) -> (AppId, manytest_workload::TaskGraph, f64) {
-        let app = self
-            .running
-            .remove(&app_id)
-            .expect("victim application is running");
+    /// gets a fresh counter). Returns the pieces a restart needs, or
+    /// `None` when the victim is not actually running (a caller bug the
+    /// fault-response paths guard with a debug assertion).
+    fn teardown_app(
+        &mut self,
+        app_id: u64,
+        now: f64,
+    ) -> Option<(AppId, manytest_workload::TaskGraph, f64)> {
+        let app = self.running.remove(&app_id)?;
         for t in 0..app.tasks.len() {
             let task = TaskId(t as u32);
             let core = self.mesh.node_id(app.mapping.coord_of(task)).index();
@@ -1237,11 +1254,14 @@ impl System {
             }
         }
         self.budget.release(app.reservation);
-        (app.id, app.graph, app.arrived_at)
+        Some((app.id, app.graph, app.arrived_at))
     }
 
     fn abort_app(&mut self, app_id: u64, core: usize, now: f64) {
-        let (id, _graph, _arrived) = self.teardown_app(app_id, now);
+        let Some((id, _graph, _arrived)) = self.teardown_app(app_id, now) else {
+            debug_assert!(false, "quarantine victim {app_id} is not running");
+            return;
+        };
         self.metrics.apps_aborted += 1;
         self.observer.on_event(
             now,
@@ -1255,7 +1275,10 @@ impl System {
     /// Re-queues the victim at the *front* of the pending queue with its
     /// original arrival stamp: it lost its progress, not its priority.
     fn restart_app(&mut self, app_id: u64, core: usize, now: f64) {
-        let (id, graph, arrived_at) = self.teardown_app(app_id, now);
+        let Some((id, graph, arrived_at)) = self.teardown_app(app_id, now) else {
+            debug_assert!(false, "quarantine victim {app_id} is not running");
+            return;
+        };
         self.metrics.apps_restarted += 1;
         self.observer.on_event(
             now,
@@ -1297,23 +1320,29 @@ impl System {
                 );
             }
         }
-        let Some(new_mapping) = self
-            .mapper
-            .remap(&self.ctx_scratch, &self.running[&app_id].graph)
-        else {
-            self.restart_app(app_id, bad_core, now);
+        // Work on the entry by value (same pattern as task completion):
+        // one invariant-checked removal replaces every panicking lookup
+        // below, and the entry goes back into the map before the
+        // migration event fires.
+        let Some(mut app) = self.running.remove(&app_id) else {
+            debug_assert!(false, "quarantine victim {app_id} is not running");
             return;
+        };
+        let new_mapping = match self.mapper.remap(&self.ctx_scratch, &app.graph) {
+            Some(m) => m,
+            None => {
+                self.running.insert(app_id, app);
+                self.restart_app(app_id, bad_core, now);
+                return;
+            }
         };
         let inc = self.next_inc;
         self.next_inc += 1;
         let delay = self.config.migration_delay.as_secs_f64();
-        let task_count = self.running[&app_id].tasks.len();
-        let op = self.running[&app_id].op;
-        let old_mapping = {
-            let app = self.running.get_mut(&app_id).expect("victim is running");
-            app.inc = inc;
-            std::mem::replace(&mut app.mapping, new_mapping)
-        };
+        let task_count = app.tasks.len();
+        let op = app.op;
+        app.inc = inc;
+        let old_mapping = std::mem::replace(&mut app.mapping, new_mapping);
         let mut moved_tasks = 0u32;
         let mut total_delay = 0.0;
         // Vacate every displaced task's old core before claiming any new
@@ -1322,7 +1351,7 @@ impl System {
         for t in 0..task_count {
             let task = TaskId(t as u32);
             let old = old_mapping.coord_of(task);
-            if old == self.running[&app_id].mapping.coord_of(task) {
+            if old == app.mapping.coord_of(task) {
                 continue;
             }
             let oc = self.mesh.node_id(old).index();
@@ -1334,11 +1363,11 @@ impl System {
         for t in 0..task_count {
             let task = TaskId(t as u32);
             let old = old_mapping.coord_of(task);
-            let new = self.running[&app_id].mapping.coord_of(task);
+            let new = app.mapping.coord_of(task);
             if old == new {
                 continue;
             }
-            let state = self.running[&app_id].tasks[t];
+            let state = app.tasks[t];
             if matches!(state, TaskState::Done { .. }) {
                 continue; // finished tasks have no live state to move
             }
@@ -1368,43 +1397,36 @@ impl System {
         // moved tasks finish (or become ready) one transfer-delay late.
         for t in 0..task_count {
             let task = TaskId(t as u32);
-            let moved =
-                old_mapping.coord_of(task) != self.running[&app_id].mapping.coord_of(task);
+            let moved = old_mapping.coord_of(task) != app.mapping.coord_of(task);
             let penalty = if moved { delay } else { 0.0 };
-            match self.running[&app_id].tasks[t] {
+            match app.tasks[t] {
                 TaskState::Running { finish } => {
                     let finish = finish + penalty;
-                    self.running
-                        .get_mut(&app_id)
-                        .expect("victim is running")
-                        .tasks[t] = TaskState::Running { finish };
+                    app.tasks[t] = TaskState::Running { finish };
                     self.queue.schedule(
                         SimTime::from_ns((finish * 1e9).round() as u64),
                         Ev::TaskFinish { app: app_id, task, inc },
                     );
                 }
-                TaskState::Waiting if self.running[&app_id].predecessors_done(task) => {
-                    let ready = {
-                        let app = &self.running[&app_id];
-                        app.input_ready_time(task, |p, to| {
-                            let bits = app
-                                .graph
-                                .edges()
-                                .iter()
-                                .find(|e| e.from == p && e.to == to)
-                                .map(|e| e.bits)
-                                .unwrap_or(0.0);
-                            let src = app.mapping.coord_of(p);
-                            let dst = app.mapping.coord_of(to);
-                            let base = self.link_model.message_cost(src, dst, bits).latency;
-                            match &self.link_loads {
-                                Some(loads) => {
-                                    base * self.contention.route_factor(loads, src, dst)
-                                }
-                                None => base,
+                TaskState::Waiting if app.predecessors_done(task) => {
+                    let ready = app.input_ready_time(task, |p, to| {
+                        let bits = app
+                            .graph
+                            .edges()
+                            .iter()
+                            .find(|e| e.from == p && e.to == to)
+                            .map(|e| e.bits)
+                            .unwrap_or(0.0);
+                        let src = app.mapping.coord_of(p);
+                        let dst = app.mapping.coord_of(to);
+                        let base = self.link_model.message_cost(src, dst, bits).latency;
+                        match &self.link_loads {
+                            Some(loads) => {
+                                base * self.contention.route_factor(loads, src, dst)
                             }
-                        })
-                    };
+                            None => base,
+                        }
+                    });
                     let ready = ready.max(now) + penalty;
                     self.queue.schedule(
                         SimTime::from_ns((ready * 1e9).round() as u64),
@@ -1416,6 +1438,7 @@ impl System {
                 TaskState::Waiting | TaskState::Done { .. } => {}
             }
         }
+        self.running.insert(app_id, app);
         self.metrics.apps_migrated += 1;
         self.observer.on_event(
             now,
@@ -1547,6 +1570,7 @@ impl System {
             peak_power: self.meter.peak_epoch_power(),
             tdp: self.tdp,
             cap_violations: self.metrics.cap_violations,
+            cap_adjustments: self.metrics.cap_adjustments,
             test_energy_share: self.meter.total_share(PowerCategory::Test),
             noc_energy_share: self.meter.total_share(PowerCategory::Noc),
             tests_completed: self.metrics.tests_completed,
@@ -1568,6 +1592,7 @@ impl System {
             faults_injected: self.faults.len() as u64,
             faults_detected: self.faults.detected_count() as u64,
             fault_detections: self.faults.detections(),
+            fault_activations: self.metrics.fault_activations,
             mean_detection_latency: self.faults.mean_detection_latency().unwrap_or(0.0),
             cores_suspected: self.metrics.cores_suspected,
             cores_quarantined: self.metrics.cores_quarantined,

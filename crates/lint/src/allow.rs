@@ -1,0 +1,151 @@
+//! Inline suppressions: `// lint:allow(<rule>, reason = "…")`.
+//!
+//! An allow comment silences findings of `<rule>` on its *target line*:
+//! the comment's own line when it trails code, otherwise the next line
+//! that carries any code token (so an allow can sit directly above a
+//! `.expect(…)` link in a method chain). The audit is two-sided — an
+//! allow that silences nothing is itself reported (`unused-allow`), and
+//! one without a parseable rule id and non-empty reason is reported as
+//! `malformed-allow`.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One parsed (or rejected) suppression comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule id being allowed, e.g. `panic-in-hot-path`.
+    pub rule: String,
+    /// The mandatory human rationale.
+    pub reason: String,
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+    /// The line whose findings this allow suppresses.
+    pub target_line: u32,
+    /// Why parsing failed, when it did (`rule`/`reason` are empty then).
+    pub malformed: Option<String>,
+}
+
+/// Extracts every `lint:allow` comment from a token stream and resolves
+/// its target line.
+pub fn parse_allows(tokens: &[Token]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        let body = tok.text.trim();
+        let Some(rest) = body.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let trails_code = tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|t| t.line == tok.line)
+            .any(|t| t.kind != TokenKind::Comment);
+        let target_line = if trails_code {
+            tok.line
+        } else {
+            tokens[i + 1..]
+                .iter()
+                .find(|t| t.kind != TokenKind::Comment)
+                .map(|t| t.line)
+                .unwrap_or(tok.line)
+        };
+        let mut allow = Allow {
+            rule: String::new(),
+            reason: String::new(),
+            line: tok.line,
+            col: tok.col,
+            target_line,
+            malformed: None,
+        };
+        match parse_body(rest) {
+            Ok((rule, reason)) => {
+                allow.rule = rule;
+                allow.reason = reason;
+            }
+            Err(msg) => allow.malformed = Some(msg),
+        }
+        allows.push(allow);
+    }
+    allows
+}
+
+/// Parses `(<rule>, reason = "…")` (whitespace-tolerant).
+fn parse_body(rest: &str) -> Result<(String, String), String> {
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `lint:allow`".into());
+    };
+    let Some(close) = rest.rfind(')') else {
+        return Err("missing closing `)`".into());
+    };
+    let inner = &rest[..close];
+    let Some((rule, reason_part)) = inner.split_once(',') else {
+        return Err("expected `lint:allow(<rule>, reason = \"…\")`".into());
+    };
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return Err(format!("invalid rule id `{rule}`"));
+    }
+    let reason_part = reason_part.trim();
+    let Some(reason_part) = reason_part.strip_prefix("reason") else {
+        return Err("expected `reason = \"…\"`".into());
+    };
+    let reason_part = reason_part.trim_start();
+    let Some(reason_part) = reason_part.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".into());
+    };
+    let reason_part = reason_part.trim();
+    let reason = reason_part
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".into());
+    }
+    Ok((rule.to_string(), reason.trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_allow_targets_its_own_line() {
+        let toks = lex("let x = v.pop().unwrap(); // lint:allow(panic-in-hot-path, reason = \"checked\")\n");
+        let allows = parse_allows(&toks);
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "panic-in-hot-path");
+        assert_eq!(allows[0].reason, "checked");
+        assert_eq!(allows[0].target_line, 1);
+        assert!(allows[0].malformed.is_none());
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let src = "// lint:allow(wall-clock, reason = \"bench only\")\n// another comment\nlet t = Instant::now();\n";
+        let allows = parse_allows(&lex(src));
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let allows = parse_allows(&lex("// lint:allow(wall-clock)\nx();\n"));
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].malformed.is_some());
+        let allows = parse_allows(&lex("// lint:allow(wall-clock, reason = \"\")\nx();\n"));
+        assert!(allows[0].malformed.is_some());
+    }
+
+    #[test]
+    fn allow_above_chain_link_reaches_the_expect_line() {
+        let src = "let r = slot\n    .take()\n    // lint:allow(panic-in-hot-path, reason = \"invariant\")\n    .expect(\"held\");\n";
+        let allows = parse_allows(&lex(src));
+        assert_eq!(allows[0].target_line, 4);
+    }
+}

@@ -1,0 +1,127 @@
+//! Diagnostics: findings, human rendering and JSON rendering.
+
+use std::fmt;
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`nondet-collections`, `unused-allow`, …).
+    pub rule: &'static str,
+    /// Workspace-relative, `/`-separated path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// Why the rule exists / what to do instead.
+    pub rationale: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Renders findings for terminals: one `file:line:col` diagnostic per
+/// finding plus the rule rationale, then a summary line.
+pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+        out.push_str("    note: ");
+        out.push_str(f.rationale);
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str(&format!("manytest-lint: {files_scanned} files scanned, no findings\n"));
+    } else {
+        out.push_str(&format!(
+            "manytest-lint: {} finding{} in {} files scanned\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            files_scanned
+        ));
+    }
+    out
+}
+
+/// Renders findings as a stable JSON document (machine-readable CI
+/// artifact). Keys are emitted in a fixed order; paths use `/`.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"finding_count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+            escape(f.rule),
+            escape(&f.file),
+            f.line,
+            f.col,
+            escape(&f.message)
+        ));
+    }
+    out.push_str(if findings.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            rule: "wall-clock",
+            file: "crates/sim/src/time.rs".into(),
+            line: 3,
+            col: 9,
+            message: "Instant outside crates/bench".into(),
+            rationale: "wall-clock reads break replay",
+        }
+    }
+
+    #[test]
+    fn human_format_is_file_line_col() {
+        let text = render_human(&[finding()], 10);
+        assert!(text.starts_with("crates/sim/src/time.rs:3:9: [wall-clock]"));
+        assert!(text.contains("1 finding in 10 files scanned"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut f = finding();
+        f.message = "say \"hi\"".into();
+        let json = render_json(&[f], 2);
+        assert!(json.contains("\"finding_count\": 1"));
+        assert!(json.contains("say \\\"hi\\\""));
+        let empty = render_json(&[], 2);
+        assert!(empty.contains("\"findings\": []"));
+    }
+}

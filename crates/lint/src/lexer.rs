@@ -1,0 +1,399 @@
+//! A lightweight Rust lexer: just enough syntax to make the rules
+//! string- and comment-aware.
+//!
+//! The lexer splits a source file into [`Token`]s with 1-based
+//! line/column spans. It understands the constructs that would otherwise
+//! produce false positives in a plain text scan:
+//!
+//! * line (`//`, `///`, `//!`) and block (`/* */`, nested) comments;
+//! * string literals (`"…"` with escapes, raw strings `r#"…"#` at any
+//!   hash depth, byte strings `b"…"` / `br#"…"#`);
+//! * character literals vs lifetimes (`'x'` / `'\n'` vs `'a`, `'static`);
+//! * identifiers, numbers and single-character punctuation.
+//!
+//! It is *not* a parser: rules pattern-match over the token stream
+//! (e.g. `SimEvent` `:` `:` `Ident`) instead of an AST. That trade keeps
+//! the analyzer dependency-free and fast while still being immune to
+//! matches inside strings, comments and doc text.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `{`, `!`, …).
+    Punct,
+    /// String literal of any flavour; `text` holds the *contents*
+    /// (delimiters and prefixes stripped, escapes left as written).
+    Str,
+    /// Character literal; `text` holds the contents between the quotes.
+    Char,
+    /// Lifetime (`'a`, `'static`); `text` holds the name without `'`.
+    Lifetime,
+    /// Numeric literal (integer or float, any base/suffix).
+    Number,
+    /// Line or block comment; `text` holds the body without delimiters.
+    Comment,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification of the token.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for what is included per kind).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated constructs
+/// are closed at end of input, and unrecognised bytes become punctuation.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+    _src: std::marker::PhantomData<&'a str>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            _src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.tokens.push(Token { kind, text, line, col });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                '"' => self.string(line, col),
+                'r' | 'b' if self.raw_or_byte_string(line, col) => {}
+                '\'' => self.char_or_lifetime(line, col),
+                c if c == '_' || c.is_alphabetic() => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                _ => {
+                    let c = self.bump().unwrap_or_default();
+                    self.push(TokenKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump(); // consume "//"
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(self.bump().unwrap_or_default());
+        }
+        self.push(TokenKind::Comment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        self.bump();
+        self.bump(); // consume "/*"
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push(self.bump().unwrap_or_default());
+                    text.push(self.bump().unwrap_or_default());
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(_), _) => text.push(self.bump().unwrap_or_default()),
+                (None, _) => break, // unterminated: close at EOF
+            }
+        }
+        self.push(TokenKind::Comment, text, line, col);
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                self.bump();
+                break;
+            }
+            if c == '\\' {
+                text.push(self.bump().unwrap_or_default());
+                if self.peek(0).is_some() {
+                    text.push(self.bump().unwrap_or_default());
+                }
+                continue;
+            }
+            text.push(self.bump().unwrap_or_default());
+        }
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and friends. Returns
+    /// false (consuming nothing) when the `r`/`b` starts a plain
+    /// identifier instead.
+    fn raw_or_byte_string(&mut self, line: u32, col: u32) -> bool {
+        let mut ahead = 1; // past the leading r or b
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            ahead = 2;
+        }
+        let mut hashes = 0usize;
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+            hashes += 1;
+        }
+        if self.peek(ahead) != Some('"') {
+            return false;
+        }
+        // `b"…"` (no `r` in the prefix) still processes escapes; any
+        // `r` prefix makes the body raw.
+        let prefix_len = ahead - hashes;
+        let raw = (0..prefix_len).any(|i| self.peek(i) == Some('r'));
+        for _ in 0..=ahead {
+            self.bump(); // prefix, hashes and opening quote
+        }
+        let mut text = String::new();
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('\\') if !raw => {
+                    text.push(self.bump().unwrap_or_default());
+                    if self.peek(0).is_some() {
+                        text.push(self.bump().unwrap_or_default());
+                    }
+                }
+                Some('"') => {
+                    // A raw string only closes when the quote is followed
+                    // by the right number of hashes.
+                    let closes = (0..hashes).all(|i| self.peek(1 + i) == Some('#'));
+                    if closes {
+                        self.bump();
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                    text.push(self.bump().unwrap_or_default());
+                }
+                Some(_) => text.push(self.bump().unwrap_or_default()),
+            }
+        }
+        self.push(TokenKind::Str, text, line, col);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume until the closing quote.
+                let mut text = String::new();
+                text.push(self.bump().unwrap_or_default());
+                if self.peek(0).is_some() {
+                    text.push(self.bump().unwrap_or_default());
+                }
+                while let Some(c) = self.peek(0) {
+                    if c == '\'' {
+                        self.bump();
+                        break;
+                    }
+                    text.push(self.bump().unwrap_or_default());
+                }
+                self.push(TokenKind::Char, text, line, col);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                let mut text = String::new();
+                text.push(self.bump().unwrap_or_default());
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        text.push(self.bump().unwrap_or_default());
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(TokenKind::Char, text, line, col);
+                } else {
+                    self.push(TokenKind::Lifetime, text, line, col);
+                }
+            }
+            Some(_) => {
+                // Punctuation char literal like '{' or ' '.
+                let mut text = String::new();
+                text.push(self.bump().unwrap_or_default());
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokenKind::Char, text, line, col);
+            }
+            None => self.push(TokenKind::Punct, "'".into(), line, col),
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(self.bump().unwrap_or_default());
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(self.bump().unwrap_or_default());
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // `1.5` continues the number; `0..n` does not.
+                text.push(self.bump().unwrap_or_default());
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts_have_positions() {
+        let toks = lex("let x = foo.bar();\n  y");
+        assert!(toks[0].is_ident("let"));
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        let y = toks.last().expect("has tokens");
+        assert!(y.is_ident("y"));
+        assert_eq!((y.line, y.col), (2, 3));
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_leak_idents() {
+        let toks = kinds("\"HashMap\" // HashMap\n/* HashMap */ BTreeMap");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .collect();
+        assert_eq!(idents.len(), 1);
+        assert_eq!(idents[0].1, "BTreeMap");
+    }
+
+    #[test]
+    fn raw_strings_at_hash_depth() {
+        let toks = kinds(r###"r#"says "hi""# x"###);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, "says \"hi\"");
+        assert!(toks[1].1 == "x");
+    }
+
+    #[test]
+    fn escaped_quote_stays_inside_string() {
+        let toks = kinds(r#""a\"b" c"#);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, r#"a\"b"#);
+        assert_eq!(toks[1].1, "c");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("&'a str 'x' '\\n' 'static");
+        let kinds: Vec<TokenKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert!(kinds.contains(&TokenKind::Lifetime));
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+        assert_eq!(toks.last().expect("tokens").0, TokenKind::Lifetime);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = kinds("/* a /* b */ c */ after");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert!(toks[1].1 == "after");
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("0..10 1.5");
+        assert_eq!(toks[0].0, TokenKind::Number);
+        assert_eq!(toks[0].1, "0");
+        assert!(toks[1].0 == TokenKind::Punct);
+        assert_eq!(toks.last().expect("tokens").1, "1.5");
+    }
+}

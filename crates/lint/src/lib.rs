@@ -1,0 +1,193 @@
+//! `manytest-lint` — workspace determinism & panic-safety static
+//! analyzer.
+//!
+//! Everything the reproduction claims rests on bit-level deterministic
+//! replay; this crate enforces the source-level half of that property
+//! *before* a nondeterminism bug can corrupt a golden file. It is an
+//! offline, dependency-free analyzer: a lightweight Rust lexer
+//! ([`lexer`]), a [`rules::Rule`] registry, per-finding diagnostics
+//! (`file:line:col`), and audited inline suppressions
+//! (`// lint:allow(<rule>, reason = "…")` — an allow that silences
+//! nothing is itself an error).
+//!
+//! Run it with:
+//!
+//! ```sh
+//! cargo run -p manytest-lint -- --workspace          # human output
+//! cargo run -p manytest-lint -- --workspace --json   # CI artifact
+//! ```
+//!
+//! See the README's "Static analysis" section for the rule table.
+
+pub mod allow;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use diag::Finding;
+use rules::is_known_rule;
+use source::{SourceFile, Workspace};
+use std::path::Path;
+
+/// The outcome of a lint run.
+pub struct LintReport {
+    /// Surviving findings, sorted by `(file, line, col, rule)`.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lints the workspace rooted at `root` (file rules, workspace rules,
+/// allow audit).
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let ws = Workspace::load(root)?;
+    Ok(run(&ws))
+}
+
+/// Lints individual files (no workspace rules — cross-file facts need
+/// the full tree).
+pub fn lint_files(files: Vec<SourceFile>) -> LintReport {
+    let ws = Workspace::from_sources(Path::new("/nonexistent"), files);
+    run_inner(&ws, false)
+}
+
+/// Runs every registered rule plus the allow audit over a loaded
+/// workspace.
+pub fn run(ws: &Workspace) -> LintReport {
+    run_inner(ws, true)
+}
+
+fn run_inner(ws: &Workspace, workspace_rules: bool) -> LintReport {
+    let registry = rules::registry();
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        for rule in &registry {
+            rule.check_file(file, &mut findings);
+        }
+    }
+    if workspace_rules {
+        for rule in &registry {
+            rule.check_workspace(ws, &mut findings);
+        }
+    }
+    let findings = audit_allows(ws, findings);
+    LintReport {
+        findings,
+        files_scanned: ws.files.len(),
+    }
+}
+
+/// Applies `lint:allow` suppressions, then reports the allows that are
+/// malformed, name an unknown rule, or silenced nothing.
+fn audit_allows(ws: &Workspace, findings: Vec<Finding>) -> Vec<Finding> {
+    // (file index, allow index) → times used.
+    let mut used: Vec<Vec<u32>> = ws
+        .files
+        .iter()
+        .map(|f| vec![0u32; f.allows.len()])
+        .collect();
+    let mut kept: Vec<Finding> = Vec::new();
+    'findings: for finding in findings {
+        if let Some(fi) = ws.files.iter().position(|f| f.rel_path == finding.file) {
+            for (ai, allow) in ws.files[fi].allows.iter().enumerate() {
+                if allow.malformed.is_none()
+                    && allow.rule == finding.rule
+                    && allow.target_line == finding.line
+                {
+                    used[fi][ai] += 1;
+                    continue 'findings;
+                }
+            }
+        }
+        kept.push(finding);
+    }
+    for (fi, file) in ws.files.iter().enumerate() {
+        for (ai, allow) in file.allows.iter().enumerate() {
+            if let Some(why) = &allow.malformed {
+                kept.push(Finding {
+                    rule: "malformed-allow",
+                    file: file.rel_path.clone(),
+                    line: allow.line,
+                    col: allow.col,
+                    message: format!("unparseable lint:allow: {why}"),
+                    rationale: ALLOW_RATIONALE,
+                });
+            } else if !is_known_rule(&allow.rule) {
+                kept.push(Finding {
+                    rule: "malformed-allow",
+                    file: file.rel_path.clone(),
+                    line: allow.line,
+                    col: allow.col,
+                    message: format!("lint:allow names unknown rule `{}`", allow.rule),
+                    rationale: ALLOW_RATIONALE,
+                });
+            } else if used[fi][ai] == 0 {
+                kept.push(Finding {
+                    rule: "unused-allow",
+                    file: file.rel_path.clone(),
+                    line: allow.line,
+                    col: allow.col,
+                    message: format!(
+                        "lint:allow({}) suppresses nothing on line {}",
+                        allow.rule, allow.target_line
+                    ),
+                    rationale: "stale allows hide future regressions; delete the comment or \
+                                move it next to the violation it justifies",
+                });
+            }
+        }
+    }
+    kept.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    kept
+}
+
+const ALLOW_RATIONALE: &str =
+    "the allow syntax is lint:allow(<rule>, reason = \"…\") — the reason is mandatory \
+     because suppressions are audited in review";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_suppresses_matching_finding_and_is_counted_used() {
+        let src = "use std::collections::HashMap; // lint:allow(nondet-collections, reason = \"doc example\")\n";
+        let report = lint_files(vec![SourceFile::from_source("crates/core/src/x.rs", src)]);
+        assert!(report.is_clean(), "findings: {:?}", report.findings);
+    }
+
+    #[test]
+    fn unused_allow_is_reported() {
+        let src = "// lint:allow(nondet-collections, reason = \"nothing here\")\nfn f() {}\n";
+        let report = lint_files(vec![SourceFile::from_source("crates/core/src/x.rs", src)]);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "unused-allow");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_malformed() {
+        let src = "// lint:allow(no-such-rule, reason = \"hm\")\nfn f() {}\n";
+        let report = lint_files(vec![SourceFile::from_source("crates/core/src/x.rs", src)]);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "malformed-allow");
+    }
+
+    #[test]
+    fn findings_are_sorted_and_spanned() {
+        let src = "use std::collections::{HashMap, HashSet};\n";
+        let report = lint_files(vec![SourceFile::from_source("crates/sim/src/x.rs", src)]);
+        assert_eq!(report.findings.len(), 2);
+        assert!(report.findings[0].col < report.findings[1].col);
+        assert_eq!(report.findings[0].line, 1);
+    }
+}

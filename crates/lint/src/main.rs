@@ -1,0 +1,143 @@
+//! CLI driver for `manytest-lint`.
+//!
+//! ```sh
+//! manytest-lint --workspace [--json] [--root DIR]   # lint the repo
+//! manytest-lint [--json] FILE...                     # lint single files
+//! manytest-lint --rules                              # list rules
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+
+use manytest_lint::diag::{render_human, render_json};
+use manytest_lint::rules::{registry, META_RULES};
+use manytest_lint::source::SourceFile;
+use manytest_lint::{lint_files, lint_workspace, LintReport};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let workspace = args.iter().any(|a| a == "--workspace");
+    let list_rules = args.iter().any(|a| a == "--rules");
+    let mut root_flag: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" | "--workspace" | "--rules" => {}
+            "--root" => match it.next() {
+                Some(v) => root_flag = Some(PathBuf::from(v)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                print!("{HELP}");
+                return 0;
+            }
+            a if a.starts_with("--root=") => {
+                root_flag = Some(PathBuf::from(&a["--root=".len()..]));
+            }
+            a if a.starts_with("--") => return usage(&format!("unknown flag {a}")),
+            a => paths.push(PathBuf::from(a)),
+        }
+    }
+
+    if list_rules {
+        for rule in registry() {
+            println!("{:<26} {}", rule.id(), rule.description());
+        }
+        for meta in META_RULES {
+            println!("{meta:<26} (allow audit; reported by the engine itself)");
+        }
+        return 0;
+    }
+
+    let report: LintReport = if workspace {
+        let root = match root_flag.or_else(discover_root) {
+            Some(r) => r,
+            None => return usage("could not find a workspace root; pass --root DIR"),
+        };
+        match lint_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("manytest-lint: error reading workspace: {e}");
+                return 2;
+            }
+        }
+    } else if paths.is_empty() {
+        return usage("pass --workspace or one or more .rs files");
+    } else {
+        let mut files = Vec::new();
+        for p in &paths {
+            match std::fs::read_to_string(p) {
+                Ok(text) => {
+                    files.push(SourceFile::from_source(p.to_string_lossy(), text));
+                }
+                Err(e) => {
+                    eprintln!("manytest-lint: cannot read {}: {e}", p.display());
+                    return 2;
+                }
+            }
+        }
+        lint_files(files)
+    };
+
+    if json {
+        print!("{}", render_json(&report.findings, report.files_scanned));
+    } else {
+        print!("{}", render_human(&report.findings, report.files_scanned));
+    }
+    if report.is_clean() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`; falls back to the compile-time location of
+/// this crate (two levels below the root).
+fn discover_root() -> Option<PathBuf> {
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            if is_workspace_root(&dir) {
+                return Some(dir);
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    let baked = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baked = baked.canonicalize().ok()?;
+    is_workspace_root(&baked).then_some(baked)
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|t| t.contains("[workspace]"))
+        .unwrap_or(false)
+}
+
+fn usage(msg: &str) -> i32 {
+    eprintln!("manytest-lint: {msg}");
+    eprint!("{HELP}");
+    2
+}
+
+const HELP: &str = "\
+usage: manytest-lint --workspace [--json] [--root DIR]
+       manytest-lint [--json] FILE...
+       manytest-lint --rules
+
+  --workspace  lint every .rs file in the workspace plus the golden
+               JSONs and doc probe references
+  --json       machine-readable output (CI artifact)
+  --root DIR   workspace root (default: walk up from the current dir)
+  --rules      list registered rules and exit
+
+exit codes: 0 clean, 1 findings, 2 usage/io error
+";

@@ -1,0 +1,188 @@
+//! `event-emission-coverage`: every `SimEvent` variant must be
+//! constructed in non-test code *and* reconciled in the audit layer.
+//!
+//! The telemetry contract is double-entry: each decision is emitted as a
+//! structured event and folded into a report aggregate, and
+//! `crates/core/src/audit.rs` reconciles the two. A variant that exists
+//! but is never emitted is dead telemetry; one that is emitted but not
+//! audited is an invariant hole — deleting an audit arm must fail the
+//! lint, not just the runtime tests.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::source::{SourceFile, Workspace};
+
+pub struct EventEmissionCoverage;
+
+/// Where the event enum lives.
+const OBS_FILE: &str = "crates/sim/src/obs.rs";
+/// Where every variant must be reconciled.
+const AUDIT_FILE: &str = "crates/core/src/audit.rs";
+/// The enum under the coverage contract.
+const ENUM_NAME: &str = "SimEvent";
+
+impl Rule for EventEmissionCoverage {
+    fn id(&self) -> &'static str {
+        "event-emission-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "every SimEvent variant must be emitted in non-test code and reconciled in audit.rs"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let Some(obs) = ws.file(OBS_FILE) else {
+            return; // nothing to cover (synthetic workspaces opt in)
+        };
+        let variants = enum_variants(obs, ENUM_NAME);
+        if variants.is_empty() {
+            return;
+        }
+        // Constructions anywhere outside obs.rs and audit.rs, in
+        // non-test code: `SimEvent` `::` `<Variant>`.
+        let mut constructed: Vec<String> = Vec::new();
+        for file in &ws.files {
+            if file.rel_path == OBS_FILE
+                || file.rel_path == AUDIT_FILE
+                || file.is_test_file()
+            {
+                continue;
+            }
+            collect_variant_refs(file, true, &mut |name| constructed.push(name.to_string()));
+        }
+        // Reconciliations in audit.rs: a `SimEvent::X` path *or* the
+        // variant's kind string (aggregate lookups like `count("X")`).
+        let mut audited: Vec<String> = Vec::new();
+        if let Some(audit) = ws.file(AUDIT_FILE) {
+            collect_variant_refs(audit, true, &mut |name| audited.push(name.to_string()));
+            for tok in audit.code_tokens() {
+                if tok.kind == TokenKind::Str && !audit.is_test_line(tok.line) {
+                    audited.push(tok.text.clone());
+                }
+            }
+        }
+        for v in &variants {
+            if !constructed.iter().any(|c| *c == v.text) {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: obs.rel_path.clone(),
+                    line: v.line,
+                    col: v.col,
+                    message: format!(
+                        "SimEvent::{} is never constructed in non-test code",
+                        v.text
+                    ),
+                    rationale: "an event kind nothing emits is dead telemetry — wire it into \
+                                the control loop or delete the variant",
+                });
+            }
+            if !audited.iter().any(|a| a == &v.text) {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: obs.rel_path.clone(),
+                    line: v.line,
+                    col: v.col,
+                    message: format!(
+                        "SimEvent::{} is not reconciled in {AUDIT_FILE}",
+                        v.text
+                    ),
+                    rationale: "every event kind needs an audit arm (a count invariant or a \
+                                sequence check) so emission bugs fail CI",
+                });
+            }
+        }
+    }
+}
+
+/// Collects `SimEvent::<Variant>` path references in `file`, skipping
+/// test lines when `skip_test_lines` is set.
+fn collect_variant_refs(
+    file: &SourceFile,
+    skip_test_lines: bool,
+    sink: &mut dyn FnMut(&str),
+) {
+    let code: Vec<&Token> = file.code_tokens().collect();
+    for i in 0..code.len().saturating_sub(3) {
+        if code[i].is_ident(ENUM_NAME)
+            && code[i + 1].is_punct(':')
+            && code[i + 2].is_punct(':')
+            && code[i + 3].kind == TokenKind::Ident
+            && !(skip_test_lines && file.is_test_line(code[i].line))
+        {
+            sink(&code[i + 3].text);
+        }
+    }
+}
+
+/// Extracts the variant-name tokens of `enum <name> { … }` from a file.
+///
+/// Token-level walk: find `enum <name>`, then collect the identifier
+/// that opens each variant at brace depth 1 (doc comments are skipped by
+/// tokenization; attributes and field blocks are stepped over).
+pub fn enum_variants(file: &SourceFile, name: &str) -> Vec<Token> {
+    let code: Vec<&Token> = file.code_tokens().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    // Find `enum <name> {`.
+    while i + 2 < code.len() {
+        if code[i].is_ident("enum") && code[i + 1].is_ident(name) {
+            break;
+        }
+        i += 1;
+    }
+    if i + 2 >= code.len() {
+        return variants;
+    }
+    i += 2;
+    while i < code.len() && !code[i].is_punct('{') {
+        i += 1; // skip generics/where clauses
+    }
+    if i >= code.len() {
+        return variants;
+    }
+    i += 1; // into the enum body
+    let mut depth = 1i32;
+    let mut awaiting_variant = true;
+    while i < code.len() && depth > 0 {
+        let t = code[i];
+        match () {
+            _ if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') => {
+                depth += 1;
+                i += 1;
+            }
+            _ if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') => {
+                depth -= 1;
+                i += 1;
+            }
+            _ if depth == 1 && t.is_punct('#') => {
+                // Skip a `#[…]` attribute group.
+                i += 1;
+                let mut attr_depth = 0i32;
+                while i < code.len() {
+                    if code[i].is_punct('[') {
+                        attr_depth += 1;
+                    } else if code[i].is_punct(']') {
+                        attr_depth -= 1;
+                        if attr_depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            _ if depth == 1 && t.is_punct(',') => {
+                awaiting_variant = true;
+                i += 1;
+            }
+            _ if depth == 1 && awaiting_variant && t.kind == TokenKind::Ident => {
+                variants.push((*t).clone());
+                awaiting_variant = false;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    variants
+}

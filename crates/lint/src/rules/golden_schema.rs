@@ -1,0 +1,313 @@
+//! `golden-schema`: the golden JSONs must parse, their kind keys must be
+//! a subset of the `SimEvent` enum, and the probe ids the docs reference
+//! must exist in `crates/bench/src/events.rs`.
+//!
+//! The golden per-kind count gate only protects the repo while the
+//! golden files themselves are well-formed and speak the same schema as
+//! the event enum — a typo'd kind key would silently never match
+//! anything. The doc half catches drift the other way: `repro explain
+//! e11`-style commands quoted in README/EXPERIMENTS must name probes the
+//! binary actually knows.
+
+use super::event_coverage::enum_variants;
+use super::Rule;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::source::Workspace;
+
+pub struct GoldenSchema;
+
+const OBS_FILE: &str = "crates/sim/src/obs.rs";
+const EVENTS_FILE: &str = "crates/bench/src/events.rs";
+const GOLDEN_DIR: &str = "crates/bench/tests/golden";
+const DOC_FILES: [&str; 2] = ["README.md", "EXPERIMENTS.md"];
+
+impl Rule for GoldenSchema {
+    fn id(&self) -> &'static str {
+        "golden-schema"
+    }
+
+    fn description(&self) -> &'static str {
+        "golden JSONs must parse with SimEvent kind keys; doc probe ids must exist"
+    }
+
+    fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        let kinds: Vec<String> = ws
+            .file(OBS_FILE)
+            .map(|obs| {
+                enum_variants(obs, "SimEvent")
+                    .into_iter()
+                    .map(|t| t.text)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let probe_ids = probe_ids(ws);
+        self.check_golden_files(ws, &kinds, &probe_ids, out);
+        self.check_doc_probe_ids(ws, &probe_ids, out);
+    }
+}
+
+impl GoldenSchema {
+    fn check_golden_files(
+        &self,
+        ws: &Workspace,
+        kinds: &[String],
+        probe_ids: &Option<Vec<String>>,
+        out: &mut Vec<Finding>,
+    ) {
+        let dir = ws.root.join(GOLDEN_DIR);
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return; // no golden gate in this tree
+        };
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let file_name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let rel = format!("{GOLDEN_DIR}/{file_name}");
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: rel,
+                    line: 1,
+                    col: 1,
+                    message: "golden file is unreadable".into(),
+                    rationale: GOLDEN_RATIONALE,
+                });
+                continue;
+            };
+            match parse_flat_object(&text) {
+                Err((line, col, msg)) => out.push(Finding {
+                    rule: self.id(),
+                    file: rel.clone(),
+                    line,
+                    col,
+                    message: format!("golden file does not parse: {msg}"),
+                    rationale: GOLDEN_RATIONALE,
+                }),
+                Ok(entries) => {
+                    for (key, line, col) in entries {
+                        if !kinds.is_empty() && !kinds.contains(&key) {
+                            out.push(Finding {
+                                rule: self.id(),
+                                file: rel.clone(),
+                                line,
+                                col,
+                                message: format!(
+                                    "kind key `{key}` is not a SimEvent variant"
+                                ),
+                                rationale: GOLDEN_RATIONALE,
+                            });
+                        }
+                    }
+                }
+            }
+            // `e3.quick.json` → probe id `e3` must be a known probe.
+            if let Some(ids) = probe_ids {
+                let stem = file_name.split('.').next().unwrap_or_default();
+                if !stem.is_empty() && !ids.iter().any(|i| i == stem) {
+                    out.push(Finding {
+                        rule: self.id(),
+                        file: rel,
+                        line: 1,
+                        col: 1,
+                        message: format!(
+                            "golden file is named for unknown probe id `{stem}`"
+                        ),
+                        rationale: GOLDEN_RATIONALE,
+                    });
+                }
+            }
+        }
+    }
+
+    /// `explain <id>` commands quoted in the docs must name real probes.
+    fn check_doc_probe_ids(
+        &self,
+        ws: &Workspace,
+        probe_ids: &Option<Vec<String>>,
+        out: &mut Vec<Finding>,
+    ) {
+        let Some(ids) = probe_ids else { return };
+        for doc in DOC_FILES {
+            let Ok(text) = std::fs::read_to_string(ws.root.join(doc)) else {
+                continue;
+            };
+            for (line_no, line) in text.lines().enumerate() {
+                let mut search_from = 0usize;
+                while let Some(pos) = line[search_from..].find("explain ") {
+                    let word_start = search_from + pos + "explain ".len();
+                    let word: String = line[word_start..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric())
+                        .collect();
+                    if looks_like_probe_id(&word) && !ids.iter().any(|i| *i == word) {
+                        out.push(Finding {
+                            rule: self.id(),
+                            file: doc.to_string(),
+                            line: (line_no + 1) as u32,
+                            col: (word_start + 1) as u32,
+                            message: format!(
+                                "doc references probe id `{word}` which is not in PROBE_IDS \
+                                 ({EVENTS_FILE})"
+                            ),
+                            rationale: "a quoted `repro explain <id>` command must keep working; \
+                                        update the doc or add the probe",
+                        });
+                    }
+                    search_from = word_start;
+                }
+            }
+        }
+    }
+}
+
+const GOLDEN_RATIONALE: &str =
+    "the golden count gate only bites when its files parse and use real SimEvent kind \
+     names; regenerate with MANYTEST_UPDATE_GOLDEN=1 rather than editing by hand";
+
+/// A probe id is a short letter+digits token (`e3`, `a6`, `e11`).
+fn looks_like_probe_id(word: &str) -> bool {
+    let mut chars = word.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_lowercase())
+        && chars.clone().next().is_some()
+        && chars.all(|c| c.is_ascii_digit())
+}
+
+/// Extracts the `PROBE_IDS` string-array literal from
+/// `crates/bench/src/events.rs`. `None` when the file or array is
+/// absent (synthetic workspaces without a bench crate).
+fn probe_ids(ws: &Workspace) -> Option<Vec<String>> {
+    let file = ws.file(EVENTS_FILE)?;
+    let code: Vec<_> = file.code_tokens().collect();
+    let start = code.iter().position(|t| t.is_ident("PROBE_IDS"))?;
+    // Skip the type annotation (`: [&str; 17]`): the literal starts at
+    // the first `[` after the `=`.
+    let eq = code[start..].iter().position(|t| t.is_punct('='))? + start;
+    let open = code[eq..].iter().position(|t| t.is_punct('['))? + eq;
+    let mut ids = Vec::new();
+    for tok in &code[open + 1..] {
+        if tok.is_punct(']') {
+            return Some(ids);
+        }
+        if tok.kind == TokenKind::Str {
+            ids.push(tok.text.clone());
+        }
+    }
+    None
+}
+
+/// Parses a flat JSON object `{ "key": <unsigned int>, … }`, returning
+/// each key with its 1-based position. Errors carry a position too.
+#[allow(clippy::type_complexity)]
+fn parse_flat_object(text: &str) -> Result<Vec<(String, u32, u32)>, (u32, u32, String)> {
+    let mut p = JsonScanner::new(text);
+    p.skip_ws();
+    p.expect('{')?;
+    let mut entries = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some('}') {
+        p.next();
+        return Ok(entries);
+    }
+    loop {
+        p.skip_ws();
+        let (line, col) = (p.line, p.col);
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        p.unsigned()?;
+        entries.push((key, line, col));
+        p.skip_ws();
+        match p.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => {
+                return Err((
+                    p.line,
+                    p.col,
+                    format!("expected `,` or `}}`, found {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+struct JsonScanner<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> JsonScanner<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonScanner {
+            chars: text.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), (u32, u32, String)> {
+        let (line, col) = (self.line, self.col);
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err((line, col, format!("expected `{want}`, found {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, (u32, u32, String)> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            let (line, col) = (self.line, self.col);
+            match self.next() {
+                Some('"') => return Ok(s),
+                Some('\\') => {
+                    s.push(self.next().ok_or((line, col, "unterminated escape".to_string()))?);
+                }
+                Some(c) => s.push(c),
+                None => return Err((line, col, "unterminated string".into())),
+            }
+        }
+    }
+
+    fn unsigned(&mut self) -> Result<u64, (u32, u32, String)> {
+        let (line, col) = (self.line, self.col);
+        let mut digits = String::new();
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            digits.push(self.next().unwrap_or('0'));
+        }
+        digits
+            .parse()
+            .map_err(|_| (line, col, "expected an unsigned integer count".into()))
+    }
+}

@@ -1,0 +1,75 @@
+//! `panic-in-hot-path`: `unwrap`/`expect`/`panic!`/`unreachable!` in the
+//! epoch loop, the test scheduler and the thermal kernels must carry an
+//! audited `lint:allow` with a reason — or be refactored away.
+//!
+//! A panic mid-epoch tears down a batch job and poisons the golden
+//! regeneration pass; worse, `catch_unwind` in the runner keeps sibling
+//! jobs running, so one panicking configuration can silently truncate a
+//! sweep. In the three hot files every potential panic site must either
+//! be rewritten as invariant-checked access (`let … else { return }` +
+//! `debug_assert!`) or carry a reviewed justification.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub struct PanicHotPath;
+
+/// The hot-path files under guard. Fixtures opt in by using one of
+/// these as their virtual path.
+pub const HOT_FILES: [&str; 3] = [
+    "crates/core/src/system.rs",
+    "crates/test/src/scheduler.rs",
+    "crates/aging/src/thermal.rs",
+];
+
+/// Macro names that unwind unconditionally when reached.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+impl Rule for PanicHotPath {
+    fn id(&self) -> &'static str {
+        "panic-in-hot-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic!/unreachable! in the epoch loop, scheduler and thermal kernels \
+         need an audited lint:allow"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !HOT_FILES.contains(&file.rel_path.as_str()) {
+            return;
+        }
+        let code: Vec<_> = file.code_tokens().collect();
+        for (i, tok) in code.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || file.is_test_line(tok.line) {
+                continue;
+            }
+            let method_call = (tok.text == "unwrap" || tok.text == "expect")
+                && i > 0
+                && code[i - 1].is_punct('.')
+                && code.get(i + 1).is_some_and(|t| t.is_punct('('));
+            let panic_macro = PANIC_MACROS.contains(&tok.text.as_str())
+                && code.get(i + 1).is_some_and(|t| t.is_punct('!'));
+            if !(method_call || panic_macro) {
+                continue;
+            }
+            let shown = if panic_macro {
+                format!("{}!", tok.text)
+            } else {
+                format!(".{}()", tok.text)
+            };
+            out.push(Finding {
+                rule: self.id(),
+                file: file.rel_path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!("`{shown}` in a hot path without an audited allow"),
+                rationale: "a panic here kills a batch job mid-sweep; refactor to invariant-\
+                            checked access (let-else + debug_assert) or justify it with \
+                            lint:allow(panic-in-hot-path, reason = \"…\")",
+            });
+        }
+    }
+}

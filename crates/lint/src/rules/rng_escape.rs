@@ -1,0 +1,73 @@
+//! `rng-escape`: `SimRng` handles must not be parked where they can
+//! cross a batch-job boundary.
+//!
+//! The runtime RNG audit (debug builds only) panics when a `SimRng` is
+//! drawn from two different batch jobs. This rule is its static twin:
+//! it flags the constructions that make such sharing possible at all —
+//! a `SimRng` inside `Arc`/`Mutex`/`RwLock`/`OnceLock`/`OnceCell`, in a
+//! `static` item or in a `thread_local!` block. Release builds skip the
+//! runtime check, so the static gate is what actually protects CI.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub struct RngEscape;
+
+/// Idents that, appearing shortly before a `SimRng`, indicate the
+/// handle is being parked in shared or global storage.
+const ESCAPE_HATCHES: [&str; 7] = [
+    "Arc", "Mutex", "RwLock", "OnceLock", "OnceCell", "static", "thread_local",
+];
+
+/// How many code tokens back to look for an escape hatch (covers
+/// `Arc<Mutex<SimRng>>` and `static RNG: Mutex<SimRng>`).
+const LOOKBACK: usize = 8;
+
+impl Rule for RngEscape {
+    fn id(&self) -> &'static str {
+        "rng-escape"
+    }
+
+    fn description(&self) -> &'static str {
+        "SimRng must not be stored in Arc/Mutex/static/thread_local where it could cross \
+         a batch-job boundary"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        // The sim crate defines SimRng (and its own audit machinery);
+        // test code exercises sharing deliberately.
+        if file.crate_name() == "sim" || file.is_test_file() {
+            return;
+        }
+        let code: Vec<_> = file.code_tokens().collect();
+        for (i, tok) in code.iter().enumerate() {
+            if tok.kind != TokenKind::Ident
+                || tok.text != "SimRng"
+                || file.is_test_line(tok.line)
+            {
+                continue;
+            }
+            let hatch = code[i.saturating_sub(LOOKBACK)..i]
+                .iter()
+                .rev()
+                .find(|t| ESCAPE_HATCHES.iter().any(|h| t.is_ident(h)));
+            if let Some(hatch) = hatch {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: file.rel_path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "SimRng stored behind `{}`: the handle can outlive its batch-job \
+                         audit scope",
+                        hatch.text
+                    ),
+                    rationale: "a shared or global SimRng breaks per-job determinism; derive a \
+                                fresh stream per job with SimRng::derive instead",
+                });
+            }
+        }
+    }
+}

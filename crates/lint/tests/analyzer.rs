@@ -1,0 +1,275 @@
+//! Integration tests for `manytest-lint`: every rule against a
+//! violating and a clean fixture, span accuracy, the allow audit,
+//! synthetic workspaces for the cross-file rules, and the self-check
+//! (the repository's own tree must be clean).
+
+use manytest_lint::diag::render_human;
+use manytest_lint::source::{SourceFile, Workspace};
+use manytest_lint::{lint_files, lint_workspace, run, LintReport};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+/// Lints one fixture under a virtual path (the path selects which
+/// crate-scoped rules apply).
+fn lint_fixture(virtual_path: &str, name: &str) -> LintReport {
+    lint_files(vec![SourceFile::from_source(virtual_path, fixture(name))])
+}
+
+fn rules_of(report: &LintReport) -> Vec<&'static str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+// ----- nondet-collections ----------------------------------------------
+
+#[test]
+fn nondet_collections_flags_hash_containers_with_exact_spans() {
+    let report = lint_fixture("crates/core/src/x.rs", "nondet_violating.rs");
+    assert_eq!(rules_of(&report), vec!["nondet-collections"; 3]);
+    // Span accuracy: `use std::collections::HashMap;` — the ident
+    // starts at column 23.
+    let spans: Vec<(u32, u32)> = report.findings.iter().map(|f| (f.line, f.col)).collect();
+    assert_eq!(spans, vec![(1, 23), (3, 19), (4, 5)]);
+    assert_eq!(report.findings[0].file, "crates/core/src/x.rs");
+}
+
+#[test]
+fn nondet_collections_accepts_btreemap_and_strings() {
+    let report = lint_fixture("crates/core/src/x.rs", "nondet_clean.rs");
+    assert!(report.is_clean(), "{}", render_human(&report.findings, 1));
+}
+
+#[test]
+fn nondet_collections_is_scoped_to_sim_crates() {
+    // The same violating source outside the simulation crates is fine
+    // (the analyzer itself uses whatever containers it likes).
+    let report = lint_fixture("crates/lint/src/x.rs", "nondet_violating.rs");
+    assert!(report.is_clean(), "{}", render_human(&report.findings, 1));
+}
+
+// ----- wall-clock ------------------------------------------------------
+
+#[test]
+fn wall_clock_flags_instant_outside_bench() {
+    let report = lint_fixture("crates/core/src/x.rs", "wall_clock_violating.rs");
+    assert_eq!(rules_of(&report), vec!["wall-clock"; 2]);
+    let lines: Vec<u32> = report.findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![1, 4]);
+    assert_eq!(report.findings[0].col, 16); // `use std::time::Instant;`
+}
+
+#[test]
+fn wall_clock_exempts_bench_and_accepts_sim_time() {
+    let bench = lint_fixture("crates/bench/src/x.rs", "wall_clock_violating.rs");
+    assert!(bench.is_clean(), "{}", render_human(&bench.findings, 1));
+    let clean = lint_fixture("crates/core/src/x.rs", "wall_clock_clean.rs");
+    assert!(clean.is_clean(), "{}", render_human(&clean.findings, 1));
+}
+
+// ----- panic-in-hot-path -----------------------------------------------
+
+#[test]
+fn panic_in_hot_path_flags_unwrap_and_macros_outside_test_mods() {
+    let report = lint_fixture("crates/core/src/system.rs", "panic_violating.rs");
+    assert_eq!(rules_of(&report), vec!["panic-in-hot-path"; 2]);
+    assert!(report.findings[0].message.contains(".unwrap()"));
+    assert_eq!(report.findings[0].line, 2);
+    assert!(report.findings[1].message.contains("panic!"));
+    assert_eq!(report.findings[1].line, 4);
+    // The unwrap inside `#[cfg(test)] mod tests` was not flagged.
+}
+
+#[test]
+fn panic_in_hot_path_accepts_let_else_and_audited_allows() {
+    let report = lint_fixture("crates/core/src/system.rs", "panic_clean.rs");
+    assert!(report.is_clean(), "{}", render_human(&report.findings, 1));
+}
+
+#[test]
+fn panic_in_hot_path_only_guards_hot_files() {
+    let report = lint_fixture("crates/core/src/other.rs", "panic_violating.rs");
+    assert!(report.is_clean(), "{}", render_human(&report.findings, 1));
+}
+
+// ----- rng-escape ------------------------------------------------------
+
+#[test]
+fn rng_escape_flags_shared_storage() {
+    let report = lint_fixture("crates/core/src/x.rs", "rng_escape_violating.rs");
+    assert_eq!(rules_of(&report), vec!["rng-escape"]);
+    assert!(report.findings[0].message.contains("`Mutex`"));
+    assert_eq!((report.findings[0].line, report.findings[0].col), (4, 20));
+}
+
+#[test]
+fn rng_escape_accepts_owned_handles_and_derivation() {
+    let report = lint_fixture("crates/core/src/x.rs", "rng_escape_clean.rs");
+    assert!(report.is_clean(), "{}", render_human(&report.findings, 1));
+}
+
+// ----- allow audit -----------------------------------------------------
+
+#[test]
+fn moving_an_allow_away_from_its_violation_reports_unused_allow() {
+    // The allow targets the next code line — an unrelated item — so the
+    // violation below survives AND the allow is reported stale.
+    let src = "// lint:allow(nondet-collections, reason = \"misplaced\")\nfn unrelated() {}\nuse std::collections::HashMap;\n";
+    let report = lint_files(vec![SourceFile::from_source("crates/core/src/x.rs", src)]);
+    let mut rules = rules_of(&report);
+    rules.sort();
+    assert_eq!(rules, vec!["nondet-collections", "unused-allow"]);
+}
+
+#[test]
+fn allow_without_reason_is_malformed() {
+    let src = "// lint:allow(nondet-collections)\nuse std::collections::HashMap;\n";
+    let report = lint_files(vec![SourceFile::from_source("crates/core/src/x.rs", src)]);
+    assert!(
+        rules_of(&report).contains(&"malformed-allow"),
+        "{}",
+        render_human(&report.findings, 1)
+    );
+}
+
+// ----- event-emission-coverage (synthetic workspace) -------------------
+
+fn synthetic_events_workspace(emitter_body: &str, audit_body: &str) -> Workspace {
+    let obs = SourceFile::from_source(
+        "crates/sim/src/obs.rs",
+        "pub enum SimEvent { Alpha, Beta { x: u32 }, Gamma }\n",
+    );
+    let emitter = SourceFile::from_source("crates/core/src/emitter.rs", emitter_body);
+    let audit = SourceFile::from_source("crates/core/src/audit.rs", audit_body);
+    Workspace::from_sources("/nonexistent", vec![obs, emitter, audit])
+}
+
+#[test]
+fn event_coverage_reports_unconstructed_and_unaudited_variants() {
+    let ws = synthetic_events_workspace(
+        "pub fn emit() { observe(SimEvent::Alpha); observe(SimEvent::Beta { x: 1 }); }\n",
+        "pub fn audit() { check(SimEvent::Alpha); check_count(\"Gamma\"); }\n",
+    );
+    let report = run(&ws);
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "event-emission-coverage")
+        .map(|f| f.message.as_str())
+        .collect();
+    // Gamma is audited but never constructed; Beta is constructed but
+    // never reconciled.
+    assert_eq!(messages.len(), 2, "{}", render_human(&report.findings, 3));
+    assert!(messages.iter().any(|m| m.contains("Gamma") && m.contains("never constructed")));
+    assert!(messages.iter().any(|m| m.contains("Beta") && m.contains("not reconciled")));
+}
+
+#[test]
+fn deleting_an_audit_arm_fails_the_lint() {
+    // Full coverage first: every variant constructed and audited.
+    let emitter =
+        "pub fn emit() { observe(SimEvent::Alpha); observe(SimEvent::Beta { x: 1 }); observe(SimEvent::Gamma); }\n";
+    let full = synthetic_events_workspace(
+        emitter,
+        "pub fn audit() { check(SimEvent::Alpha); check(SimEvent::Beta); check_count(\"Gamma\"); }\n",
+    );
+    assert!(
+        run(&full)
+            .findings
+            .iter()
+            .all(|f| f.rule != "event-emission-coverage"),
+        "baseline should cover all variants"
+    );
+    // Delete the Beta arm: the lint must start failing.
+    let broken = synthetic_events_workspace(
+        emitter,
+        "pub fn audit() { check(SimEvent::Alpha); check_count(\"Gamma\"); }\n",
+    );
+    assert!(run(&broken)
+        .findings
+        .iter()
+        .any(|f| f.rule == "event-emission-coverage" && f.message.contains("Beta")));
+}
+
+// ----- golden-schema (on-disk synthetic workspace) ---------------------
+
+#[test]
+fn golden_schema_catches_bad_kinds_unknown_probes_and_doc_drift() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-golden-fixture");
+    let golden = root.join("crates/bench/tests/golden");
+    std::fs::create_dir_all(&golden).expect("tmpdir");
+    std::fs::write(golden.join("e3.quick.json"), "{\n  \"Bogus\": 3\n}\n").expect("write");
+    std::fs::write(golden.join("q7.quick.json"), "{ \"Alpha\": 1 }\n").expect("write");
+    std::fs::write(golden.join("e11.quick.json"), "{ \"Alpha\": }\n").expect("write");
+    std::fs::write(
+        root.join("README.md"),
+        "Run `repro explain e99` to inspect a probe.\n",
+    )
+    .expect("write");
+    let obs = SourceFile::from_source("crates/sim/src/obs.rs", "pub enum SimEvent { Alpha }\n");
+    let events = SourceFile::from_source(
+        "crates/bench/src/events.rs",
+        "pub const PROBE_IDS: [&str; 2] = [\"e3\", \"e11\"];\n",
+    );
+    let ws = Workspace::from_sources(root, vec![obs, events]);
+    let report = run(&ws);
+    let golden_findings: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "golden-schema")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        golden_findings.iter().any(|m| m.contains("`Bogus`")),
+        "bad kind key: {golden_findings:?}"
+    );
+    assert!(
+        golden_findings.iter().any(|m| m.contains("`q7`")),
+        "unknown probe id file: {golden_findings:?}"
+    );
+    assert!(
+        golden_findings.iter().any(|m| m.contains("does not parse")),
+        "parse error: {golden_findings:?}"
+    );
+    assert!(
+        golden_findings.iter().any(|m| m.contains("`e99`")),
+        "doc drift: {golden_findings:?}"
+    );
+    // The well-formed names were accepted: nothing flagged e3 itself.
+    assert!(
+        !golden_findings.iter().any(|m| m.contains("unknown probe id `e3`")),
+        "{golden_findings:?}"
+    );
+}
+
+// ----- acceptance: seeded violations fail, the real tree passes --------
+
+#[test]
+fn seeding_a_hashmap_into_core_fails_the_workspace_lint() {
+    let seeded = SourceFile::from_source(
+        "crates/core/src/seeded.rs",
+        "use std::collections::HashMap;\npub type T = HashMap<u32, u32>;\n",
+    );
+    let report = lint_files(vec![seeded]);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "nondet-collections" && f.file == "crates/core/src/seeded.rs"));
+}
+
+#[test]
+fn self_check_repo_tree_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace loads");
+    assert!(
+        report.is_clean(),
+        "the repository must lint clean:\n{}",
+        render_human(&report.findings, report.files_scanned)
+    );
+    // Sanity: the scan actually visited the tree.
+    assert!(report.files_scanned > 50, "only {} files scanned", report.files_scanned);
+}

@@ -1,0 +1,7 @@
+use std::collections::BTreeMap;
+
+pub fn build() -> BTreeMap<u32, f64> {
+    // A string mentioning HashMap must not trip the lexer-aware rule.
+    let _doc = "prefer BTreeMap over HashMap";
+    BTreeMap::new()
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, f64> {
+    HashMap::new()
+}

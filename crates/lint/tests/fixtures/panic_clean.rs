@@ -1,0 +1,12 @@
+pub fn lookup(xs: &[u32], i: usize) -> u32 {
+    let Some(v) = xs.get(i) else {
+        debug_assert!(false, "caller guarantees i < xs.len()");
+        return 0;
+    };
+    *v
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    // lint:allow(panic-in-hot-path, reason = "fixture: caller guarantees non-empty input")
+    *xs.first().expect("non-empty")
+}

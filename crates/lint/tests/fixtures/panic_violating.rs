@@ -1,0 +1,15 @@
+pub fn lookup(xs: &[u32], i: usize) -> u32 {
+    let v = xs.get(i).copied().unwrap();
+    if v > 100 {
+        panic!("out of range");
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_modules_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

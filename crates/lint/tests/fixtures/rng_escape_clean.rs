@@ -1,0 +1,7 @@
+pub struct Job {
+    rng: SimRng,
+}
+
+pub fn derive_stream(parent: &mut SimRng) -> SimRng {
+    parent.derive()
+}

@@ -1,0 +1,5 @@
+use std::sync::{Arc, Mutex};
+
+pub struct Shared {
+    rng: Arc<Mutex<SimRng>>,
+}
