@@ -7,6 +7,7 @@
 //! cargo run -p manytest-bench --bin repro --release -- --jobs 4
 //! cargo run -p manytest-bench --bin repro --release -- e3 --events telemetry/
 //! cargo run -p manytest-bench --bin repro --release -- explain e3
+//! cargo run -p manytest-bench --bin repro --release -- report e11 --out report/
 //! ```
 //!
 //! Worker count: `--jobs N` (or `--jobs=N`) > the `MANYTEST_JOBS`
@@ -20,8 +21,13 @@
 //! `explain <id>` replaces the tables entirely: it runs the probe for
 //! one experiment and prints a human-readable decision timeline plus
 //! counter/histogram summaries.
+//! `report <id> [--out DIR]` runs the probe with the flight recorder on
+//! and renders `DIR/<id>.html` (SVG panels) plus `DIR/metrics.prom`,
+//! both byte-identical across worker counts; per-phase wall times land
+//! on stderr.
 
 use manytest_bench::events::{explain, write_event_logs, PROBE_IDS};
+use manytest_bench::report::{run_report_probe_timed, wall_phase_table, write_report_files};
 use manytest_bench::runner::{default_jobs, job_stats, jobs_executed, JobStats};
 use manytest_bench::*;
 use std::path::PathBuf;
@@ -59,6 +65,19 @@ fn parse_events_dir(args: &[String]) -> Option<PathBuf> {
             return it.next().map(PathBuf::from);
         }
         if let Some(v) = a.strip_prefix("--events=") {
+            return Some(PathBuf::from(v));
+        }
+    }
+    None
+}
+
+fn parse_out_dir(args: &[String]) -> Option<PathBuf> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            return it.next().map(PathBuf::from);
+        }
+        if let Some(v) = a.strip_prefix("--out=") {
             return Some(PathBuf::from(v));
         }
     }
@@ -107,10 +126,11 @@ fn main() {
     // JSON honest about the worker count actually used everywhere.
     let jobs = parse_jobs(&args).filter(|&n| n > 0).unwrap_or_else(default_jobs);
     let events_dir = parse_events_dir(&args);
+    let out_dir = parse_out_dir(&args);
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" || a == "--events" {
+        if a == "--jobs" || a == "--events" || a == "--out" {
             it.next(); // the flag's value is not an experiment id
         } else if !a.starts_with("--") {
             positional.push(a.as_str());
@@ -129,6 +149,36 @@ fn main() {
             None => {
                 eprintln!("unknown experiment id '{id}'; known ids: {}", PROBE_IDS.join(" "));
                 std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    // `repro report <id> [--out DIR]`: one flight-recorded probe rendered
+    // as a self-contained HTML report plus Prometheus-style metrics. The
+    // files are byte-identical across worker counts and reruns; the
+    // per-phase wall-clock table goes to stderr only.
+    if positional.first() == Some(&"report") {
+        let Some(&id) = positional.get(1) else {
+            eprintln!("usage: repro report <experiment id> [--out DIR] [--quick]");
+            eprintln!("known ids: {}", PROBE_IDS.join(" "));
+            std::process::exit(2);
+        };
+        let Some((report, wall)) = run_report_probe_timed(id, scale) else {
+            eprintln!("unknown experiment id '{id}'; known ids: {}", PROBE_IDS.join(" "));
+            std::process::exit(2);
+        };
+        let dir = out_dir.unwrap_or_else(|| PathBuf::from("report"));
+        match write_report_files(&dir, id, &report) {
+            Ok((html, prom)) => {
+                println!("{}", report.summary());
+                eprintln!("# report -> {}", html.display());
+                eprintln!("# metrics -> {}", prom.display());
+                eprint!("{}", wall_phase_table(&wall));
+            }
+            Err(e) => {
+                eprintln!("error: report generation failed: {e}");
+                std::process::exit(1);
             }
         }
         return;

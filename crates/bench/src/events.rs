@@ -295,6 +295,9 @@ pub fn explain(id: &str, scale: Scale) -> Option<String> {
         report.sim_seconds,
         report.events.dropped()
     );
+    if let Some(warning) = report.events.saturation_warning() {
+        let _ = writeln!(out, "{warning}");
+    }
     out.push('\n');
     if events.len() <= EXPLAIN_HEAD + EXPLAIN_TAIL {
         for (t, ev) in events {

@@ -9,7 +9,7 @@
 //! buffer saturates, so these invariants hold at any capture capacity.
 
 use crate::metrics::Report;
-use manytest_sim::SimEvent;
+use manytest_sim::{HealthCode, SimEvent};
 use std::fmt::Write as _;
 
 /// Checks every event-count invariant against the report's aggregates.
@@ -164,10 +164,148 @@ pub fn validate_events(report: &Report) -> Result<(), String> {
     if ev.dropped() == 0 {
         validate_quarantine_sequence(report, &mut errors);
     }
+    validate_profile(report, &mut errors);
+    validate_state_timeline(report, &mut errors);
     if errors.is_empty() {
         Ok(())
     } else {
         Err(errors.trim_end().to_owned())
+    }
+}
+
+/// Reconciles the deterministic phase profile against the report's
+/// aggregates. The profiler counts decisions at the point they are made,
+/// the aggregates count them at the point they are recorded; any drift
+/// means an instrumentation point is missing or doubled. Skipped when
+/// the profile is empty (hand-built reports never ran the control loop).
+fn validate_profile(report: &Report, errors: &mut String) {
+    let p = &report.profile;
+    if p.epochs == 0 {
+        return;
+    }
+    let launched = report.tests_completed + report.tests_aborted + report.tests_in_flight;
+    let mapped = report.apps_completed + report.apps_in_flight - report.apps_pending
+        + report.apps_aborted
+        + report.apps_restarted;
+    let checks: [(&str, u64, u64); 7] = [
+        (
+            "profile.epochs == cap_adjustments",
+            p.epochs,
+            report.cap_adjustments,
+        ),
+        (
+            "profile.pid_updates == cap_adjustments",
+            p.pid_updates,
+            report.cap_adjustments,
+        ),
+        (
+            "profile.fault_sweeps == profile.epochs",
+            p.fault_sweeps,
+            p.epochs,
+        ),
+        (
+            "profile.fault_activations == fault_activations",
+            p.fault_activations,
+            report.fault_activations,
+        ),
+        (
+            "profile.sched_denials == tests_denied_power",
+            p.sched_denials,
+            report.tests_denied_power,
+        ),
+        (
+            "profile.sched_launches == tests_completed + tests_aborted + tests_in_flight",
+            p.sched_launches,
+            launched,
+        ),
+        (
+            "profile.apps_admitted == apps_completed + apps_in_flight - apps_pending \
+             + apps_aborted + apps_restarted",
+            p.apps_admitted,
+            mapped,
+        ),
+    ];
+    for (invariant, lhs, rhs) in checks {
+        if lhs != rhs {
+            let _ = writeln!(
+                errors,
+                "profile invariant violated: {invariant} ({lhs} != {rhs})"
+            );
+        }
+    }
+    if p.retests_planned < report.confirmation_retests {
+        let _ = writeln!(
+            errors,
+            "profile invariant violated: retests_planned >= confirmation_retests \
+             ({} < {})",
+            p.retests_planned, report.confirmation_retests
+        );
+    }
+    // Per-epoch phases either never ran (feature off) or ran every epoch.
+    for (name, count) in [
+        ("thermal_steps", p.thermal_steps),
+        ("snapshots", p.snapshots),
+        ("sched_calls", p.sched_calls),
+        ("admit_scans", p.admit_scans),
+    ] {
+        if count != 0 && count != p.epochs {
+            let _ = writeln!(
+                errors,
+                "profile invariant violated: {name} in {{0, epochs}} \
+                 ({count} != 0 and != {})",
+                p.epochs
+            );
+        }
+    }
+}
+
+/// Reconciles the flight-recorder timeline against the report: the final
+/// snapshot is always retained exactly (never decimated away), so its
+/// queue depths and health tallies must match the end-of-run aggregates,
+/// and the recorder's offer count must match the profiler's.
+fn validate_state_timeline(report: &Report, errors: &mut String) {
+    let state = &report.state;
+    if state.is_empty() {
+        return;
+    }
+    if state.seen() != report.profile.snapshots {
+        let _ = writeln!(
+            errors,
+            "state invariant violated: recorder saw {} snapshots, profiler counted {}",
+            state.seen(),
+            report.profile.snapshots
+        );
+    }
+    let Some(last) = state.last() else { return };
+    let healthy = last
+        .cores
+        .iter()
+        .filter(|c| c.health == HealthCode::Healthy)
+        .count() as u64;
+    let checks: [(&str, u64, u64); 3] = [
+        (
+            "last snapshot pending_apps == apps_pending",
+            u64::from(last.pending_apps),
+            report.apps_pending,
+        ),
+        (
+            "last snapshot active_tests == tests_in_flight",
+            u64::from(last.active_tests),
+            report.tests_in_flight,
+        ),
+        (
+            "last snapshot healthy cores == healthy_cores_end",
+            healthy,
+            report.healthy_cores_end,
+        ),
+    ];
+    for (invariant, lhs, rhs) in checks {
+        if lhs != rhs {
+            let _ = writeln!(
+                errors,
+                "state invariant violated: {invariant} ({lhs} != {rhs})"
+            );
+        }
     }
 }
 

@@ -146,6 +146,10 @@ pub struct SystemConfig {
     /// in an in-memory log returned on the report (`None` = no capture;
     /// the control loop then runs with the zero-cost null observer).
     pub event_capacity: Option<usize>,
+    /// Flight recorder: keep up to this many per-epoch state snapshots
+    /// in a bounded ring returned on the report, decimated with the same
+    /// stride-doubling scheme as bounded traces (`None` = no recording).
+    pub state_snapshot_max: Option<usize>,
 }
 
 impl SystemConfig {
@@ -181,6 +185,7 @@ impl SystemConfig {
             intrusive_testing: false,
             trace_max_samples: None,
             event_capacity: None,
+            state_snapshot_max: None,
         }
     }
 

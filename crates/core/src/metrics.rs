@@ -1,6 +1,6 @@
 //! Run-level metrics and the final report.
 
-use manytest_sim::{EventLog, OnlineStats, Trace};
+use manytest_sim::{EventLog, OnlineStats, PhaseProfile, StateTimeline, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Everything a finished run reports; the bench harness regenerates the
@@ -119,6 +119,12 @@ pub struct Report {
     /// Mean weighted hop cost per admitted application.
     pub mean_hop_cost: f64,
 
+    /// Deterministic self-profile of the control loop: per-phase event
+    /// counters and scratch-buffer high-water marks (never wall-clock).
+    pub profile: PhaseProfile,
+    /// Flight-recorder timeline of per-epoch state snapshots. Empty
+    /// unless the run opted in via `SystemBuilder::record_state`.
+    pub state: StateTimeline,
     /// Epoch-resolution time series (power, cap, tests in flight, …).
     pub trace: Trace,
     /// Structured decision telemetry captured during the run. Empty

@@ -16,8 +16,9 @@ use manytest_sbst::{
     TestScheduler, TestSession,
 };
 use manytest_sim::{
-    AbortReason, Epoch, EventLog, EventQueue, NullObserver, Observer, SimEvent, SimRng, SimTime,
-    Trace,
+    AbortReason, CoreState, Epoch, EventLog, EventQueue, HealthCode, NullObserver,
+    NullPhaseObserver, Observer, Phase, PhaseObserver, PhaseProfile, SimEvent, SimRng, SimTime,
+    StateRecorder, StateSnapshot, Trace,
 };
 use manytest_workload::{AppId, Application, ArrivalProcess, TaskId, WorkloadMix};
 use std::collections::{BTreeMap, VecDeque};
@@ -258,6 +259,17 @@ impl SystemBuilder {
         self
     }
 
+    /// Enables the flight recorder: every epoch close snapshots the full
+    /// system state (per-core power, temperature, V/f level, health,
+    /// mapping occupancy, budget headroom, session activity) into a
+    /// bounded ring of at most `capacity` snapshots, decimated with the
+    /// same stride-doubling scheme as bounded traces (values below 2 are
+    /// raised to 2). The recording comes back on [`Report::state`].
+    pub fn record_state(mut self, capacity: usize) -> Self {
+        self.config.state_snapshot_max = Some(capacity);
+        self
+    }
+
     /// Validates the configuration and constructs the system.
     ///
     /// # Errors
@@ -308,6 +320,9 @@ pub struct System {
     measured_last: f64,
     tdp: f64,
     observer: Box<dyn Observer>,
+    phase_obs: Box<dyn PhaseObserver>,
+    profile: PhaseProfile,
+    recorder: Option<StateRecorder>,
     // Scratch buffers for the epoch control loop: rebuilt in place every
     // tick so the steady-state hot path never touches the heap.
     ctx_scratch: MapContext,
@@ -459,6 +474,11 @@ impl System {
                 Some(cap) => Box::new(EventLog::bounded(cap)),
                 None => Box::new(NullObserver),
             },
+            phase_obs: Box::new(NullPhaseObserver),
+            profile: PhaseProfile::default(),
+            recorder: config
+                .state_snapshot_max
+                .map(|cap| StateRecorder::with_capacity(cap.max(2))),
             ctx_scratch: MapContext::all_free(mesh),
             candidates_scratch: Vec::with_capacity(n),
             retests_scratch: Vec::with_capacity(n),
@@ -480,6 +500,16 @@ impl System {
     /// [`Observer::take_log`].
     pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
         self.observer = observer;
+    }
+
+    /// Replaces the phase-boundary observer. The control loop brackets
+    /// every phase (PID, fault sweep, mapping, test scheduling, event
+    /// drain, epoch close) with `enter`/`exit` calls; the simulator
+    /// itself never measures time across them — the bench batch runner
+    /// installs a wall-clock timer here to attach real per-phase time to
+    /// a job, which stays off the (deterministic) report.
+    pub fn set_phase_observer(&mut self, observer: Box<dyn PhaseObserver>) {
+        self.phase_obs = observer;
     }
 
     /// Emits one telemetry event through the installed observer. This is
@@ -513,12 +543,19 @@ impl System {
             let t0 = epoch.start(self.config.epoch);
             let t1 = epoch.end(self.config.epoch);
             self.control(t0.as_secs_f64());
+            self.phase_obs.enter(Phase::Events);
             while self.queue.pop_batch_before(t1, &mut batch) > 0 {
+                self.profile.queue_batches += 1;
+                PhaseProfile::raise(&mut self.profile.batch_high_water, batch.len());
                 for ev in batch.drain(..) {
+                    self.profile.events_processed += 1;
                     self.handle(ev.payload, ev.time.as_secs_f64());
                 }
             }
+            self.phase_obs.exit(Phase::Events);
+            self.phase_obs.enter(Phase::Thermal);
             self.close_epoch(t1.as_secs_f64());
+            self.phase_obs.exit(Phase::Thermal);
         }
         self.finalize()
     }
@@ -599,9 +636,12 @@ impl System {
     // ----- control plane (epoch boundaries) ------------------------------
 
     fn control(&mut self, now: f64) {
+        self.profile.epochs += 1;
+        self.phase_obs.enter(Phase::Pid);
         let cap = self.governor.next_cap(self.tdp, self.measured_last);
         self.budget.set_cap(cap);
         self.metrics.cap_adjustments += 1;
+        self.profile.pid_updates += 1;
         self.observer.on_event(
             now,
             &SimEvent::CapAdjusted {
@@ -611,17 +651,27 @@ impl System {
                 reservations: self.budget.active_reservations() as u32,
             },
         );
+        self.phase_obs.exit(Phase::Pid);
+        self.phase_obs.enter(Phase::Fault);
+        self.profile.fault_sweeps += 1;
         {
             let obs = &mut self.observer;
             let activations = &mut self.metrics.fault_activations;
+            let profiled = &mut self.profile.fault_activations;
             self.faults.activate_due_with(now, |core| {
                 *activations += 1;
+                *profiled += 1;
                 obs.on_event(now, &SimEvent::FaultActivated { core: core as u32 });
             });
         }
+        self.phase_obs.exit(Phase::Fault);
+        self.phase_obs.enter(Phase::Map);
         self.admit_pending(now);
+        self.phase_obs.exit(Phase::Map);
         if self.config.testing_enabled {
+            self.phase_obs.enter(Phase::Schedule);
             self.schedule_tests(now);
+            self.phase_obs.exit(Phase::Schedule);
         }
     }
 
@@ -652,6 +702,8 @@ impl System {
     }
 
     fn admit_pending(&mut self, now: f64) {
+        self.profile.admit_scans += 1;
+        PhaseProfile::raise(&mut self.profile.pending_high_water, self.pending.len());
         loop {
             let Some(task_count) = self.pending.front().map(|f| f.graph.task_count()) else {
                 break;
@@ -703,6 +755,7 @@ impl System {
             self.metrics.queue_wait.push(queue_wait);
             self.metrics.hop_cost.push(hop_cost);
             let id = app.id;
+            self.profile.apps_admitted += 1;
             // lint:allow(panic-in-hot-path, reason = "the mapper only returns mappings for non-empty graphs, and task graphs are validated non-empty at construction")
             let (bb_min, bb_max) = mapping.bounding_box().expect("mapping is non-empty");
             self.observer.on_event(
@@ -749,6 +802,7 @@ impl System {
                 inc,
             };
             self.running.insert(id.0, running);
+            PhaseProfile::raise(&mut self.profile.running_high_water, self.running.len());
             for root in roots {
                 self.queue.schedule(
                     SimTime::from_ns((now * 1e9).round() as u64),
@@ -785,6 +839,9 @@ impl System {
                         .map(|level| RetestRequest { core: i, level })
                 }),
         );
+        self.profile.sched_calls += 1;
+        self.profile.retests_planned += retests.len() as u64;
+        PhaseProfile::raise(&mut self.profile.candidates_high_water, candidates.len());
         if candidates.is_empty() && retests.is_empty() {
             self.candidates_scratch = candidates;
             self.retests_scratch = retests;
@@ -797,6 +854,8 @@ impl System {
             .plan_with_retests_into(&retests, &candidates, headroom, &mut launches, &mut denials);
         self.candidates_scratch = candidates;
         self.retests_scratch = retests;
+        self.profile.sched_denials += denials.len() as u64;
+        PhaseProfile::raise(&mut self.profile.launches_high_water, launches.len());
         for d in &denials {
             self.observer.on_event(
                 now,
@@ -825,6 +884,7 @@ impl System {
             self.cores[core].session = Some(session);
             self.cores[core].session_reservation = Some(reservation);
             let gen = self.cores[core].session_gen;
+            self.profile.sched_launches += 1;
             self.set_mode(core, now, CoreMode::Testing(op, activity));
             self.observer.on_event(
                 now,
@@ -1468,6 +1528,15 @@ impl System {
         if measured > self.tdp * 1.01 {
             self.metrics.cap_violations += 1;
         }
+        // Flight recorder: per-core epoch powers are needed after the
+        // aging loops below reset the energy accumulators, so stage them
+        // in the scratch buffer now (the transient-thermal path refills
+        // it with the same values).
+        if self.recorder.is_some() && self.thermal.is_none() {
+            self.powers_scratch.clear();
+            self.powers_scratch
+                .extend(self.epoch_energy.iter().map(|&e| e / epoch_secs));
+        }
         self.trace.series_mut("power_w").push(t1, measured);
         self.trace.series_mut("test_power_w").push(t1, test_w);
         self.trace.series_mut("workload_power_w").push(t1, workload_w);
@@ -1498,6 +1567,7 @@ impl System {
             powers.clear();
             powers.extend(self.epoch_energy.iter().map(|&e| e / epoch_secs));
             grid.step(powers, epoch_secs);
+            self.profile.thermal_steps += 1;
             for core in 0..self.cores.len() {
                 let busy = (self.epoch_busy[core] / epoch_secs).clamp(0.0, 1.0);
                 let temperature = grid.temperature(core);
@@ -1536,6 +1606,40 @@ impl System {
             self.trace.series_mut("peak_link_load").push(t1, loads.peak());
             self.link_loads = Some(loads);
             self.epoch_traffic.clear();
+        }
+        if self.recorder.is_some() {
+            self.profile.snapshots += 1;
+            let cores: Vec<CoreState> = (0..self.cores.len())
+                .map(|i| CoreState {
+                    power_w: self.powers_scratch[i],
+                    temp_k: self.thermal.as_ref().map_or(0.0, |g| g.temperature(i)),
+                    vf_level: Self::mode_level(self.cores[i].mode),
+                    health: if self.health.is_quarantined(i) {
+                        HealthCode::Quarantined
+                    } else if self.health.is_suspect(i) {
+                        HealthCode::Suspect
+                    } else {
+                        HealthCode::Healthy
+                    },
+                    occupied: self.cores[i].owner.is_some(),
+                    testing: self.cores[i].session.is_some(),
+                })
+                .collect();
+            let snapshot = StateSnapshot {
+                t: t1,
+                cap_w: self.budget.cap(),
+                headroom_w: self.budget.headroom(),
+                power_w: measured,
+                test_power_w: test_w,
+                reservations: self.budget.active_reservations() as u32,
+                pending_apps: self.pending.len() as u32,
+                running_apps: self.running.len() as u32,
+                active_tests: testing as u32,
+                cores,
+            };
+            if let Some(rec) = &mut self.recorder {
+                rec.push(snapshot);
+            }
         }
         self.meter.roll_epoch(epoch_secs);
         self.measured_last = measured;
@@ -1607,6 +1711,12 @@ impl System {
             mean_utilization: self.stress.mean_utilization(),
             dark_fraction: self.config.node.dark_silicon_fraction(),
             mean_hop_cost: self.metrics.hop_cost.mean(),
+            profile: self.profile,
+            state: self
+                .recorder
+                .take()
+                .map(StateRecorder::into_timeline)
+                .unwrap_or_default(),
             trace: self.trace,
             events,
         }
@@ -2132,5 +2242,110 @@ mod tests {
         // Bounding the trace is observability-only: the run itself is identical.
         assert_eq!(bounded.instructions_executed, full.instructions_executed);
         assert_eq!(bounded.tests_completed, full.tests_completed);
+    }
+
+    #[test]
+    fn phase_profile_counts_every_epoch() {
+        let r = quick(TechNode::N16).build().unwrap().run();
+        let p = &r.profile;
+        assert_eq!(p.epochs, 160);
+        assert_eq!(p.pid_updates, p.epochs);
+        assert_eq!(p.fault_sweeps, p.epochs);
+        assert_eq!(p.admit_scans, p.epochs);
+        assert_eq!(p.sched_calls, p.epochs, "testing on → scheduler runs every epoch");
+        assert_eq!(p.thermal_steps, 0, "steady-state proxy takes no grid steps");
+        assert_eq!(p.snapshots, 0, "recorder off by default");
+        assert!(p.events_processed > 0, "completions must flow through the queue");
+        assert!(p.queue_batches > 0);
+        assert!(p.batch_high_water >= 1);
+        assert!(p.sched_launches > 0, "a 160 ms run launches tests");
+        assert_eq!(
+            p.sched_launches,
+            r.tests_completed + r.tests_aborted + r.tests_in_flight
+        );
+        assert_eq!(p.pid_updates, r.cap_adjustments);
+    }
+
+    #[test]
+    fn thermal_phase_steps_once_per_epoch_when_transient() {
+        let r = quick(TechNode::N16)
+            .sim_time_ms(40)
+            .transient_thermal(true)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(r.profile.thermal_steps, r.profile.epochs);
+    }
+
+    #[test]
+    fn flight_recorder_reconciles_with_aggregates() {
+        let r = quick(TechNode::N16)
+            .record_state(1 << 12)
+            .capture_events(1 << 16)
+            .injected_faults(4)
+            .build()
+            .unwrap()
+            .run();
+        assert!(!r.state.is_empty(), "recorder must capture snapshots");
+        assert_eq!(r.state.seen(), r.profile.epochs, "one snapshot offered per epoch");
+        assert_eq!(r.state.snapshots().len() as u64, 160, "capacity covers every epoch");
+        let last = r.state.last().expect("non-empty timeline has a last snapshot");
+        assert_eq!(last.cores.len(), r.state.core_count());
+        assert!((last.t - r.sim_seconds).abs() < 1e-9, "last snapshot is the final epoch");
+        // The audit layer cross-checks queue depths, health tallies and
+        // the profiler's offer count against the report aggregates.
+        crate::audit::validate_events(&r).expect("state timeline reconciles");
+    }
+
+    #[test]
+    fn bounded_recorder_decimates_but_keeps_the_last_snapshot() {
+        let r = quick(TechNode::N16).record_state(16).build().unwrap().run();
+        let n = r.state.snapshots().len();
+        assert!(n <= 16, "bound must cap the timeline, got {n}");
+        assert!(n >= 8, "decimation halves at worst, got {n}");
+        assert_eq!(r.state.seen(), 160, "every epoch was offered");
+        let last = r.state.last().expect("last snapshot survives decimation");
+        assert!((last.t - r.sim_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recording_state_does_not_perturb_the_run() {
+        let recorded = quick(TechNode::N16).record_state(64).build().unwrap().run();
+        let plain = quick(TechNode::N16).build().unwrap().run();
+        assert_eq!(recorded.instructions_executed, plain.instructions_executed);
+        assert_eq!(recorded.tests_completed, plain.tests_completed);
+        assert_eq!(recorded.trace, plain.trace);
+        // The snapshot counter itself reflects the recorder being on; every
+        // other phase counter must be untouched by observation.
+        let mut recorded_profile = recorded.profile;
+        recorded_profile.snapshots = plain.profile.snapshots;
+        assert_eq!(recorded_profile, plain.profile, "profiler counts decisions, not observers");
+    }
+
+    #[test]
+    fn recorded_runs_are_deterministic() {
+        let a = quick(TechNode::N22).record_state(32).injected_faults(2).build().unwrap().run();
+        let b = quick(TechNode::N22).record_state(32).injected_faults(2).build().unwrap().run();
+        assert_eq!(a, b, "Report PartialEq covers profile and state timeline");
+    }
+
+    #[test]
+    fn snapshots_track_thermal_grid_when_transient() {
+        let r = quick(TechNode::N16)
+            .sim_time_ms(40)
+            .record_state(64)
+            .transient_thermal(true)
+            .build()
+            .unwrap()
+            .run();
+        let last = r.state.last().expect("snapshots captured");
+        assert!(
+            last.cores.iter().all(|c| c.temp_k > 250.0),
+            "transient grid temperatures must be physical"
+        );
+        // Without the grid, temperature reads as the 0 K sentinel.
+        let proxy = quick(TechNode::N16).sim_time_ms(40).record_state(64).build().unwrap().run();
+        let last = proxy.state.last().expect("snapshots captured");
+        assert!(last.cores.iter().all(|c| c.temp_k == 0.0));
     }
 }

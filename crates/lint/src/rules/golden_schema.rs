@@ -1,13 +1,16 @@
 //! `golden-schema`: the golden JSONs must parse, their kind keys must be
-//! a subset of the `SimEvent` enum, and the probe ids the docs reference
-//! must exist in `crates/bench/src/events.rs`.
+//! a subset of the `SimEvent` enum, the probe ids the docs reference
+//! must exist in `crates/bench/src/events.rs`, and any `manytest_*`
+//! metric name the docs quote must be declared in `METRIC_KEYS`
+//! (`crates/bench/src/report.rs`).
 //!
 //! The golden per-kind count gate only protects the repo while the
 //! golden files themselves are well-formed and speak the same schema as
 //! the event enum — a typo'd kind key would silently never match
-//! anything. The doc half catches drift the other way: `repro explain
+//! anything. The doc halves catch drift the other way: `repro explain
 //! e11`-style commands quoted in README/EXPERIMENTS must name probes the
-//! binary actually knows.
+//! binary actually knows, and a documented Prometheus metric that the
+//! report renderer no longer emits would silently break scrapes.
 
 use super::event_coverage::enum_variants;
 use super::Rule;
@@ -19,8 +22,24 @@ pub struct GoldenSchema;
 
 const OBS_FILE: &str = "crates/sim/src/obs.rs";
 const EVENTS_FILE: &str = "crates/bench/src/events.rs";
+const REPORT_FILE: &str = "crates/bench/src/report.rs";
 const GOLDEN_DIR: &str = "crates/bench/tests/golden";
 const DOC_FILES: [&str; 2] = ["README.md", "EXPERIMENTS.md"];
+
+/// Workspace crate names in path form — `manytest_sim::…` in a doc is a
+/// Rust path, not a metric reference.
+const CRATE_NAMES: [&str; 10] = [
+    "manytest_sim",
+    "manytest_core",
+    "manytest_bench",
+    "manytest_lint",
+    "manytest_power",
+    "manytest_noc",
+    "manytest_aging",
+    "manytest_map",
+    "manytest_sbst",
+    "manytest_workload",
+];
 
 impl Rule for GoldenSchema {
     fn id(&self) -> &'static str {
@@ -28,7 +47,7 @@ impl Rule for GoldenSchema {
     }
 
     fn description(&self) -> &'static str {
-        "golden JSONs must parse with SimEvent kind keys; doc probe ids must exist"
+        "golden JSONs must parse with SimEvent kind keys; doc probe ids and metric names must exist"
     }
 
     fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Finding>) {
@@ -41,9 +60,10 @@ impl Rule for GoldenSchema {
                     .collect()
             })
             .unwrap_or_default();
-        let probe_ids = probe_ids(ws);
+        let probe_ids = string_array(ws, EVENTS_FILE, "PROBE_IDS");
         self.check_golden_files(ws, &kinds, &probe_ids, out);
         self.check_doc_probe_ids(ws, &probe_ids, out);
+        self.check_doc_metric_keys(ws, &string_array(ws, REPORT_FILE, "METRIC_KEYS"), out);
     }
 }
 
@@ -165,6 +185,55 @@ impl GoldenSchema {
             }
         }
     }
+
+    /// Any `manytest_*` metric name the docs quote must be declared in
+    /// `METRIC_KEYS` — a scrape config copied from the README must keep
+    /// matching what `metrics.prom` actually emits.
+    fn check_doc_metric_keys(
+        &self,
+        ws: &Workspace,
+        metric_keys: &Option<Vec<String>>,
+        out: &mut Vec<Finding>,
+    ) {
+        let Some(keys) = metric_keys else { return };
+        for doc in DOC_FILES {
+            let Ok(text) = std::fs::read_to_string(ws.root.join(doc)) else {
+                continue;
+            };
+            for (line_no, line) in text.lines().enumerate() {
+                let mut search_from = 0usize;
+                while let Some(pos) = line[search_from..].find("manytest_") {
+                    let start = search_from + pos;
+                    let token: String = line[start..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || *c == '_')
+                        .collect();
+                    search_from = start + token.len();
+                    // Rust paths (`manytest_sim::obs`) and bare crate
+                    // names are not metric references.
+                    if line[search_from..].starts_with("::")
+                        || CRATE_NAMES.iter().any(|c| *c == token)
+                    {
+                        continue;
+                    }
+                    if !keys.iter().any(|k| *k == token) {
+                        out.push(Finding {
+                            rule: self.id(),
+                            file: doc.to_string(),
+                            line: (line_no + 1) as u32,
+                            col: (start + 1) as u32,
+                            message: format!(
+                                "doc references metric `{token}` which is not in METRIC_KEYS \
+                                 ({REPORT_FILE})"
+                            ),
+                            rationale: "a documented Prometheus metric must exist in \
+                                        metrics.prom; update the doc or add the metric",
+                        });
+                    }
+                }
+            }
+        }
+    }
 }
 
 const GOLDEN_RATIONALE: &str =
@@ -179,24 +248,24 @@ fn looks_like_probe_id(word: &str) -> bool {
         && chars.all(|c| c.is_ascii_digit())
 }
 
-/// Extracts the `PROBE_IDS` string-array literal from
-/// `crates/bench/src/events.rs`. `None` when the file or array is
-/// absent (synthetic workspaces without a bench crate).
-fn probe_ids(ws: &Workspace) -> Option<Vec<String>> {
-    let file = ws.file(EVENTS_FILE)?;
+/// Extracts a `const NAME: [&str; N] = ["…", …]` string-array literal
+/// from `path`. `None` when the file or array is absent (synthetic
+/// workspaces without that crate).
+fn string_array(ws: &Workspace, path: &str, name: &str) -> Option<Vec<String>> {
+    let file = ws.file(path)?;
     let code: Vec<_> = file.code_tokens().collect();
-    let start = code.iter().position(|t| t.is_ident("PROBE_IDS"))?;
+    let start = code.iter().position(|t| t.is_ident(name))?;
     // Skip the type annotation (`: [&str; 17]`): the literal starts at
     // the first `[` after the `=`.
     let eq = code[start..].iter().position(|t| t.is_punct('='))? + start;
     let open = code[eq..].iter().position(|t| t.is_punct('['))? + eq;
-    let mut ids = Vec::new();
+    let mut items = Vec::new();
     for tok in &code[open + 1..] {
         if tok.is_punct(']') {
-            return Some(ids);
+            return Some(items);
         }
         if tok.kind == TokenKind::Str {
-            ids.push(tok.text.clone());
+            items.push(tok.text.clone());
         }
     }
     None

@@ -246,6 +246,38 @@ fn golden_schema_catches_bad_kinds_unknown_probes_and_doc_drift() {
     );
 }
 
+#[test]
+fn golden_schema_checks_doc_metric_names_against_metric_keys() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-metric-fixture");
+    std::fs::create_dir_all(&root).expect("tmpdir");
+    std::fs::write(
+        root.join("README.md"),
+        "Scrape `manytest_tests_completed_total` (and the stale \
+         `manytest_bogus_metric`) from metrics.prom.\n\
+         Rust paths like `manytest_sim::obs` and the crate name \
+         `manytest_bench` are not metrics.\n",
+    )
+    .expect("write");
+    let report_src = SourceFile::from_source(
+        "crates/bench/src/report.rs",
+        "pub const METRIC_KEYS: [&str; 1] = [\"manytest_tests_completed_total\"];\n",
+    );
+    let ws = Workspace::from_sources(root, vec![report_src]);
+    let report = run(&ws);
+    let metric_findings: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "golden-schema" && f.message.contains("metric"))
+        .map(|f| f.message.as_str())
+        .collect();
+    assert_eq!(
+        metric_findings.len(),
+        1,
+        "only the stale metric is flagged: {metric_findings:?}"
+    );
+    assert!(metric_findings[0].contains("`manytest_bogus_metric`"));
+}
+
 // ----- acceptance: seeded violations fail, the real tree passes --------
 
 #[test]

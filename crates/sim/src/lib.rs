@@ -45,8 +45,9 @@ pub mod trace;
 
 pub use engine::{Event, EventQueue};
 pub use obs::{
-    jsonl_kind_counts, AbortReason, CounterRegistry, EventLog, JsonlWriter, NullObserver, Observer,
-    SimEvent,
+    jsonl_kind_counts, write_json_str, AbortReason, CoreState, CounterRegistry, EventLog,
+    HealthCode, JsonlWriter, NullObserver, NullPhaseObserver, Observer, Phase, PhaseObserver,
+    PhaseProfile, SimEvent, StateRecorder, StateSnapshot, StateTimeline,
 };
 pub use rng::{enter_job_scope, JobScopeGuard, SimRng};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
@@ -57,8 +58,9 @@ pub use trace::{Trace, TraceSeries};
 pub mod prelude {
     pub use crate::engine::{Event, EventQueue};
     pub use crate::obs::{
-        jsonl_kind_counts, AbortReason, CounterRegistry, EventLog, JsonlWriter, NullObserver,
-        Observer, SimEvent,
+        jsonl_kind_counts, write_json_str, AbortReason, CoreState, CounterRegistry, EventLog,
+        HealthCode, JsonlWriter, NullObserver, NullPhaseObserver, Observer, Phase, PhaseObserver,
+        PhaseProfile, SimEvent, StateRecorder, StateSnapshot, StateTimeline,
     };
     pub use crate::rng::{enter_job_scope, JobScopeGuard, SimRng};
     pub use crate::stats::{Histogram, OnlineStats, TimeWeighted};

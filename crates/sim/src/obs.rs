@@ -502,6 +502,54 @@ impl EventLog {
         self.dropped
     }
 
+    /// Per-kind counts of events that were observed but *not* stored
+    /// (the difference between the exact per-kind tallies and the kinds
+    /// actually present in the sample buffer), in [`SimEvent::KINDS`]
+    /// order. All zero unless the log saturated.
+    pub fn dropped_kind_counts(&self) -> [u64; SimEvent::KIND_COUNT] {
+        let mut stored = [0u64; SimEvent::KIND_COUNT];
+        for (_, ev) in &self.events {
+            stored[ev.kind_index()] += 1;
+        }
+        let mut out = [0u64; SimEvent::KIND_COUNT];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.kind_counts[i] - stored[i];
+        }
+        out
+    }
+
+    /// A one-line human-readable warning when the sample buffer hit its
+    /// capacity, naming the most-dropped kinds; `None` when nothing was
+    /// dropped. Deterministic (ties broken by kind order).
+    pub fn saturation_warning(&self) -> Option<String> {
+        if self.dropped == 0 {
+            return None;
+        }
+        let drops = self.dropped_kind_counts();
+        let mut ranked: Vec<(usize, u64)> = drops
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut detail = String::new();
+        for (i, &(kind, count)) in ranked.iter().take(3).enumerate() {
+            if i > 0 {
+                detail.push_str(", ");
+            }
+            let _ = write!(detail, "{} {count}", SimEvent::KINDS[kind]);
+        }
+        if ranked.len() > 3 {
+            detail.push_str(", ...");
+        }
+        Some(format!(
+            "warning: event log saturated at capacity {}; {} events dropped ({detail}); \
+             per-kind counts remain exact",
+            self.capacity, self.dropped
+        ))
+    }
+
     /// The configured sample capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -602,6 +650,27 @@ impl<W: io::Write> JsonlWriter<W> {
         match self.error {
             Some(e) => Err(e),
             None => Ok(self.inner),
+        }
+    }
+}
+
+impl<W: io::Write> JsonlWriter<W> {
+    /// Writes one out-of-band annotation line (`{"t":…,"note":"…"}`).
+    ///
+    /// Unlike event kinds, a note is free-form text and is escaped with
+    /// [`write_json_str`], so control characters, quotes and backslashes
+    /// survive the round trip. Lines without a `"kind"` field are ignored
+    /// by [`jsonl_kind_counts`], so notes never perturb count validation.
+    pub fn note(&mut self, t: f64, text: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        self.line.clear();
+        let _ = write!(self.line, "{{\"t\":{t},\"note\":");
+        write_json_str(&mut self.line, text);
+        self.line.push_str("}\n");
+        if let Err(e) = self.inner.write_all(self.line.as_bytes()) {
+            self.error = Some(e);
         }
     }
 }
@@ -708,7 +777,8 @@ impl CounterRegistry {
     }
 
     /// Plain-text summary: one `name = value` line per counter, then one
-    /// block per histogram with per-bucket bars. Deterministic order.
+    /// block per histogram with quantile estimates and per-bucket bars.
+    /// Deterministic order.
     pub fn summary(&self) -> String {
         let mut out = String::new();
         for (name, v) in self.counters() {
@@ -722,6 +792,9 @@ impl CounterRegistry {
                 h.underflow(),
                 h.overflow()
             );
+            if let (Some(p50), Some(p95), Some(p99)) = (h.p50(), h.p95(), h.p99()) {
+                let _ = writeln!(out, "  p50 {p50:.3}  p95 {p95:.3}  p99 {p99:.3}");
+            }
             let peak = h.bins().iter().copied().max().unwrap_or(0).max(1);
             for (center, count) in h.centers() {
                 let bar = "#".repeat((count * 40 / peak) as usize);
@@ -752,6 +825,412 @@ pub fn jsonl_kind_counts(text: &str) -> BTreeMap<String, u64> {
         *counts.entry(rest[..end].to_owned()).or_insert(0) += 1;
     }
     counts
+}
+
+/// Appends `s` as a JSON string literal (with surrounding quotes),
+/// escaping quotes, backslashes and control characters per RFC 8259.
+/// Non-ASCII characters pass through as raw UTF-8, which JSON permits.
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: per-epoch state snapshots.
+// ---------------------------------------------------------------------------
+
+/// Health lifecycle state of a core, as seen by a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthCode {
+    /// No open suspicion.
+    Healthy,
+    /// A detection is being confirmed by retests.
+    Suspect,
+    /// Withdrawn from mapping and power-gated for the rest of the run.
+    Quarantined,
+}
+
+impl HealthCode {
+    /// Stable lower-snake name used in report output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthCode::Healthy => "healthy",
+            HealthCode::Suspect => "suspect",
+            HealthCode::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// The state of one core captured at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreState {
+    /// Mean power drawn over the closing epoch, watts.
+    pub power_w: f64,
+    /// Temperature at epoch close, kelvin (0 when no transient model).
+    pub temp_k: f64,
+    /// V/f ladder index the core runs at; −1 = power-gated/off.
+    pub vf_level: i16,
+    /// Health lifecycle state.
+    pub health: HealthCode,
+    /// True when an application occupies the core (mapping occupancy).
+    pub occupied: bool,
+    /// True when an SBST session is active on the core.
+    pub testing: bool,
+}
+
+/// The full system state captured at one epoch boundary: everything the
+/// mapper, scheduler and governor saw when they made their decisions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateSnapshot {
+    /// Epoch-close time, seconds.
+    pub t: f64,
+    /// PID admission cap at that instant, watts.
+    pub cap_w: f64,
+    /// Headroom under the effective cap after reservations, watts.
+    pub headroom_w: f64,
+    /// Measured chip power over the closing epoch, watts.
+    pub power_w: f64,
+    /// Power drawn by test sessions over the closing epoch, watts.
+    pub test_power_w: f64,
+    /// Live session power reservations.
+    pub reservations: u32,
+    /// Applications waiting in the pending queue.
+    pub pending_apps: u32,
+    /// Admitted applications still running.
+    pub running_apps: u32,
+    /// SBST sessions in flight.
+    pub active_tests: u32,
+    /// Per-core state, indexed by dense node id.
+    pub cores: Vec<CoreState>,
+}
+
+/// Bounded flight-recorder ring for [`StateSnapshot`]s.
+///
+/// Uses the same stride-doubling decimation as
+/// [`TraceSeries`](crate::trace::TraceSeries): when the ring fills it
+/// halves itself (keeping every second snapshot) and doubles the sampling
+/// stride, so an arbitrarily long run keeps a uniform thinning of its
+/// state history in bounded memory. The thinning is a function of the
+/// push count alone — never of time or memory — so recordings are
+/// byte-identical across worker counts. The most recent snapshot is
+/// additionally retained verbatim for end-of-run reconciliation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateRecorder {
+    snapshots: Vec<StateSnapshot>,
+    bound: usize,
+    /// Keep one snapshot out of every `stride` offered (power of two).
+    stride: u64,
+    /// Snapshots offered via `push` over the recorder's lifetime.
+    seen: u64,
+    last: Option<StateSnapshot>,
+}
+
+impl StateRecorder {
+    /// A recorder that retains at most `capacity` snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` — a bounded ring must at least retain a
+    /// first and a latest snapshot.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity >= 2,
+            "state recorder capacity must be at least 2, got {capacity}"
+        );
+        StateRecorder {
+            snapshots: Vec::new(),
+            bound: capacity,
+            stride: 0,
+            seen: 0,
+            last: None,
+        }
+    }
+
+    /// Offers one snapshot; it may be decimated away (the latest snapshot
+    /// is always retained separately, see [`StateRecorder::last`]).
+    pub fn push(&mut self, snap: StateSnapshot) {
+        let stride = self.stride.max(1);
+        let keep = self.seen % stride == 0;
+        self.seen += 1;
+        if !keep {
+            self.last = Some(snap);
+            return;
+        }
+        if self.snapshots.len() >= self.bound {
+            // Halve: keep even indices, then record every second snapshot.
+            let mut i = 0;
+            self.snapshots.retain(|_| {
+                let keep = i % 2 == 0;
+                i += 1;
+                keep
+            });
+            self.stride = stride * 2;
+            if (self.seen - 1) % self.stride != 0 {
+                self.last = Some(snap);
+                return; // falls off the coarser grid
+            }
+        }
+        self.last = Some(snap.clone());
+        self.snapshots.push(snap);
+    }
+
+    /// The retained snapshots, oldest first.
+    pub fn snapshots(&self) -> &[StateSnapshot] {
+        &self.snapshots
+    }
+
+    /// Snapshots offered over the recorder's lifetime.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The most recent snapshot, exact (never decimated).
+    pub fn last(&self) -> Option<&StateSnapshot> {
+        self.last.as_ref()
+    }
+
+    /// Finishes recording, yielding the timeline carried on the report.
+    pub fn into_timeline(self) -> StateTimeline {
+        StateTimeline {
+            snapshots: self.snapshots,
+            last: self.last,
+            seen: self.seen,
+            stride: self.stride.max(1),
+            capacity: self.bound,
+        }
+    }
+}
+
+/// A finished flight recording: the decimated snapshot ring plus the
+/// exact final snapshot, as returned on a run report. An empty timeline
+/// (the default) means recording was not enabled.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StateTimeline {
+    snapshots: Vec<StateSnapshot>,
+    last: Option<StateSnapshot>,
+    seen: u64,
+    stride: u64,
+    capacity: usize,
+}
+
+impl StateTimeline {
+    /// The retained snapshots, oldest first.
+    pub fn snapshots(&self) -> &[StateSnapshot] {
+        &self.snapshots
+    }
+
+    /// The exact final snapshot (never decimated), if anything was recorded.
+    pub fn last(&self) -> Option<&StateSnapshot> {
+        self.last.as_ref()
+    }
+
+    /// Snapshots offered over the run (≥ retained count).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Final sampling stride (1 = nothing was decimated).
+    pub fn stride(&self) -> u64 {
+        self.stride.max(1)
+    }
+
+    /// The configured ring capacity (0 when recording was disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when recording was disabled or the run closed no epochs.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Cores per snapshot (0 for an empty timeline).
+    pub fn core_count(&self) -> usize {
+        self.snapshots.first().map_or(0, |s| s.cores.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase profiler: deterministic self-profiling of the control loop.
+// ---------------------------------------------------------------------------
+
+/// One instrumented phase of the epoch control loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// PID governor: cap move + budget resize.
+    Pid,
+    /// Fault-injection activation sweep.
+    Fault,
+    /// Pending-queue admission and mapping.
+    Map,
+    /// SBST session scheduling (retest lane + opportunity scan).
+    Schedule,
+    /// Event-plane drain (task/test completions).
+    Events,
+    /// Epoch close: power accounting, tracing, thermal step, snapshot.
+    Thermal,
+}
+
+impl Phase {
+    /// Number of phases (array size for per-phase accumulators).
+    pub const COUNT: usize = 6;
+
+    /// All phases, in [`Phase::index`] order.
+    pub const ALL: [Phase; Self::COUNT] = [
+        Phase::Pid,
+        Phase::Fault,
+        Phase::Map,
+        Phase::Schedule,
+        Phase::Events,
+        Phase::Thermal,
+    ];
+
+    /// Dense index of this phase.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Pid => 0,
+            Phase::Fault => 1,
+            Phase::Map => 2,
+            Phase::Schedule => 3,
+            Phase::Events => 4,
+            Phase::Thermal => 5,
+        }
+    }
+
+    /// Stable lower-snake name used in report output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Pid => "pid",
+            Phase::Fault => "fault",
+            Phase::Map => "map",
+            Phase::Schedule => "schedule",
+            Phase::Events => "events",
+            Phase::Thermal => "thermal",
+        }
+    }
+}
+
+/// Phase-boundary hook: the control loop brackets each phase with
+/// `enter`/`exit` calls. The simulator itself only ever installs the
+/// no-op [`NullPhaseObserver`] — wall-clock time is lint-banned outside
+/// `crates/bench`, where a real timer implements this trait to attach
+/// per-phase wall time to a job.
+pub trait PhaseObserver {
+    /// A phase begins.
+    fn enter(&mut self, phase: Phase);
+    /// The matching phase ends.
+    fn exit(&mut self, phase: Phase);
+}
+
+/// The default phase observer: both hooks are no-ops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullPhaseObserver;
+
+impl PhaseObserver for NullPhaseObserver {
+    #[inline]
+    fn enter(&mut self, _phase: Phase) {}
+    #[inline]
+    fn exit(&mut self, _phase: Phase) {}
+}
+
+/// Deterministic self-profile of one run: per-phase work counters and
+/// scratch-buffer high-water marks, maintained by the epoch control loop.
+///
+/// Everything here counts *events processed*, never wall-clock time —
+/// the profile is part of the report and must be byte-identical across
+/// worker counts (wall time stays in `crates/bench`, attached per job by
+/// the batch runner through [`PhaseObserver`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Control epochs executed.
+    pub epochs: u64,
+    /// PID governor cap moves (one per epoch).
+    pub pid_updates: u64,
+    /// Fault activation sweep passes.
+    pub fault_sweeps: u64,
+    /// Injected faults that became active during sweeps.
+    pub fault_activations: u64,
+    /// Pending-queue admission scans.
+    pub admit_scans: u64,
+    /// Applications admitted and mapped.
+    pub apps_admitted: u64,
+    /// Test-scheduler planning passes.
+    pub sched_calls: u64,
+    /// Confirmation retests planned by the priority lane.
+    pub retests_planned: u64,
+    /// Sessions launched (reservation succeeded).
+    pub sched_launches: u64,
+    /// Sessions denied for lack of power headroom.
+    pub sched_denials: u64,
+    /// Non-empty event batches drained from the calendar.
+    pub queue_batches: u64,
+    /// Events handled in the event plane.
+    pub events_processed: u64,
+    /// Transient thermal-grid steps.
+    pub thermal_steps: u64,
+    /// Flight-recorder snapshots offered.
+    pub snapshots: u64,
+    /// Largest single drained batch (scratch high-water mark).
+    pub batch_high_water: u64,
+    /// Deepest pending-application queue.
+    pub pending_high_water: u64,
+    /// Largest running-application table.
+    pub running_high_water: u64,
+    /// Largest scheduler candidate scratch.
+    pub candidates_high_water: u64,
+    /// Largest per-epoch launch plan.
+    pub launches_high_water: u64,
+}
+
+impl PhaseProfile {
+    /// Number of profile counters (see [`PhaseProfile::entries`]).
+    pub const COUNT: usize = 19;
+
+    /// `(name, value)` pairs for every counter, in a stable order — the
+    /// single source of truth for rendering (prom exposition, report
+    /// tables) and for audit reconciliation.
+    pub fn entries(&self) -> [(&'static str, u64); Self::COUNT] {
+        [
+            ("epochs", self.epochs),
+            ("pid_updates", self.pid_updates),
+            ("fault_sweeps", self.fault_sweeps),
+            ("fault_activations", self.fault_activations),
+            ("admit_scans", self.admit_scans),
+            ("apps_admitted", self.apps_admitted),
+            ("sched_calls", self.sched_calls),
+            ("retests_planned", self.retests_planned),
+            ("sched_launches", self.sched_launches),
+            ("sched_denials", self.sched_denials),
+            ("queue_batches", self.queue_batches),
+            ("events_processed", self.events_processed),
+            ("thermal_steps", self.thermal_steps),
+            ("snapshots", self.snapshots),
+            ("batch_high_water", self.batch_high_water),
+            ("pending_high_water", self.pending_high_water),
+            ("running_high_water", self.running_high_water),
+            ("candidates_high_water", self.candidates_high_water),
+            ("launches_high_water", self.launches_high_water),
+        ]
+    }
+
+    /// Raises a high-water slot to `depth` if it is deeper than the mark.
+    #[inline]
+    pub fn raise(slot: &mut u64, depth: usize) {
+        *slot = (*slot).max(depth as u64);
+    }
 }
 
 #[cfg(test)]
@@ -930,5 +1409,173 @@ mod tests {
         assert_eq!(log.total(), 11);
         assert_eq!(log.count("TestLaunched"), 1);
         assert_eq!(log.count("CoreSuspected"), 1);
+    }
+
+    #[test]
+    fn json_str_escapes_quotes_backslashes_and_control_chars() {
+        let mut out = String::new();
+        write_json_str(&mut out, "a\"b\\c\nd\te\r\x01f");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\r\\u0001f\"");
+    }
+
+    #[test]
+    fn json_str_passes_non_ascii_through() {
+        let mut out = String::new();
+        write_json_str(&mut out, "温度 π ≈ 3.14");
+        assert_eq!(out, "\"温度 π ≈ 3.14\"");
+    }
+
+    #[test]
+    fn jsonl_writer_note_escapes_and_skips_kind_counting() {
+        let mut sink = JsonlWriter::new(Vec::new());
+        sink.note(0.5, "header \"v1\"\npath=C:\\tmp");
+        sink.on_event(1.0, &SimEvent::FaultActivated { core: 2 });
+        sink.note(2.0, "done 完了");
+        let bytes = sink.finish().expect("vec never fails");
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("\"note\":\"header \\\"v1\\\"\\npath=C:\\\\tmp\""));
+        assert!(text.contains("完了"));
+        // Notes carry no "kind": count validation must ignore them.
+        let counts = jsonl_kind_counts(&text);
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts.get("FaultActivated"), Some(&1));
+        // Every line is still a well-formed single JSON object.
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn saturation_warning_names_dropped_kinds() {
+        let mut log = EventLog::bounded(2);
+        for _ in 0..5 {
+            log.push(1.0, SimEvent::FaultActivated { core: 0 });
+        }
+        for _ in 0..2 {
+            log.push(2.0, SimEvent::FaultDetected { core: 0, latency: 1.0 });
+        }
+        let drops = log.dropped_kind_counts();
+        assert_eq!(drops.iter().sum::<u64>(), log.dropped());
+        assert_eq!(log.dropped(), 5);
+        let warn = log.saturation_warning().expect("log saturated");
+        assert!(warn.contains("capacity 2"), "{warn}");
+        assert!(warn.contains("5 events dropped"), "{warn}");
+        assert!(warn.contains("FaultActivated 3"), "{warn}");
+        assert!(warn.contains("FaultDetected 2"), "{warn}");
+        assert_eq!(warn.lines().count(), 1, "must be a one-line warning");
+    }
+
+    #[test]
+    fn unsaturated_log_has_no_warning() {
+        let mut log = EventLog::bounded(16);
+        log.push(1.0, SimEvent::FaultActivated { core: 0 });
+        assert!(log.saturation_warning().is_none());
+        assert_eq!(log.dropped_kind_counts(), [0; SimEvent::KIND_COUNT]);
+    }
+
+    fn snap(t: f64) -> StateSnapshot {
+        StateSnapshot {
+            t,
+            cap_w: 50.0,
+            headroom_w: 5.0,
+            power_w: 45.0,
+            test_power_w: 1.0,
+            reservations: 2,
+            pending_apps: 1,
+            running_apps: 3,
+            active_tests: 2,
+            cores: vec![CoreState {
+                power_w: 0.7,
+                temp_k: 330.0,
+                vf_level: 2,
+                health: HealthCode::Healthy,
+                occupied: true,
+                testing: false,
+            }],
+        }
+    }
+
+    #[test]
+    fn state_recorder_decimation_matches_trace_series() {
+        // The recorder must thin exactly like TraceSeries with the same
+        // bound: identical retained offer-indices for any push count.
+        for pushes in [1usize, 7, 8, 9, 16, 33, 100, 257] {
+            let mut rec = StateRecorder::with_capacity(8);
+            let mut series = crate::trace::TraceSeries::with_bound(8);
+            for i in 0..pushes {
+                rec.push(snap(i as f64));
+                series.push(i as f64, i as f64);
+            }
+            let rec_times: Vec<f64> = rec.snapshots().iter().map(|s| s.t).collect();
+            let series_times: Vec<f64> = series.points().iter().map(|&(t, _)| t).collect();
+            assert_eq!(rec_times, series_times, "pushes = {pushes}");
+            assert_eq!(rec.seen(), pushes as u64);
+        }
+    }
+
+    #[test]
+    fn state_recorder_always_keeps_exact_last_snapshot() {
+        let mut rec = StateRecorder::with_capacity(4);
+        for i in 0..100 {
+            rec.push(snap(i as f64));
+        }
+        assert_eq!(rec.last().map(|s| s.t), Some(99.0));
+        assert!(rec.snapshots().len() <= 4);
+        let tl = rec.into_timeline();
+        assert_eq!(tl.last().map(|s| s.t), Some(99.0));
+        assert_eq!(tl.seen(), 100);
+        assert!(tl.stride() > 1);
+        assert_eq!(tl.core_count(), 1);
+        assert!(!tl.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn state_recorder_capacity_below_two_panics() {
+        let _ = StateRecorder::with_capacity(1);
+    }
+
+    #[test]
+    fn empty_timeline_is_default() {
+        let tl = StateTimeline::default();
+        assert!(tl.is_empty());
+        assert_eq!(tl.last(), None);
+        assert_eq!(tl.stride(), 1);
+        assert_eq!(tl.core_count(), 0);
+    }
+
+    #[test]
+    fn phase_table_round_trips_indices() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.as_str()).collect();
+        assert_eq!(names, ["pid", "fault", "map", "schedule", "events", "thermal"]);
+    }
+
+    #[test]
+    fn phase_profile_entries_cover_every_counter() {
+        let mut p = PhaseProfile::default();
+        p.epochs = 1;
+        p.launches_high_water = 7;
+        let entries = p.entries();
+        assert_eq!(entries.len(), PhaseProfile::COUNT);
+        // Names must be unique (they become prom metric labels).
+        let mut names: Vec<&str> = entries.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PhaseProfile::COUNT);
+        assert!(entries.contains(&("epochs", 1)));
+        assert!(entries.contains(&("launches_high_water", 7)));
+        PhaseProfile::raise(&mut p.batch_high_water, 5);
+        PhaseProfile::raise(&mut p.batch_high_water, 3);
+        assert_eq!(p.batch_high_water, 5);
+    }
+
+    #[test]
+    fn null_phase_observer_is_a_noop() {
+        let mut obs = NullPhaseObserver;
+        obs.enter(Phase::Pid);
+        obs.exit(Phase::Pid);
     }
 }

@@ -182,6 +182,51 @@ impl Histogram {
         self.bins.iter().sum::<u64>() + self.underflow + self.overflow
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the bucket that contains the target rank.
+    ///
+    /// Underflow samples are pinned to `lo` and overflow samples to `hi`
+    /// (the histogram does not retain their exact values). Returns `None`
+    /// for an empty histogram or a `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        // Rank of the target sample, 1-based, clamped into [1, total].
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = self.underflow;
+        if rank <= seen {
+            return Some(self.lo);
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if rank <= seen + c {
+                // Interpolate within the bucket by the fraction of its
+                // samples at or below the target rank.
+                let frac = (rank - seen) as f64 / c as f64;
+                return Some(self.lo + w * (i as f64 + frac));
+            }
+            seen += c;
+        }
+        Some(self.hi)
+    }
+
+    /// Median estimate; see [`Histogram::quantile`].
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate; see [`Histogram::quantile`].
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate; see [`Histogram::quantile`].
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
     /// `(bin_center, count)` pairs, for plotting.
     pub fn centers(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         let w = (self.hi - self.lo) / self.bins.len() as f64;
@@ -350,6 +395,60 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn histogram_zero_bins_panics() {
         let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        // 100 samples spread uniformly over [0, 10): quantiles should land
+        // close to the ideal uniform quantiles.
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.push(i as f64 * 0.1);
+        }
+        let p50 = h.p50().unwrap();
+        let p95 = h.p95().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!((p50 - 5.0).abs() < 0.2, "p50 = {p50}");
+        assert!((p95 - 9.5).abs() < 0.2, "p95 = {p95}");
+        assert!((p99 - 9.9).abs() < 0.2, "p99 = {p99}");
+        assert!(p50 < p95 && p95 < p99);
+    }
+
+    #[test]
+    fn histogram_quantiles_empty_and_bounds() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(0.5);
+        assert_eq!(h.quantile(-0.1), None);
+        assert_eq!(h.quantile(1.1), None);
+        assert!(h.quantile(0.0).is_some());
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn histogram_quantiles_pin_out_of_range_samples() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..10 {
+            h.push(-5.0); // underflow, pinned to lo
+        }
+        for _ in 0..10 {
+            h.push(50.0); // overflow, pinned to hi
+        }
+        assert_eq!(h.quantile(0.25), Some(0.0));
+        assert_eq!(h.quantile(0.95), Some(10.0));
+    }
+
+    #[test]
+    fn histogram_single_bucket_median() {
+        let mut h = Histogram::new(0.0, 1.0, 1);
+        for _ in 0..4 {
+            h.push(0.5);
+        }
+        // All mass in one bucket: the median interpolates to the middle
+        // of the occupied fraction.
+        let p50 = h.p50().unwrap();
+        assert!((0.0..=1.0).contains(&p50));
     }
 
     #[test]

@@ -405,6 +405,59 @@ mod tests {
     }
 
     #[test]
+    fn decimation_at_exact_power_of_two_boundaries() {
+        // Push exactly 2^k samples into a bound-8 series for each k and
+        // pin the retained contents: on the boundary the series holds
+        // every stride-th offer-index starting at 0, with stride equal to
+        // the smallest power of two that fits 2^k offers into 8 slots.
+        for k in 3..=10u32 {
+            let n = 2u64.pow(k);
+            let mut s = TraceSeries::with_bound(8);
+            for i in 0..n {
+                s.push(i as f64, i as f64);
+            }
+            let times: Vec<u64> = s.points().iter().map(|&(t, _)| t as u64).collect();
+            let stride = if n <= 8 { 1 } else { n / 8 };
+            let expected: Vec<u64> = (0..n).step_by(stride as usize).collect();
+            assert_eq!(times, expected, "n = {n}");
+            assert_eq!(times.len(), 8.min(n as usize), "exactly full at n = {n}");
+        }
+    }
+
+    #[test]
+    fn decimation_one_past_power_of_two_halves_once() {
+        // The 2^k-th push (0-indexed offer 2^k) lands exactly when the
+        // series is full: it must trigger one halving, leaving bound/2
+        // survivors plus the new sample iff it falls on the doubled grid.
+        let mut s = TraceSeries::with_bound(8);
+        for i in 0..=8u64 {
+            s.push(i as f64, i as f64);
+        }
+        // Offers 0..8 filled the ring; offer 8 halves to {0,2,4,6},
+        // doubles the stride to 2, and 8 % 2 == 0 so it is retained.
+        let times: Vec<u64> = s.points().iter().map(|&(t, _)| t as u64).collect();
+        assert_eq!(times, vec![0, 2, 4, 6, 8]);
+        // The next odd offer falls off the coarser grid…
+        s.push(9.0, 9.0);
+        let times: Vec<u64> = s.points().iter().map(|&(t, _)| t as u64).collect();
+        assert_eq!(times, vec![0, 2, 4, 6, 8]);
+        // …and the next even offer lands on it.
+        s.push(10.0, 10.0);
+        let times: Vec<u64> = s.points().iter().map(|&(t, _)| t as u64).collect();
+        assert_eq!(times, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn minimum_bound_of_two_survives_power_of_two_sweep() {
+        let mut s = TraceSeries::with_bound(2);
+        for i in 0..1024u64 {
+            s.push(i as f64, i as f64);
+        }
+        assert!(s.len() <= 2);
+        assert_eq!(s.points()[0].0, 0.0, "first sample survives");
+    }
+
+    #[test]
     fn bounded_trace_applies_bound_to_new_series() {
         let mut t = Trace::bounded(4);
         for i in 0..50 {
