@@ -8,6 +8,7 @@
 //! cargo run -p manytest-bench --bin repro --release -- e3 --events telemetry/
 //! cargo run -p manytest-bench --bin repro --release -- explain e3
 //! cargo run -p manytest-bench --bin repro --release -- report e11 --out report/
+//! cargo run -p manytest-bench --bin repro --release -- bench kernels --grids 8,16,32,64
 //! ```
 //!
 //! Worker count: `--jobs N` (or `--jobs=N`) > the `MANYTEST_JOBS`
@@ -27,6 +28,9 @@
 //! on stderr.
 
 use manytest_bench::events::{explain, write_event_logs, PROBE_IDS};
+use manytest_bench::kernels::{
+    kernels_json, print_kernels, run_kernels, wall_kernels_table, DEFAULT_GRIDS, QUICK_GRIDS,
+};
 use manytest_bench::report::{run_report_probe_timed, wall_phase_table, write_report_files};
 use manytest_bench::runner::{default_jobs, job_stats, jobs_executed, JobStats};
 use manytest_bench::*;
@@ -69,6 +73,29 @@ fn parse_events_dir(args: &[String]) -> Option<PathBuf> {
         }
     }
     None
+}
+
+/// `--grids 8,16,32` / `--grids=8,16,32` / `--grid 64` (one edge).
+/// Exits with usage on an unparsable edge list.
+fn parse_grids(args: &[String]) -> Option<Vec<u16>> {
+    let mut list: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--grids" || a == "--grid" {
+            list = it.next().map(String::as_str);
+        } else if let Some(v) = a.strip_prefix("--grids=").or_else(|| a.strip_prefix("--grid=")) {
+            list = Some(v);
+        }
+    }
+    let list = list?;
+    let grids: Result<Vec<u16>, _> = list.split(',').map(|g| g.trim().parse::<u16>()).collect();
+    match grids {
+        Ok(g) if !g.is_empty() && g.iter().all(|&e| e >= 2) => Some(g),
+        _ => {
+            eprintln!("error: --grids wants a comma-separated list of mesh edges >= 2, got '{list}'");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_out_dir(args: &[String]) -> Option<PathBuf> {
@@ -130,7 +157,7 @@ fn main() {
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" || a == "--events" || a == "--out" {
+        if a == "--jobs" || a == "--events" || a == "--out" || a == "--grids" || a == "--grid" {
             it.next(); // the flag's value is not an experiment id
         } else if !a.starts_with("--") {
             positional.push(a.as_str());
@@ -180,6 +207,32 @@ fn main() {
                 eprintln!("error: report generation failed: {e}");
                 std::process::exit(1);
             }
+        }
+        return;
+    }
+    // `repro bench kernels [--grids 8,16,32,64 | --grid N]`: the
+    // control-loop scaling sweep. The stdout table carries only the
+    // deterministic phase-profile counters; wall-clock lands on stderr
+    // and in BENCH_kernels.json.
+    if positional.first() == Some(&"bench") {
+        if positional.get(1) != Some(&"kernels") {
+            eprintln!("usage: repro bench kernels [--grids N,N,...] [--grid N] [--quick]");
+            std::process::exit(2);
+        }
+        let grids: Vec<u16> = parse_grids(&args).unwrap_or_else(|| {
+            if quick {
+                QUICK_GRIDS.to_vec()
+            } else {
+                DEFAULT_GRIDS.to_vec()
+            }
+        });
+        let runs = run_kernels(&grids, scale);
+        print_kernels(&runs, scale);
+        eprint!("{}", wall_kernels_table(&runs));
+        if let Err(e) = std::fs::write("BENCH_kernels.json", kernels_json(&runs, scale)) {
+            eprintln!("warning: could not write BENCH_kernels.json: {e}");
+        } else {
+            eprintln!("# counters + wall -> BENCH_kernels.json");
         }
         return;
     }

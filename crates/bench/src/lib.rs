@@ -12,6 +12,7 @@
 pub mod ablations;
 pub mod events;
 pub mod experiments;
+pub mod kernels;
 pub mod report;
 pub mod runner;
 

@@ -1,0 +1,192 @@
+//! Scaling regression gate for the control-loop kernels.
+//!
+//! The struct-of-arrays refactor made the per-epoch phase work linear in
+//! the core count and the admission path independent of it. This gate
+//! pins that: the deterministic scan counters of small quick runs must
+//! not regress above the recorded baselines, and growing the mesh 4× in
+//! cores must grow the candidate scan by ~4× (not ~16×). To accept an
+//! intentional change, regenerate the baseline:
+//!
+//! ```sh
+//! MANYTEST_UPDATE_GOLDEN=1 cargo test -p manytest-bench --test kernels_gate
+//! git diff crates/bench/tests/golden/   # review, then commit
+//! ```
+
+use manytest_bench::kernels::{kernels_builder, run_kernels};
+use manytest_bench::Scale;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The counters the gate pins, read off [`PhaseProfile::entries`] names.
+/// `epochs` must match exactly; the others must not exceed the baseline.
+const GATED: [&str; 7] = [
+    "epochs",
+    "candidates_scanned",
+    "free_set_queries",
+    "ctx_rebuilds",
+    "ctx_delta_updates",
+    "heap_pops",
+    "dirty_marks",
+];
+
+fn baseline_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/kernels_baseline.json")
+}
+
+fn to_json(counts: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (key, count)) in counts.iter().enumerate() {
+        let sep = if i + 1 == counts.len() { "" } else { "," };
+        let _ = writeln!(out, "  \"{key}\": {count}{sep}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn parse_json(text: &str) -> BTreeMap<String, u64> {
+    let body = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .expect("baseline is a JSON object");
+    body.split(',')
+        .map(str::trim)
+        .filter(|line| !line.is_empty())
+        .map(|line| {
+            let (key, value) = line.split_once(':').expect("baseline line is `\"key\": count`");
+            let key = key
+                .trim()
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .expect("baseline key is quoted");
+            let count: u64 = value.trim().parse().expect("baseline count is an integer");
+            (key.to_owned(), count)
+        })
+        .collect()
+}
+
+/// Runs the quick sweep for `grids` and flattens the gated counters to
+/// `g<grid>.<counter>` keys.
+fn measure(grids: &[u16]) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for run in run_kernels(grids, Scale::Quick) {
+        for (name, value) in run.profile.entries() {
+            if GATED.contains(&name) {
+                counts.insert(format!("g{}.{name}", run.grid), value);
+            }
+        }
+    }
+    counts
+}
+
+fn check_against_baseline(grids: &[u16]) {
+    let counts = measure(grids);
+    let path = baseline_path();
+    if std::env::var_os("MANYTEST_UPDATE_GOLDEN").is_some() {
+        // Regeneration always records the full gated grid set so one
+        // update run refreshes every key this file checks.
+        let full = measure(&[8, 16, 32]);
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        std::fs::write(&path, to_json(&full)).expect("write baseline file");
+        return;
+    }
+    let baseline = parse_json(&std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing baseline {} ({e}); regenerate with \
+             MANYTEST_UPDATE_GOLDEN=1 cargo test -p manytest-bench --test kernels_gate",
+            path.display()
+        )
+    }));
+    for (key, &measured) in &counts {
+        let &pinned = baseline
+            .get(key)
+            .unwrap_or_else(|| panic!("baseline {} lacks key {key}", path.display()));
+        if key.ends_with(".epochs") {
+            assert_eq!(
+                measured, pinned,
+                "{key}: epoch count drifted from the baseline — the gate is \
+                 comparing different runs; regenerate if the config change is intentional"
+            );
+        } else {
+            assert!(
+                measured <= pinned,
+                "{key}: scan counter regressed above the recorded baseline \
+                 ({measured} > {pinned}); an incremental structure degraded to \
+                 rescanning — fix it or regenerate the baseline with justification"
+            );
+        }
+    }
+}
+
+#[test]
+fn quick_scan_counters_stay_at_or_below_baseline() {
+    check_against_baseline(&[8, 16]);
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "1024-core quick run; exercised by the release CI gate"
+)]
+fn grid32_scan_counters_stay_at_or_below_baseline() {
+    check_against_baseline(&[32]);
+}
+
+/// Quadrupling the core count must quadruple (not ×16) the per-epoch
+/// candidate scan: the testable-core walk is linear in N. The bound is
+/// deliberately loose (6×) — it fails the O(N²) world, not noise.
+#[test]
+fn candidate_scan_grows_linearly_with_core_count() {
+    let runs = run_kernels(&[8, 16], Scale::Quick);
+    let per_epoch: Vec<f64> = runs
+        .iter()
+        .map(|r| r.profile.candidates_scanned as f64 / r.profile.epochs as f64)
+        .collect();
+    let growth = per_epoch[1] / per_epoch[0];
+    assert!(
+        growth < 6.0,
+        "candidate scan grew {growth:.1}x for 4x cores — superlinear scan work"
+    );
+    assert!(
+        growth > 1.5,
+        "candidate scan barely grew ({growth:.1}x) for 4x cores — \
+         the sweep is not exercising scale"
+    );
+}
+
+/// The admission path must not scale with the mesh: the free-core count
+/// is maintained, not rescanned, so its query and rebuild counters are
+/// identical across grids running the same workload.
+#[test]
+fn admission_counters_are_independent_of_grid_size() {
+    let runs = run_kernels(&[8, 16], Scale::Quick);
+    assert_eq!(
+        runs[0].profile.free_set_queries, runs[1].profile.free_set_queries,
+        "free-set queries changed with grid size"
+    );
+    assert_eq!(
+        runs[0].profile.ctx_rebuilds, runs[1].profile.ctx_rebuilds,
+        "map-context rebuilds changed with grid size"
+    );
+}
+
+/// The 64×64 configuration runs to completion and is bit-deterministic:
+/// two identical runs produce identical reports.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "4096-core run; exercised by the release CI gate"
+)]
+fn grid64_quick_run_is_deterministic() {
+    let run = || {
+        kernels_builder(64, Scale::Quick)
+            .build()
+            .expect("valid config")
+            .run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "two identical 64x64 runs diverged");
+    assert!(a.profile.epochs > 0, "run did not complete any epochs");
+    assert_eq!(a.summary(), b.summary());
+}

@@ -7,7 +7,14 @@
 //! process-global, and a concurrent test in the same binary would pollute
 //! the measurement.
 
+use manytest_core::exec::CoreMode;
 use manytest_core::prelude::*;
+use manytest_core::store::CoreStore;
+use manytest_map::context::MapContext;
+use manytest_noc::{Coord, Mesh2D};
+use manytest_power::{PowerBudget, VfLadder, VfLevel};
+use manytest_sbst::{RoutineId, TestSession};
+use manytest_workload::{AppId, TaskId};
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -77,5 +84,79 @@ fn map_context_allocates_nothing_after_the_first_tick() {
         "System::map_context heap-allocated {allocations} times across \
          1000 warm refills (with event emission); the scratch-buffer and \
          null-observer guarantees are broken"
+    );
+
+    // The struct-of-arrays store shares the guarantee: every phase-loop
+    // mutation patches flat arrays and maintained views in place, so the
+    // control loop's per-epoch store traffic is alloc-free once warm.
+    let n = 64;
+    let mut store = CoreStore::new(n);
+    let op = VfLadder::for_node(TechNode::N16, 5).max();
+    let session = TestSession::new(0, RoutineId(0), VfLevel(0), 100, 1.0e9, 0.0);
+    let mut budget = PowerBudget::new(10.0);
+    let reservation = budget.reserve(1.0).expect("budget has headroom");
+    // Warm the dirty list to its full-mesh high-water capacity, then
+    // drain it. (advance_generation's debug-build consistency assert
+    // rebuilds the views, which allocates — warmup absorbs that too.)
+    for core in 0..n {
+        store.set_owner(core, Some((AppId(0), TaskId(0))));
+        store.set_owner(core, None);
+    }
+    store.advance_generation();
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for tick in 0..1_000usize {
+        let core = tick % n;
+        // One admission + teardown round trip through the flat arrays.
+        store.set_mode(core, CoreMode::Idle(op));
+        store.set_owner(core, Some((AppId(1), TaskId(0))));
+        store.set_mode(core, CoreMode::Busy(op));
+        store.set_owner(core, None);
+        store.set_mode(core, CoreMode::Off);
+        // One test-session lifecycle.
+        let gen = store.begin_session(core, session, reservation);
+        std::hint::black_box(gen);
+        let (s, r) = store.end_session(core);
+        std::hint::black_box((s.is_some(), r.is_some()));
+        store.set_accrued_since(core, tick as f64 * 1e-4);
+        // The maintained views the phase loops read every epoch.
+        let mut visited = 0usize;
+        store.for_each_testable(|c| visited += c);
+        std::hint::black_box((
+            store.mappable_count(),
+            store.testing_count(),
+            store.testable_words().len(),
+            store.dirty_cores().len(),
+            visited,
+        ));
+    }
+    let allocations = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "CoreStore heap-allocated {allocations} times across 1000 warm \
+         mutate/scan rounds; a maintained view or the dirty list is \
+         reallocating on the hot path"
+    );
+
+    // The incremental free-set path: admissions patch the map context in
+    // place (set_free / set_criticality) and read the maintained
+    // mappable count; none of it may touch the heap once built.
+    let mesh = Mesh2D::new(8, 8);
+    let mut ctx = MapContext::all_free(mesh);
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for tick in 0..1_000usize {
+        let c = Coord::new((tick % 8) as u16, (tick / 8 % 8) as u16);
+        ctx.set_free(c, false);
+        ctx.set_criticality(c, (tick % 7) as f64);
+        ctx.set_healthy(c, tick % 3 != 0);
+        std::hint::black_box(ctx.free_count());
+        ctx.set_healthy(c, true);
+        ctx.set_free(c, true);
+    }
+    let allocations = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        allocations, 0,
+        "MapContext delta patching heap-allocated {allocations} times \
+         across 1000 warm admission rounds"
     );
 }

@@ -241,6 +241,40 @@ fn validate_profile(report: &Report, errors: &mut String) {
             p.retests_planned, report.confirmation_retests
         );
     }
+    // Incremental-structure counters. Every launch came off the ranked
+    // heap or the retest lane; the map context is built at most once per
+    // admission scan plus once per migration; every admission queried the
+    // maintained free-core count and patched the context in place.
+    let incremental: [(&str, u64, u64); 4] = [
+        (
+            "sched_launches <= heap_pops + retests_planned",
+            p.sched_launches,
+            p.heap_pops + p.retests_planned,
+        ),
+        (
+            "ctx_rebuilds <= admit_scans + apps_migrated",
+            p.ctx_rebuilds,
+            p.admit_scans + report.apps_migrated,
+        ),
+        (
+            "apps_admitted <= free_set_queries",
+            p.apps_admitted,
+            p.free_set_queries,
+        ),
+        (
+            "apps_admitted <= ctx_delta_updates",
+            p.apps_admitted,
+            p.ctx_delta_updates,
+        ),
+    ];
+    for (invariant, lhs, rhs) in incremental {
+        if lhs > rhs {
+            let _ = writeln!(
+                errors,
+                "profile invariant violated: {invariant} ({lhs} > {rhs})"
+            );
+        }
+    }
     // Per-epoch phases either never ran (feature off) or ran every epoch.
     for (name, count) in [
         ("thermal_steps", p.thermal_steps),

@@ -1,7 +1,10 @@
-//! Execution-plane state: per-core slots and in-flight applications.
+//! Execution-plane state: core modes and in-flight applications.
+//!
+//! Per-core runtime state (owner, session, mode, accounting watermark)
+//! lives in the struct-of-arrays [`crate::store::CoreStore`]; this
+//! module keeps the mode enum it stores plus the per-application state.
 
 use manytest_power::{OperatingPoint, Reservation};
-use manytest_sbst::TestSession;
 use manytest_workload::{AppId, Application, TaskGraph, TaskId};
 use manytest_map::Mapping;
 
@@ -18,59 +21,6 @@ pub enum CoreMode {
     /// Running an SBST routine at the session's operating point with the
     /// routine's activity factor.
     Testing(OperatingPoint, f64),
-}
-
-/// Per-core runtime slot.
-#[derive(Debug)]
-pub struct CoreSlot {
-    /// Owning application and assigned task, if allocated.
-    pub owner: Option<(AppId, TaskId)>,
-    /// Active test session, if any.
-    pub session: Option<TestSession>,
-    /// Power reservation backing the active session.
-    pub session_reservation: Option<Reservation>,
-    /// Generation counter for session events (stale-event filtering).
-    pub session_gen: u64,
-    /// Current mode (drives power/stress accounting).
-    pub mode: CoreMode,
-    /// Time (seconds) the current mode started; accounting charges
-    /// `[accrued_since, now)` at each mode change.
-    pub accrued_since: f64,
-    /// Completion time (seconds) of each test on this core, for
-    /// test-interval statistics.
-    pub test_times: Vec<f64>,
-}
-
-impl CoreSlot {
-    /// A fresh, power-gated core at time zero.
-    pub fn new() -> Self {
-        CoreSlot {
-            owner: None,
-            session: None,
-            session_reservation: None,
-            session_gen: 0,
-            mode: CoreMode::Off,
-            accrued_since: 0.0,
-            test_times: Vec::new(),
-        }
-    }
-
-    /// True if the core may be offered to the test scheduler: it is not
-    /// executing a task and not already under test.
-    pub fn is_test_candidate(&self) -> bool {
-        self.session.is_none() && !matches!(self.mode, CoreMode::Busy(_) | CoreMode::Testing(..))
-    }
-
-    /// True if the runtime mapper may allocate this core.
-    pub fn is_free_for_mapping(&self) -> bool {
-        self.owner.is_none()
-    }
-}
-
-impl Default for CoreSlot {
-    fn default() -> Self {
-        Self::new()
-    }
 }
 
 /// Lifecycle of one task inside a running application.
@@ -200,48 +150,6 @@ mod tests {
 
     fn some_reservation() -> Reservation {
         manytest_power::PowerBudget::new(10.0).reserve(1.0).unwrap()
-    }
-
-    #[test]
-    fn fresh_core_is_dark_and_testable() {
-        let c = CoreSlot::new();
-        assert_eq!(c.mode, CoreMode::Off);
-        assert!(c.is_test_candidate());
-        assert!(c.is_free_for_mapping());
-    }
-
-    #[test]
-    fn busy_core_is_neither_testable_nor_free() {
-        let mut c = CoreSlot::new();
-        c.owner = Some((AppId(1), TaskId(0)));
-        c.mode = CoreMode::Busy(ladder_op());
-        assert!(!c.is_test_candidate());
-        assert!(!c.is_free_for_mapping());
-    }
-
-    #[test]
-    fn allocated_idle_core_is_testable_but_not_free() {
-        let mut c = CoreSlot::new();
-        c.owner = Some((AppId(1), TaskId(0)));
-        c.mode = CoreMode::Idle(ladder_op());
-        assert!(c.is_test_candidate());
-        assert!(!c.is_free_for_mapping());
-    }
-
-    #[test]
-    fn testing_core_is_not_a_candidate_again() {
-        let mut c = CoreSlot::new();
-        c.mode = CoreMode::Testing(ladder_op(), 0.8);
-        c.session = Some(TestSession::new(
-            0,
-            manytest_sbst::RoutineId(0),
-            manytest_power::VfLevel(0),
-            100,
-            1.0e9,
-            0.0,
-        ));
-        assert!(!c.is_test_candidate());
-        assert!(c.is_free_for_mapping(), "dark core under test stays mappable");
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod config;
 pub mod error;
 pub mod exec;
 pub mod metrics;
+pub mod store;
 pub mod system;
 
 pub use audit::validate_events;

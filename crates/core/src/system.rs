@@ -2,8 +2,9 @@
 
 use crate::config::{FaultResponsePolicy, GovernorKind, MapperKind, SystemConfig};
 use crate::error::BuildError;
-use crate::exec::{CoreMode, CoreSlot, RunningApp, TaskState};
+use crate::exec::{CoreMode, RunningApp, TaskState};
 use crate::metrics::{MetricsCollector, Report};
+use crate::store::CoreStore;
 use manytest_aging::{AgingModel, CriticalityModel, StressTracker, ThermalGrid, ThermalParams};
 use manytest_map::{ConaMapper, FirstFitMapper, MapContext, Mapper, TestAwareMapper};
 use manytest_noc::{ContentionModel, LinkEnergyModel, LinkLoads, Mesh2D, TrafficMatrix};
@@ -300,7 +301,7 @@ pub struct System {
     arrivals: ArrivalProcess,
     pending: VecDeque<Application>,
     running: BTreeMap<u64, RunningApp>,
-    cores: Vec<CoreSlot>,
+    store: CoreStore,
     epoch_busy: Vec<f64>,
     epoch_energy: Vec<f64>,
     traffic: TrafficMatrix,
@@ -448,7 +449,7 @@ impl System {
             },
             pending: VecDeque::new(),
             running: BTreeMap::new(),
-            cores: (0..n).map(|_| CoreSlot::new()).collect(),
+            store: CoreStore::new(n),
             epoch_busy: vec![0.0; n],
             epoch_energy: vec![0.0; n],
             traffic: TrafficMatrix::new(mesh),
@@ -581,13 +582,13 @@ impl System {
 
     /// Charges the core's current mode for `[accrued_since, now)`.
     fn charge_core(&mut self, core: usize, now: f64) {
-        let since = self.cores[core].accrued_since;
+        let since = self.store.accrued_since(core);
         let dt = now - since;
         if dt <= 0.0 {
-            self.cores[core].accrued_since = now;
+            self.store.set_accrued_since(core, now);
             return;
         }
-        let mode = self.cores[core].mode;
+        let mode = self.store.mode(core);
         let (cat, watts) = self.mode_power(mode);
         self.meter.add(cat, watts, dt);
         self.epoch_energy[core] += watts * dt;
@@ -604,7 +605,7 @@ impl System {
                 }
             }
         }
-        self.cores[core].accrued_since = now;
+        self.store.set_accrued_since(core, now);
     }
 
     /// The telemetry ladder index a mode runs at ([`VfLevel::GATED`] = off).
@@ -618,7 +619,7 @@ impl System {
 
     fn set_mode(&mut self, core: usize, now: f64, mode: CoreMode) {
         self.charge_core(core, now);
-        let from = Self::mode_level(self.cores[core].mode);
+        let from = Self::mode_level(self.store.mode(core));
         let to = Self::mode_level(mode);
         if from != to {
             self.observer.on_event(
@@ -630,7 +631,7 @@ impl System {
                 },
             );
         }
-        self.cores[core].mode = mode;
+        self.store.set_mode(core, mode);
     }
 
     // ----- control plane (epoch boundaries) ------------------------------
@@ -682,6 +683,7 @@ impl System {
     /// `map_context_allocs` integration test hold it to that.
     pub fn map_context(&mut self, now: f64) -> &MapContext {
         let n = self.mesh.node_count();
+        self.profile.ctx_rebuilds += 1;
         let ctx = &mut self.ctx_scratch;
         ctx.reset(self.mesh);
         for i in 0..n {
@@ -689,9 +691,9 @@ impl System {
             // A core with a session in flight is about to *complete* a
             // test: mapping onto it wastes the invested test energy, so it
             // is maximally undesirable to a test-aware mapper.
-            let in_test = if self.cores[i].session.is_some() { 5.0 } else { 0.0 };
+            let in_test = if self.store.has_session(i) { 5.0 } else { 0.0 };
             ctx.push_node_health(
-                self.cores[i].is_free_for_mapping(),
+                self.store.is_free_for_mapping(i),
                 !self.health.is_quarantined(i),
                 s.utilization.clamp(0.0, 1.0),
                 self.criticality.criticality(s, now).max(0.0) + in_test,
@@ -704,6 +706,13 @@ impl System {
     fn admit_pending(&mut self, now: f64) {
         self.profile.admit_scans += 1;
         PhaseProfile::raise(&mut self.profile.pending_high_water, self.pending.len());
+        // The mapper snapshot is rebuilt at most once per control tick:
+        // after each admission the claimed nodes are patched in place
+        // (occupancy and the in-test criticality bias are the only inputs
+        // that can change between admissions of the same tick), which is
+        // bit-identical to a full rebuild because stress, health and `now`
+        // are constant until the event phase runs.
+        let mut ctx_fresh = false;
         loop {
             let Some(task_count) = self.pending.front().map(|f| f.graph.task_count()) else {
                 break;
@@ -722,12 +731,10 @@ impl System {
                 );
                 continue;
             }
-            let free = (0..self.cores.len())
-                .filter(|&i| {
-                    self.cores[i].is_free_for_mapping() && !self.health.is_quarantined(i)
-                })
-                .count();
-            if free < task_count {
+            // Maintained free set: O(1) instead of filtering every core
+            // per pending application.
+            self.profile.free_set_queries += 1;
+            if self.store.mappable_count() < task_count {
                 break;
             }
             // DVFS admission: the highest level whose projected power fits
@@ -739,7 +746,10 @@ impl System {
             }) else {
                 break; // not even near-threshold fits: wait for power
             };
-            self.map_context(now);
+            if !ctx_fresh {
+                self.map_context(now);
+                ctx_fresh = true;
+            }
             // lint:allow(panic-in-hot-path, reason = "loop header breaks when the queue is empty; no admission path pops between there and here")
             let front = self.pending.front().expect("checked non-empty above");
             let Some(mapping) = self.mapper.map(&self.ctx_scratch, &front.graph) else {
@@ -772,16 +782,27 @@ impl System {
                     headroom: self.budget.headroom(),
                 },
             );
-            // Claim the cores (aborting any test sessions on them).
+            // Claim the cores (aborting any test sessions on them),
+            // patching the mapper snapshot instead of rebuilding it for
+            // the next admission of this tick.
             for t in 0..task_count as u32 {
                 let task = TaskId(t);
                 let coord = mapping.coord_of(task);
                 let core = self.mesh.node_id(coord).index();
-                if self.cores[core].session.is_some() {
+                if self.store.has_session(core) {
                     self.abort_session(core, now, AbortReason::MappedOver);
+                    // The abort dropped the in-test bias; restore the
+                    // node's bare criticality (same expression
+                    // `map_context` evaluates, same inputs → same bits).
+                    let s = self.stress.core(core);
+                    self.ctx_scratch
+                        .set_criticality(coord, self.criticality.criticality(s, now).max(0.0));
+                    self.profile.ctx_delta_updates += 1;
                 }
-                debug_assert!(self.cores[core].owner.is_none());
-                self.cores[core].owner = Some((id, task));
+                debug_assert!(self.store.owner(core).is_none());
+                self.store.set_owner(core, Some((id, task)));
+                self.ctx_scratch.set_free(coord, false);
+                self.profile.ctx_delta_updates += 1;
                 self.set_mode(core, now, CoreMode::Idle(op));
             }
             let graph = app.graph;
@@ -817,28 +838,37 @@ impl System {
         // self.scheduler`, so the buffer is moved out for the call).
         let mut candidates = std::mem::take(&mut self.candidates_scratch);
         candidates.clear();
-        candidates.extend(
-            (0..self.cores.len())
-                .filter(|&i| self.cores[i].is_test_candidate() && self.health.is_healthy(i))
-                .map(|i| TestCandidate {
-                    core: i,
-                    criticality: self.criticality.criticality(self.stress.core(i), now),
-                }),
-        );
         // Suspect cores go through the priority retest lane instead of
         // the ranked pool: pinned to the level the detection happened at,
         // exempt from the criticality threshold, served first.
         let mut retests = std::mem::take(&mut self.retests_scratch);
         retests.clear();
-        retests.extend(
-            (0..self.cores.len())
-                .filter(|&i| self.cores[i].is_test_candidate())
-                .filter_map(|i| {
-                    self.health
-                        .suspect_level(i)
-                        .map(|level| RetestRequest { core: i, level })
-                }),
-        );
+        // One walk over the maintained test-candidate bitset replaces the
+        // two full-array filter scans; set bits come out in ascending
+        // core order, so both vectors are built in the exact order the
+        // old scans produced. A core is healthy or suspect, never both,
+        // so a single visit can feed both lanes. Criticality is
+        // time-dependent (it grows with time-since-last-test), so the
+        // *values* are recomputed for each candidate each tick — only the
+        // candidate *set* is maintained incrementally.
+        let mut scanned = 0u64;
+        for (w, &word) in self.store.testable_words().iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let i = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                scanned += 1;
+                if self.health.is_healthy(i) {
+                    candidates.push(TestCandidate {
+                        core: i,
+                        criticality: self.criticality.criticality(self.stress.core(i), now),
+                    });
+                } else if let Some(level) = self.health.suspect_level(i) {
+                    retests.push(RetestRequest { core: i, level });
+                }
+            }
+        }
+        self.profile.candidates_scanned += scanned;
         self.profile.sched_calls += 1;
         self.profile.retests_planned += retests.len() as u64;
         PhaseProfile::raise(&mut self.profile.candidates_high_water, candidates.len());
@@ -854,6 +884,7 @@ impl System {
             .plan_with_retests_into(&retests, &candidates, headroom, &mut launches, &mut denials);
         self.candidates_scratch = candidates;
         self.retests_scratch = retests;
+        self.profile.heap_pops = self.scheduler.heap_pops();
         self.profile.sched_denials += denials.len() as u64;
         PhaseProfile::raise(&mut self.profile.launches_high_water, launches.len());
         for d in &denials {
@@ -881,9 +912,7 @@ impl System {
             );
             let op = self.scheduler.ladder().point(launch.level);
             let activity = self.scheduler.library().routine(launch.routine).activity;
-            self.cores[core].session = Some(session);
-            self.cores[core].session_reservation = Some(reservation);
-            let gen = self.cores[core].session_gen;
+            let gen = self.store.begin_session(core, session, reservation);
             self.profile.sched_launches += 1;
             self.set_mode(core, now, CoreMode::Testing(op, activity));
             self.observer.on_event(
@@ -907,15 +936,13 @@ impl System {
     }
 
     fn abort_session(&mut self, core: usize, now: f64, reason: AbortReason) {
-        let slot = &mut self.cores[core];
-        debug_assert!(slot.session.is_some());
+        let (session, reservation) = self.store.end_session(core);
+        debug_assert!(session.is_some());
         debug_assert!(
-            slot.session_reservation.is_some(),
+            reservation.is_some(),
             "active session holds a reservation"
         );
-        slot.session = None;
-        slot.session_gen += 1;
-        if let Some(reservation) = slot.session_reservation.take() {
+        if let Some(reservation) = reservation {
             self.budget.release(reservation);
         }
         self.scheduler.on_session_aborted(core);
@@ -936,8 +963,8 @@ impl System {
     }
 
     fn owner_op(&self, core: usize) -> Option<OperatingPoint> {
-        self.cores[core]
-            .owner
+        self.store
+            .owner(core)
             .map(|(app, _)| self.running[&app.0].op)
     }
 
@@ -991,7 +1018,7 @@ impl System {
         };
         let core = self.mesh.node_id(coord).index();
         let mut duration = duration;
-        if let Some(mut session) = self.cores[core].session {
+        if let Some(mut session) = self.store.session(core) {
             if self.config.intrusive_testing {
                 // Ablation mode: the test has priority — the task retries
                 // once the session is done. Sessions are advanced lazily;
@@ -1012,7 +1039,7 @@ impl System {
             duration += self.config.abort_overhead.as_secs_f64();
         }
         debug_assert!(
-            !matches!(self.cores[core].mode, CoreMode::Busy(_)),
+            !matches!(self.store.mode(core), CoreMode::Busy(_)),
             "core hosts one task at a time"
         );
         self.set_mode(core, now, CoreMode::Busy(op));
@@ -1040,7 +1067,7 @@ impl System {
         // Release the core first.
         let coord = app.mapping.coord_of(task);
         let core = self.mesh.node_id(coord).index();
-        self.cores[core].owner = None;
+        self.store.set_owner(core, None);
         self.set_mode(core, now, CoreMode::Off);
         // Record completion and instructions, and hand the task's share of
         // the power reservation back so later admissions (and tests) can
@@ -1123,18 +1150,20 @@ impl System {
     }
 
     fn on_session_finish(&mut self, core: usize, gen: u64, now: f64) {
-        if self.cores[core].session_gen != gen {
+        if self.store.session_gen(core) != gen {
             return; // stale event from an aborted session
         }
-        let Some(session) = self.cores[core].session.take() else {
+        // `end_session` leaves the generation untouched when no session
+        // is live, so a second stale event for the same gen still drops.
+        let (session, reservation) = self.store.end_session(core);
+        let Some(session) = session else {
             return; // stale event from an aborted session
         };
-        self.cores[core].session_gen += 1;
         debug_assert!(
-            self.cores[core].session_reservation.is_some(),
+            reservation.is_some(),
             "active session holds a reservation"
         );
-        if let Some(reservation) = self.cores[core].session_reservation.take() {
+        if let Some(reservation) = reservation {
             self.budget.release(reservation);
         }
         self.scheduler
@@ -1179,14 +1208,14 @@ impl System {
                     && self.rng_faults.gen_bool(routine.false_positive_rate))
         };
         self.metrics.tests_completed += 1;
-        let interval = match self.cores[core].test_times.last() {
-            Some(&prev) => {
+        let interval = match self.store.last_test_time(core) {
+            Some(prev) => {
                 self.metrics.test_interval.push(now - prev);
                 now - prev
             }
             None => -1.0, // first completion on this core
         };
-        self.cores[core].test_times.push(now);
+        self.store.push_test_time(core, now);
         let ledger = self.scheduler.ledger();
         let covered_levels = (0..ledger.level_count())
             .filter(|&l| ledger.tests_at(core, VfLevel(l as u8)) > 0)
@@ -1257,6 +1286,9 @@ impl System {
     /// sequence invariant relies on.
     fn quarantine_core(&mut self, core: usize, retests: u32, now: f64) {
         self.health.quarantine(core);
+        // Mirror the health bit into the store so the maintained
+        // mappable count drops without consulting the board.
+        self.store.set_quarantined(core);
         self.metrics.cores_quarantined += 1;
         if !self.faults.has_solid_active_fault(core, now) {
             // Nothing solid on the core: intermittent symptoms or false
@@ -1271,7 +1303,7 @@ impl System {
                 retests,
             },
         );
-        if let Some((victim, _)) = self.cores[core].owner {
+        if let Some((victim, _)) = self.store.owner(core) {
             match self.config.fault_response {
                 // lint:allow(panic-in-hot-path, reason = "structurally dead: confirmation retests (the only quarantine trigger) are disabled under Ignore")
                 FaultResponsePolicy::Ignore => unreachable!("Ignore never quarantines"),
@@ -1280,14 +1312,14 @@ impl System {
                 FaultResponsePolicy::MigrateRegion => self.migrate_app(victim.0, core, now),
             }
         }
-        if self.cores[core].owner.is_none() {
+        if self.store.owner(core).is_none() {
             self.set_mode(core, now, CoreMode::Off);
         }
         debug_assert!(
-            self.cores[core].owner.is_none(),
+            self.store.owner(core).is_none(),
             "quarantined core must be vacated"
         );
-        let n = self.cores.len();
+        let n = self.store.len();
         self.budget
             .set_derating((n - self.health.quarantined_count()) as f64 / n as f64);
     }
@@ -1308,8 +1340,8 @@ impl System {
         for t in 0..app.tasks.len() {
             let task = TaskId(t as u32);
             let core = self.mesh.node_id(app.mapping.coord_of(task)).index();
-            if self.cores[core].owner == Some((app.id, task)) {
-                self.cores[core].owner = None;
+            if self.store.owner(core) == Some((app.id, task)) {
+                self.store.set_owner(core, None);
                 self.set_mode(core, now, CoreMode::Off);
             }
         }
@@ -1364,16 +1396,18 @@ impl System {
         // the quarantined node (like every unhealthy node) is excluded.
         {
             let n = self.mesh.node_count();
+            self.profile.ctx_rebuilds += 1;
             let ctx = &mut self.ctx_scratch;
             ctx.reset(self.mesh);
             for i in 0..n {
-                let mine = self.cores[i]
-                    .owner
+                let mine = self
+                    .store
+                    .owner(i)
                     .map_or(false, |(a, _)| a.0 == app_id);
                 let s = self.stress.core(i);
-                let in_test = if self.cores[i].session.is_some() { 5.0 } else { 0.0 };
+                let in_test = if self.store.has_session(i) { 5.0 } else { 0.0 };
                 ctx.push_node_health(
-                    self.cores[i].is_free_for_mapping() || mine,
+                    self.store.is_free_for_mapping(i) || mine,
                     !self.health.is_quarantined(i),
                     s.utilization.clamp(0.0, 1.0),
                     self.criticality.criticality(s, now).max(0.0) + in_test,
@@ -1415,8 +1449,8 @@ impl System {
                 continue;
             }
             let oc = self.mesh.node_id(old).index();
-            if self.cores[oc].owner == Some((AppId(app_id), task)) {
-                self.cores[oc].owner = None;
+            if self.store.owner(oc) == Some((AppId(app_id), task)) {
+                self.store.set_owner(oc, None);
                 self.set_mode(oc, now, CoreMode::Off);
             }
         }
@@ -1434,11 +1468,11 @@ impl System {
             moved_tasks += 1;
             total_delay += delay;
             let nc = self.mesh.node_id(new).index();
-            if self.cores[nc].session.is_some() {
+            if self.store.has_session(nc) {
                 self.abort_session(nc, now, AbortReason::MappedOver);
             }
-            debug_assert!(self.cores[nc].owner.is_none());
-            self.cores[nc].owner = Some((AppId(app_id), task));
+            debug_assert!(self.store.owner(nc).is_none());
+            self.store.set_owner(nc, Some((AppId(app_id), task)));
             let mode = if matches!(state, TaskState::Running { .. }) {
                 CoreMode::Busy(op)
             } else {
@@ -1514,7 +1548,17 @@ impl System {
     // ----- epoch close ----------------------------------------------------
 
     fn close_epoch(&mut self, t1: f64) {
-        for core in 0..self.cores.len() {
+        // One cache-linear pass over the mode array. Power-gated cores
+        // draw exactly 0 W, so charging them adds 0.0 joules everywhere —
+        // a float no-op (all accumulators are non-negative, so `x + 0.0`
+        // cannot even flip a `-0.0`). Skipping them leaves their
+        // accounting watermark stale, which the next `set_mode` settles
+        // by charging the whole gated span at 0 W: identical arithmetic,
+        // fewer meter calls.
+        for core in 0..self.store.len() {
+            if matches!(self.store.mode(core), CoreMode::Off) {
+                continue;
+            }
             self.charge_core(core, t1);
         }
         let epoch_secs = self.config.epoch.as_secs_f64();
@@ -1545,18 +1589,14 @@ impl System {
         self.trace
             .series_mut("pending_apps")
             .push(t1, self.pending.len() as f64);
-        let testing = self
-            .cores
-            .iter()
-            .filter(|c| c.session.is_some())
-            .count();
+        let testing = self.store.testing_count();
         self.trace
             .series_mut("active_tests")
             .push(t1, testing as f64);
         // Graceful-degradation trajectory: capacity surviving quarantine.
         self.trace.series_mut("healthy_cores").push(
             t1,
-            (self.cores.len() - self.health.quarantined_count()) as f64,
+            (self.store.len() - self.health.quarantined_count()) as f64,
         );
         if let Some(grid) = &mut self.thermal {
             // Transient thermal path: advance the RC grid with this
@@ -1568,7 +1608,7 @@ impl System {
             powers.extend(self.epoch_energy.iter().map(|&e| e / epoch_secs));
             grid.step(powers, epoch_secs);
             self.profile.thermal_steps += 1;
-            for core in 0..self.cores.len() {
+            for core in 0..self.store.len() {
                 let busy = (self.epoch_busy[core] / epoch_secs).clamp(0.0, 1.0);
                 let temperature = grid.temperature(core);
                 self.stress.record_epoch_at_temperature(
@@ -1585,7 +1625,7 @@ impl System {
                 .series_mut("max_temp_k")
                 .push(t1, grid.max_temperature());
         } else {
-            for core in 0..self.cores.len() {
+            for core in 0..self.store.len() {
                 let busy = (self.epoch_busy[core] / epoch_secs).clamp(0.0, 1.0);
                 let avg_power = self.epoch_energy[core] / epoch_secs;
                 self.stress
@@ -1609,11 +1649,11 @@ impl System {
         }
         if self.recorder.is_some() {
             self.profile.snapshots += 1;
-            let cores: Vec<CoreState> = (0..self.cores.len())
+            let cores: Vec<CoreState> = (0..self.store.len())
                 .map(|i| CoreState {
                     power_w: self.powers_scratch[i],
                     temp_k: self.thermal.as_ref().map_or(0.0, |g| g.temperature(i)),
-                    vf_level: Self::mode_level(self.cores[i].mode),
+                    vf_level: Self::mode_level(self.store.mode(i)),
                     health: if self.health.is_quarantined(i) {
                         HealthCode::Quarantined
                     } else if self.health.is_suspect(i) {
@@ -1621,8 +1661,8 @@ impl System {
                     } else {
                         HealthCode::Healthy
                     },
-                    occupied: self.cores[i].owner.is_some(),
-                    testing: self.cores[i].session.is_some(),
+                    occupied: self.store.owner(i).is_some(),
+                    testing: self.store.has_session(i),
                 })
                 .collect();
             let snapshot = StateSnapshot {
@@ -1643,6 +1683,10 @@ impl System {
         }
         self.meter.roll_epoch(epoch_secs);
         self.measured_last = measured;
+        // Epoch boundary: expire the dirty set and open a new generation
+        // (and fold the run-long dirty-mark count into the profile).
+        self.profile.dirty_marks = self.store.dirty_marks();
+        self.store.advance_generation();
     }
 
     // ----- report ----------------------------------------------------------
@@ -1650,7 +1694,7 @@ impl System {
     fn finalize(mut self) -> Report {
         let events = self.observer.take_log().unwrap_or_default();
         let sim_seconds = self.meter.total_seconds();
-        let n = self.cores.len();
+        let n = self.store.len();
         let ledger = self.scheduler.ledger();
         let tests_per_core: Vec<u64> = (0..n).map(|c| ledger.tests_on_core(c)).collect();
         let damage_per_core: Vec<f64> =
@@ -1679,11 +1723,7 @@ impl System {
             noc_energy_share: self.meter.total_share(PowerCategory::Noc),
             tests_completed: self.metrics.tests_completed,
             tests_aborted: self.metrics.tests_aborted,
-            tests_in_flight: self
-                .cores
-                .iter()
-                .filter(|c| c.session.is_some())
-                .count() as u64,
+            tests_in_flight: self.store.testing_count() as u64,
             tests_denied_power: self.scheduler.denied_for_power(),
             min_tests_per_core: tests_per_core.iter().copied().min().unwrap_or(0),
             max_tests_per_core: tests_per_core.iter().copied().max().unwrap_or(0),
@@ -1703,7 +1743,7 @@ impl System {
             cores_cleared: self.metrics.cores_cleared,
             false_quarantines: self.metrics.false_quarantines,
             confirmation_retests: self.metrics.confirmation_retests,
-            healthy_cores_end: (self.cores.len() - self.health.quarantined_count()) as u64,
+            healthy_cores_end: (self.store.len() - self.health.quarantined_count()) as u64,
             apps_aborted: self.metrics.apps_aborted,
             apps_restarted: self.metrics.apps_restarted,
             apps_migrated: self.metrics.apps_migrated,
@@ -2264,6 +2304,17 @@ mod tests {
             r.tests_completed + r.tests_aborted + r.tests_in_flight
         );
         assert_eq!(p.pid_updates, r.cap_adjustments);
+        // Incremental-structure counters: every launch was popped off the
+        // heap, the map context was built at most once per admit scan,
+        // and every admission queried the maintained free set and
+        // patched the context in place.
+        assert!(p.heap_pops >= p.sched_launches);
+        assert!(p.ctx_rebuilds > 0, "admissions build the context");
+        assert!(p.ctx_rebuilds <= p.admit_scans);
+        assert!(p.free_set_queries >= p.apps_admitted);
+        assert!(p.ctx_delta_updates >= p.apps_admitted);
+        assert!(p.candidates_scanned > 0, "the scheduler walks the testable set");
+        assert!(p.dirty_marks > 0, "mutations mark cores dirty");
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property check for the struct-of-arrays store: the incrementally
+//! maintained derived views (mappable count, testing count, testable
+//! bitset) must equal a from-scratch rebuild after *any* mutation
+//! sequence. Sequences are driven by [`SimRng`] so failures replay
+//! exactly from the printed seed.
+
+use manytest_core::exec::CoreMode;
+use manytest_core::store::CoreStore;
+use manytest_power::{PowerBudget, VfLadder, VfLevel, TechNode};
+use manytest_sbst::{RoutineId, TestSession};
+use manytest_sim::SimRng;
+use manytest_workload::{AppId, TaskId};
+
+fn random_mutation(store: &mut CoreStore, rng: &mut SimRng, budget: &mut PowerBudget) {
+    let n = store.len();
+    let core = rng.gen_range(n as u64) as usize;
+    let op = VfLadder::for_node(TechNode::N16, 5).max();
+    match rng.gen_range(8) {
+        0 => store.set_mode(core, CoreMode::Off),
+        1 => store.set_mode(core, CoreMode::Idle(op)),
+        2 => store.set_mode(core, CoreMode::Busy(op)),
+        3 => store.set_mode(core, CoreMode::Testing(op, 0.9)),
+        4 => {
+            let owner = if rng.gen_bool(0.5) {
+                Some((AppId(rng.next_u64() as u32 as u64), TaskId(0)))
+            } else {
+                None
+            };
+            store.set_owner(core, owner);
+        }
+        5 => {
+            if !store.has_session(core) {
+                let session = TestSession::new(core, RoutineId(0), VfLevel(0), 100, 1.0e9, 0.0);
+                let reservation = budget.reserve(0.001).expect("tiny reservations always fit");
+                store.begin_session(core, session, reservation);
+            }
+        }
+        6 => {
+            let (_, reservation) = store.end_session(core);
+            if let Some(r) = reservation {
+                budget.release(r);
+            }
+        }
+        _ => {
+            if rng.gen_bool(0.2) {
+                store.set_quarantined(core);
+            } else {
+                store.set_healthy(core, true);
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_views_match_full_rebuild_under_random_mutations() {
+    for trial in 0..32u64 {
+        let mut rng = SimRng::seed_from(0xC0DE_0000 + trial);
+        // Mix of word-aligned and ragged-tail core counts.
+        let n = [16, 63, 64, 65, 100, 256][(trial % 6) as usize];
+        let mut store = CoreStore::new(n);
+        let mut budget = PowerBudget::new(1.0e6);
+        let epochs = 1 + rng.gen_range(8);
+        for _ in 0..epochs {
+            let mutations = rng.gen_range(4 * n as u64);
+            for _ in 0..mutations {
+                random_mutation(&mut store, &mut rng, &mut budget);
+            }
+            let rebuilt = store.rebuild_views();
+            let maintained = store.current_views();
+            assert_eq!(
+                rebuilt, maintained,
+                "trial {trial} (n = {n}): maintained views drifted from a \
+                 from-scratch rebuild; replay with SimRng::seed_from({:#x})",
+                0xC0DE_0000u64 + trial
+            );
+            assert!(store.views_consistent());
+            // Every dirty core is listed at most once.
+            let mut dirty: Vec<u32> = store.dirty_cores().to_vec();
+            dirty.sort_unstable();
+            let len = dirty.len();
+            dirty.dedup();
+            assert_eq!(len, dirty.len(), "trial {trial}: dirty list has duplicates");
+            store.advance_generation();
+            assert!(store.dirty_cores().is_empty());
+        }
+    }
+}
+
+#[test]
+fn dirty_marks_count_exactly_the_distinct_cores_touched_per_epoch() {
+    let mut store = CoreStore::new(32);
+    let op = VfLadder::for_node(TechNode::N16, 5).max();
+    // Touch three cores, one of them repeatedly: three marks.
+    store.set_mode(3, CoreMode::Idle(op));
+    store.set_mode(3, CoreMode::Busy(op));
+    store.set_owner(7, Some((AppId(1), TaskId(0))));
+    store.set_quarantined(19);
+    assert_eq!(store.dirty_marks(), 3);
+    assert_eq!(store.dirty_cores(), &[3, 7, 19]);
+    store.advance_generation();
+    // A new epoch re-counts the same core as one fresh mark.
+    store.set_mode(3, CoreMode::Off);
+    assert_eq!(store.dirty_marks(), 4);
+    assert_eq!(store.dirty_cores(), &[3]);
+}

@@ -4,6 +4,12 @@
 //! metric name the docs quote must be declared in `METRIC_KEYS`
 //! (`crates/bench/src/report.rs`).
 //!
+//! One golden file speaks a different schema: `kernels_baseline.json`
+//! (the scaling gate) pins phase-profile counters per mesh edge, so its
+//! keys must be `g<edge>.<counter>` with `<counter>` a real
+//! `PhaseProfile` field — the same staleness protection, different
+//! vocabulary.
+//!
 //! The golden per-kind count gate only protects the repo while the
 //! golden files themselves are well-formed and speak the same schema as
 //! the event enum — a typo'd kind key would silently never match
@@ -60,8 +66,12 @@ impl Rule for GoldenSchema {
                     .collect()
             })
             .unwrap_or_default();
+        let counters: Vec<String> = ws
+            .file(OBS_FILE)
+            .map(|obs| struct_fields(obs, "PhaseProfile"))
+            .unwrap_or_default();
         let probe_ids = string_array(ws, EVENTS_FILE, "PROBE_IDS");
-        self.check_golden_files(ws, &kinds, &probe_ids, out);
+        self.check_golden_files(ws, &kinds, &counters, &probe_ids, out);
         self.check_doc_probe_ids(ws, &probe_ids, out);
         self.check_doc_metric_keys(ws, &string_array(ws, REPORT_FILE, "METRIC_KEYS"), out);
     }
@@ -72,6 +82,7 @@ impl GoldenSchema {
         &self,
         ws: &Workspace,
         kinds: &[String],
+        counters: &[String],
         probe_ids: &Option<Vec<String>>,
         out: &mut Vec<Finding>,
     ) {
@@ -111,8 +122,23 @@ impl GoldenSchema {
                     rationale: GOLDEN_RATIONALE,
                 }),
                 Ok(entries) => {
+                    let is_kernels_baseline = file_name == "kernels_baseline.json";
                     for (key, line, col) in entries {
-                        if !kinds.is_empty() && !kinds.contains(&key) {
+                        if is_kernels_baseline {
+                            if !counters.is_empty() && !is_kernels_key(&key, counters) {
+                                out.push(Finding {
+                                    rule: self.id(),
+                                    file: rel.clone(),
+                                    line,
+                                    col,
+                                    message: format!(
+                                        "scaling key `{key}` is not \
+                                         `g<edge>.<PhaseProfile counter>`"
+                                    ),
+                                    rationale: GOLDEN_RATIONALE,
+                                });
+                            }
+                        } else if !kinds.is_empty() && !kinds.contains(&key) {
                             out.push(Finding {
                                 rule: self.id(),
                                 file: rel.clone(),
@@ -127,7 +153,11 @@ impl GoldenSchema {
                     }
                 }
             }
-            // `e3.quick.json` → probe id `e3` must be a known probe.
+            // `e3.quick.json` → probe id `e3` must be a known probe. The
+            // kernels baseline is keyed by mesh edge, not probe id.
+            if file_name == "kernels_baseline.json" {
+                continue;
+            }
             if let Some(ids) = probe_ids {
                 let stem = file_name.split('.').next().unwrap_or_default();
                 if !stem.is_empty() && !ids.iter().any(|i| i == stem) {
@@ -239,6 +269,51 @@ impl GoldenSchema {
 const GOLDEN_RATIONALE: &str =
     "the golden count gate only bites when its files parse and use real SimEvent kind \
      names; regenerate with MANYTEST_UPDATE_GOLDEN=1 rather than editing by hand";
+
+/// A kernels-baseline key is `g<edge>.<counter>` with a numeric edge and
+/// a counter that is a real `PhaseProfile` field.
+fn is_kernels_key(key: &str, counters: &[String]) -> bool {
+    let Some((grid, counter)) = key.split_once('.') else {
+        return false;
+    };
+    let Some(edge) = grid.strip_prefix('g') else {
+        return false;
+    };
+    !edge.is_empty()
+        && edge.chars().all(|c| c.is_ascii_digit())
+        && counters.iter().any(|c| c == counter)
+}
+
+/// Extracts the field names of `struct <name> { … }` from `file`: every
+/// identifier directly followed by `:` inside the braces. Good enough
+/// for flat counter structs (no nested braced types). Empty when the
+/// struct is absent.
+fn struct_fields(file: &crate::source::SourceFile, name: &str) -> Vec<String> {
+    let code: Vec<_> = file.code_tokens().collect();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].is_ident("struct") && code[i + 1].is_ident(name) {
+            break;
+        }
+        i += 1;
+    }
+    if i + 1 >= code.len() {
+        return Vec::new();
+    }
+    while i < code.len() && !code[i].is_punct('{') {
+        i += 1;
+    }
+    let mut fields = Vec::new();
+    while i + 1 < code.len() && !code[i + 1].is_punct('}') {
+        i += 1;
+        if code[i].kind == TokenKind::Ident
+            && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            fields.push(code[i].text.clone());
+        }
+    }
+    fields
+}
 
 /// A probe id is a short letter+digits token (`e3`, `a6`, `e11`).
 fn looks_like_probe_id(word: &str) -> bool {

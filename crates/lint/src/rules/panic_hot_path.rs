@@ -18,8 +18,9 @@ pub struct PanicHotPath;
 
 /// The hot-path files under guard. Fixtures opt in by using one of
 /// these as their virtual path.
-pub const HOT_FILES: [&str; 3] = [
+pub const HOT_FILES: [&str; 4] = [
     "crates/core/src/system.rs",
+    "crates/core/src/store.rs",
     "crates/test/src/scheduler.rs",
     "crates/aging/src/thermal.rs",
 ];

@@ -247,6 +247,51 @@ fn golden_schema_catches_bad_kinds_unknown_probes_and_doc_drift() {
 }
 
 #[test]
+fn golden_schema_validates_kernels_baseline_against_phase_profile() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-kernels-fixture");
+    let golden = root.join("crates/bench/tests/golden");
+    std::fs::create_dir_all(&golden).expect("tmpdir");
+    std::fs::write(
+        golden.join("kernels_baseline.json"),
+        "{\n  \"g8.epochs\": 250,\n  \"g16.candidates_scanned\": 61798,\n  \
+         \"g8.not_a_counter\": 1,\n  \"epochs\": 2,\n  \"x8.epochs\": 3\n}\n",
+    )
+    .expect("write");
+    let obs = SourceFile::from_source(
+        "crates/sim/src/obs.rs",
+        "pub enum SimEvent { Alpha }\n\
+         pub struct PhaseProfile { pub epochs: u64, pub candidates_scanned: u64 }\n",
+    );
+    let events = SourceFile::from_source(
+        "crates/bench/src/events.rs",
+        "pub const PROBE_IDS: [&str; 1] = [\"e3\"];\n",
+    );
+    let ws = Workspace::from_sources(root, vec![obs, events]);
+    let report = run(&ws);
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "golden-schema")
+        .map(|f| f.message.as_str())
+        .collect();
+    // The three malformed keys are flagged; the two real ones are not,
+    // and the baseline's filename is exempt from the probe-id check.
+    assert!(
+        messages.iter().any(|m| m.contains("`g8.not_a_counter`")),
+        "unknown counter: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("`epochs`") && !m.contains("g8")),
+        "missing grid prefix: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("`x8.epochs`")),
+        "bad grid prefix: {messages:?}"
+    );
+    assert_eq!(messages.len(), 3, "{messages:?}");
+}
+
+#[test]
 fn golden_schema_checks_doc_metric_names_against_metric_keys() {
     let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-metric-fixture");
     std::fs::create_dir_all(&root).expect("tmpdir");

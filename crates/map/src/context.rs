@@ -29,6 +29,10 @@ pub struct MapContext {
     /// Health mask: quarantined nodes are `false` and never offered to a
     /// mapper, regardless of occupancy.
     healthy: Vec<bool>,
+    /// Maintained count of mappable nodes (free *and* healthy), kept in
+    /// lockstep by every mutator so [`MapContext::free_count`] is O(1) —
+    /// mappers call it per placement attempt.
+    mappable: usize,
 }
 
 impl MapContext {
@@ -42,6 +46,7 @@ impl MapContext {
             utilization: vec![0.0; n],
             criticality: vec![0.0; n],
             healthy: vec![true; n],
+            mappable: n,
         }
     }
 
@@ -62,12 +67,14 @@ impl MapContext {
             "state vectors must have one entry per node"
         );
         let healthy = vec![true; n];
+        let mappable = free.iter().filter(|&&f| f).count();
         MapContext {
             mesh,
             free,
             utilization,
             criticality,
             healthy,
+            mappable,
         }
     }
 
@@ -81,6 +88,7 @@ impl MapContext {
         self.utilization.clear();
         self.criticality.clear();
         self.healthy.clear();
+        self.mappable = 0;
     }
 
     /// Appends the state of the next node (dense-id order), assumed
@@ -106,6 +114,9 @@ impl MapContext {
         self.healthy.push(healthy);
         self.utilization.push(utilization);
         self.criticality.push(criticality);
+        if free && healthy {
+            self.mappable += 1;
+        }
     }
 
     /// Whether every node of the mesh has an entry.
@@ -127,7 +138,16 @@ impl MapContext {
     /// Marks the node at `c` free or occupied.
     pub fn set_free(&mut self, c: Coord, free: bool) {
         let i = self.mesh.node_id(c).index();
-        self.free[i] = free;
+        if self.free[i] != free {
+            if self.healthy[i] {
+                if free {
+                    self.mappable += 1;
+                } else {
+                    self.mappable -= 1;
+                }
+            }
+            self.free[i] = free;
+        }
     }
 
     /// Whether the node at `c` is healthy (not quarantined).
@@ -138,7 +158,16 @@ impl MapContext {
     /// Marks the node at `c` healthy or quarantined.
     pub fn set_healthy(&mut self, c: Coord, healthy: bool) {
         let i = self.mesh.node_id(c).index();
-        self.healthy[i] = healthy;
+        if self.healthy[i] != healthy {
+            if self.free[i] {
+                if healthy {
+                    self.mappable += 1;
+                } else {
+                    self.mappable -= 1;
+                }
+            }
+            self.healthy[i] = healthy;
+        }
     }
 
     /// Recent utilisation of the node at `c`, in `[0, 1]`.
@@ -176,13 +205,19 @@ impl MapContext {
         self.criticality[i] = value;
     }
 
-    /// Number of mappable nodes (free *and* healthy).
+    /// Number of mappable nodes (free *and* healthy), O(1): the count is
+    /// maintained by every mutator rather than recomputed by scanning.
     pub fn free_count(&self) -> usize {
-        self.free
-            .iter()
-            .zip(&self.healthy)
-            .filter(|&(&f, &h)| f && h)
-            .count()
+        debug_assert_eq!(
+            self.mappable,
+            self.free
+                .iter()
+                .zip(&self.healthy)
+                .filter(|&(&f, &h)| f && h)
+                .count(),
+            "maintained mappable count drifted from the masks"
+        );
+        self.mappable
     }
 
     /// Number of healthy nodes (occupied or not).
@@ -255,6 +290,35 @@ mod tests {
         assert!(ctx.is_complete());
         assert_eq!(ctx.free_count(), 2, "the quarantined free node does not count");
         assert_eq!(ctx.healthy_count(), 3);
+    }
+
+    #[test]
+    fn maintained_free_count_survives_redundant_mutations() {
+        let mut ctx = MapContext::all_free(Mesh2D::new(3, 3));
+        let c = Coord::new(0, 2);
+        // Re-setting the same value must not double-count.
+        ctx.set_free(c, false);
+        ctx.set_free(c, false);
+        assert_eq!(ctx.free_count(), 8);
+        // An occupied node leaving quarantine stays unmappable.
+        ctx.set_healthy(c, false);
+        ctx.set_healthy(c, true);
+        assert_eq!(ctx.free_count(), 8);
+        // Occupied-and-quarantined needs both bits back to count again.
+        ctx.set_healthy(c, false);
+        ctx.set_free(c, true);
+        assert_eq!(ctx.free_count(), 8);
+        ctx.set_healthy(c, true);
+        assert_eq!(ctx.free_count(), 9);
+        // Rebuilding through reset + push keeps the count in lockstep.
+        let mesh = ctx.mesh();
+        ctx.reset(mesh);
+        for i in 0..9 {
+            ctx.push_node_health(i % 2 == 0, i % 3 != 0, 0.0, 0.0);
+        }
+        assert!(ctx.is_complete());
+        // free at even i, healthy unless i % 3 == 0 → i in {2, 4, 8}.
+        assert_eq!(ctx.free_count(), 3);
     }
 
     #[test]

@@ -1193,11 +1193,29 @@ pub struct PhaseProfile {
     pub candidates_high_water: u64,
     /// Largest per-epoch launch plan.
     pub launches_high_water: u64,
+    /// O(1) maintained free-set reads by the admission loop (one per
+    /// pending-application check that used to be a full-core filter).
+    pub free_set_queries: u64,
+    /// Full mapper-snapshot rebuilds (at most one per admission tick,
+    /// plus one per migration remap).
+    pub ctx_rebuilds: u64,
+    /// In-place mapper-snapshot patches applied between admissions of
+    /// one tick instead of full rebuilds.
+    pub ctx_delta_updates: u64,
+    /// Test-candidate bitset bits visited by scheduling passes (the
+    /// replacement for the two full-array candidate/retest scans).
+    pub candidates_scanned: u64,
+    /// Scheduler ranked-lane heap pops (lazy partial selection; the
+    /// replacement for the full criticality sort).
+    pub heap_pops: u64,
+    /// Cores newly marked dirty across all generations (re-marks within
+    /// a generation do not count).
+    pub dirty_marks: u64,
 }
 
 impl PhaseProfile {
     /// Number of profile counters (see [`PhaseProfile::entries`]).
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 25;
 
     /// `(name, value)` pairs for every counter, in a stable order — the
     /// single source of truth for rendering (prom exposition, report
@@ -1223,6 +1241,12 @@ impl PhaseProfile {
             ("running_high_water", self.running_high_water),
             ("candidates_high_water", self.candidates_high_water),
             ("launches_high_water", self.launches_high_water),
+            ("free_set_queries", self.free_set_queries),
+            ("ctx_rebuilds", self.ctx_rebuilds),
+            ("ctx_delta_updates", self.ctx_delta_updates),
+            ("candidates_scanned", self.candidates_scanned),
+            ("heap_pops", self.heap_pops),
+            ("dirty_marks", self.dirty_marks),
         ]
     }
 
@@ -1567,6 +1591,12 @@ mod tests {
         assert_eq!(names.len(), PhaseProfile::COUNT);
         assert!(entries.contains(&("epochs", 1)));
         assert!(entries.contains(&("launches_high_water", 7)));
+        p.free_set_queries = 11;
+        p.heap_pops = 3;
+        let entries = p.entries();
+        assert!(entries.contains(&("free_set_queries", 11)));
+        assert!(entries.contains(&("heap_pops", 3)));
+        assert!(entries.contains(&("dirty_marks", 0)));
         PhaseProfile::raise(&mut p.batch_high_water, 5);
         PhaseProfile::raise(&mut p.batch_high_water, 3);
         assert_eq!(p.batch_high_water, 5);

@@ -137,6 +137,9 @@ pub struct TestScheduler {
     ledger: VfCoverageLedger,
     launches_attempted: u64,
     launches_denied_power: u64,
+    /// Ranked-lane heap pops over the scheduler's lifetime (the lazy
+    /// partial selection pops one rank per candidate considered).
+    heap_pops: u64,
     /// Reused ranking buffer for [`TestScheduler::plan_into`]; always
     /// empty between calls (so equality/serialisation see no difference).
     rank_scratch: Vec<TestCandidate>,
@@ -179,6 +182,7 @@ impl TestScheduler {
             ledger: VfCoverageLedger::new(core_count, config.ladder_levels),
             launches_attempted: 0,
             launches_denied_power: 0,
+            heap_pops: 0,
             rank_scratch: Vec::new(),
         }
     }
@@ -287,17 +291,24 @@ impl TestScheduler {
                 .copied()
                 .filter(|c| c.criticality >= self.config.criticality_threshold),
         );
-        ranked.sort_by(|a, b| {
-            b.criticality
-                .partial_cmp(&a.criticality)
-                // lint:allow(panic-in-hot-path, reason = "criticality is a product of finite clamped model inputs; NaN would corrupt the ranking silently, so fail loudly")
-                .expect("criticality is never NaN")
-                .then(a.core.cmp(&b.core))
-        });
-        for cand in &ranked {
+        // Deterministic top-k partial selection: build a max-heap in
+        // O(n) and pop ranks lazily instead of fully sorting. Core ids
+        // are unique within a call, so the ordering is strictly total
+        // and the pop sequence reproduces the old stable sort exactly —
+        // but ranks beyond the launch cap are never ordered at all.
+        let mut heap_len = ranked.len();
+        for i in (0..heap_len / 2).rev() {
+            Self::sift_down(&mut ranked, heap_len, i);
+        }
+        while heap_len > 0 {
             if launches.len() >= self.config.max_launches_per_epoch {
                 break;
             }
+            let cand = ranked[0];
+            heap_len -= 1;
+            ranked.swap(0, heap_len);
+            Self::sift_down(&mut ranked, heap_len, 0);
+            self.heap_pops += 1;
             let level = match self.config.fixed_level {
                 Some(l) => VfLevel(l),
                 None => self.ledger.next_level_staggered(cand.core),
@@ -329,6 +340,47 @@ impl TestScheduler {
         }
         ranked.clear();
         self.rank_scratch = ranked;
+    }
+
+    /// Strict ranking order: higher criticality first, ties broken by
+    /// ascending core id. Candidate core ids are unique per planning
+    /// call, so no two distinct candidates compare equal — the property
+    /// that makes heap pops reproduce a stable sort's output.
+    fn ranks_before(a: &TestCandidate, b: &TestCandidate) -> bool {
+        match a.criticality.partial_cmp(&b.criticality) {
+            Some(std::cmp::Ordering::Greater) => true,
+            Some(std::cmp::Ordering::Less) => false,
+            Some(std::cmp::Ordering::Equal) => a.core < b.core,
+            // lint:allow(panic-in-hot-path, reason = "criticality is a product of finite clamped model inputs; NaN would corrupt the ranking silently, so fail loudly")
+            None => panic!("criticality is never NaN"),
+        }
+    }
+
+    /// Restores the max-heap property for the subtree at `i` within
+    /// `heap[..len]`.
+    fn sift_down(heap: &mut [TestCandidate], len: usize, mut i: usize) {
+        loop {
+            let left = 2 * i + 1;
+            if left >= len {
+                break;
+            }
+            let mut best = left;
+            let right = left + 1;
+            if right < len && Self::ranks_before(&heap[right], &heap[best]) {
+                best = right;
+            }
+            if Self::ranks_before(&heap[best], &heap[i]) {
+                heap.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Ranked-lane heap pops over the scheduler's lifetime.
+    pub fn heap_pops(&self) -> u64 {
+        self.heap_pops
     }
 
     /// Records a completed session: coverage advances and the core's
@@ -379,6 +431,46 @@ mod tests {
         let launches = s.plan(&[candidate(0, 1.0), candidate(1, 5.0), candidate(2, 3.0)], 100.0);
         let order: Vec<usize> = launches.iter().map(|l| l.core).collect();
         assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn heap_selection_matches_the_full_sort_order() {
+        // Equivalence against the pre-heap ranking: pops must come out in
+        // exactly the order the old full `sort_by` (descending
+        // criticality, ties ascending by core id) produced. Deterministic
+        // xorshift inputs with a coarse criticality grid force plenty of
+        // ties.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let n = (next() % 48) as usize + 1;
+            let candidates: Vec<TestCandidate> = (0..n)
+                .map(|core| candidate(core, (next() % 8) as f64 * 0.5))
+                .collect();
+            let mut reference = candidates.clone();
+            reference.sort_by(|a, b| {
+                b.criticality
+                    .partial_cmp(&a.criticality)
+                    .unwrap()
+                    .then(a.core.cmp(&b.core))
+            });
+            let expected: Vec<usize> = reference.iter().map(|c| c.core).collect();
+            let mut cfg = TestSchedulerConfig::default();
+            cfg.criticality_threshold = 0.0;
+            cfg.max_launches_per_epoch = 1024;
+            let mut s =
+                TestScheduler::with_library(cfg, TechNode::N16, RoutineLibrary::standard(), 64);
+            let pops_before = s.heap_pops();
+            let launches = s.plan(&candidates, 1e9);
+            let order: Vec<usize> = launches.iter().map(|l| l.core).collect();
+            assert_eq!(order, expected);
+            assert_eq!(s.heap_pops() - pops_before, n as u64);
+        }
     }
 
     #[test]
