@@ -9,6 +9,9 @@
 //! cargo run -p manytest-bench --bin repro --release -- explain e3
 //! cargo run -p manytest-bench --bin repro --release -- report e11 --out report/
 //! cargo run -p manytest-bench --bin repro --release -- bench kernels --grids 8,16,32,64
+//! cargo run -p manytest-bench --bin repro --release -- trace e3 --out report/
+//! cargo run -p manytest-bench --bin repro --release -- diff e3 e11
+//! cargo run -p manytest-bench --bin repro --release -- diff e11 --seed2 111
 //! ```
 //!
 //! Worker count: `--jobs N` (or `--jobs=N`) > the `MANYTEST_JOBS`
@@ -26,13 +29,24 @@
 //! and renders `DIR/<id>.html` (SVG panels) plus `DIR/metrics.prom`,
 //! both byte-identical across worker counts; per-phase wall times land
 //! on stderr.
+//! `trace <id> [--out DIR]` exports the probe's event stream as a
+//! Perfetto/Chrome trace (`DIR/<id>.trace.json`): one track per core,
+//! one per control-loop phase, SBST sessions as duration slices, and a
+//! flow arrow along every cause link. Byte-identical across worker
+//! counts.
+//! `diff <a> <b>` (or `diff <id> --seed2 S`) runs two probes and reports
+//! the first diverging event with both causal chains, then the
+//! downstream per-kind and aggregate drift. Identical runs print an
+//! explicit zero-divergence verdict (CI's self-diff gate).
 
+use manytest_bench::diff::{run_diff, DiffTarget};
 use manytest_bench::events::{explain, write_event_logs, PROBE_IDS};
 use manytest_bench::kernels::{
     kernels_json, print_kernels, run_kernels, wall_kernels_table, DEFAULT_GRIDS, QUICK_GRIDS,
 };
 use manytest_bench::report::{run_report_probe_timed, wall_phase_table, write_report_files};
 use manytest_bench::runner::{default_jobs, job_stats, jobs_executed, JobStats};
+use manytest_bench::trace::{run_trace, write_trace_file};
 use manytest_bench::*;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -98,6 +112,27 @@ fn parse_grids(args: &[String]) -> Option<Vec<u16>> {
     }
 }
 
+/// `--seed2 S` / `--seed2=S`. Exits with usage on an unparsable seed.
+fn parse_seed2(args: &[String]) -> Option<u64> {
+    let mut raw: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--seed2" {
+            raw = it.next().map(String::as_str);
+        } else if let Some(v) = a.strip_prefix("--seed2=") {
+            raw = Some(v);
+        }
+    }
+    let raw = raw?;
+    match raw.parse() {
+        Ok(s) => Some(s),
+        Err(_) => {
+            eprintln!("error: --seed2 wants an unsigned integer seed, got '{raw}'");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn parse_out_dir(args: &[String]) -> Option<PathBuf> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -157,7 +192,13 @@ fn main() {
     let mut positional: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--jobs" || a == "--events" || a == "--out" || a == "--grids" || a == "--grid" {
+        if a == "--jobs"
+            || a == "--events"
+            || a == "--out"
+            || a == "--grids"
+            || a == "--grid"
+            || a == "--seed2"
+        {
             it.next(); // the flag's value is not an experiment id
         } else if !a.starts_with("--") {
             positional.push(a.as_str());
@@ -210,6 +251,59 @@ fn main() {
         }
         return;
     }
+    // `repro trace <id> [--out DIR]`: one probe exported as a
+    // Perfetto/Chrome trace with flow arrows along the cause links. The
+    // file is byte-identical across worker counts (CI diffs it).
+    if positional.first() == Some(&"trace") {
+        let Some(&id) = positional.get(1) else {
+            eprintln!("usage: repro trace <experiment id> [--out DIR] [--quick]");
+            eprintln!("known ids: {}", PROBE_IDS.join(" "));
+            std::process::exit(2);
+        };
+        let Some((report, _json)) = run_trace(id, scale) else {
+            eprintln!("unknown experiment id '{id}'; known ids: {}", PROBE_IDS.join(" "));
+            std::process::exit(2);
+        };
+        let dir = out_dir.unwrap_or_else(|| PathBuf::from("report"));
+        match write_trace_file(&dir, id, &report) {
+            Ok((path, flows)) => {
+                println!("{}", report.summary());
+                eprintln!("# trace -> {} ({} events, {flows} cause-link flows)", path.display(), report.events.len());
+                eprintln!("# open in https://ui.perfetto.dev or chrome://tracing");
+            }
+            Err(e) => {
+                eprintln!("error: trace export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // `repro diff <a> <b>` / `repro diff <id> --seed2 S`: first-divergence
+    // run diff with causal chains and downstream drift.
+    if positional.first() == Some(&"diff") {
+        let seed2 = parse_seed2(&args);
+        let (id, target) = match (positional.get(1), positional.get(2), seed2) {
+            (Some(&id), None, Some(s)) => (id, DiffTarget::Seed(s)),
+            (Some(&id), Some(&other), None) => (id, DiffTarget::Probe(other)),
+            (Some(&id), None, None) => (id, DiffTarget::Probe(id)),
+            _ => {
+                eprintln!("usage: repro diff <id a> [<id b>] [--seed2 S] [--quick]");
+                eprintln!("       (one id alone self-diffs; --seed2 re-runs <id a> reseeded)");
+                eprintln!("known ids: {}", PROBE_IDS.join(" "));
+                std::process::exit(2);
+            }
+        };
+        match run_diff(id, target, scale) {
+            Some(text) => print!("{text}"),
+            None => {
+                eprintln!("unknown experiment id; known ids: {}", PROBE_IDS.join(" "));
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
     // `repro bench kernels [--grids 8,16,32,64 | --grid N]`: the
     // control-loop scaling sweep. The stdout table carries only the
     // deterministic phase-profile counters; wall-clock lands on stderr

@@ -152,9 +152,15 @@ pub fn write_event_logs(
 }
 
 /// One human-readable timeline line for an event.
-fn describe(out: &mut String, t: f64, ev: &SimEvent) {
+pub(crate) fn describe(out: &mut String, t: f64, ev: &SimEvent) {
     let ms = t * 1e3;
     let _ = write!(out, "{ms:>10.3} ms  ");
+    describe_event(out, ev);
+    out.push('\n');
+}
+
+/// The description text for an event (no timestamp, no newline).
+pub(crate) fn describe_event(out: &mut String, ev: &SimEvent) {
     let _ = match *ev {
         SimEvent::AppArrived { app, tasks } => {
             write!(out, "app {app} arrived ({tasks} tasks)")
@@ -273,12 +279,45 @@ fn describe(out: &mut String, t: f64, ev: &SimEvent) {
             delay * 1e3
         ),
     };
-    out.push('\n');
+}
+
+/// Renders one record: the timeline line, plus — for fault-response
+/// outcomes (quarantine, migration, abort, restart) — its full causal
+/// chain as indented `caused-by` lines, so "why was this core withdrawn"
+/// reads inline instead of requiring a manual timeline scan.
+pub(crate) fn describe_record(out: &mut String, graph: &ProvenanceGraph<'_>, rec: &EventRecord) {
+    describe(out, rec.t, &rec.ev);
+    let traced = matches!(
+        rec.ev,
+        SimEvent::CoreQuarantined { .. }
+            | SimEvent::AppMigrated { .. }
+            | SimEvent::AppAborted { .. }
+            | SimEvent::AppRestarted { .. }
+    );
+    if !traced {
+        return;
+    }
+    let chain = graph.chain_to_root(rec.id);
+    for i in 1..chain.len() {
+        let Some(link) = chain[i - 1].cause else { break };
+        let anc = chain[i];
+        let _ = write!(
+            out,
+            "              caused-by [{}] {:>8.3} ms: ",
+            link.kind.as_str(),
+            anc.t * 1e3
+        );
+        describe_event(out, &anc.ev);
+        out.push('\n');
+    }
 }
 
 /// Timeline length before elision kicks in.
 const EXPLAIN_HEAD: usize = 48;
 const EXPLAIN_TAIL: usize = 24;
+/// Fault-response verdicts whose causal chains `explain` renders in the
+/// degradation block (independently of head/tail elision).
+const EXPLAIN_CHAINS: usize = 4;
 
 /// Runs the probe for `id` and renders its decision timeline, counter
 /// summary and key histograms as one printable string. `None` for
@@ -299,21 +338,22 @@ pub fn explain(id: &str, scale: Scale) -> Option<String> {
         let _ = writeln!(out, "{warning}");
     }
     out.push('\n');
+    let graph = ProvenanceGraph::build(events);
     if events.len() <= EXPLAIN_HEAD + EXPLAIN_TAIL {
-        for (t, ev) in events {
-            describe(&mut out, *t, ev);
+        for rec in events {
+            describe_record(&mut out, &graph, rec);
         }
     } else {
-        for (t, ev) in &events[..EXPLAIN_HEAD] {
-            describe(&mut out, *t, ev);
+        for rec in &events[..EXPLAIN_HEAD] {
+            describe_record(&mut out, &graph, rec);
         }
         let _ = writeln!(
             out,
             "           ... {} events elided (full log via --events) ...",
             events.len() - EXPLAIN_HEAD - EXPLAIN_TAIL
         );
-        for (t, ev) in &events[events.len() - EXPLAIN_TAIL..] {
-            describe(&mut out, *t, ev);
+        for rec in &events[events.len() - EXPLAIN_TAIL..] {
+            describe_record(&mut out, &graph, rec);
         }
     }
 
@@ -324,9 +364,9 @@ pub fn explain(id: &str, scale: Scale) -> Option<String> {
     let mut detection = OnlineStats::new();
     let mut interval = OnlineStats::new();
     let mut cap = OnlineStats::new();
-    for (t, ev) in events {
-        registry.on_event(*t, ev);
-        match *ev {
+    for rec in events {
+        registry.on_event(rec);
+        match rec.ev {
             SimEvent::AppMapped { queue_wait: w, .. } => queue_wait.push(w * 1e3),
             SimEvent::FaultDetected { latency, .. } => detection.push(latency * 1e3),
             SimEvent::TestCompleted { interval: iv, .. } if iv >= 0.0 => interval.push(iv * 1e3),
@@ -343,8 +383,8 @@ pub fn explain(id: &str, scale: Scale) -> Option<String> {
         registry.declare_histogram(name, 0.0, hi, 8);
         // Second pass per histogram keeps declaration and fill adjacent;
         // the event slice is already in memory, so this is cheap.
-        for (_, ev) in events {
-            match (*ev, name) {
+        for rec in events {
+            match (rec.ev, name) {
                 (SimEvent::AppMapped { queue_wait: w, .. }, "queue_wait_ms") => {
                     registry.record(name, w * 1e3)
                 }
@@ -399,6 +439,25 @@ pub fn explain(id: &str, scale: Scale) -> Option<String> {
             "  corruption exposure: {:.3} core-seconds of work on fault-carrying cores",
             report.corruption_exposure
         );
+        // The causal chains behind the first few quarantine verdicts —
+        // rendered from anywhere in the log, since the head/tail window
+        // above usually elides the mid-run response activity.
+        let verdicts: Vec<&EventRecord> = events
+            .iter()
+            .filter(|rec| {
+                matches!(
+                    rec.ev,
+                    SimEvent::CoreQuarantined { .. } | SimEvent::AppMigrated { .. }
+                )
+            })
+            .take(EXPLAIN_CHAINS)
+            .collect();
+        if !verdicts.is_empty() {
+            let _ = writeln!(out, "  first response chains:");
+            for rec in verdicts {
+                describe_record(&mut out, &graph, rec);
+            }
+        }
     }
     out.push('\n');
     out.push_str(&registry.summary());

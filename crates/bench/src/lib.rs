@@ -10,11 +10,13 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod diff;
 pub mod events;
 pub mod experiments;
 pub mod kernels;
 pub mod report;
 pub mod runner;
+pub mod trace;
 
 pub use ablations::*;
 pub use experiments::*;

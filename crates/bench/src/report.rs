@@ -141,8 +141,10 @@ pub fn wall_phase_table(wall: &[f64; Phase::COUNT]) -> String {
     out
 }
 
-/// Validates the probe's telemetry and writes `DIR/<id>.html` plus
-/// `DIR/metrics.prom` (creating `DIR` if missing). Returns both paths.
+/// Validates the probe's telemetry and writes `DIR/<id>.html`,
+/// `DIR/metrics.prom` and `DIR/<id>.trace.json` (the Perfetto trace the
+/// HTML links to), creating `DIR` if missing. Returns the HTML and
+/// Prometheus paths.
 ///
 /// # Errors
 ///
@@ -156,6 +158,7 @@ pub fn write_report_files(dir: &Path, id: &str, report: &Report) -> io::Result<(
     let prom_path = dir.join("metrics.prom");
     fs::write(&html_path, render_html(id, report))?;
     fs::write(&prom_path, render_prometheus(id, report))?;
+    crate::trace::write_trace_file(dir, id, report)?;
     Ok((html_path, prom_path))
 }
 
@@ -253,6 +256,12 @@ pub fn render_html(id: &str, report: &Report) -> String {
     if let Some(warning) = report.events.saturation_warning() {
         let _ = writeln!(out, "<p class=\"caption\">{warning}</p>");
     }
+    let _ = writeln!(
+        out,
+        "<p class=\"caption\">causal trace: <a href=\"{id}.trace.json\">{id}.trace.json</a> \
+         (load in <a href=\"https://ui.perfetto.dev\">ui.perfetto.dev</a> — one track per core, \
+         flow arrows follow the cause links)</p>"
+    );
     render_power_panel(&mut out, report);
     render_heatmap_panel(&mut out, report);
     render_health_panel(&mut out, report, cores);
@@ -438,7 +447,8 @@ fn render_heatmap_panel(out: &mut String, report: &Report) {
 fn render_health_panel(out: &mut String, report: &Report, cores: usize) {
     // Reconstruct per-core health transitions from the decision telemetry.
     let mut transitions: Vec<(u32, f64, HealthCode)> = Vec::new();
-    for &(t, ev) in report.events.events() {
+    for rec in report.events.events() {
+        let (t, ev) = (rec.t, rec.ev);
         match ev {
             SimEvent::CoreSuspected { core, .. } => {
                 transitions.push((core, t, HealthCode::Suspect));

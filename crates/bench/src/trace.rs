@@ -1,0 +1,302 @@
+//! Perfetto/Chrome-trace export of a probe's decision telemetry.
+//!
+//! `repro trace <id> [--out DIR]` renders the probe's event stream as a
+//! Chrome trace-event JSON array (the format Perfetto's UI and
+//! `chrome://tracing` both load): one thread track per core, one per
+//! control-loop phase, SBST sessions as duration slices, everything else
+//! as instants, and a flow arrow along every cause link so the
+//! detect→respond chains read as connected arrows instead of scattered
+//! dots.
+//!
+//! The export is derived *purely* from the captured [`EventRecord`]
+//! stream — no wall-clock, no worker-count-dependent state — so the file
+//! is byte-identical across `--jobs` values and reruns (CI diffs it).
+//!
+//! Schema (checked by `manytest-lint`'s golden-schema rule):
+//! * every entry has `name`, `ph`, `ts`, `pid`, `tid`;
+//! * `ph` is one of `M` (metadata), `X` (duration, with `dur`), `i`
+//!   (instant, with `s`), `s`/`f` (flow start/finish, with `id`);
+//! * timestamps are microseconds with fixed 3-decimal formatting;
+//! * flow ids equal the *effect* record's [`EventId`], which is unique
+//!   per run, so arrow count == resolvable cause-link count.
+
+use crate::events::run_probe;
+use crate::Scale;
+use manytest_core::prelude::*;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The synthetic process id every track lives under.
+const PID: u32 = 1;
+
+/// Thread-track ids: control-loop phase tracks sit below 100, core
+/// tracks at `CORE_TID_BASE + core`.
+const TID_PHASE_PID: u32 = 1;
+const TID_PHASE_MAP: u32 = 2;
+const TID_PHASE_SCHEDULE: u32 = 3;
+const TID_PHASE_EVENTS: u32 = 4;
+/// First core track id.
+pub const CORE_TID_BASE: u32 = 100;
+
+/// The thread track a record renders on.
+fn track_of(ev: &SimEvent) -> u32 {
+    match *ev {
+        SimEvent::CapAdjusted { .. } => TID_PHASE_PID,
+        SimEvent::AppArrived { .. } | SimEvent::AppMapped { .. } | SimEvent::AppRejected { .. } => {
+            TID_PHASE_MAP
+        }
+        SimEvent::TestDeniedPower { .. } => TID_PHASE_SCHEDULE,
+        SimEvent::AppCompleted { .. } => TID_PHASE_EVENTS,
+        SimEvent::TestLaunched { core, .. }
+        | SimEvent::TestAborted { core, .. }
+        | SimEvent::TestCompleted { core, .. }
+        | SimEvent::DvfsTransition { core, .. }
+        | SimEvent::FaultActivated { core }
+        | SimEvent::FaultDetected { core, .. }
+        | SimEvent::CoreSuspected { core, .. }
+        | SimEvent::CoreQuarantined { core, .. }
+        | SimEvent::CoreCleared { core, .. }
+        | SimEvent::AppAborted { core, .. }
+        | SimEvent::AppRestarted { core, .. }
+        | SimEvent::AppMigrated { core, .. } => CORE_TID_BASE + core,
+    }
+}
+
+/// Human label for a track id (thread_name metadata).
+fn track_name(tid: u32) -> String {
+    match tid {
+        TID_PHASE_PID => "phase: pid".to_owned(),
+        TID_PHASE_MAP => "phase: map".to_owned(),
+        TID_PHASE_SCHEDULE => "phase: schedule".to_owned(),
+        TID_PHASE_EVENTS => "phase: events".to_owned(),
+        t => format!("core {}", t - CORE_TID_BASE),
+    }
+}
+
+/// Deterministic microsecond timestamp (fixed 3-decimal formatting).
+fn ts_us(t: f64) -> String {
+    format!("{:.3}", t * 1e6)
+}
+
+/// Renders the captured event stream as a Chrome trace-event JSON array.
+///
+/// Pure function of the record slice: byte-identical for byte-identical
+/// logs, regardless of worker count.
+pub fn trace_json(id: &str, report: &Report) -> String {
+    let records = report.events.events();
+    let graph = ProvenanceGraph::build(records);
+    // SBST sessions become duration slices: map each TestLaunched id to
+    // the end of its session via the Session cause link on the
+    // completion/abort record. Sessions on one core never overlap, so
+    // the slices nest trivially.
+    let mut session_end: std::collections::BTreeMap<u64, (f64, &'static str)> =
+        std::collections::BTreeMap::new();
+    for rec in records {
+        if let Some(link) = rec.cause {
+            if link.kind == CauseKind::Session {
+                let outcome = match rec.ev {
+                    SimEvent::TestCompleted { .. } => "completed",
+                    SimEvent::TestAborted { .. } => "aborted",
+                    _ => continue,
+                };
+                session_end.insert(link.id.0, (rec.t, outcome));
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str("[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: &str| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(line);
+    };
+    // Metadata: process name plus one thread_name per used track, in
+    // ascending tid order (deterministic).
+    let mut tids: std::collections::BTreeSet<u32> =
+        records.iter().map(|r| track_of(&r.ev)).collect();
+    tids.insert(TID_PHASE_PID);
+    push(
+        &mut out,
+        &format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\
+             \"args\":{{\"name\":\"manytest probe {id}\"}}}}"
+        ),
+    );
+    for &tid in &tids {
+        push(
+            &mut out,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                track_name(tid)
+            ),
+        );
+    }
+    for rec in records {
+        let tid = track_of(&rec.ev);
+        let kind = rec.ev.kind();
+        let ts = ts_us(rec.t);
+        // Args: the record's own JSON fields, reused verbatim so the
+        // trace stays in lockstep with the JSONL schema. The writer
+        // prefixes every field with a comma; drop the leading one.
+        let mut raw = String::new();
+        rec.ev.write_json_fields(&mut raw);
+        let args = raw.strip_prefix(',').unwrap_or(&raw);
+        let mut line = String::new();
+        match session_end.get(&rec.id.0) {
+            // A launch with a known end: a duration slice.
+            Some(&(end_t, outcome)) if matches!(rec.ev, SimEvent::TestLaunched { .. }) => {
+                let dur = format!("{:.3}", (end_t - rec.t).max(0.0) * 1e6);
+                let _ = write!(
+                    line,
+                    "{{\"name\":\"{kind}\",\"cat\":\"session\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{dur},\"pid\":{PID},\"tid\":{tid},\
+                     \"args\":{{{args},\"outcome\":\"{outcome}\"}}}}"
+                );
+            }
+            _ => {
+                let _ = write!(
+                    line,
+                    "{{\"name\":\"{kind}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":{PID},\"tid\":{tid},\"args\":{{{args}}}}}"
+                );
+            }
+        }
+        push(&mut out, &line);
+        // Flow arrow along the cause link (resolvable links only; a
+        // dangling link has no source coordinates to anchor to). The
+        // flow id is the effect's event id — unique per run.
+        if let Some(link) = rec.cause {
+            if let Some(parent) = graph.record(link.id) {
+                let ptid = track_of(&parent.ev);
+                let pts = ts_us(parent.t);
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"name\":\"{}\",\"cat\":\"cause\",\"ph\":\"s\",\"id\":{},\
+                         \"ts\":{pts},\"pid\":{PID},\"tid\":{ptid}}}",
+                        link.kind.as_str(),
+                        rec.id.0
+                    ),
+                );
+                push(
+                    &mut out,
+                    &format!(
+                        "{{\"name\":\"{}\",\"cat\":\"cause\",\"ph\":\"f\",\"bp\":\"e\",\
+                         \"id\":{},\"ts\":{ts},\"pid\":{PID},\"tid\":{tid}}}",
+                        link.kind.as_str(),
+                        rec.id.0
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Runs the probe for `id` and returns its report plus the rendered
+/// trace JSON. `None` for unknown ids.
+pub fn run_trace(id: &str, scale: Scale) -> Option<(Report, String)> {
+    let report = run_probe(id, scale)?;
+    let json = trace_json(id, &report);
+    Some((report, json))
+}
+
+/// Validates the probe's telemetry and writes `DIR/<id>.trace.json`
+/// (creating `DIR` if missing). Returns the path and the number of flow
+/// arrows written.
+///
+/// # Errors
+///
+/// I/O errors, plus a synthesized [`io::ErrorKind::InvalidData`] error
+/// when the probe's events fail [`validate_events`] (which now includes
+/// the provenance-DAG checks the flows are drawn from).
+pub fn write_trace_file(dir: &Path, id: &str, report: &Report) -> io::Result<(PathBuf, usize)> {
+    validate_events(report)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("probe {id}: {e}")))?;
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.trace.json"));
+    fs::write(&path, trace_json(id, report))?;
+    let flows = ProvenanceGraph::build(report.events.events()).edge_count();
+    Ok((path, flows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report::default();
+        r.fault_activations = 1;
+        r.fault_detections = 1;
+        r.tests_completed = 1;
+        r.cores_suspected = 1;
+        let fault = r.events.push(0.10, SimEvent::FaultActivated { core: 3 });
+        let launch = r.events.push(
+            0.15,
+            SimEvent::TestLaunched {
+                core: 3,
+                routine: 0,
+                level: 2,
+                power: 0.4,
+                headroom: 4.0,
+            },
+        );
+        let detect = r.events.push_caused(
+            0.30,
+            Some(CauseLink::new(CauseKind::Activation, fault)),
+            SimEvent::FaultDetected { core: 3, latency: 0.20 },
+        );
+        let completed = r.events.push_caused(
+            0.30,
+            Some(CauseLink::new(CauseKind::Session, launch)),
+            SimEvent::TestCompleted {
+                core: 3,
+                routine: 0,
+                level: 2,
+                covered_levels: 1,
+                interval: -1.0,
+            },
+        );
+        let _ = (detect, completed);
+        r.events.push_caused(
+            0.30,
+            Some(CauseLink::new(CauseKind::Detection, detect)),
+            SimEvent::CoreSuspected { core: 3, level: 2 },
+        );
+        r
+    }
+
+    #[test]
+    fn trace_is_valid_json_shape_with_flows() {
+        let r = sample_report();
+        let json = trace_json("t1", &r);
+        assert!(json.starts_with("[\n"), "array open");
+        assert!(json.ends_with("\n]\n"), "array close");
+        // 3 resolvable links -> 3 flow starts and 3 finishes.
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 3);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 3);
+        // The session became one duration slice with its outcome.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 1);
+        assert!(json.contains("\"outcome\":\"completed\""));
+        assert!(json.contains("\"dur\":150000.000"));
+        // Track metadata names the core and phase tracks.
+        assert!(json.contains("\"name\":\"core 3\""));
+        assert!(json.contains("\"name\":\"phase: pid\""));
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn trace_is_a_pure_function_of_the_log() {
+        let a = trace_json("t1", &sample_report());
+        let b = trace_json("t1", &sample_report());
+        assert_eq!(a, b);
+    }
+}

@@ -4,8 +4,11 @@
 //! across the whole evaluation suite.
 //!
 //! This file contains exactly one test: the counting allocator is
-//! process-global, and a concurrent test in the same binary would pollute
-//! the measurement.
+//! shared, and a concurrent test in the same binary would pollute the
+//! measurement. Only allocations made by the *measured* thread are
+//! counted — the libtest harness's main thread lazily allocates its
+//! channel-park context the first time it blocks waiting for the test
+//! result, and that race would otherwise land inside the window.
 
 use manytest_core::exec::CoreMode;
 use manytest_core::prelude::*;
@@ -16,20 +19,37 @@ use manytest_power::{PowerBudget, VfLadder, VfLevel};
 use manytest_sbst::{RoutineId, TestSession};
 use manytest_workload::{AppId, TaskId};
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // const-init keeps the flag itself off the heap: a `Cell<bool>` needs
+    // no drop registration, so reading it from the allocator can't recurse.
+    static MEASURED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn counted() -> bool {
+    // `try_with` instead of `with`: allocations during thread teardown
+    // (after TLS destruction) must not panic inside the allocator.
+    MEASURED.try_with(Cell::get).unwrap_or(false)
+}
 
 struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if counted() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { SystemAlloc.alloc(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        if counted() {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
     }
 
@@ -43,6 +63,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn map_context_allocates_nothing_after_the_first_tick() {
+    MEASURED.with(|m| m.set(true));
     let mut system = SystemBuilder::new(TechNode::N16)
         .seed(7)
         .build()

@@ -9,7 +9,7 @@
 //! buffer saturates, so these invariants hold at any capture capacity.
 
 use crate::metrics::Report;
-use manytest_sim::{HealthCode, SimEvent};
+use manytest_sim::{HealthCode, ProvenanceGraph, SimEvent};
 use std::fmt::Write as _;
 
 /// Checks every event-count invariant against the report's aggregates.
@@ -38,6 +38,16 @@ use std::fmt::Write as _;
 ///   a core's `CoreQuarantined` event, no `TestLaunched` targets it, no
 ///   `AppMapped` places task 0 on it, and no `DvfsTransition` powers it
 ///   back on — a quarantined core is power-gated and stays that way.
+/// * Provenance DAG: event ids are strictly increasing and times
+///   non-decreasing, and every cause link points strictly backwards
+///   (`cause.id < id`), which proves the graph acyclic and time-ordered
+///   even when the bounded log saturated. When no events were dropped,
+///   additionally: every link resolves to a stored record, every link's
+///   endpoint kinds match the [`manytest_sim::CauseKind`] table, every
+///   kind outside [`SimEvent::ROOT_KINDS`] carries a cause, and every
+///   quarantine/migration/denial/abort/restart chains back to a genuine
+///   root. Under saturation the resolution checks are downgraded
+///   (dropped records would orphan links spuriously).
 ///
 /// # Errors
 ///
@@ -164,6 +174,7 @@ pub fn validate_events(report: &Report) -> Result<(), String> {
     if ev.dropped() == 0 {
         validate_quarantine_sequence(report, &mut errors);
     }
+    validate_provenance(report, &mut errors);
     validate_profile(report, &mut errors);
     validate_state_timeline(report, &mut errors);
     if errors.is_empty() {
@@ -352,7 +363,7 @@ fn validate_quarantine_sequence(report: &Report, errors: &mut String) {
         .events
         .events()
         .iter()
-        .map(|(_, e)| match *e {
+        .map(|rec| match rec.ev {
             SimEvent::CoreQuarantined { core, .. }
             | SimEvent::TestLaunched { core, .. }
             | SimEvent::DvfsTransition { core, .. } => core as usize + 1,
@@ -364,7 +375,8 @@ fn validate_quarantine_sequence(report: &Report, errors: &mut String) {
         return;
     }
     let mut quarantined = vec![false; mesh_nodes];
-    for &(t, ev) in report.events.events() {
+    for rec in report.events.events() {
+        let (t, ev) = (rec.t, rec.ev);
         match ev {
             SimEvent::CoreQuarantined { core, .. } => {
                 quarantined[core as usize] = true;
@@ -396,10 +408,134 @@ fn validate_quarantine_sequence(report: &Report, errors: &mut String) {
     }
 }
 
+/// Validates the event stream as a provenance DAG.
+///
+/// Monotonicity (strictly increasing ids, non-decreasing times, every
+/// cause id strictly below its effect's id) survives saturation: the
+/// bounded log drops records but never reorders them, so these hold on
+/// any suffix/sample of the emission stream — and together they prove the
+/// graph acyclic and time-ordered. Link *resolution* does not survive
+/// saturation (a dropped record orphans its children's links), so the
+/// table-conformance, required-cause and root-reachability checks run
+/// only when `dropped == 0`.
+fn validate_provenance(report: &Report, errors: &mut String) {
+    let recs = report.events.events();
+    let mut last_id: Option<u64> = None;
+    let mut last_t = f64::NEG_INFINITY;
+    for rec in recs {
+        if let Some(prev) = last_id {
+            if rec.id.0 <= prev {
+                let _ = writeln!(
+                    errors,
+                    "provenance invariant violated: event ids must be strictly increasing \
+                     (#{} follows #{prev})",
+                    rec.id.0
+                );
+            }
+        }
+        if rec.t < last_t {
+            let _ = writeln!(
+                errors,
+                "provenance invariant violated: event times must be non-decreasing \
+                 (t={} after t={last_t} at #{})",
+                rec.t, rec.id.0
+            );
+        }
+        last_id = Some(rec.id.0);
+        last_t = rec.t;
+        if let Some(link) = rec.cause {
+            if link.id.0 >= rec.id.0 {
+                let _ = writeln!(
+                    errors,
+                    "provenance invariant violated: cause must precede effect \
+                     ({} #{} links to #{})",
+                    rec.ev.kind(),
+                    rec.id.0,
+                    link.id.0
+                );
+            }
+        }
+    }
+    if report.events.dropped() > 0 {
+        return;
+    }
+    let graph = ProvenanceGraph::build(recs);
+    for rec in recs {
+        let kind = rec.ev.kind();
+        match rec.cause {
+            Some(link) => match graph.record(link.id) {
+                Some(parent) => {
+                    let (sources, targets) = link.kind.expected();
+                    if !sources.contains(&parent.ev.kind()) || !targets.contains(&kind) {
+                        let _ = writeln!(
+                            errors,
+                            "provenance invariant violated: link table forbids \
+                             {} -[{}]-> {} (#{} -> #{})",
+                            parent.ev.kind(),
+                            link.kind.as_str(),
+                            kind,
+                            link.id.0,
+                            rec.id.0
+                        );
+                    }
+                }
+                None => {
+                    let _ = writeln!(
+                        errors,
+                        "provenance invariant violated: {} #{} carries a dangling \
+                         cause link to #{} (no drop recorded)",
+                        kind, rec.id.0, link.id.0
+                    );
+                }
+            },
+            None => {
+                if SimEvent::cause_required(rec.ev.kind_index()) {
+                    let _ = writeln!(
+                        errors,
+                        "provenance invariant violated: {} #{} must carry a cause link",
+                        kind, rec.id.0
+                    );
+                }
+            }
+        }
+    }
+    // Every response-pipeline outcome must chain back to a genuine root:
+    // "why was this core withdrawn / this app killed / this test denied"
+    // always has an answer.
+    for rec in recs {
+        let traced = matches!(
+            rec.ev,
+            SimEvent::CoreQuarantined { .. }
+                | SimEvent::AppMigrated { .. }
+                | SimEvent::AppAborted { .. }
+                | SimEvent::AppRestarted { .. }
+                | SimEvent::TestDeniedPower { .. }
+        );
+        if !traced {
+            continue;
+        }
+        let chain = graph.chain_to_root(rec.id);
+        let Some(&root) = chain.last() else {
+            continue; // unreachable: the chain contains the record itself
+        };
+        if !SimEvent::ROOT_KINDS.contains(&root.ev.kind()) {
+            let _ = writeln!(
+                errors,
+                "provenance invariant violated: {} #{} is not reachable from a root \
+                 (chain stops at {} #{})",
+                rec.ev.kind(),
+                rec.id.0,
+                root.ev.kind(),
+                root.id.0
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use manytest_sim::SimEvent;
+    use manytest_sim::{CauseKind, CauseLink, EventId, EventRecord, SimEvent};
 
     #[test]
     fn empty_report_passes() {
@@ -412,8 +548,9 @@ mod tests {
         r.tests_completed = 2;
         r.tests_aborted = 1;
         r.apps_arrived = 1;
+        let mut launches = Vec::new();
         for _ in 0..3 {
-            r.events.push(
+            launches.push(r.events.push(
                 0.0,
                 SimEvent::TestLaunched {
                     core: 0,
@@ -422,11 +559,12 @@ mod tests {
                     power: 1.0,
                     headroom: 1.0,
                 },
-            );
+            ));
         }
-        for _ in 0..2 {
-            r.events.push(
+        for &launch in &launches[..2] {
+            r.events.push_caused(
                 0.0,
+                Some(CauseLink::new(CauseKind::Session, launch)),
                 SimEvent::TestCompleted {
                     core: 0,
                     routine: 0,
@@ -436,8 +574,9 @@ mod tests {
                 },
             );
         }
-        r.events.push(
+        r.events.push_caused(
             0.0,
+            Some(CauseLink::new(CauseKind::Session, launches[2])),
             SimEvent::TestAborted {
                 core: 0,
                 reason: manytest_sim::AbortReason::MappedOver,
@@ -460,15 +599,20 @@ mod tests {
     #[test]
     fn response_pipeline_counts_reconcile() {
         let mut r = Report::default();
+        r.apps_arrived = 1;
         r.cores_suspected = 2;
         r.cores_quarantined = 1;
         r.cores_cleared = 1;
         r.apps_restarted = 1;
+        r.fault_activations = 1;
         r.fault_detections = 1;
+        r.tests_completed = 1;
         // The restarted app was mapped once before its restart; its
         // second placement is still pending, so AppMapped totals 1.
-        r.events.push(
+        let arrived = r.events.push(0.01, SimEvent::AppArrived { app: 7, tasks: 2 });
+        r.events.push_caused(
             0.05,
+            Some(CauseLink::new(CauseKind::Arrival, arrived)),
             SimEvent::AppMapped {
                 app: 7,
                 tasks: 2,
@@ -481,14 +625,61 @@ mod tests {
                 headroom: 5.0,
             },
         );
-        r.events.push(0.1, SimEvent::FaultDetected { core: 3, latency: 0.1 });
-        r.events.push(0.1, SimEvent::CoreSuspected { core: 3, level: 2 });
-        r.events.push(0.2, SimEvent::CoreSuspected { core: 5, level: 0 });
-        r.events.push(0.3, SimEvent::CoreQuarantined { core: 3, retests: 1 });
-        r.events.push(0.3, SimEvent::AppRestarted { app: 7, core: 3 });
+        let fault = r.events.push(0.08, SimEvent::FaultActivated { core: 3 });
+        let launch = r.events.push(
+            0.09,
+            SimEvent::TestLaunched {
+                core: 3,
+                routine: 0,
+                level: 2,
+                power: 0.4,
+                headroom: 4.0,
+            },
+        );
+        let detect = r.events.push_caused(
+            0.1,
+            Some(CauseLink::new(CauseKind::Activation, fault)),
+            SimEvent::FaultDetected { core: 3, latency: 0.1 },
+        );
+        let completed = r.events.push_caused(
+            0.1,
+            Some(CauseLink::new(CauseKind::Session, launch)),
+            SimEvent::TestCompleted {
+                core: 3,
+                routine: 0,
+                level: 2,
+                covered_levels: 1,
+                interval: -1.0,
+            },
+        );
+        let suspect = r.events.push_caused(
+            0.1,
+            Some(CauseLink::new(CauseKind::Detection, detect)),
+            SimEvent::CoreSuspected { core: 3, level: 2 },
+        );
+        // A false alarm on a second core, later cleared by its retests.
+        r.events.push_caused(
+            0.2,
+            Some(CauseLink::new(CauseKind::FalseAlarm, completed)),
+            SimEvent::CoreSuspected { core: 5, level: 0 },
+        );
+        let q = r.events.push_caused(
+            0.3,
+            Some(CauseLink::new(CauseKind::Suspicion, suspect)),
+            SimEvent::CoreQuarantined { core: 3, retests: 1 },
+        );
+        r.events.push_caused(
+            0.3,
+            Some(CauseLink::new(CauseKind::Quarantine, q)),
+            SimEvent::AppRestarted { app: 7, core: 3 },
+        );
         r.apps_pending = 1;
         r.apps_in_flight = 1;
-        r.events.push(0.4, SimEvent::CoreCleared { core: 5, retests: 3 });
+        r.events.push_caused(
+            0.4,
+            Some(CauseLink::new(CauseKind::RetestPassed, completed)),
+            SimEvent::CoreCleared { core: 5, retests: 3 },
+        );
         validate_events(&r).expect("consistent response pipeline");
     }
 
@@ -533,14 +724,133 @@ mod tests {
         let mut r = Report::default();
         r.cores_suspected = 1;
         r.cores_quarantined = 1;
-        r.events.push(0.1, SimEvent::CoreSuspected { core: 4, level: 0 });
-        r.events.push(0.2, SimEvent::CoreQuarantined { core: 4, retests: 2 });
+        r.fault_activations = 1;
+        r.fault_detections = 1;
+        let fault = r.events.push(0.05, SimEvent::FaultActivated { core: 4 });
+        let detect = r.events.push_caused(
+            0.08,
+            Some(CauseLink::new(CauseKind::Activation, fault)),
+            SimEvent::FaultDetected { core: 4, latency: 0.03 },
+        );
+        let suspect = r.events.push_caused(
+            0.1,
+            Some(CauseLink::new(CauseKind::Detection, detect)),
+            SimEvent::CoreSuspected { core: 4, level: 0 },
+        );
+        r.events.push_caused(
+            0.2,
+            Some(CauseLink::new(CauseKind::Suspicion, suspect)),
+            SimEvent::CoreQuarantined { core: 4, retests: 2 },
+        );
         r.events.push(0.2, SimEvent::DvfsTransition { core: 4, from: 3, to: -1 });
         validate_events(&r).expect("gating a quarantined core is fine");
         r.events.push(0.5, SimEvent::DvfsTransition { core: 4, from: -1, to: 2 });
         let err = validate_events(&r).unwrap_err();
         assert!(
             err.contains("quarantined core 4 powered back on"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_cause_on_a_required_kind_is_flagged() {
+        let mut r = Report::default();
+        r.fault_detections = 1;
+        r.events.push(0.1, SimEvent::FaultDetected { core: 2, latency: 0.05 });
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("FaultDetected #0 must carry a cause link"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn link_table_violations_are_flagged() {
+        let mut r = Report::default();
+        r.fault_activations = 1;
+        r.cores_suspected = 1;
+        let fault = r.events.push(0.1, SimEvent::FaultActivated { core: 2 });
+        // Activation links terminate at FaultDetected, never CoreSuspected.
+        r.events.push_caused(
+            0.2,
+            Some(CauseLink::new(CauseKind::Activation, fault)),
+            SimEvent::CoreSuspected { core: 2, level: 1 },
+        );
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("link table forbids FaultActivated -[activation]-> CoreSuspected"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn forward_and_dangling_links_are_flagged() {
+        let mut r = Report::default();
+        r.cap_adjustments = 1;
+        r.tests_denied_power = 1;
+        // A forward link (cause id >= effect id) breaks acyclicity.
+        r.events.push_record(EventRecord {
+            id: EventId(0),
+            t: 0.1,
+            cause: Some(CauseLink::new(CauseKind::CapMove, EventId(5))),
+            ev: SimEvent::TestDeniedPower {
+                core: 1,
+                needed: 2.0,
+                headroom: 1.0,
+            },
+        });
+        r.events.push_record(EventRecord {
+            id: EventId(5),
+            t: 0.1,
+            cause: None,
+            ev: SimEvent::CapAdjusted {
+                cap: 10.0,
+                measured: 9.0,
+                headroom: 1.0,
+                reservations: 0,
+            },
+        });
+        let err = validate_events(&r).unwrap_err();
+        assert!(err.contains("cause must precede effect"), "got: {err}");
+
+        // A dangling link (id never stored, nothing dropped) is flagged.
+        let mut r = Report::default();
+        r.tests_denied_power = 1;
+        r.events.push_caused(
+            0.1,
+            Some(CauseLink::new(CauseKind::CapMove, EventId(77))),
+            SimEvent::TestDeniedPower {
+                core: 1,
+                needed: 2.0,
+                headroom: 1.0,
+            },
+        );
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("dangling cause link to #77"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn out_of_order_ids_are_flagged() {
+        let mut r = Report::default();
+        r.apps_arrived = 2;
+        r.events.push_record(EventRecord {
+            id: EventId(3),
+            t: 0.1,
+            cause: None,
+            ev: SimEvent::AppArrived { app: 0, tasks: 1 },
+        });
+        r.events.push_record(EventRecord {
+            id: EventId(2),
+            t: 0.2,
+            cause: None,
+            ev: SimEvent::AppArrived { app: 1, tasks: 1 },
+        });
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("event ids must be strictly increasing"),
             "got: {err}"
         );
     }

@@ -68,6 +68,9 @@ pub struct RunningApp {
     /// scheduling time, so events from before a restart or migration of
     /// the same application id are recognised as stale and dropped.
     pub inc: u64,
+    /// Id of the `AppMapped` event that admitted this instance; the
+    /// eventual `AppCompleted` links back to it (provenance).
+    pub mapped_event: manytest_sim::EventId,
 }
 
 impl RunningApp {
@@ -145,6 +148,7 @@ mod tests {
             arrived_at: 0.0,
             started_at: 0.001,
             inc: 0,
+            mapped_event: manytest_sim::EventId(0),
         }
     }
 

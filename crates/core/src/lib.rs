@@ -68,7 +68,7 @@ pub mod prelude {
     pub use crate::system::{System, SystemBuilder};
     pub use manytest_power::TechNode;
     pub use manytest_sim::{
-        jsonl_kind_counts, AbortReason, CounterRegistry, EventLog, JsonlWriter, NullObserver,
-        Observer, SimEvent,
+        jsonl_kind_counts, AbortReason, CauseKind, CauseLink, CounterRegistry, EventId, EventLog,
+        EventRecord, JsonlWriter, NullObserver, Observer, ProvenanceGraph, SimEvent,
     };
 }

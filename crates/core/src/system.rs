@@ -17,9 +17,9 @@ use manytest_sbst::{
     TestScheduler, TestSession,
 };
 use manytest_sim::{
-    AbortReason, CoreState, Epoch, EventLog, EventQueue, HealthCode, NullObserver,
-    NullPhaseObserver, Observer, Phase, PhaseObserver, PhaseProfile, SimEvent, SimRng, SimTime,
-    StateRecorder, StateSnapshot, Trace,
+    emit_record, AbortReason, CauseKind, CauseLink, CoreState, Epoch, EventId, EventLog,
+    EventQueue, HealthCode, NullObserver, NullPhaseObserver, Observer, Phase, PhaseObserver,
+    PhaseProfile, SimEvent, SimRng, SimTime, StateRecorder, StateSnapshot, Trace,
 };
 use manytest_workload::{AppId, Application, ArrivalProcess, TaskId, WorkloadMix};
 use std::collections::{BTreeMap, VecDeque};
@@ -321,6 +321,25 @@ pub struct System {
     measured_last: f64,
     tdp: f64,
     observer: Box<dyn Observer>,
+    /// Next [`EventId`] to mint: a per-run emission sequence number, so
+    /// ids are strictly increasing and `cause.id < id` holds by
+    /// construction (which is what makes the provenance graph a DAG).
+    next_event_id: u64,
+    /// Provenance state: the pending cause for each queued application
+    /// (its `AppArrived` or `AppRestarted` event), consumed when the app
+    /// is mapped or rejected.
+    pending_cause: BTreeMap<u64, CauseLink>,
+    /// Per-core id of the most recent `FaultActivated` (detections on
+    /// the core link back to it).
+    fault_cause: Vec<Option<EventId>>,
+    /// Per-core id of the open `CoreSuspected` (retest-lane launches
+    /// link back to it; cleared on quarantine or clearance).
+    suspect_cause: Vec<Option<EventId>>,
+    /// Per-core id of the live session's `TestLaunched` (completion and
+    /// abort link back to it).
+    session_cause: Vec<Option<EventId>>,
+    /// Id of this epoch's `CapAdjusted` (power denials link back to it).
+    last_cap_event: Option<EventId>,
     phase_obs: Box<dyn PhaseObserver>,
     profile: PhaseProfile,
     recorder: Option<StateRecorder>,
@@ -475,6 +494,12 @@ impl System {
                 Some(cap) => Box::new(EventLog::bounded(cap)),
                 None => Box::new(NullObserver),
             },
+            next_event_id: 0,
+            pending_cause: BTreeMap::new(),
+            fault_cause: vec![None; n],
+            suspect_cause: vec![None; n],
+            session_cause: vec![None; n],
+            last_cap_event: None,
             phase_obs: Box::new(NullPhaseObserver),
             profile: PhaseProfile::default(),
             recorder: config
@@ -513,14 +538,37 @@ impl System {
         self.phase_obs = observer;
     }
 
-    /// Emits one telemetry event through the installed observer. This is
-    /// the single choke point every control-loop emission funnels
-    /// through; with the default [`NullObserver`] it is a no-op, and the
-    /// `map_context_allocs` counting-allocator test holds it to zero heap
-    /// allocations.
+    /// Emits one *root* telemetry event (no cause link) through the
+    /// installed observer, minting the run's next sequential [`EventId`].
+    /// Root emissions are audited sites: the emission-coverage lint
+    /// requires a `lint:allow` naming why the event has no cause.
+    /// With the default [`NullObserver`] this is a no-op apart from the
+    /// id increment, and the `map_context_allocs` counting-allocator
+    /// test holds it to zero heap allocations.
     #[inline]
-    pub fn observe(&mut self, now: f64, ev: SimEvent) {
-        self.observer.on_event(now, &ev);
+    pub fn observe(&mut self, now: f64, ev: SimEvent) -> EventId {
+        self.observe_linked(now, None, ev)
+    }
+
+    /// Emits one telemetry event with an optional provenance link. This
+    /// is the single choke point every control-loop emission funnels
+    /// through (the emission-coverage lint bans direct `on_event` calls
+    /// in this file), so every event gets a deterministic id.
+    #[inline]
+    pub fn observe_linked(
+        &mut self,
+        now: f64,
+        cause: Option<CauseLink>,
+        ev: SimEvent,
+    ) -> EventId {
+        // lint:allow(event-emission-coverage, reason = "the id-minting funnel itself: this is the one audited raw emit_record every helper routes through")
+        emit_record(self.observer.as_mut(), &mut self.next_event_id, now, cause, ev)
+    }
+
+    /// Emits one telemetry event caused by `cause` via a `kind` link.
+    #[inline]
+    fn emit_caused(&mut self, now: f64, kind: CauseKind, cause: EventId, ev: SimEvent) -> EventId {
+        self.observe_linked(now, Some(CauseLink::new(kind, cause)), ev)
     }
 
     /// The platform mesh.
@@ -622,9 +670,10 @@ impl System {
         let from = Self::mode_level(self.store.mode(core));
         let to = Self::mode_level(mode);
         if from != to {
-            self.observer.on_event(
+            // lint:allow(event-emission-coverage, reason = "genuine root: V/f moves happen on every mode change (admission, completion, gating); attributing one upstream decision would be arbitrary")
+            self.observe(
                 now,
-                &SimEvent::DvfsTransition {
+                SimEvent::DvfsTransition {
                     core: core as u32,
                     from,
                     to,
@@ -643,26 +692,38 @@ impl System {
         self.budget.set_cap(cap);
         self.metrics.cap_adjustments += 1;
         self.profile.pid_updates += 1;
-        self.observer.on_event(
+        // lint:allow(event-emission-coverage, reason = "genuine root: the PID cap move starts each epoch's causal chains")
+        let cap_id = self.observe(
             now,
-            &SimEvent::CapAdjusted {
+            SimEvent::CapAdjusted {
                 cap,
                 measured: self.measured_last,
                 headroom: self.budget.headroom(),
                 reservations: self.budget.active_reservations() as u32,
             },
         );
+        self.last_cap_event = Some(cap_id);
         self.phase_obs.exit(Phase::Pid);
         self.phase_obs.enter(Phase::Fault);
         self.profile.fault_sweeps += 1;
         {
-            let obs = &mut self.observer;
+            let obs = self.observer.as_mut();
+            let next_id = &mut self.next_event_id;
+            let fault_cause = &mut self.fault_cause;
             let activations = &mut self.metrics.fault_activations;
             let profiled = &mut self.profile.fault_activations;
             self.faults.activate_due_with(now, |core| {
                 *activations += 1;
                 *profiled += 1;
-                obs.on_event(now, &SimEvent::FaultActivated { core: core as u32 });
+                // lint:allow(event-emission-coverage, reason = "genuine root: fault injection is exogenous; raw emit_record because the fault-log callback borrow-splits the observer")
+                let id = emit_record(
+                    &mut *obs,
+                    next_id,
+                    now,
+                    None,
+                    SimEvent::FaultActivated { core: core as u32 },
+                );
+                fault_cause[core] = Some(id);
             });
         }
         self.phase_obs.exit(Phase::Fault);
@@ -722,9 +783,11 @@ impl System {
                 // lint:allow(panic-in-hot-path, reason = "front() returned Some three lines up and nothing touched the queue since")
                 let app = self.pending.pop_front().expect("checked front");
                 self.apps_rejected += 1;
-                self.observer.on_event(
+                let cause = self.pending_cause.remove(&app.id.0);
+                self.observe_linked(
                     now,
-                    &SimEvent::AppRejected {
+                    cause,
+                    SimEvent::AppRejected {
                         app: app.id.0,
                         tasks: task_count as u32,
                     },
@@ -768,9 +831,11 @@ impl System {
             self.profile.apps_admitted += 1;
             // lint:allow(panic-in-hot-path, reason = "the mapper only returns mappings for non-empty graphs, and task graphs are validated non-empty at construction")
             let (bb_min, bb_max) = mapping.bounding_box().expect("mapping is non-empty");
-            self.observer.on_event(
+            let cause = self.pending_cause.remove(&id.0);
+            let mapped_event = self.observe_linked(
                 now,
-                &SimEvent::AppMapped {
+                cause,
+                SimEvent::AppMapped {
                     app: id.0,
                     tasks: task_count as u32,
                     first_node: self.mesh.node_id(mapping.coord_of(TaskId(0))).index() as u32,
@@ -821,6 +886,7 @@ impl System {
                 arrived_at: app.arrival.as_secs_f64(),
                 started_at: now,
                 inc,
+                mapped_event,
             };
             self.running.insert(id.0, running);
             PhaseProfile::raise(&mut self.profile.running_high_water, self.running.len());
@@ -887,10 +953,16 @@ impl System {
         self.profile.heap_pops = self.scheduler.heap_pops();
         self.profile.sched_denials += denials.len() as u64;
         PhaseProfile::raise(&mut self.profile.launches_high_water, launches.len());
+        // Denials are caused by the epoch's power state, which the cap
+        // move freshly established at the top of this control tick.
+        let cap_link = self
+            .last_cap_event
+            .map(|id| CauseLink::new(CauseKind::CapMove, id));
         for d in &denials {
-            self.observer.on_event(
+            self.observe_linked(
                 now,
-                &SimEvent::TestDeniedPower {
+                cap_link,
+                SimEvent::TestDeniedPower {
                     core: d.core as u32,
                     needed: d.power,
                     headroom: d.headroom,
@@ -915,9 +987,20 @@ impl System {
             let gen = self.store.begin_session(core, session, reservation);
             self.profile.sched_launches += 1;
             self.set_mode(core, now, CoreMode::Testing(op, activity));
-            self.observer.on_event(
+            // Retest-lane launches are caused by the open suspicion;
+            // ranked-pool launches are periodic policy decisions (roots).
+            let lane = if self.health.is_suspect(core) {
+                self.suspect_cause[core].map(|id| CauseLink::new(CauseKind::RetestLane, id))
+            } else {
+                None
+            };
+            // Ranked-lane launches are genuine roots (periodic SBST is
+            // the policy's own clock); retest-lane launches chain back
+            // to the suspicion via `lane`, so no allow is needed here.
+            let launch_id = self.observe_linked(
                 now,
-                &SimEvent::TestLaunched {
+                lane,
+                SimEvent::TestLaunched {
                     core: core as u32,
                     routine: launch.routine.0,
                     level: launch.level.0,
@@ -925,6 +1008,7 @@ impl System {
                     headroom: self.budget.headroom(),
                 },
             );
+            self.session_cause[core] = Some(launch_id);
             let finish = now + launch.duration();
             self.queue.schedule(
                 SimTime::from_ns((finish * 1e9).round() as u64),
@@ -947,9 +1031,13 @@ impl System {
         }
         self.scheduler.on_session_aborted(core);
         self.metrics.tests_aborted += 1;
-        self.observer.on_event(
+        let session_link = self.session_cause[core]
+            .take()
+            .map(|id| CauseLink::new(CauseKind::Session, id));
+        self.observe_linked(
             now,
-            &SimEvent::TestAborted {
+            session_link,
+            SimEvent::TestAborted {
                 core: core as u32,
                 reason,
             },
@@ -984,13 +1072,16 @@ impl System {
         let id = AppId(self.next_app_id);
         self.next_app_id += 1;
         self.metrics.apps_arrived += 1;
-        self.observer.on_event(
+        // lint:allow(event-emission-coverage, reason = "genuine root: arrivals are exogenous workload-process draws")
+        let arrived = self.observe(
             now,
-            &SimEvent::AppArrived {
+            SimEvent::AppArrived {
                 app: id.0,
                 tasks: graph.task_count() as u32,
             },
         );
+        self.pending_cause
+            .insert(id.0, CauseLink::new(CauseKind::Arrival, arrived));
         self.pending.push_back(Application {
             id,
             graph,
@@ -1137,9 +1228,11 @@ impl System {
             self.metrics.apps_completed += 1;
             let latency = now - app.arrived_at;
             self.metrics.app_latency.push(latency);
-            self.observer.on_event(
+            self.emit_caused(
                 now,
-                &SimEvent::AppCompleted {
+                CauseKind::Mapping,
+                app.mapped_event,
+                SimEvent::AppCompleted {
                     app: app_id,
                     latency,
                 },
@@ -1172,6 +1265,10 @@ impl System {
         let routine = self.scheduler.library().routine(session.routine()).clone();
         let respond = !matches!(self.config.fault_response, FaultResponsePolicy::Ignore);
         let is_retest = respond && self.health.is_suspect(core);
+        // Id of a FaultDetected emitted by this completion, if any: the
+        // suspicion it triggers links back to it (otherwise the suspicion
+        // is a false alarm caused by the completion itself).
+        let mut detect_id: Option<EventId> = None;
         let symptom = if is_retest {
             // Confirmation retest: draw only over the faults actually
             // present on this core — a fault-free core can never confirm,
@@ -1183,7 +1280,10 @@ impl System {
                 .confirm(core, &routine, session.level(), now, &mut self.rng_faults)
         } else {
             let detected = {
-                let obs = &mut self.observer;
+                let obs = self.observer.as_mut();
+                let next_id = &mut self.next_event_id;
+                let fault_cause = &self.fault_cause;
+                let detect_slot = &mut detect_id;
                 self.faults.on_test_complete_with(
                     core,
                     &routine,
@@ -1191,13 +1291,19 @@ impl System {
                     now,
                     &mut self.rng_faults,
                     |faulty_core, latency| {
-                        obs.on_event(
+                        let cause = fault_cause[faulty_core]
+                            .map(|id| CauseLink::new(CauseKind::Activation, id));
+                        // lint:allow(event-emission-coverage, reason = "cause set inline (activation link); raw emit_record because the fault-log callback borrow-splits the observer")
+                        *detect_slot = Some(emit_record(
+                            &mut *obs,
+                            next_id,
                             now,
-                            &SimEvent::FaultDetected {
+                            cause,
+                            SimEvent::FaultDetected {
                                 core: faulty_core as u32,
                                 latency,
                             },
-                        );
+                        ));
                     },
                 )
             };
@@ -1220,9 +1326,13 @@ impl System {
         let covered_levels = (0..ledger.level_count())
             .filter(|&l| ledger.tests_at(core, VfLevel(l as u8)) > 0)
             .count() as u8;
-        self.observer.on_event(
+        let session_link = self.session_cause[core]
+            .take()
+            .map(|id| CauseLink::new(CauseKind::Session, id));
+        let completed = self.observe_linked(
             now,
-            &SimEvent::TestCompleted {
+            session_link,
+            SimEvent::TestCompleted {
                 core: core as u32,
                 routine: session.routine().0,
                 level: session.level().0,
@@ -1234,16 +1344,24 @@ impl System {
             self.metrics.confirmation_retests += 1;
             let (used, remaining) = self.health.note_retest_complete(core);
             if symptom {
-                self.quarantine_core(core, u32::from(used), now);
+                self.quarantine_core(
+                    core,
+                    u32::from(used),
+                    now,
+                    CauseLink::new(CauseKind::RetestFailed, completed),
+                );
             } else if remaining == 0 {
                 // K retests, no reproduction: the platform stops
                 // believing the original detection.
                 self.health.clear(core);
                 self.faults.demote_to_latent(core);
                 self.metrics.cores_cleared += 1;
-                self.observer.on_event(
+                self.suspect_cause[core] = None;
+                self.emit_caused(
                     now,
-                    &SimEvent::CoreCleared {
+                    CauseKind::RetestPassed,
+                    completed,
+                    SimEvent::CoreCleared {
                         core: core as u32,
                         retests: u32::from(used),
                     },
@@ -1251,15 +1369,28 @@ impl System {
             }
         } else if respond && symptom && self.health.is_healthy(core) {
             self.metrics.cores_suspected += 1;
-            self.observer.on_event(
+            // A detection (if the test actually caught a fault) or the
+            // completion's own false-positive draw triggered this.
+            let suspicion_link = match detect_id {
+                Some(d) => CauseLink::new(CauseKind::Detection, d),
+                None => CauseLink::new(CauseKind::FalseAlarm, completed),
+            };
+            let suspected = self.observe_linked(
                 now,
-                &SimEvent::CoreSuspected {
+                Some(suspicion_link),
+                SimEvent::CoreSuspected {
                     core: core as u32,
                     level: session.level().0,
                 },
             );
+            self.suspect_cause[core] = Some(suspected);
             if self.config.confirmation_retests == 0 {
-                self.quarantine_core(core, 0, now);
+                self.quarantine_core(
+                    core,
+                    0,
+                    now,
+                    CauseLink::new(CauseKind::Suspicion, suspected),
+                );
             } else {
                 self.health
                     .mark_suspect(core, session.level(), self.config.confirmation_retests);
@@ -1284,7 +1415,7 @@ impl System {
     /// budget to the surviving capacity. The `CoreQuarantined` event is
     /// emitted *before* the gating `DvfsTransition`, which the audit
     /// sequence invariant relies on.
-    fn quarantine_core(&mut self, core: usize, retests: u32, now: f64) {
+    fn quarantine_core(&mut self, core: usize, retests: u32, now: f64, cause: CauseLink) {
         self.health.quarantine(core);
         // Mirror the health bit into the store so the maintained
         // mappable count drops without consulting the board.
@@ -1296,9 +1427,11 @@ impl System {
             // than a hard fault — the price of believing retests.
             self.metrics.false_quarantines += 1;
         }
-        self.observer.on_event(
+        self.suspect_cause[core] = None;
+        let qid = self.observe_linked(
             now,
-            &SimEvent::CoreQuarantined {
+            Some(cause),
+            SimEvent::CoreQuarantined {
                 core: core as u32,
                 retests,
             },
@@ -1307,9 +1440,11 @@ impl System {
             match self.config.fault_response {
                 // lint:allow(panic-in-hot-path, reason = "structurally dead: confirmation retests (the only quarantine trigger) are disabled under Ignore")
                 FaultResponsePolicy::Ignore => unreachable!("Ignore never quarantines"),
-                FaultResponsePolicy::Abort => self.abort_app(victim.0, core, now),
-                FaultResponsePolicy::RestartElsewhere => self.restart_app(victim.0, core, now),
-                FaultResponsePolicy::MigrateRegion => self.migrate_app(victim.0, core, now),
+                FaultResponsePolicy::Abort => self.abort_app(victim.0, core, now, qid),
+                FaultResponsePolicy::RestartElsewhere => {
+                    self.restart_app(victim.0, core, now, qid)
+                }
+                FaultResponsePolicy::MigrateRegion => self.migrate_app(victim.0, core, now, qid),
             }
         }
         if self.store.owner(core).is_none() {
@@ -1349,15 +1484,17 @@ impl System {
         Some((app.id, app.graph, app.arrived_at))
     }
 
-    fn abort_app(&mut self, app_id: u64, core: usize, now: f64) {
+    fn abort_app(&mut self, app_id: u64, core: usize, now: f64, qid: EventId) {
         let Some((id, _graph, _arrived)) = self.teardown_app(app_id, now) else {
             debug_assert!(false, "quarantine victim {app_id} is not running");
             return;
         };
         self.metrics.apps_aborted += 1;
-        self.observer.on_event(
+        self.emit_caused(
             now,
-            &SimEvent::AppAborted {
+            CauseKind::Quarantine,
+            qid,
+            SimEvent::AppAborted {
                 app: id.0,
                 core: core as u32,
             },
@@ -1366,19 +1503,25 @@ impl System {
 
     /// Re-queues the victim at the *front* of the pending queue with its
     /// original arrival stamp: it lost its progress, not its priority.
-    fn restart_app(&mut self, app_id: u64, core: usize, now: f64) {
+    fn restart_app(&mut self, app_id: u64, core: usize, now: f64, qid: EventId) {
         let Some((id, graph, arrived_at)) = self.teardown_app(app_id, now) else {
             debug_assert!(false, "quarantine victim {app_id} is not running");
             return;
         };
         self.metrics.apps_restarted += 1;
-        self.observer.on_event(
+        let restarted = self.emit_caused(
             now,
-            &SimEvent::AppRestarted {
+            CauseKind::Quarantine,
+            qid,
+            SimEvent::AppRestarted {
                 app: id.0,
                 core: core as u32,
             },
         );
+        // The eventual re-admission (AppMapped/AppRejected) chains back
+        // through this restart rather than the original arrival.
+        self.pending_cause
+            .insert(id.0, CauseLink::new(CauseKind::Restart, restarted));
         self.pending.push_front(Application {
             id,
             graph,
@@ -1391,7 +1534,7 @@ impl System {
     /// architectural-state transfer as a completion delay plus NoC
     /// traffic. Falls back to [`System::restart_app`] when no healthy
     /// placement exists.
-    fn migrate_app(&mut self, app_id: u64, bad_core: usize, now: f64) {
+    fn migrate_app(&mut self, app_id: u64, bad_core: usize, now: f64, qid: EventId) {
         // Remap context: the app's own nodes are offered back as free;
         // the quarantined node (like every unhealthy node) is excluded.
         {
@@ -1426,7 +1569,7 @@ impl System {
             Some(m) => m,
             None => {
                 self.running.insert(app_id, app);
-                self.restart_app(app_id, bad_core, now);
+                self.restart_app(app_id, bad_core, now, qid);
                 return;
             }
         };
@@ -1534,9 +1677,11 @@ impl System {
         }
         self.running.insert(app_id, app);
         self.metrics.apps_migrated += 1;
-        self.observer.on_event(
+        self.emit_caused(
             now,
-            &SimEvent::AppMigrated {
+            CauseKind::Quarantine,
+            qid,
+            SimEvent::AppMigrated {
                 app: app_id,
                 core: bad_core as u32,
                 moved_tasks,

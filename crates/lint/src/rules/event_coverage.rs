@@ -1,5 +1,7 @@
 //! `event-emission-coverage`: every `SimEvent` variant must be
-//! constructed in non-test code *and* reconciled in the audit layer.
+//! constructed in non-test code *and* reconciled in the audit layer —
+//! and every emission site in the control loop must participate in the
+//! provenance DAG.
 //!
 //! The telemetry contract is double-entry: each decision is emitted as a
 //! structured event and folded into a report aggregate, and
@@ -7,6 +9,17 @@
 //! but is never emitted is dead telemetry; one that is emitted but not
 //! audited is an invariant hole — deleting an audit arm must fail the
 //! lint, not just the runtime tests.
+//!
+//! The provenance half guards `crates/core/src/system.rs`:
+//!
+//! * calling `on_event` directly is banned — raw observer calls bypass
+//!   [`EventId`] minting, so the record would fall outside the DAG the
+//!   audit validates;
+//! * each call site of the *uncaused* emitters (`observe`, raw
+//!   `emit_record`) mints a potential DAG root and must carry an audited
+//!   `// lint:allow(event-emission-coverage, reason = "…")` naming why
+//!   the event legitimately has no cause. Linkable sites use
+//!   `observe_linked`/`emit_caused`, which need no allow.
 
 use super::Rule;
 use crate::diag::Finding;
@@ -21,6 +34,12 @@ const OBS_FILE: &str = "crates/sim/src/obs.rs";
 const AUDIT_FILE: &str = "crates/core/src/audit.rs";
 /// The enum under the coverage contract.
 const ENUM_NAME: &str = "SimEvent";
+/// The control loop whose emission sites are under the provenance
+/// contract.
+const SYSTEM_FILE: &str = "crates/core/src/system.rs";
+/// Emitters that mint root events (no cause link): call sites must
+/// justify root status with an audited allow.
+const ROOT_EMITTERS: [&str; 2] = ["observe", "emit_record"];
 
 impl Rule for EventEmissionCoverage {
     fn id(&self) -> &'static str {
@@ -32,6 +51,9 @@ impl Rule for EventEmissionCoverage {
     }
 
     fn check_workspace(&self, ws: &Workspace, out: &mut Vec<Finding>) {
+        if let Some(system) = ws.file(SYSTEM_FILE) {
+            check_emission_sites(self.id(), system, out);
+        }
         let Some(obs) = ws.file(OBS_FILE) else {
             return; // nothing to cover (synthetic workspaces opt in)
         };
@@ -91,6 +113,54 @@ impl Rule for EventEmissionCoverage {
                                 sequence check) so emission bugs fail CI",
                 });
             }
+        }
+    }
+}
+
+/// Enforces the provenance half on the control loop: no raw `on_event`
+/// calls, and an audited allow on every root-emitter call site. The
+/// findings this emits are the hooks the `lint:allow` comments in
+/// `system.rs` attach to — an uncaused emission without a justification
+/// surfaces here, and a stale justification surfaces as `unused-allow`.
+fn check_emission_sites(rule_id: &'static str, file: &SourceFile, out: &mut Vec<Finding>) {
+    let code: Vec<&Token> = file.code_tokens().collect();
+    for i in 0..code.len() {
+        let tok = code[i];
+        if tok.kind != TokenKind::Ident || file.is_test_line(tok.line) {
+            continue;
+        }
+        if tok.text == "on_event" {
+            out.push(Finding {
+                rule: rule_id,
+                file: file.rel_path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: "direct `on_event` call bypasses event-id minting".into(),
+                rationale: "records emitted outside observe/observe_linked/emit_caused/\
+                            emit_record carry no EventId and fall outside the provenance \
+                            DAG the audit validates",
+            });
+            continue;
+        }
+        // A call site of an uncaused emitter: `observe(` / `emit_record(`
+        // that is not the `fn` definition itself.
+        let is_call = ROOT_EMITTERS.contains(&tok.text.as_str())
+            && code.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !(i > 0 && code[i - 1].is_ident("fn"));
+        if is_call {
+            out.push(Finding {
+                rule: rule_id,
+                file: file.rel_path.clone(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "uncaused emission site `{}(…)` mints a provenance root",
+                    tok.text
+                ),
+                rationale: "root events start causal chains the run-diff and trace tools \
+                            anchor to; justify each with lint:allow(event-emission-coverage, \
+                            reason = \"…\") or thread a cause via observe_linked/emit_caused",
+            });
         }
     }
 }

@@ -195,6 +195,67 @@ fn deleting_an_audit_arm_fails_the_lint() {
         .any(|f| f.rule == "event-emission-coverage" && f.message.contains("Beta")));
 }
 
+// ----- event-emission-coverage: provenance emission sites --------------
+
+fn system_workspace(body: &str) -> Workspace {
+    let system = SourceFile::from_source("crates/core/src/system.rs", body);
+    Workspace::from_sources("/nonexistent", vec![system])
+}
+
+#[test]
+fn uncaused_emission_sites_require_an_audited_allow() {
+    let bare = system_workspace(
+        "impl System {\n    fn control(&mut self) {\n        self.observe(now, ev);\n    }\n}\n",
+    );
+    assert!(
+        run(&bare).findings.iter().any(|f| {
+            f.rule == "event-emission-coverage" && f.message.contains("provenance root")
+        }),
+        "bare observe() must be flagged"
+    );
+    let justified = system_workspace(
+        "impl System {\n    fn control(&mut self) {\n        \
+         // lint:allow(event-emission-coverage, reason = \"genuine root\")\n        \
+         self.observe(now, ev);\n    }\n}\n",
+    );
+    let report = run(&justified);
+    assert!(report.is_clean(), "{}", render_human(&report.findings, 1));
+}
+
+#[test]
+fn raw_on_event_and_emit_record_calls_are_flagged() {
+    let report = run(&system_workspace(
+        "fn f(obs: &mut dyn Observer) {\n    obs.on_event(&rec);\n    emit_record(obs, id, t, None, ev);\n}\n",
+    ));
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "event-emission-coverage")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("on_event")),
+        "raw on_event: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("emit_record")),
+        "raw emit_record: {messages:?}"
+    );
+}
+
+#[test]
+fn emitter_definitions_and_caused_emissions_need_no_allow() {
+    // The `fn observe(` definition and `observe_linked`/`emit_caused`
+    // call sites are not root-emission findings.
+    let report = run(&system_workspace(
+        "impl System {\n    pub fn observe(&mut self, now: f64, ev: SimEvent) -> EventId {\n        \
+         self.observe_linked(now, None, ev)\n    }\n    \
+         fn g(&mut self) {\n        self.observe_linked(now, Some(link), ev);\n        \
+         self.emit_caused(now, kind, cause, ev);\n    }\n}\n",
+    ));
+    assert!(report.is_clean(), "{}", render_human(&report.findings, 1));
+}
+
 // ----- golden-schema (on-disk synthetic workspace) ---------------------
 
 #[test]
@@ -244,6 +305,86 @@ fn golden_schema_catches_bad_kinds_unknown_probes_and_doc_drift() {
         !golden_findings.iter().any(|m| m.contains("unknown probe id `e3`")),
         "{golden_findings:?}"
     );
+}
+
+#[test]
+fn golden_schema_validates_perfetto_traces_and_flow_pairing() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-trace-fixture");
+    let report_dir = root.join("report");
+    std::fs::create_dir_all(&report_dir).expect("tmpdir");
+    // An unmatched flow start, an X slice without dur, and a bogus phase
+    // letter; the well-formed entries draw no findings.
+    std::fs::write(
+        report_dir.join("e3.trace.json"),
+        "[\n\
+         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"p\"}},\n\
+         {\"name\":\"FaultActivated\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":100.000,\"pid\":1,\"tid\":103,\"args\":{\"core\":3}},\n\
+         {\"name\":\"TestLaunched\",\"cat\":\"session\",\"ph\":\"X\",\"ts\":150.000,\"pid\":1,\"tid\":103},\n\
+         {\"name\":\"activation\",\"cat\":\"cause\",\"ph\":\"s\",\"id\":2,\"ts\":100.000,\"pid\":1,\"tid\":103},\n\
+         {\"name\":\"oops\",\"ph\":\"q\",\"ts\":1.000,\"pid\":1,\"tid\":1}\n\
+         ]\n",
+    )
+    .expect("write");
+    let events = SourceFile::from_source(
+        "crates/bench/src/events.rs",
+        "pub const PROBE_IDS: [&str; 1] = [\"e3\"];\n",
+    );
+    let ws = Workspace::from_sources(root, vec![events]);
+    let report = run(&ws);
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "golden-schema")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("missing `dur`")),
+        "X without dur: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("unknown trace phase letter `q`")),
+        "bad phase: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("do not pair up")),
+        "unmatched flow: {messages:?}"
+    );
+    // The valid metadata and instant entries drew no findings of their own.
+    assert_eq!(messages.len(), 3, "{messages:?}");
+}
+
+#[test]
+fn golden_schema_checks_trace_and_diff_doc_ids() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-traceid-fixture");
+    std::fs::create_dir_all(&root).expect("tmpdir");
+    std::fs::write(
+        root.join("README.md"),
+        "Run `repro trace e3` then `repro trace q9`.\n\
+         Compare with `repro diff e3 e42` or `repro diff e11 --seed2 111`.\n",
+    )
+    .expect("write");
+    let events = SourceFile::from_source(
+        "crates/bench/src/events.rs",
+        "pub const PROBE_IDS: [&str; 3] = [\"e3\", \"e11\", \"a1\"];\n",
+    );
+    let ws = Workspace::from_sources(root, vec![events]);
+    let report = run(&ws);
+    let messages: Vec<&str> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "golden-schema")
+        .map(|f| f.message.as_str())
+        .collect();
+    assert!(
+        messages.iter().any(|m| m.contains("`q9`")),
+        "unknown trace id: {messages:?}"
+    );
+    assert!(
+        messages.iter().any(|m| m.contains("`e42`")),
+        "unknown second diff id: {messages:?}"
+    );
+    // e3, e11 and the --seed2 flag drew no findings.
+    assert_eq!(messages.len(), 2, "{messages:?}");
 }
 
 #[test]

@@ -20,6 +20,11 @@
 //! * [`obs`] — structured decision telemetry: the [`Observer`] hook the
 //!   control loop emits typed [`SimEvent`]s through, plus concrete sinks
 //!   (bounded [`EventLog`], streaming JSONL writer, [`CounterRegistry`]).
+//!   Every emission carries a deterministic [`EventId`] and an optional
+//!   [`CauseLink`] back to the decision that triggered it.
+//! * [`provenance`] — causal-chain reconstruction over the record
+//!   stream: walk any event back to its root or forward to everything
+//!   it caused, with per-chain aggregates ([`ProvenanceGraph`]).
 //!
 //! # Examples
 //!
@@ -38,6 +43,7 @@
 
 pub mod engine;
 pub mod obs;
+pub mod provenance;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -45,10 +51,12 @@ pub mod trace;
 
 pub use engine::{Event, EventQueue};
 pub use obs::{
-    jsonl_kind_counts, write_json_str, AbortReason, CoreState, CounterRegistry, EventLog,
-    HealthCode, JsonlWriter, NullObserver, NullPhaseObserver, Observer, Phase, PhaseObserver,
-    PhaseProfile, SimEvent, StateRecorder, StateSnapshot, StateTimeline,
+    emit_record, jsonl_kind_counts, write_json_str, AbortReason, CauseKind, CauseLink, CoreState,
+    CounterRegistry, EventId, EventLog, EventRecord, HealthCode, JsonlWriter, NullObserver,
+    NullPhaseObserver, Observer, Phase, PhaseObserver, PhaseProfile, SimEvent, StateRecorder,
+    StateSnapshot, StateTimeline,
 };
+pub use provenance::{ChainSummary, ProvenanceGraph};
 pub use rng::{enter_job_scope, JobScopeGuard, SimRng};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{Duration, Epoch, SimTime};
@@ -58,10 +66,12 @@ pub use trace::{Trace, TraceSeries};
 pub mod prelude {
     pub use crate::engine::{Event, EventQueue};
     pub use crate::obs::{
-        jsonl_kind_counts, write_json_str, AbortReason, CoreState, CounterRegistry, EventLog,
-        HealthCode, JsonlWriter, NullObserver, NullPhaseObserver, Observer, Phase, PhaseObserver,
-        PhaseProfile, SimEvent, StateRecorder, StateSnapshot, StateTimeline,
+        emit_record, jsonl_kind_counts, write_json_str, AbortReason, CauseKind, CauseLink,
+        CoreState, CounterRegistry, EventId, EventLog, EventRecord, HealthCode, JsonlWriter,
+        NullObserver, NullPhaseObserver, Observer, Phase, PhaseObserver, PhaseProfile, SimEvent,
+        StateRecorder, StateSnapshot, StateTimeline,
     };
+    pub use crate::provenance::{ChainSummary, ProvenanceGraph};
     pub use crate::rng::{enter_job_scope, JobScopeGuard, SimRng};
     pub use crate::stats::{Histogram, OnlineStats, TimeWeighted};
     pub use crate::time::{Duration, Epoch, SimTime};

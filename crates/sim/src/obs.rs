@@ -277,12 +277,40 @@ impl SimEvent {
         Self::KINDS[self.kind_index()]
     }
 
+    /// True when the provenance contract requires every emission of this
+    /// kind to carry a cause link. The complement — kinds that may be
+    /// emitted as roots — is exactly [`SimEvent::ROOT_KINDS`] plus
+    /// `TestLaunched` (ranked-lane launches are roots, retest-lane
+    /// launches are caused).
+    pub fn cause_required(kind_index: usize) -> bool {
+        !matches!(kind_index, 0 | 4 | 8 | 9 | 10)
+    }
+
+    /// Kind names that may legitimately appear as provenance-DAG roots
+    /// (no cause link). Everything else must be caused — enforced by
+    /// `validate_events` on every captured run.
+    pub const ROOT_KINDS: [&'static str; 5] = [
+        "AppArrived",
+        "TestLaunched",
+        "CapAdjusted",
+        "DvfsTransition",
+        "FaultActivated",
+    ];
+
     /// Appends this event as one JSON object (no trailing newline) to
     /// `out`. Floats use Rust's shortest-round-trip `Display`, which is
     /// deterministic, so identical runs render byte-identical JSON.
     pub fn write_json(&self, t: f64, out: &mut String) {
         let kind = self.kind();
         let _ = write!(out, "{{\"t\":{t},\"kind\":\"{kind}\"");
+        self.write_json_fields(out);
+        out.push('}');
+    }
+
+    /// Appends the per-variant payload fields (each preceded by a comma,
+    /// no braces) to `out` — the shared tail of [`SimEvent::write_json`]
+    /// and [`EventRecord::write_json`].
+    pub fn write_json_fields(&self, out: &mut String) {
         match *self {
             SimEvent::AppArrived { app, tasks } | SimEvent::AppRejected { app, tasks } => {
                 let _ = write!(out, ",\"app\":{app},\"tasks\":{tasks}");
@@ -391,16 +419,230 @@ impl SimEvent {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Causal provenance: event ids, cause links, records.
+// ---------------------------------------------------------------------------
+
+/// Deterministic identity of one emitted event: its position in the
+/// run's emission sequence (0-based). Ids are assigned by the emitter in
+/// emission order, so they are byte-identical across worker counts and
+/// `id_a < id_b` implies event `a` was emitted no later than event `b` —
+/// which makes acyclicity and time-ordering of the provenance DAG a
+/// single comparison per link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EventId(pub u64);
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Why one event caused another: the typed edge label of the provenance
+/// DAG. Each kind admits a fixed `(cause kinds, effect kinds)` pair —
+/// see [`CauseKind::expected`] — and `validate_events` rejects any link
+/// outside that table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CauseKind {
+    /// `AppArrived` → `AppMapped` / `AppRejected`: the admission verdict
+    /// on a fresh arrival.
+    Arrival,
+    /// `AppRestarted` → `AppMapped` / `AppRejected`: the re-admission
+    /// verdict on a quarantine-displaced app.
+    Restart,
+    /// `AppMapped` → `AppCompleted`: the placement that ran to the end.
+    Mapping,
+    /// `CapAdjusted` → `TestDeniedPower`: the governor's cap move that
+    /// left too little headroom for the session.
+    CapMove,
+    /// `CoreSuspected` → `TestLaunched`: a confirmation retest planned
+    /// by the priority lane (ranked-lane launches are roots instead).
+    RetestLane,
+    /// `TestLaunched` → `TestCompleted` / `TestAborted`: the session's
+    /// own lifecycle.
+    Session,
+    /// `FaultActivated` → `FaultDetected`: the latent fault the routine
+    /// caught.
+    Activation,
+    /// `FaultDetected` → `CoreSuspected`: a detection opening the
+    /// suspicion window.
+    Detection,
+    /// `TestCompleted` → `CoreSuspected`: a false-positive routine
+    /// verdict opening the suspicion window with no underlying fault.
+    FalseAlarm,
+    /// `TestCompleted` → `CoreQuarantined`: the confirming retest that
+    /// upheld the detection.
+    RetestFailed,
+    /// `TestCompleted` → `CoreCleared`: the last retest of a streak that
+    /// failed to reproduce the detection.
+    RetestPassed,
+    /// `CoreSuspected` → `CoreQuarantined`: immediate quarantine when
+    /// zero confirmation retests are configured.
+    Suspicion,
+    /// `CoreQuarantined` → `AppAborted` / `AppRestarted` / `AppMigrated`:
+    /// the victim-handling policy acting on the quarantine.
+    Quarantine,
+}
+
+impl CauseKind {
+    /// Number of link kinds (array size for per-kind counters).
+    pub const COUNT: usize = 13;
+
+    /// All link kinds, in [`CauseKind::index`] order.
+    pub const ALL: [CauseKind; Self::COUNT] = [
+        CauseKind::Arrival,
+        CauseKind::Restart,
+        CauseKind::Mapping,
+        CauseKind::CapMove,
+        CauseKind::RetestLane,
+        CauseKind::Session,
+        CauseKind::Activation,
+        CauseKind::Detection,
+        CauseKind::FalseAlarm,
+        CauseKind::RetestFailed,
+        CauseKind::RetestPassed,
+        CauseKind::Suspicion,
+        CauseKind::Quarantine,
+    ];
+
+    /// Dense index of this link kind.
+    pub fn index(self) -> usize {
+        match self {
+            CauseKind::Arrival => 0,
+            CauseKind::Restart => 1,
+            CauseKind::Mapping => 2,
+            CauseKind::CapMove => 3,
+            CauseKind::RetestLane => 4,
+            CauseKind::Session => 5,
+            CauseKind::Activation => 6,
+            CauseKind::Detection => 7,
+            CauseKind::FalseAlarm => 8,
+            CauseKind::RetestFailed => 9,
+            CauseKind::RetestPassed => 10,
+            CauseKind::Suspicion => 11,
+            CauseKind::Quarantine => 12,
+        }
+    }
+
+    /// Stable lower-snake name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CauseKind::Arrival => "arrival",
+            CauseKind::Restart => "restart",
+            CauseKind::Mapping => "mapping",
+            CauseKind::CapMove => "cap_move",
+            CauseKind::RetestLane => "retest_lane",
+            CauseKind::Session => "session",
+            CauseKind::Activation => "activation",
+            CauseKind::Detection => "detection",
+            CauseKind::FalseAlarm => "false_alarm",
+            CauseKind::RetestFailed => "retest_failed",
+            CauseKind::RetestPassed => "retest_passed",
+            CauseKind::Suspicion => "suspicion",
+            CauseKind::Quarantine => "quarantine",
+        }
+    }
+
+    /// The allowed-link table: `(cause kinds, effect kinds)` this edge
+    /// label may connect, as [`SimEvent::KINDS`] names. A link whose
+    /// endpoint kinds fall outside its row is a wiring bug and fails
+    /// `validate_events`.
+    pub fn expected(self) -> (&'static [&'static str], &'static [&'static str]) {
+        match self {
+            CauseKind::Arrival => (&["AppArrived"], &["AppMapped", "AppRejected"]),
+            CauseKind::Restart => (&["AppRestarted"], &["AppMapped", "AppRejected"]),
+            CauseKind::Mapping => (&["AppMapped"], &["AppCompleted"]),
+            CauseKind::CapMove => (&["CapAdjusted"], &["TestDeniedPower"]),
+            CauseKind::RetestLane => (&["CoreSuspected"], &["TestLaunched"]),
+            CauseKind::Session => (&["TestLaunched"], &["TestCompleted", "TestAborted"]),
+            CauseKind::Activation => (&["FaultActivated"], &["FaultDetected"]),
+            CauseKind::Detection => (&["FaultDetected"], &["CoreSuspected"]),
+            CauseKind::FalseAlarm => (&["TestCompleted"], &["CoreSuspected"]),
+            CauseKind::RetestFailed => (&["TestCompleted"], &["CoreQuarantined"]),
+            CauseKind::RetestPassed => (&["TestCompleted"], &["CoreCleared"]),
+            CauseKind::Suspicion => (&["CoreSuspected"], &["CoreQuarantined"]),
+            CauseKind::Quarantine => {
+                (&["CoreQuarantined"], &["AppAborted", "AppRestarted", "AppMigrated"])
+            }
+        }
+    }
+}
+
+/// A typed edge of the provenance DAG: *this event happened because of
+/// event `id`, via mechanism `kind`*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CauseLink {
+    /// Edge label (mechanism).
+    pub kind: CauseKind,
+    /// The causing event.
+    pub id: EventId,
+}
+
+impl CauseLink {
+    /// Convenience constructor.
+    pub fn new(kind: CauseKind, id: EventId) -> Self {
+        CauseLink { kind, id }
+    }
+}
+
+/// One emitted event with its full provenance envelope: identity,
+/// timestamp, optional cause link, payload. This is what observers
+/// receive and what the [`EventLog`] stores.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Emission-order identity (unique within a run).
+    pub id: EventId,
+    /// Emission time, seconds.
+    pub t: f64,
+    /// The event that caused this one, if it is not a root.
+    pub cause: Option<CauseLink>,
+    /// The decision payload.
+    pub ev: SimEvent,
+}
+
+impl EventRecord {
+    /// Appends this record as one JSON object (no trailing newline):
+    /// `{"t":…,"id":…[,"cause":…,"link":"…"],"kind":"…",fields}`.
+    /// Deterministic byte-for-byte, like [`SimEvent::write_json`].
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(out, "{{\"t\":{},\"id\":{}", self.t, self.id.0);
+        if let Some(link) = self.cause {
+            let _ = write!(out, ",\"cause\":{},\"link\":\"{}\"", link.id.0, link.kind.as_str());
+        }
+        let _ = write!(out, ",\"kind\":\"{}\"", self.ev.kind());
+        self.ev.write_json_fields(out);
         out.push('}');
     }
 }
 
+/// Emits one event through an observer, assigning the next sequential
+/// [`EventId`] from `next_id`. This is the one place records are minted:
+/// the control loop (and its borrow-split closures) routes every
+/// emission through here so ids stay gapless and monotonic.
+#[inline]
+pub fn emit_record(
+    obs: &mut dyn Observer,
+    next_id: &mut u64,
+    t: f64,
+    cause: Option<CauseLink>,
+    ev: SimEvent,
+) -> EventId {
+    let id = EventId(*next_id);
+    *next_id += 1;
+    obs.on_event(&EventRecord { id, t, cause, ev });
+    id
+}
+
 /// A decision-event sink. The control loop calls [`Observer::on_event`]
-/// once per decision; the default implementation of every other method is
+/// once per decision with the full provenance envelope (id, time, cause
+/// link, payload); the default implementation of every other method is
 /// a no-op so trivial sinks stay trivial.
 pub trait Observer {
-    /// Receives one event emitted at simulated time `t` (seconds).
-    fn on_event(&mut self, t: f64, ev: &SimEvent);
+    /// Receives one emitted event record.
+    fn on_event(&mut self, rec: &EventRecord);
 
     /// Hands over an [`EventLog`] if this observer accumulated one
     /// (called once, when a run finalizes its report).
@@ -418,7 +660,7 @@ pub struct NullObserver;
 
 impl Observer for NullObserver {
     #[inline]
-    fn on_event(&mut self, _t: f64, _ev: &SimEvent) {}
+    fn on_event(&mut self, _rec: &EventRecord) {}
 }
 
 /// A bounded in-memory event sink.
@@ -432,19 +674,20 @@ impl Observer for NullObserver {
 /// # Examples
 ///
 /// ```
-/// use manytest_sim::obs::{EventLog, Observer, SimEvent};
+/// use manytest_sim::obs::{EventLog, SimEvent};
 ///
 /// let mut log = EventLog::bounded(16);
-/// log.on_event(0.5, &SimEvent::FaultActivated { core: 3 });
+/// log.push(0.5, SimEvent::FaultActivated { core: 3 });
 /// assert_eq!(log.count("FaultActivated"), 1);
 /// assert!(log.to_jsonl().contains("\"kind\":\"FaultActivated\""));
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EventLog {
-    events: Vec<(f64, SimEvent)>,
+    events: Vec<EventRecord>,
     capacity: usize,
     dropped: u64,
     kind_counts: [u64; SimEvent::KIND_COUNT],
+    next_id: u64,
 }
 
 impl Default for EventLog {
@@ -454,6 +697,7 @@ impl Default for EventLog {
             capacity: usize::MAX,
             dropped: 0,
             kind_counts: [0; SimEvent::KIND_COUNT],
+            next_id: 0,
         }
     }
 }
@@ -472,18 +716,35 @@ impl EventLog {
         }
     }
 
-    /// Records one event.
-    pub fn push(&mut self, t: f64, ev: SimEvent) {
-        self.kind_counts[ev.kind_index()] += 1;
+    /// Records one root event (no cause), assigning the next sequential
+    /// id, and returns that id.
+    pub fn push(&mut self, t: f64, ev: SimEvent) -> EventId {
+        self.push_caused(t, None, ev)
+    }
+
+    /// Records one event with an optional cause link, assigning the next
+    /// sequential id, and returns that id.
+    pub fn push_caused(&mut self, t: f64, cause: Option<CauseLink>, ev: SimEvent) -> EventId {
+        let id = EventId(self.next_id);
+        self.push_record(EventRecord { id, t, cause, ev });
+        id
+    }
+
+    /// Records one fully-formed record (as received from an emitter).
+    /// The log's id counter is advanced past the record's id so manual
+    /// pushes and observed records can interleave without collisions.
+    pub fn push_record(&mut self, rec: EventRecord) {
+        self.next_id = self.next_id.max(rec.id.0 + 1);
+        self.kind_counts[rec.ev.kind_index()] += 1;
         if self.events.len() < self.capacity {
-            self.events.push((t, ev));
+            self.events.push(rec);
         } else {
             self.dropped += 1;
         }
     }
 
-    /// The stored `(t, event)` samples, in emission order.
-    pub fn events(&self) -> &[(f64, SimEvent)] {
+    /// The stored records, in emission order.
+    pub fn events(&self) -> &[EventRecord] {
         &self.events
     }
 
@@ -508,8 +769,8 @@ impl EventLog {
     /// order. All zero unless the log saturated.
     pub fn dropped_kind_counts(&self) -> [u64; SimEvent::KIND_COUNT] {
         let mut stored = [0u64; SimEvent::KIND_COUNT];
-        for (_, ev) in &self.events {
-            stored[ev.kind_index()] += 1;
+        for rec in &self.events {
+            stored[rec.ev.kind_index()] += 1;
         }
         let mut out = [0u64; SimEvent::KIND_COUNT];
         for (i, slot) in out.iter_mut().enumerate() {
@@ -574,11 +835,12 @@ impl EventLog {
         self.kind_counts.iter().sum()
     }
 
-    /// Renders the stored samples as JSON Lines (one object per line).
+    /// Renders the stored samples as JSON Lines (one object per line),
+    /// carrying each record's id and cause link.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 64);
-        for (t, ev) in &self.events {
-            ev.write_json(*t, &mut out);
+        for rec in &self.events {
+            rec.write_json(&mut out);
             out.push('\n');
         }
         out
@@ -591,9 +853,9 @@ impl EventLog {
     /// Propagates the first I/O error from the writer.
     pub fn write_jsonl<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
         let mut line = String::with_capacity(128);
-        for (t, ev) in &self.events {
+        for rec in &self.events {
             line.clear();
-            ev.write_json(*t, &mut line);
+            rec.write_json(&mut line);
             line.push('\n');
             w.write_all(line.as_bytes())?;
         }
@@ -604,16 +866,16 @@ impl EventLog {
     /// compact form for spreadsheet-side counting.
     pub fn to_csv(&self) -> String {
         let mut out = String::from("t,kind\n");
-        for (t, ev) in &self.events {
-            let _ = writeln!(out, "{t},{}", ev.kind());
+        for rec in &self.events {
+            let _ = writeln!(out, "{},{}", rec.t, rec.ev.kind());
         }
         out
     }
 }
 
 impl Observer for EventLog {
-    fn on_event(&mut self, t: f64, ev: &SimEvent) {
-        self.push(t, *ev);
+    fn on_event(&mut self, rec: &EventRecord) {
+        self.push_record(*rec);
     }
 
     fn take_log(&mut self) -> Option<EventLog> {
@@ -676,12 +938,12 @@ impl<W: io::Write> JsonlWriter<W> {
 }
 
 impl<W: io::Write> Observer for JsonlWriter<W> {
-    fn on_event(&mut self, t: f64, ev: &SimEvent) {
+    fn on_event(&mut self, rec: &EventRecord) {
         if self.error.is_some() {
             return;
         }
         self.line.clear();
-        ev.write_json(t, &mut self.line);
+        rec.write_json(&mut self.line);
         self.line.push('\n');
         if let Err(e) = self.inner.write_all(self.line.as_bytes()) {
             self.error = Some(e);
@@ -806,8 +1068,8 @@ impl CounterRegistry {
 }
 
 impl Observer for CounterRegistry {
-    fn on_event(&mut self, _t: f64, ev: &SimEvent) {
-        self.incr(ev.kind());
+    fn on_event(&mut self, rec: &EventRecord) {
+        self.incr(rec.ev.kind());
     }
 }
 
@@ -1376,9 +1638,14 @@ mod tests {
     fn jsonl_writer_streams_identical_bytes() {
         let mut log = EventLog::new();
         let mut sink = JsonlWriter::new(Vec::new());
-        for (t, ev) in sample_events() {
+        for (i, (t, ev)) in sample_events().into_iter().enumerate() {
             log.push(t, ev);
-            sink.on_event(t, &ev);
+            sink.on_event(&EventRecord {
+                id: EventId(i as u64),
+                t,
+                cause: None,
+                ev,
+            });
         }
         let streamed = sink.finish().expect("vec never fails");
         assert_eq!(String::from_utf8(streamed).unwrap(), log.to_jsonl());
@@ -1387,7 +1654,7 @@ mod tests {
     #[test]
     fn take_log_drains_the_observer() {
         let mut log = EventLog::new();
-        log.on_event(1.0, &SimEvent::FaultActivated { core: 1 });
+        log.push(1.0, SimEvent::FaultActivated { core: 1 });
         let taken = log.take_log().expect("event log yields itself");
         assert_eq!(taken.len(), 1);
         assert_eq!(log.len(), 0, "taking must leave an empty log behind");
@@ -1396,8 +1663,13 @@ mod tests {
     #[test]
     fn registry_counts_events_and_renders_summary() {
         let mut reg = CounterRegistry::new();
-        for (t, ev) in sample_events() {
-            reg.on_event(t, &ev);
+        for (i, (t, ev)) in sample_events().into_iter().enumerate() {
+            reg.on_event(&EventRecord {
+                id: EventId(i as u64),
+                t,
+                cause: None,
+                ev,
+            });
         }
         assert_eq!(reg.counter("AppArrived"), 1);
         assert_eq!(reg.counter("nonexistent"), 0);
@@ -1418,8 +1690,107 @@ mod tests {
     #[test]
     fn null_observer_is_a_noop() {
         let mut obs = NullObserver;
-        obs.on_event(0.0, &SimEvent::FaultActivated { core: 0 });
+        obs.on_event(&EventRecord {
+            id: EventId(0),
+            t: 0.0,
+            cause: None,
+            ev: SimEvent::FaultActivated { core: 0 },
+        });
         assert!(obs.take_log().is_none());
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids_and_records_causes() {
+        let mut log = EventLog::new();
+        let root = log.push(1.0, SimEvent::FaultActivated { core: 2 });
+        assert_eq!(root, EventId(0));
+        let detect = log.push_caused(
+            2.0,
+            Some(CauseLink::new(CauseKind::Activation, root)),
+            SimEvent::FaultDetected { core: 2, latency: 1.0 },
+        );
+        assert_eq!(detect, EventId(1));
+        let recs = log.events();
+        assert_eq!(recs[0].cause, None);
+        assert_eq!(recs[1].cause, Some(CauseLink::new(CauseKind::Activation, root)));
+        assert_eq!(recs[1].id, detect);
+    }
+
+    #[test]
+    fn record_json_carries_id_and_cause_link() {
+        let rec = EventRecord {
+            id: EventId(7),
+            t: 0.25,
+            cause: Some(CauseLink::new(CauseKind::Detection, EventId(3))),
+            ev: SimEvent::CoreSuspected { core: 4, level: 2 },
+        };
+        let mut out = String::new();
+        rec.write_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"t\":0.25,\"id\":7,\"cause\":3,\"link\":\"detection\",\
+             \"kind\":\"CoreSuspected\",\"core\":4,\"level\":2}"
+        );
+        // A root renders without cause fields and still parses for kind
+        // counting.
+        let root = EventRecord {
+            id: EventId(0),
+            t: 0.5,
+            cause: None,
+            ev: SimEvent::FaultActivated { core: 1 },
+        };
+        let mut out = String::new();
+        root.write_json(&mut out);
+        assert_eq!(out, "{\"t\":0.5,\"id\":0,\"kind\":\"FaultActivated\",\"core\":1}");
+        let counts = jsonl_kind_counts(&out);
+        assert_eq!(counts.get("FaultActivated"), Some(&1));
+    }
+
+    #[test]
+    fn cause_kind_table_round_trips_and_names_real_kinds() {
+        for (i, k) in CauseKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            let (causes, effects) = k.expected();
+            assert!(!causes.is_empty() && !effects.is_empty());
+            for name in causes.iter().chain(effects) {
+                assert!(
+                    SimEvent::KINDS.contains(name),
+                    "{} names unknown kind {name}",
+                    k.as_str()
+                );
+            }
+            // Every effect kind in the table is one the audit requires a
+            // cause for — except TestLaunched, whose ranked-lane
+            // launches are roots.
+            for name in effects.iter().filter(|&&n| n != "TestLaunched") {
+                let idx = SimEvent::KINDS.iter().position(|k| k == name).unwrap();
+                assert!(SimEvent::cause_required(idx), "{name} must require a cause");
+            }
+        }
+        // Root kinds are exactly the kinds exempt from the requirement.
+        for (i, name) in SimEvent::KINDS.iter().enumerate() {
+            let is_root = SimEvent::ROOT_KINDS.contains(name);
+            assert_eq!(!SimEvent::cause_required(i), is_root, "kind {name}");
+        }
+    }
+
+    #[test]
+    fn emit_record_mints_gapless_ids() {
+        let mut log = EventLog::new();
+        let mut next_id = 0u64;
+        let a = emit_record(&mut log, &mut next_id, 1.0, None, SimEvent::FaultActivated {
+            core: 0,
+        });
+        let b = emit_record(
+            &mut log,
+            &mut next_id,
+            2.0,
+            Some(CauseLink::new(CauseKind::Activation, a)),
+            SimEvent::FaultDetected { core: 0, latency: 1.0 },
+        );
+        assert_eq!((a, b), (EventId(0), EventId(1)));
+        assert_eq!(next_id, 2);
+        assert_eq!(log.events()[1].cause.unwrap().id, a);
     }
 
     #[test]
@@ -1453,7 +1824,12 @@ mod tests {
     fn jsonl_writer_note_escapes_and_skips_kind_counting() {
         let mut sink = JsonlWriter::new(Vec::new());
         sink.note(0.5, "header \"v1\"\npath=C:\\tmp");
-        sink.on_event(1.0, &SimEvent::FaultActivated { core: 2 });
+        sink.on_event(&EventRecord {
+            id: EventId(0),
+            t: 1.0,
+            cause: None,
+            ev: SimEvent::FaultActivated { core: 2 },
+        });
         sink.note(2.0, "done 完了");
         let bytes = sink.finish().expect("vec never fails");
         let text = String::from_utf8(bytes).unwrap();
