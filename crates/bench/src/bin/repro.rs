@@ -2,7 +2,7 @@
 //!
 //! ```sh
 //! cargo run -p manytest-bench --bin repro --release            # everything
-//! cargo run -p manytest-bench --bin repro --release -- e1 e5   # a subset (e1..e11, a1..a6)
+//! cargo run -p manytest-bench --bin repro --release -- e1 e5   # a subset (e1..e12, a1..a6)
 //! cargo run -p manytest-bench --bin repro --release -- --quick
 //! cargo run -p manytest-bench --bin repro --release -- --jobs 4
 //! cargo run -p manytest-bench --bin repro --release -- e3 --events telemetry/
@@ -45,7 +45,7 @@ use manytest_bench::kernels::{
     kernels_json, print_kernels, run_kernels, wall_kernels_table, DEFAULT_GRIDS, QUICK_GRIDS,
 };
 use manytest_bench::report::{run_report_probe_timed, wall_phase_table, write_report_files};
-use manytest_bench::runner::{default_jobs, job_stats, jobs_executed, JobStats};
+use manytest_bench::runner::{default_jobs, job_stats, jobs_executed, panic_message, JobStats};
 use manytest_bench::trace::{run_trace, write_trace_file};
 use manytest_bench::*;
 use std::path::PathBuf;
@@ -337,16 +337,25 @@ fn main() {
 
     println!("# manytest reproduction — DATE 2015 power-aware online testing");
     println!(
-        "# scale: {:?} (pass --quick for short runs; select with ids e1..e11 and a1..a6)\n",
+        "# scale: {:?} (pass --quick for short runs; select with ids e1..e12 and a1..a6)\n",
         scale
     );
 
     let mut timings: Vec<Timing> = Vec::new();
+    // Panic isolation at the experiment level: a panicking experiment is
+    // recorded here and the remaining experiments still run; the failure
+    // table prints after the tables and the process exits nonzero. The
+    // table is byte-identical across worker counts because the batch
+    // runner re-raises the first panic in *submission* order.
+    let mut failures: Vec<(&'static str, String)> = Vec::new();
     let mut timed = |id: &'static str, run: &mut dyn FnMut()| {
         let jobs_before = jobs_executed();
         let stats_before: JobStats = job_stats();
         let start = Instant::now();
-        run();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&mut *run));
+        if let Err(payload) = outcome {
+            failures.push((id, panic_message(payload.as_ref())));
+        }
         let stats_after = job_stats();
         let runs = jobs_executed() - jobs_before;
         timings.push(Timing {
@@ -394,6 +403,9 @@ fn main() {
     }
     if want("e11") {
         timed("e11", &mut || print_e11(&e11_fault_response(scale, jobs)));
+    }
+    if want("e12") {
+        timed("e12", &mut || print_e12(&e12_core_lifecycle(scale, jobs)));
     }
     if want("a1") {
         timed("a1", &mut || print_a1(&a1_intrusiveness(scale, jobs)));
@@ -448,4 +460,11 @@ fn main() {
     }
     eprintln!("# total {total_runs:>4}  {total_wall:>7.3}  {total_busy:>7.3}");
     write_bench_json("BENCH_repro.json", jobs, scale, &timings);
+    if !failures.is_empty() {
+        println!("## failed experiments ({} of {})", failures.len(), timings.len());
+        for (id, msg) in &failures {
+            println!("{id:<5}  {}", msg.lines().next().unwrap_or("<empty panic payload>"));
+        }
+        std::process::exit(1);
+    }
 }

@@ -20,6 +20,7 @@ use manytest_sim::OnlineStats;
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
+use std::io::Write as _;
 use std::path::Path;
 
 /// Event-log capacity used by every probe: large enough that no probe at
@@ -31,9 +32,9 @@ pub const PROBE_EVENT_CAPACITY: usize = 1 << 17;
 const PROBE_FAULTS: usize = 8;
 
 /// Experiments that have a probe (all of them).
-pub const PROBE_IDS: [&str; 17] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2", "a3", "a4",
-    "a5", "a6",
+pub const PROBE_IDS: [&str; 18] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
+    "a4", "a5", "a6",
 ];
 
 /// The probe configuration for one experiment id, mirroring that
@@ -61,6 +62,15 @@ pub fn probe_builder(id: &str, scale: Scale) -> Option<SystemBuilder> {
             .fault_response(FaultResponsePolicy::MigrateRegion)
             .intermittent_faults(0.25)
             .test_false_positives(0.01),
+        // The lifecycle probe needs room for intermittents to be caught,
+        // confirmed, cooled and re-admitted, so it keeps the experiment's
+        // N22 mesh and a longer horizon instead of the N16 default.
+        "e12" => base(TechNode::N22, 121, 800, 500.0)
+            .fault_response(FaultResponsePolicy::MigrateRegion)
+            .intermittent_faults(1.0)
+            .intermittent_cooldown(0.25)
+            .probe_cadence_us(3_000)
+            .checkpoint_interval_us(2_000),
         "a1" => base(TechNode::N16, 90, 300, 2_500.0).mapper(MapperKind::Baseline),
         "a2" => base(TechNode::N16, 91, 500, 2_000.0),
         "a3" => base(TechNode::N16, 92, 300, 2_500.0).mapper(MapperKind::Baseline),
@@ -146,6 +156,7 @@ pub fn write_event_logs(
         let file = fs::File::create(dir.join(format!("{id}.jsonl")))?;
         let mut writer = io::BufWriter::new(file);
         report.events.write_jsonl(&mut writer)?;
+        writer.flush()?; // surface flush errors; BufWriter's drop swallows them
         written.push((id, report.events.len()));
     }
     Ok(written)
@@ -278,6 +289,28 @@ pub(crate) fn describe_event(out: &mut String, ev: &SimEvent) {
              {:.3} ms state-transfer delay",
             delay * 1e3
         ),
+        SimEvent::CoreProbeLaunched {
+            core,
+            streak,
+            inflight,
+        } => write!(
+            out,
+            "probe launched on quarantined core {core}: {streak} clean so far \
+             ({inflight} probe sessions in flight)"
+        ),
+        SimEvent::CoreReadmitted { core, probes } => write!(
+            out,
+            "core {core} RE-ADMITTED after {probes} clean probes (mappable again)"
+        ),
+        SimEvent::CoreRequarantined { core, backoff } => write!(
+            out,
+            "core {core} re-quarantined: probe reproduced the fault \
+             (backoff exponent now {backoff})"
+        ),
+        SimEvent::AppCheckpointed { app, tasks, bytes } => write!(
+            out,
+            "app {app} checkpointed: {tasks} live tasks, {bytes} B image"
+        ),
     };
 }
 
@@ -290,6 +323,8 @@ pub(crate) fn describe_record(out: &mut String, graph: &ProvenanceGraph<'_>, rec
     let traced = matches!(
         rec.ev,
         SimEvent::CoreQuarantined { .. }
+            | SimEvent::CoreReadmitted { .. }
+            | SimEvent::CoreRequarantined { .. }
             | SimEvent::AppMigrated { .. }
             | SimEvent::AppAborted { .. }
             | SimEvent::AppRestarted { .. }

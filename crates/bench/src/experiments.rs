@@ -5,7 +5,7 @@
 //! back in submission order, so the folded tables are identical for any
 //! `jobs` value (`1` reproduces the old serial loops exactly).
 
-use crate::runner::Batch;
+use crate::runner::{failure_table, Batch};
 use crate::Scale;
 use manytest_core::prelude::*;
 use manytest_power::TechNode;
@@ -876,6 +876,143 @@ pub fn print_e11(rows: &[E11Row]) {
             r.aborted,
             r.restarted,
             r.migrated,
+            r.exposure
+        );
+    }
+    println!();
+}
+
+// ---------------------------------------------------------------------------
+// E12 — core lifecycle: re-admission lane × checkpoint cadence
+// ---------------------------------------------------------------------------
+
+/// The re-admission lane settings E12 sweeps: probe cadence in µs, with
+/// `None` the terminal-quarantine baseline (lane off).
+pub const E12_LANES: [Option<u64>; 2] = [None, Some(3_000)];
+
+/// The checkpoint intervals E12 sweeps, µs (0 = checkpointing off:
+/// migrations transfer the full state accumulated since mapping).
+pub const E12_CHECKPOINTS: [u64; 3] = [0, 20_000, 2_000];
+
+/// One row of the E12 table: seed-averaged lifecycle outcomes for one
+/// (lane, checkpoint interval) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E12Row {
+    /// Probe cadence, µs (`None` = lane off, quarantine terminal).
+    pub lane_us: Option<u64>,
+    /// Checkpoint interval, µs (0 = off).
+    pub checkpoint_us: u64,
+    /// Mean cores ever quarantined.
+    pub quarantined: f64,
+    /// Mean cores re-admitted by the lane.
+    pub readmitted: f64,
+    /// Mean probes launched.
+    pub probes: f64,
+    /// Mean healthy cores remaining at the end of the run.
+    pub healthy_end: f64,
+    /// Mean throughput, MIPS.
+    pub mips: f64,
+    /// Mean checkpoint images written.
+    pub checkpoints: f64,
+    /// Mean corruption exposure, core-seconds.
+    pub exposure: f64,
+}
+
+/// E12: the full core lifecycle on an intermittent-fault workload whose
+/// faults *cool* a quarter-horizon after injection. Sweeps the
+/// re-admission lane (off = terminal quarantine vs a 3 ms probe cadence)
+/// against the checkpoint cadence, reporting how much withdrawn capacity
+/// the lane recovers, what it costs in corruption exposure, and how the
+/// checkpoint interval trades migration debt against pause overhead.
+///
+/// Submission order: lane-major, then checkpoint interval, then seed.
+/// Runs through [`Batch::run_outcomes`]: a panicking cell surfaces as a
+/// failure table instead of tearing down the sweep.
+pub fn e12_core_lifecycle(scale: Scale, jobs: usize) -> Vec<E12Row> {
+    let ms = scale.ms(400);
+    let seeds = scale.seeds(3);
+    let mut batch = Batch::new();
+    for &lane in &E12_LANES {
+        for &ck in &E12_CHECKPOINTS {
+            for s in 0..seeds as u64 {
+                batch.push(
+                    format!(
+                        "e12/lane-{}/ckpt-{ck}/seed{s}",
+                        lane.map_or("off".to_owned(), |us| us.to_string())
+                    ),
+                    move || {
+                        let mut b = build(TechNode::N22, 120 + s, ms, 1_000.0)
+                            .injected_faults(32)
+                            .intermittent_faults(1.0)
+                            .intermittent_cooldown(0.25)
+                            .fault_response(FaultResponsePolicy::MigrateRegion)
+                            .checkpoint_interval_us(ck);
+                        if let Some(us) = lane {
+                            b = b.probe_cadence_us(us);
+                        }
+                        b.build().expect("valid config").run()
+                    },
+                );
+            }
+        }
+    }
+    let (outcomes, _) = batch.run_outcomes(jobs);
+    let failures = failure_table(&outcomes);
+    assert!(failures.is_empty(), "e12 sweep had failed jobs:\n{failures}");
+    let mut reports = outcomes.into_iter().map(|o| o.ok().expect("no failures"));
+    let mut rows = Vec::new();
+    for &lane in &E12_LANES {
+        for &ck in &E12_CHECKPOINTS {
+            let mut row = E12Row {
+                lane_us: lane,
+                checkpoint_us: ck,
+                quarantined: 0.0,
+                readmitted: 0.0,
+                probes: 0.0,
+                healthy_end: 0.0,
+                mips: 0.0,
+                checkpoints: 0.0,
+                exposure: 0.0,
+            };
+            for _s in 0..seeds {
+                let r = reports.next().expect("one run per (lane, ckpt, seed)");
+                row.quarantined += r.cores_quarantined as f64;
+                row.readmitted += r.cores_readmitted as f64;
+                row.probes += r.probes_launched as f64;
+                row.healthy_end += r.healthy_cores_end as f64;
+                row.mips += r.throughput_mips;
+                row.checkpoints += r.apps_checkpointed as f64;
+                row.exposure += r.corruption_exposure;
+            }
+            let n = seeds as f64;
+            row.quarantined /= n;
+            row.readmitted /= n;
+            row.probes /= n;
+            row.healthy_end /= n;
+            row.mips /= n;
+            row.checkpoints /= n;
+            row.exposure /= n;
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Prints the E12 table.
+pub fn print_e12(rows: &[E12Row]) {
+    println!("## E12 — core lifecycle: re-admission lane x checkpoint cadence");
+    println!("lane_us  ckpt_us  quarantined  readmitted  probes  healthy_end       MIPS  checkpoints  exposure_cs");
+    for r in rows {
+        println!(
+            "{:>7}  {:>7}  {:>11.1}  {:>10.1}  {:>6.1}  {:>11.1}  {:>9.0}  {:>11.1}  {:>11.4}",
+            r.lane_us.map_or("off".to_owned(), |us| us.to_string()),
+            r.checkpoint_us,
+            r.quarantined,
+            r.readmitted,
+            r.probes,
+            r.healthy_end,
+            r.mips,
+            r.checkpoints,
             r.exposure
         );
     }

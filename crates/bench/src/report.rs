@@ -459,6 +459,17 @@ fn render_health_panel(out: &mut String, report: &Report, cores: usize) {
             SimEvent::CoreCleared { core, .. } => {
                 transitions.push((core, t, HealthCode::Healthy));
             }
+            SimEvent::CoreProbeLaunched { core, streak, .. } if streak == 0 => {
+                // Only the round's first probe opens the probation span;
+                // later streak probes would just repaint the same colour.
+                transitions.push((core, t, HealthCode::Probation));
+            }
+            SimEvent::CoreReadmitted { core, .. } => {
+                transitions.push((core, t, HealthCode::Healthy));
+            }
+            SimEvent::CoreRequarantined { core, .. } => {
+                transitions.push((core, t, HealthCode::Quarantined));
+            }
             _ => {}
         }
     }
@@ -479,6 +490,7 @@ fn render_health_panel(out: &mut String, report: &Report, cores: usize) {
     let color = |hc: HealthCode| match hc {
         HealthCode::Healthy => "#2a9d3a",
         HealthCode::Suspect => "#e9c46a",
+        HealthCode::Probation => "#f4845f",
         HealthCode::Quarantined => "#d62828",
     };
     let _ = writeln!(out, "<svg viewBox=\"0 0 {PANEL_W} {h:.1}\" width=\"{PANEL_W}\" height=\"{h:.1}\">");

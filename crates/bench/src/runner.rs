@@ -21,6 +21,7 @@
 //! ```
 
 use manytest_sim::enter_job_scope;
+use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -112,14 +113,91 @@ struct Job<'scope, R> {
     run: Box<dyn FnOnce() -> R + Send + 'scope>,
 }
 
+/// The result of one batch job under panic isolation.
+///
+/// Returned by [`Batch::run_outcomes`]: a panicking job becomes a
+/// `Failed` entry in its submission slot instead of tearing down the
+/// batch, so a sweep's remaining jobs still complete (and stay
+/// deterministic — the failure lands at the same index on any worker
+/// count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome<R> {
+    /// The job returned normally.
+    Ok(R),
+    /// The job panicked; the rest of the batch kept going.
+    Failed {
+        /// The label the job was pushed with.
+        label: String,
+        /// The panic payload rendered to text (non-string payloads
+        /// render as a placeholder).
+        payload: String,
+    },
+}
+
+impl<R> JobOutcome<R> {
+    /// The result, if the job completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            JobOutcome::Ok(r) => Some(r),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the job panicked.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobOutcome::Failed { .. })
+    }
+}
+
+/// Renders the `Failed` entries of an outcome slice as a fixed-width
+/// failure table (empty when every job succeeded). Derived only from the
+/// submission-ordered outcomes, so the text is byte-identical across
+/// worker counts.
+pub fn failure_table<R>(outcomes: &[JobOutcome<R>]) -> String {
+    use std::fmt::Write as _;
+    let failed: Vec<(&str, &str)> = outcomes
+        .iter()
+        .filter_map(|o| match o {
+            JobOutcome::Failed { label, payload } => Some((label.as_str(), payload.as_str())),
+            JobOutcome::Ok(_) => None,
+        })
+        .collect();
+    if failed.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "## failed jobs ({} of {})", failed.len(), outcomes.len());
+    let width = failed.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, payload) in failed {
+        let _ = writeln!(
+            out,
+            "{label:<width$}  {}",
+            payload.lines().next().unwrap_or("<empty panic payload>")
+        );
+    }
+    out
+}
+
+/// Renders a panic payload the way the default hook would.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
 /// An ordered list of labelled, independent jobs.
 ///
 /// `push` order defines result order; [`Batch::run`] executes the jobs on
 /// up to `jobs` scoped threads and returns one result per job, index `i`
 /// of the output corresponding to the `i`-th `push`. A panicking job does
-/// not poison the others — every job still runs — but the first panic (in
-/// submission order) is re-raised from `run` with the job's label logged
-/// to stderr.
+/// not poison the others — every job still runs. [`Batch::run_outcomes`]
+/// surfaces each panic as a [`JobOutcome::Failed`] in its slot;
+/// [`Batch::run`]/[`Batch::run_timed`] instead re-raise the first panic
+/// (in submission order) with the job's label logged to stderr.
 pub struct Batch<'scope, R> {
     jobs: Vec<Job<'scope, R>>,
 }
@@ -167,6 +245,55 @@ impl<'scope, R: Send> Batch<'scope, R> {
 
     /// Like [`Batch::run`], additionally reporting wall-clock stats.
     pub fn run_timed(self, jobs: usize) -> (Vec<R>, BatchStats) {
+        let (outcomes, stats) = self.execute(jobs);
+        let mut out = Vec::with_capacity(outcomes.len());
+        let mut first_panic = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(r) => out.push(r),
+                Err((label, payload)) => {
+                    eprintln!("batch job '{label}' panicked");
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        (out, stats)
+    }
+
+    /// Like [`Batch::run_timed`], but panics are *isolated*: each job's
+    /// slot holds either its result or a [`JobOutcome::Failed`] carrying
+    /// the label and stringified panic payload. Nothing is re-raised —
+    /// the caller decides how to render and whether to fail the process.
+    pub fn run_outcomes(self, jobs: usize) -> (Vec<JobOutcome<R>>, BatchStats) {
+        let (outcomes, stats) = self.execute(jobs);
+        let outcomes = outcomes
+            .into_iter()
+            .map(|outcome| match outcome {
+                Ok(r) => JobOutcome::Ok(r),
+                Err((label, payload)) => JobOutcome::Failed {
+                    label,
+                    payload: panic_message(payload.as_ref()),
+                },
+            })
+            .collect();
+        (outcomes, stats)
+    }
+
+    /// Shared engine: runs every job under `catch_unwind`, keyed by
+    /// submission index.
+    #[allow(clippy::type_complexity)]
+    fn execute(
+        self,
+        jobs: usize,
+    ) -> (
+        Vec<Result<R, (String, Box<dyn Any + Send>)>>,
+        BatchStats,
+    ) {
         let n = self.jobs.len();
         TOTAL_JOBS.fetch_add(n as u64, Ordering::Relaxed);
         let requested = if jobs == 0 { default_jobs() } else { jobs };
@@ -242,23 +369,7 @@ impl<'scope, R: Send> Batch<'scope, R> {
             max_job_seconds,
             mean_queue_depth: if n == 0 { 0.0 } else { depth_sum / n as f64 },
         };
-        let mut out = Vec::with_capacity(n);
-        let mut first_panic = None;
-        for outcome in outcomes {
-            match outcome {
-                Ok(r) => out.push(r),
-                Err((label, payload)) => {
-                    eprintln!("batch job '{label}' panicked");
-                    if first_panic.is_none() {
-                        first_panic = Some(payload);
-                    }
-                }
-            }
-        }
-        if let Some(payload) = first_panic {
-            resume_unwind(payload);
-        }
-        (out, stats)
+        (outcomes, stats)
     }
 }
 
@@ -301,6 +412,68 @@ mod tests {
         assert_eq!(after.jobs, before.jobs + 6);
         assert!(after.busy_seconds >= before.busy_seconds);
         assert!((after.queue_depth_sum - before.queue_depth_sum - 15.0).abs() < 1e-9);
+    }
+
+    /// A job that panics mid-batch becomes a `Failed` slot; every other
+    /// job still runs and lands at its submission index.
+    #[test]
+    fn panicking_job_is_isolated_and_ordering_is_preserved() {
+        let mut batch = Batch::new();
+        for i in 0..6u64 {
+            batch.push(format!("j{i}"), move || {
+                assert!(i != 2, "job 2 exploded");
+                i * 10
+            });
+        }
+        let (outcomes, stats) = batch.run_outcomes(1);
+        assert_eq!(stats.runs, 6);
+        assert_eq!(outcomes.len(), 6);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 2 {
+                let JobOutcome::Failed { label, payload } = outcome else {
+                    panic!("job 2 should have failed, got {outcome:?}");
+                };
+                assert_eq!(label, "j2");
+                assert!(payload.contains("job 2 exploded"), "got: {payload}");
+            } else {
+                assert_eq!(*outcome, JobOutcome::Ok(i as u64 * 10));
+            }
+        }
+    }
+
+    /// The failure table is schedule-independent: one worker and four
+    /// workers produce byte-identical outcome vectors.
+    #[test]
+    fn failure_outcomes_are_identical_across_worker_counts() {
+        let build = || {
+            let mut batch = Batch::new();
+            for i in 0..8u64 {
+                batch.push(format!("sweep/{i}"), move || {
+                    if i % 3 == 1 {
+                        panic!("deterministic failure in job {i}");
+                    }
+                    i + 100
+                });
+            }
+            batch
+        };
+        let (serial, _) = build().run_outcomes(1);
+        let (parallel, _) = build().run_outcomes(4);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.iter().filter(|o| o.is_failed()).count(), 3);
+    }
+
+    /// `run` keeps the historical contract: the first panic in submission
+    /// order is re-raised even if a later job panicked first in time.
+    #[test]
+    fn run_reraises_the_first_panic_in_submission_order() {
+        let mut batch = Batch::new();
+        batch.push("ok", || 1u64);
+        batch.push("boom-a", || panic!("first by submission"));
+        batch.push("boom-b", || panic!("second by submission"));
+        let err = catch_unwind(AssertUnwindSafe(|| batch.run(2)))
+            .expect_err("batch must re-raise");
+        assert_eq!(panic_message(err.as_ref()), "first by submission");
     }
 
     /// Every batch job gets its own audit scope: a `SimRng` handle that

@@ -48,7 +48,7 @@ fn track_of(ev: &SimEvent) -> u32 {
             TID_PHASE_MAP
         }
         SimEvent::TestDeniedPower { .. } => TID_PHASE_SCHEDULE,
-        SimEvent::AppCompleted { .. } => TID_PHASE_EVENTS,
+        SimEvent::AppCompleted { .. } | SimEvent::AppCheckpointed { .. } => TID_PHASE_EVENTS,
         SimEvent::TestLaunched { core, .. }
         | SimEvent::TestAborted { core, .. }
         | SimEvent::TestCompleted { core, .. }
@@ -57,6 +57,9 @@ fn track_of(ev: &SimEvent) -> u32 {
         | SimEvent::FaultDetected { core, .. }
         | SimEvent::CoreSuspected { core, .. }
         | SimEvent::CoreQuarantined { core, .. }
+        | SimEvent::CoreProbeLaunched { core, .. }
+        | SimEvent::CoreReadmitted { core, .. }
+        | SimEvent::CoreRequarantined { core, .. }
         | SimEvent::CoreCleared { core, .. }
         | SimEvent::AppAborted { core, .. }
         | SimEvent::AppRestarted { core, .. }

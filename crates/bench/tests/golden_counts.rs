@@ -18,9 +18,10 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-/// One steady-state probe and the fault-response probe: between them
-/// every event kind the control loop emits is represented.
-const GOLDEN_IDS: [&str; 2] = ["e3", "e11"];
+/// One steady-state probe, the fault-response probe, and the lifecycle
+/// probe: between them every event kind the control loop emits is
+/// represented (e12 covers the probe-lane and checkpoint kinds).
+const GOLDEN_IDS: [&str; 3] = ["e3", "e11", "e12"];
 
 fn golden_path(id: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))

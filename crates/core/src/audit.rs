@@ -34,10 +34,19 @@ use std::fmt::Write as _;
 ///   apps_restarted`, `AppMigrated == apps_migrated`, and the inequality
 ///   `CoreSuspected >= CoreQuarantined + CoreCleared` (a suspicion may
 ///   still be open at the end of the run)
+/// * Re-admission lane: `CoreProbeLaunched == probes_launched`,
+///   `CoreReadmitted == cores_readmitted`, `CoreRequarantined ==
+///   cores_requarantined`, and the inequality `CoreReadmitted <=
+///   CoreQuarantined + CoreRequarantined` (every re-admission was
+///   preceded by some quarantine entry)
+/// * `AppCheckpointed == apps_checkpointed`
 /// * Sequence invariant (checked only when no events were dropped): after
-///   a core's `CoreQuarantined` event, no `TestLaunched` targets it, no
-///   `AppMapped` places task 0 on it, and no `DvfsTransition` powers it
-///   back on — a quarantined core is power-gated and stays that way.
+///   a core's `CoreQuarantined` event, no `TestLaunched` targets it and no
+///   `AppMapped` places task 0 on it until a `CoreReadmitted` restores the
+///   core — probation is not enough. A withdrawn core stays power-gated
+///   except while a probe session is live on it, every probe targets a
+///   core that was actually quarantined, and no probe's recorded
+///   in-flight count exceeds the lane budget.
 /// * Provenance DAG: event ids are strictly increasing and times
 ///   non-decreasing, and every cause link points strictly backwards
 ///   (`cause.id < id`), which proves the graph acyclic and time-ordered
@@ -45,8 +54,8 @@ use std::fmt::Write as _;
 ///   additionally: every link resolves to a stored record, every link's
 ///   endpoint kinds match the [`manytest_sim::CauseKind`] table, every
 ///   kind outside [`SimEvent::ROOT_KINDS`] carries a cause, and every
-///   quarantine/migration/denial/abort/restart chains back to a genuine
-///   root. Under saturation the resolution checks are downgraded
+///   quarantine/readmission/requarantine/migration/denial/abort/restart
+///   chains back to a genuine root. Under saturation the resolution checks are downgraded
 ///   (dropped records would orphan links spuriously).
 ///
 /// # Errors
@@ -57,7 +66,7 @@ use std::fmt::Write as _;
 /// `SystemBuilder::capture_events`.
 pub fn validate_events(report: &Report) -> Result<(), String> {
     let ev = &report.events;
-    let checks: [(&str, u64, u64); 17] = [
+    let checks: [(&str, u64, u64); 21] = [
         (
             "CapAdjusted == cap_adjustments",
             ev.count("CapAdjusted"),
@@ -146,6 +155,26 @@ pub fn validate_events(report: &Report) -> Result<(), String> {
             ev.count("AppMigrated"),
             report.apps_migrated,
         ),
+        (
+            "CoreProbeLaunched == probes_launched",
+            ev.count("CoreProbeLaunched"),
+            report.probes_launched,
+        ),
+        (
+            "CoreReadmitted == cores_readmitted",
+            ev.count("CoreReadmitted"),
+            report.cores_readmitted,
+        ),
+        (
+            "CoreRequarantined == cores_requarantined",
+            ev.count("CoreRequarantined"),
+            report.cores_requarantined,
+        ),
+        (
+            "AppCheckpointed == apps_checkpointed",
+            ev.count("AppCheckpointed"),
+            report.apps_checkpointed,
+        ),
     ];
     let mut errors = String::new();
     for (invariant, from_events, from_report) in checks {
@@ -167,6 +196,20 @@ pub fn validate_events(report: &Report) -> Result<(), String> {
             errors,
             "event-count invariant violated: CoreSuspected >= CoreQuarantined + CoreCleared \
              ({suspected} < {quarantined} + {cleared})"
+        );
+    }
+    // Every re-admission was preceded by some quarantine entry (first or
+    // repeat), so readmissions can never outnumber quarantine entries.
+    let (readmitted, requarantined) = (
+        ev.count("CoreReadmitted"),
+        ev.count("CoreRequarantined"),
+    );
+    if readmitted > quarantined + requarantined {
+        let _ = writeln!(
+            errors,
+            "event-count invariant violated: \
+             CoreReadmitted <= CoreQuarantined + CoreRequarantined \
+             ({readmitted} > {quarantined} + {requarantined})"
         );
     }
     // The sequence invariant needs the complete sample stream, not just
@@ -354,10 +397,17 @@ fn validate_state_timeline(report: &Report, errors: &mut String) {
     }
 }
 
-/// Scans the event stream for activity on quarantined cores: once a
-/// core's `CoreQuarantined` event is emitted, any `TestLaunched` on it,
-/// any `AppMapped` placing task 0 on it, and any `DvfsTransition` turning
-/// it back on (to a non-gated level) is a response-pipeline bug.
+/// Scans the event stream for lifecycle violations on withdrawn cores.
+///
+/// Once a core's `CoreQuarantined` event is emitted, any `TestLaunched`
+/// on it or `AppMapped` placing task 0 on it is a response-pipeline bug
+/// until a `CoreReadmitted` restores it — probation is *not* enough; the
+/// core stays unmappable until the re-admission lane signs off. Power is
+/// subtler: a withdrawn core is gated except while a probe session is
+/// live on it (`CoreProbeLaunched` .. verdict), when the lane clocks it
+/// at the probe level. Additionally each `CoreProbeLaunched` must target
+/// a core that is actually withdrawn, and its recorded in-flight count
+/// must never exceed the lane budget the report echoes.
 fn validate_quarantine_sequence(report: &Report, errors: &mut String) {
     let mesh_nodes = report
         .events
@@ -365,6 +415,9 @@ fn validate_quarantine_sequence(report: &Report, errors: &mut String) {
         .iter()
         .map(|rec| match rec.ev {
             SimEvent::CoreQuarantined { core, .. }
+            | SimEvent::CoreProbeLaunched { core, .. }
+            | SimEvent::CoreReadmitted { core, .. }
+            | SimEvent::CoreRequarantined { core, .. }
             | SimEvent::TestLaunched { core, .. }
             | SimEvent::DvfsTransition { core, .. } => core as usize + 1,
             _ => 0,
@@ -375,11 +428,46 @@ fn validate_quarantine_sequence(report: &Report, errors: &mut String) {
         return;
     }
     let mut quarantined = vec![false; mesh_nodes];
+    let mut probing = vec![false; mesh_nodes];
     for rec in report.events.events() {
         let (t, ev) = (rec.t, rec.ev);
         match ev {
             SimEvent::CoreQuarantined { core, .. } => {
                 quarantined[core as usize] = true;
+                probing[core as usize] = false;
+            }
+            SimEvent::CoreProbeLaunched { core, inflight, .. } => {
+                if !quarantined[core as usize] {
+                    let _ = writeln!(
+                        errors,
+                        "sequence invariant violated: probe launched on \
+                         never-quarantined core {core} at t={t}"
+                    );
+                }
+                if report.probe_budget > 0 && u64::from(inflight) > report.probe_budget {
+                    let _ = writeln!(
+                        errors,
+                        "sequence invariant violated: probe on core {core} at t={t} \
+                         reports {inflight} sessions in flight, lane budget is {}",
+                        report.probe_budget
+                    );
+                }
+                probing[core as usize] = true;
+            }
+            SimEvent::CoreReadmitted { core, .. } => {
+                if !quarantined[core as usize] {
+                    let _ = writeln!(
+                        errors,
+                        "sequence invariant violated: CoreReadmitted for \
+                         never-quarantined core {core} at t={t}"
+                    );
+                }
+                quarantined[core as usize] = false;
+                probing[core as usize] = false;
+            }
+            SimEvent::CoreRequarantined { core, .. } => {
+                quarantined[core as usize] = true;
+                probing[core as usize] = false;
             }
             SimEvent::TestLaunched { core, .. } if quarantined[core as usize] => {
                 let _ = writeln!(
@@ -396,7 +484,7 @@ fn validate_quarantine_sequence(report: &Report, errors: &mut String) {
                 );
             }
             SimEvent::DvfsTransition { core, to, .. }
-                if to >= 0 && quarantined[core as usize] =>
+                if to >= 0 && quarantined[core as usize] && !probing[core as usize] =>
             {
                 let _ = writeln!(
                     errors,
@@ -506,6 +594,8 @@ fn validate_provenance(report: &Report, errors: &mut String) {
         let traced = matches!(
             rec.ev,
             SimEvent::CoreQuarantined { .. }
+                | SimEvent::CoreReadmitted { .. }
+                | SimEvent::CoreRequarantined { .. }
                 | SimEvent::AppMigrated { .. }
                 | SimEvent::AppAborted { .. }
                 | SimEvent::AppRestarted { .. }
@@ -828,6 +918,200 @@ mod tests {
         let err = validate_events(&r).unwrap_err();
         assert!(
             err.contains("dangling cause link to #77"),
+            "got: {err}"
+        );
+    }
+
+    /// Pushes a fully-caused fault → detect → suspect → quarantine chain
+    /// for `core` and bumps the matching aggregates; returns the
+    /// `CoreQuarantined` event id for probe-lane links.
+    fn quarantined(r: &mut Report, core: u32, t: f64) -> EventId {
+        r.fault_activations += 1;
+        r.fault_detections += 1;
+        r.cores_suspected += 1;
+        r.cores_quarantined += 1;
+        let fault = r.events.push(t, SimEvent::FaultActivated { core });
+        let detect = r.events.push_caused(
+            t,
+            Some(CauseLink::new(CauseKind::Activation, fault)),
+            SimEvent::FaultDetected { core, latency: 0.01 },
+        );
+        let suspect = r.events.push_caused(
+            t,
+            Some(CauseLink::new(CauseKind::Detection, detect)),
+            SimEvent::CoreSuspected { core, level: 1 },
+        );
+        r.events.push_caused(
+            t,
+            Some(CauseLink::new(CauseKind::Suspicion, suspect)),
+            SimEvent::CoreQuarantined { core, retests: 1 },
+        )
+    }
+
+    #[test]
+    fn full_probe_lifecycle_passes() {
+        let mut r = Report::default();
+        let q = quarantined(&mut r, 6, 0.08);
+        r.probes_launched = 2;
+        r.cores_readmitted = 1;
+        r.probe_budget = 2;
+        r.tests_in_flight = 1;
+        r.events.push(0.08, SimEvent::DvfsTransition { core: 6, from: 2, to: -1 });
+        r.events.push_caused(
+            0.12,
+            Some(CauseLink::new(CauseKind::ProbeLane, q)),
+            SimEvent::CoreProbeLaunched { core: 6, streak: 0, inflight: 1 },
+        );
+        // The lane clocks the core at the probe level: allowed while probing.
+        r.events.push(0.12, SimEvent::DvfsTransition { core: 6, from: -1, to: 0 });
+        let p2 = r.events.push_caused(
+            0.13,
+            Some(CauseLink::new(CauseKind::ProbeLane, q)),
+            SimEvent::CoreProbeLaunched { core: 6, streak: 1, inflight: 1 },
+        );
+        r.events.push_caused(
+            0.14,
+            Some(CauseLink::new(CauseKind::ProbePassed, p2)),
+            SimEvent::CoreReadmitted { core: 6, probes: 2 },
+        );
+        r.events.push(0.14, SimEvent::DvfsTransition { core: 6, from: 0, to: -1 });
+        // Re-admitted: the core may power up and host tests again.
+        r.events.push(0.20, SimEvent::DvfsTransition { core: 6, from: -1, to: 3 });
+        r.events.push(
+            0.21,
+            SimEvent::TestLaunched {
+                core: 6,
+                routine: 0,
+                level: 3,
+                power: 0.4,
+                headroom: 4.0,
+            },
+        );
+        validate_events(&r).expect("full lifecycle audits clean");
+    }
+
+    #[test]
+    fn requarantine_keeps_the_core_withdrawn() {
+        let mut r = Report::default();
+        let q = quarantined(&mut r, 4, 0.1);
+        r.probes_launched = 1;
+        r.cores_requarantined = 1;
+        r.probe_budget = 2;
+        let p = r.events.push_caused(
+            0.2,
+            Some(CauseLink::new(CauseKind::ProbeLane, q)),
+            SimEvent::CoreProbeLaunched { core: 4, streak: 0, inflight: 1 },
+        );
+        r.events.push(0.2, SimEvent::DvfsTransition { core: 4, from: -1, to: 0 });
+        r.events.push_caused(
+            0.21,
+            Some(CauseLink::new(CauseKind::ProbeFailed, p)),
+            SimEvent::CoreRequarantined { core: 4, backoff: 1 },
+        );
+        r.events.push(0.21, SimEvent::DvfsTransition { core: 4, from: 0, to: -1 });
+        validate_events(&r).expect("failed probation audits clean");
+        // Powering the core up after the failed probation is a violation.
+        r.events.push(0.5, SimEvent::DvfsTransition { core: 4, from: -1, to: 2 });
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("quarantined core 4 powered back on"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn readmission_without_quarantine_is_flagged() {
+        let mut r = Report::default();
+        r.cores_readmitted = 1;
+        r.events.push(0.1, SimEvent::CoreReadmitted { core: 9, probes: 3 });
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("CoreReadmitted for never-quarantined core 9"),
+            "got: {err}"
+        );
+        assert!(
+            err.contains("CoreReadmitted <= CoreQuarantined + CoreRequarantined"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn activity_during_probation_is_flagged() {
+        let mut r = Report::default();
+        let q = quarantined(&mut r, 2, 0.1);
+        r.probes_launched = 1;
+        r.probe_budget = 1;
+        r.tests_in_flight = 1;
+        r.events.push_caused(
+            0.2,
+            Some(CauseLink::new(CauseKind::ProbeLane, q)),
+            SimEvent::CoreProbeLaunched { core: 2, streak: 0, inflight: 1 },
+        );
+        // Probation is not re-admission: the scheduler must still stay away.
+        r.events.push(
+            0.25,
+            SimEvent::TestLaunched {
+                core: 2,
+                routine: 0,
+                level: 1,
+                power: 0.2,
+                headroom: 4.0,
+            },
+        );
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("TestLaunched on quarantined core 2"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn probe_budget_overrun_is_flagged() {
+        let mut r = Report::default();
+        let q = quarantined(&mut r, 3, 0.1);
+        r.probes_launched = 1;
+        r.probe_budget = 1;
+        r.events.push_caused(
+            0.2,
+            Some(CauseLink::new(CauseKind::ProbeLane, q)),
+            SimEvent::CoreProbeLaunched { core: 3, streak: 0, inflight: 2 },
+        );
+        let err = validate_events(&r).unwrap_err();
+        assert!(err.contains("lane budget is 1"), "got: {err}");
+    }
+
+    #[test]
+    fn checkpoint_counts_reconcile() {
+        let mut r = Report::default();
+        r.apps_arrived = 1;
+        r.apps_in_flight = 1;
+        r.apps_checkpointed = 1;
+        let arrived = r.events.push(0.01, SimEvent::AppArrived { app: 1, tasks: 2 });
+        let mapped = r.events.push_caused(
+            0.02,
+            Some(CauseLink::new(CauseKind::Arrival, arrived)),
+            SimEvent::AppMapped {
+                app: 1,
+                tasks: 2,
+                first_node: 0,
+                region_w: 1,
+                region_h: 2,
+                level: 1,
+                hop_cost: 1.0,
+                queue_wait: 0.0,
+                headroom: 5.0,
+            },
+        );
+        r.events.push_caused(
+            0.1,
+            Some(CauseLink::new(CauseKind::Checkpoint, mapped)),
+            SimEvent::AppCheckpointed { app: 1, tasks: 2, bytes: 2048 },
+        );
+        validate_events(&r).expect("checkpoint counts reconcile");
+        r.apps_checkpointed = 2;
+        let err = validate_events(&r).unwrap_err();
+        assert!(
+            err.contains("AppCheckpointed == apps_checkpointed"),
             "got: {err}"
         );
     }

@@ -118,13 +118,41 @@ pub struct SystemConfig {
     /// manifest on any given observation with reduced probability, so
     /// confirmation retests may clear them (and quarantine them late).
     pub intermittent_fault_fraction: f64,
+    /// Fraction of the horizon after which an intermittent fault *cools*
+    /// (stops refiring), measured from its injection time. Cooled faults
+    /// no longer corrupt work or fail probes, so the re-admission lane
+    /// can recover their cores. Zero (the default) means intermittents
+    /// never cool — the historical behaviour.
+    pub intermittent_cooldown_fraction: f64,
     /// Per-completed-test probability of reporting a fault on a healthy
     /// core (applied to every routine in the library). Exercises the
     /// suspect→cleared path.
     pub test_false_positive_rate: f64,
-    /// Architectural-state transfer time charged to each *moved* task
-    /// under [`FaultResponsePolicy::MigrateRegion`].
+    /// Architectural-state transfer time charged per *checkpoint image*
+    /// of each moved task under [`FaultResponsePolicy::MigrateRegion`].
+    /// The actual per-task charge scales with the dirty span since the
+    /// task's last checkpoint (see [`SystemConfig::checkpoint_interval`]).
     pub migration_delay: Duration,
+    /// Cadence at which running applications checkpoint their task state
+    /// under [`FaultResponsePolicy::MigrateRegion`]. Each checkpoint
+    /// pauses the app's tasks briefly (the image write) but caps the
+    /// dirty state a later migration must transfer and replay. Zero
+    /// disables checkpointing: migrations then transfer the full state
+    /// accumulated since mapping.
+    pub checkpoint_interval: Duration,
+    /// Cadence of the background re-admission lane: how often a
+    /// quarantined core is probed with a cheap low-V/f routine (`None` =
+    /// lane off, quarantine terminal — the historical behaviour). The
+    /// effective per-core cadence is multiplied by `2^backoff` after each
+    /// failed probation round.
+    pub probe_cadence: Option<Duration>,
+    /// Clean probes in a row required to re-admit a quarantined core.
+    pub probe_passes: u8,
+    /// Maximum probe sessions in flight at once (the lane budget).
+    pub probe_budget: u32,
+    /// Cap on the probation-retry backoff exponent (the cadence
+    /// multiplier saturates at `2^cap`).
+    pub probe_backoff_cap: u8,
     /// Mesh edge override (None = the node's edge at reference area).
     pub mesh_edge_override: Option<u16>,
     /// Model NoC link contention: message latencies are inflated by a
@@ -176,8 +204,14 @@ impl SystemConfig {
             fault_response: FaultResponsePolicy::RestartElsewhere,
             confirmation_retests: 3,
             intermittent_fault_fraction: 0.0,
+            intermittent_cooldown_fraction: 0.0,
             test_false_positive_rate: 0.0,
             migration_delay: Duration::from_us(200),
+            checkpoint_interval: Duration::from_ms(10),
+            probe_cadence: None,
+            probe_passes: 3,
+            probe_budget: 2,
+            probe_backoff_cap: 4,
             mesh_edge_override: None,
             model_contention: false,
             transient_thermal: false,

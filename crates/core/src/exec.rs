@@ -64,6 +64,10 @@ pub struct RunningApp {
     pub arrived_at: f64,
     /// Admission time, seconds.
     pub started_at: f64,
+    /// Time of the last checkpoint image (admission counts as one: the
+    /// mapped state is clean). A later migration transfers only the
+    /// state dirtied since this stamp.
+    pub last_checkpoint: f64,
     /// Admission-instance counter: task events carry the value current at
     /// scheduling time, so events from before a restart or migration of
     /// the same application id are recognised as stale and dropped.
@@ -147,6 +151,7 @@ mod tests {
             done_count: 0,
             arrived_at: 0.0,
             started_at: 0.001,
+            last_checkpoint: 0.001,
             inc: 0,
             mapped_event: manytest_sim::EventId(0),
         }

@@ -98,7 +98,20 @@ pub struct Report {
     pub false_quarantines: u64,
     /// Confirmation retest sessions completed.
     pub confirmation_retests: u64,
-    /// Cores still healthy when the run ended.
+    /// Probe sessions launched by the background re-admission lane;
+    /// reconciles with `CoreProbeLaunched` telemetry events.
+    pub probes_launched: u64,
+    /// Quarantined cores re-admitted to service after a clean probation
+    /// streak; reconciles with `CoreReadmitted` events.
+    pub cores_readmitted: u64,
+    /// Probation rounds that failed and returned the core to quarantine
+    /// with a longer retry backoff; reconciles with `CoreRequarantined`.
+    pub cores_requarantined: u64,
+    /// Configured cap on concurrent probe sessions (the lane budget),
+    /// echoed so the audit can hold `CoreProbeLaunched` events to it.
+    pub probe_budget: u64,
+    /// Cores still healthy when the run ended (probation counts as
+    /// withdrawn: the core is not mappable until `CoreReadmitted`).
     pub healthy_cores_end: u64,
     /// Applications killed outright by a quarantine (`Abort` policy).
     pub apps_aborted: u64,
@@ -106,10 +119,14 @@ pub struct Report {
     pub apps_restarted: u64,
     /// Applications remapped in place (`MigrateRegion`).
     pub apps_migrated: u64,
+    /// Checkpoint images written by running applications (under
+    /// `MigrateRegion` with a nonzero checkpoint interval); reconciles
+    /// with `AppCheckpointed` telemetry events.
+    pub apps_checkpointed: u64,
     /// Corruption exposure: core-seconds of application work executed on
-    /// a core between its first fault activation and its quarantine (or
-    /// the end of the run). The quantity the paper's test-frequency
-    /// tuning implicitly minimises.
+    /// a core while a fault was actively corrupting (from activation
+    /// until the fault cools or the core is withdrawn). The quantity the
+    /// paper's test-frequency tuning implicitly minimises.
     pub corruption_exposure: f64,
 
     /// Mean utilisation over cores at the end of the run.
@@ -174,6 +191,10 @@ impl Report {
             ("cores quarantined", format!(
                 "{} ({} false)",
                 self.cores_quarantined, self.false_quarantines
+            )),
+            ("cores readmitted/requarantined", format!(
+                "{}/{} ({} probes)",
+                self.cores_readmitted, self.cores_requarantined, self.probes_launched
             )),
             ("apps aborted/restarted/migrated", format!(
                 "{}/{}/{}",
@@ -250,12 +271,20 @@ pub struct MetricsCollector {
     pub false_quarantines: u64,
     /// Confirmation retest sessions completed.
     pub confirmation_retests: u64,
+    /// Probe sessions launched by the re-admission lane.
+    pub probes_launched: u64,
+    /// Quarantined cores re-admitted after a clean probation streak.
+    pub cores_readmitted: u64,
+    /// Failed probation rounds (core returned to quarantine).
+    pub cores_requarantined: u64,
     /// Applications killed by quarantine.
     pub apps_aborted: u64,
     /// Applications re-queued by quarantine.
     pub apps_restarted: u64,
     /// Applications remapped in place by quarantine.
     pub apps_migrated: u64,
+    /// Checkpoint images written by running applications.
+    pub apps_checkpointed: u64,
     /// Core-seconds of app work on fault-active, not-yet-quarantined cores.
     pub corruption_exposure: f64,
 }

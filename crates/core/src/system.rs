@@ -13,8 +13,8 @@ use manytest_power::{
     PowerMeter, PowerModel, VfLadder, VfLevel,
 };
 use manytest_sbst::{
-    Fault, FaultLog, HealthBoard, RetestRequest, TestCandidate, TestDenial, TestLaunch,
-    TestScheduler, TestSession,
+    Fault, FaultLog, HealthBoard, RetestRequest, RoutineId, TestCandidate, TestDenial,
+    TestLaunch, TestScheduler, TestSession,
 };
 use manytest_sim::{
     emit_record, AbortReason, CauseKind, CauseLink, CoreState, Epoch, EventId, EventLog,
@@ -28,8 +28,31 @@ use std::collections::{BTreeMap, VecDeque};
 /// observation (solid faults re-fire with probability 1).
 const INTERMITTENT_REFIRE: f64 = 0.35;
 
-/// Architectural-state payload a migrated task ships across the NoC.
+/// Architectural-state payload a migrated task ships across the NoC,
+/// per checkpoint image (the dirty span scales the actual charge).
 const MIGRATION_STATE_BITS: f64 = 65_536.0;
+
+/// Reference dirty span for the migration charge: each moved task pays
+/// `migration_delay × (1 + dirty / REF)` in transfer delay and
+/// `MIGRATION_STATE_BITS × (1 + dirty / REF)` in NoC traffic, where
+/// `dirty` is the time since the owning app's last checkpoint. With
+/// checkpointing disabled the dirty span runs back to admission, so the
+/// charge grows with everything the app ever computed.
+const DIRTY_SPAN_REF_SECS: f64 = 0.010;
+
+/// Fraction of the migration delay a checkpoint pause costs each live
+/// task (the image write is local, so it is much cheaper than a
+/// cross-mesh transfer of the same state).
+const CHECKPOINT_PAUSE_FRACTION: f64 = 0.25;
+
+/// Structural coverage of the re-admission lane's probe routine: a
+/// short pattern replaying the confirmed failure signature, so its
+/// per-pass coverage stays high despite the reduced instruction count.
+const PROBE_COVERAGE: f64 = 0.9;
+
+/// Fraction of the baseline SBST routine's instruction count a probe
+/// executes (it targets one known signature, not the whole block).
+const PROBE_INSTRUCTION_FRACTION: f64 = 0.25;
 
 /// A cap that never moves: the raw TDP (used as a governor baseline).
 #[derive(Debug, Clone, Copy, Default)]
@@ -56,6 +79,11 @@ enum Ev {
     /// An SBST session completes (if `gen` still matches the core's
     /// session generation — aborted sessions leave stale events behind).
     SessionFinish { core: usize, gen: u64 },
+    /// A re-admission-lane probe completes on a probation core (if `gen`
+    /// still matches the core's probe generation). Probes live outside
+    /// the store's session machinery: a withdrawn core has no owner and
+    /// no scheduler interaction, so nothing can abort one.
+    ProbeFinish { core: usize, gen: u64 },
 }
 
 /// Fluent constructor for [`System`].
@@ -183,9 +211,57 @@ impl SystemBuilder {
     }
 
     /// Per-moved-task state-transfer delay charged under
-    /// [`FaultResponsePolicy::MigrateRegion`], microseconds.
+    /// [`FaultResponsePolicy::MigrateRegion`], microseconds, per
+    /// checkpoint image (the dirty span since the app's last checkpoint
+    /// scales the actual charge).
     pub fn migration_delay_us(mut self, us: u64) -> Self {
         self.config.migration_delay = manytest_sim::Duration::from_us(us);
+        self
+    }
+
+    /// Cadence at which running applications checkpoint their task state
+    /// under [`FaultResponsePolicy::MigrateRegion`], microseconds
+    /// (0 disables checkpointing: migrations then transfer the full
+    /// state accumulated since mapping).
+    pub fn checkpoint_interval_us(mut self, us: u64) -> Self {
+        self.config.checkpoint_interval = manytest_sim::Duration::from_us(us);
+        self
+    }
+
+    /// Enables the background re-admission lane: quarantined cores are
+    /// probed with a cheap low-V/f routine every `us` microseconds
+    /// (backed off exponentially after failed probation rounds). Without
+    /// this call quarantine stays terminal — the historical behaviour.
+    pub fn probe_cadence_us(mut self, us: u64) -> Self {
+        self.config.probe_cadence = Some(manytest_sim::Duration::from_us(us));
+        self
+    }
+
+    /// Clean probes in a row required to re-admit a quarantined core.
+    pub fn probe_passes(mut self, passes: u8) -> Self {
+        self.config.probe_passes = passes;
+        self
+    }
+
+    /// Maximum probe sessions in flight at once (the lane budget).
+    pub fn probe_budget(mut self, budget: u32) -> Self {
+        self.config.probe_budget = budget;
+        self
+    }
+
+    /// Caps the probation-retry backoff exponent (the cadence multiplier
+    /// saturates at `2^cap`).
+    pub fn probe_backoff_cap(mut self, cap: u8) -> Self {
+        self.config.probe_backoff_cap = cap;
+        self
+    }
+
+    /// Makes intermittent faults *cool* this fraction of the horizon
+    /// after injection: a cooled fault stops refiring (and corrupting),
+    /// so the re-admission lane can recover its core. Zero (the default)
+    /// means intermittents never cool.
+    pub fn intermittent_cooldown(mut self, fraction: f64) -> Self {
+        self.config.intermittent_cooldown_fraction = fraction;
         self
     }
 
@@ -340,6 +416,21 @@ pub struct System {
     session_cause: Vec<Option<EventId>>,
     /// Id of this epoch's `CapAdjusted` (power denials link back to it).
     last_cap_event: Option<EventId>,
+    /// Per-core id of the latest `CoreQuarantined`/`CoreRequarantined`
+    /// (re-admission-lane probes link back to it; cleared on readmit).
+    quarantine_event: Vec<Option<EventId>>,
+    /// Per-core id of the live probe's `CoreProbeLaunched` (the
+    /// probation verdict links back to it).
+    probe_event: Vec<Option<EventId>>,
+    /// Per-core earliest next probe time (quarantine time + cadence,
+    /// backed off exponentially after failed probation rounds).
+    probe_next_at: Vec<f64>,
+    /// Per-core probe staleness counter (mirrors the session-generation
+    /// scheme; probes are never aborted today, but the guard keeps the
+    /// event-queue contract uniform).
+    probe_gen: Vec<u64>,
+    /// Probation rounds currently holding a lane-budget slot.
+    probes_inflight: u32,
     phase_obs: Box<dyn PhaseObserver>,
     profile: PhaseProfile,
     recorder: Option<StateRecorder>,
@@ -351,6 +442,7 @@ pub struct System {
     powers_scratch: Vec<f64>,
     launches_scratch: Vec<TestLaunch>,
     denials_scratch: Vec<TestDenial>,
+    checkpoint_scratch: Vec<u64>,
 }
 
 impl std::fmt::Debug for System {
@@ -369,6 +461,7 @@ impl System {
         for (field, value) in [
             ("vf_windowed_fault_fraction", config.vf_windowed_fault_fraction),
             ("intermittent_fault_fraction", config.intermittent_fault_fraction),
+            ("intermittent_cooldown_fraction", config.intermittent_cooldown_fraction),
             ("test_false_positive_rate", config.test_false_positive_rate),
         ] {
             // `contains` is false for NaN, so NaN is rejected here too.
@@ -440,6 +533,11 @@ impl System {
                 && rng_faults.gen_bool(config.intermittent_fault_fraction)
             {
                 fault = fault.with_refire(INTERMITTENT_REFIRE);
+                if config.intermittent_cooldown_fraction > 0.0 {
+                    let span =
+                        config.intermittent_cooldown_fraction * config.horizon.as_secs_f64();
+                    fault = fault.with_refire_until(at + span);
+                }
             }
             faults.inject_fault(fault);
         }
@@ -500,6 +598,11 @@ impl System {
             suspect_cause: vec![None; n],
             session_cause: vec![None; n],
             last_cap_event: None,
+            quarantine_event: vec![None; n],
+            probe_event: vec![None; n],
+            probe_next_at: vec![f64::INFINITY; n],
+            probe_gen: vec![0; n],
+            probes_inflight: 0,
             phase_obs: Box::new(NullPhaseObserver),
             profile: PhaseProfile::default(),
             recorder: config
@@ -511,6 +614,7 @@ impl System {
             powers_scratch: Vec::with_capacity(n),
             launches_scratch: Vec::new(),
             denials_scratch: Vec::new(),
+            checkpoint_scratch: Vec::new(),
             config,
         })
     }
@@ -643,14 +747,15 @@ impl System {
         if matches!(mode, CoreMode::Busy(_)) {
             self.epoch_busy[core] += dt;
             // Corruption exposure: app work executed on this core while a
-            // fault was (or was about to be) resident, before the
-            // response pipeline withdrew the core. A quarantined core is
-            // never Busy, so this stops accruing exactly at quarantine.
-            if let Some(t0) = self.faults.first_inject_at(core) {
-                let overlap = now - since.max(t0);
-                if overlap > 0.0 {
-                    self.metrics.corruption_exposure += overlap;
-                }
+            // fault was actively corrupting — from injection until the
+            // fault cools (never, for solid faults) or the response
+            // pipeline withdraws the core. A withdrawn core is never
+            // Busy, so this stops accruing exactly at quarantine and can
+            // only resume if a *re-admitted* core still hosts a live
+            // (uncooled) fault.
+            let overlap = self.faults.corrupting_overlap(core, since, now);
+            if overlap > 0.0 {
+                self.metrics.corruption_exposure += overlap;
             }
         }
         self.store.set_accrued_since(core, now);
@@ -727,6 +832,12 @@ impl System {
             });
         }
         self.phase_obs.exit(Phase::Fault);
+        // Lifecycle lane: probe withdrawn cores (so a core re-admitted
+        // this tick is mappable below) and checkpoint running apps.
+        // Neither is a profiled phase: both are no-ops unless the run
+        // opted into the lane / MigrateRegion checkpointing.
+        self.probe_lane(now);
+        self.checkpoint_apps(now);
         self.phase_obs.enter(Phase::Map);
         self.admit_pending(now);
         self.phase_obs.exit(Phase::Map);
@@ -753,9 +864,12 @@ impl System {
             // test: mapping onto it wastes the invested test energy, so it
             // is maximally undesirable to a test-aware mapper.
             let in_test = if self.store.has_session(i) { 5.0 } else { 0.0 };
+            // Withdrawn = quarantined *or* on probation: no app may be
+            // mapped onto a core between quarantine and `CoreReadmitted`
+            // (the audit's lifecycle sequence invariant).
             ctx.push_node_health(
                 self.store.is_free_for_mapping(i),
-                !self.health.is_quarantined(i),
+                !self.health.is_withdrawn(i),
                 s.utilization.clamp(0.0, 1.0),
                 self.criticality.criticality(s, now).max(0.0) + in_test,
             );
@@ -885,6 +999,7 @@ impl System {
                 done_count: 0,
                 arrived_at: app.arrival.as_secs_f64(),
                 started_at: now,
+                last_checkpoint: now,
                 inc,
                 mapped_event,
             };
@@ -1064,6 +1179,7 @@ impl System {
             Ev::TaskReady { app, task, inc } => self.on_task_ready(app, task, inc, now),
             Ev::TaskFinish { app, task, inc } => self.on_task_finish(app, task, inc, now),
             Ev::SessionFinish { core, gen } => self.on_session_finish(core, gen, now),
+            Ev::ProbeFinish { core, gen } => self.on_probe_finish(core, gen, now),
         }
     }
 
@@ -1396,7 +1512,7 @@ impl System {
                     .mark_suspect(core, session.level(), self.config.confirmation_retests);
             }
         }
-        let mode = if self.health.is_quarantined(core) {
+        let mode = if self.health.is_withdrawn(core) {
             CoreMode::Off
         } else {
             match self.owner_op(core) {
@@ -1436,6 +1552,13 @@ impl System {
                 retests,
             },
         );
+        // Arm the re-admission lane (when configured): the first probe
+        // fires one cadence after withdrawal, and every probe on this
+        // core chains back to this quarantine.
+        self.quarantine_event[core] = Some(qid);
+        if let Some(cadence) = self.config.probe_cadence {
+            self.probe_next_at[core] = now + cadence.as_secs_f64();
+        }
         if let Some((victim, _)) = self.store.owner(core) {
             match self.config.fault_response {
                 // lint:allow(panic-in-hot-path, reason = "structurally dead: confirmation retests (the only quarantine trigger) are disabled under Ignore")
@@ -1454,9 +1577,252 @@ impl System {
             self.store.owner(core).is_none(),
             "quarantined core must be vacated"
         );
+        self.derate_to_surviving_capacity();
+    }
+
+    /// Re-derates the admission budget to the capacity outside
+    /// withdrawal (quarantine + probation); called on every lifecycle
+    /// edge that changes the withdrawn set.
+    fn derate_to_surviving_capacity(&mut self) {
         let n = self.store.len();
         self.budget
-            .set_derating((n - self.health.quarantined_count()) as f64 / n as f64);
+            .set_derating((n - self.health.withdrawn_count()) as f64 / n as f64);
+    }
+
+    // ----- re-admission lane ----------------------------------------------
+
+    /// Scans for quarantined cores whose probe cadence is due and opens
+    /// probation rounds for them, capped by the lane budget. A probation
+    /// round holds its budget slot from the first probe until the
+    /// readmit/requarantine verdict.
+    fn probe_lane(&mut self, now: f64) {
+        if self.config.probe_cadence.is_none() || self.config.probe_budget == 0 {
+            return;
+        }
+        for core in 0..self.store.len() {
+            if self.probes_inflight >= self.config.probe_budget {
+                break;
+            }
+            if !self.health.is_quarantined(core) || now < self.probe_next_at[core] {
+                continue;
+            }
+            self.health.begin_probation(core);
+            self.probes_inflight += 1;
+            self.launch_probe(core, now);
+        }
+    }
+
+    /// Launches one low-V/f probe on a probation core: emits
+    /// `CoreProbeLaunched` (chained to the quarantine that opened the
+    /// lane), powers the core to the ladder floor for the probe's
+    /// duration and schedules the verdict. Probes bypass the session
+    /// store, the test scheduler and the power-reservation system — the
+    /// lane runs in the capacity slice the derating already withdrew.
+    fn launch_probe(&mut self, core: usize, now: f64) {
+        self.metrics.probes_launched += 1;
+        let streak = u32::from(self.health.probe_streak(core));
+        let lane = self.quarantine_event[core]
+            .map(|id| CauseLink::new(CauseKind::ProbeLane, id));
+        debug_assert!(lane.is_some(), "probing a never-quarantined core");
+        let pid = self.observe_linked(
+            now,
+            lane,
+            SimEvent::CoreProbeLaunched {
+                core: core as u32,
+                streak,
+                inflight: self.probes_inflight,
+            },
+        );
+        self.probe_event[core] = Some(pid);
+        let op = self.scheduler.ladder().point(VfLevel(0));
+        let (duration, activity) = {
+            let routine = self.scheduler.library().routine(RoutineId(0));
+            (
+                routine.duration(op.frequency, 1.0) * PROBE_INSTRUCTION_FRACTION,
+                routine.activity,
+            )
+        };
+        self.set_mode(core, now, CoreMode::Testing(op, activity));
+        self.probe_gen[core] += 1;
+        let finish = now + duration;
+        self.queue.schedule(
+            SimTime::from_ns((finish * 1e9).round() as u64),
+            Ev::ProbeFinish { core, gen: self.probe_gen[core] },
+        );
+    }
+
+    /// Resolves a completed probe: a manifested fault fails probation
+    /// (re-quarantine, exponential cadence backoff); a clean probe banks
+    /// one pass and either launches the next probe back to back or, once
+    /// the streak reaches the configured passes, re-admits the core to
+    /// the mappable pool.
+    fn on_probe_finish(&mut self, core: usize, gen: u64, now: f64) {
+        if self.probe_gen[core] != gen || !self.health.is_probation(core) {
+            return; // stale event
+        }
+        let Some(pid) = self.probe_event[core].take() else {
+            debug_assert!(false, "probation core {core} has no live probe event");
+            return;
+        };
+        let manifested =
+            self.faults
+                .probe(core, PROBE_COVERAGE, VfLevel(0), now, &mut self.rng_faults);
+        if manifested {
+            let backoff = self.health.fail_probation(core);
+            self.metrics.cores_requarantined += 1;
+            let rid = self.emit_caused(
+                now,
+                CauseKind::ProbeFailed,
+                pid,
+                SimEvent::CoreRequarantined {
+                    core: core as u32,
+                    backoff: u32::from(backoff),
+                },
+            );
+            self.quarantine_event[core] = Some(rid);
+            if let Some(cadence) = self.config.probe_cadence {
+                let exp = backoff.min(self.config.probe_backoff_cap);
+                let mult = (1u64 << u32::from(exp)) as f64;
+                self.probe_next_at[core] = now + cadence.as_secs_f64() * mult;
+            }
+            self.probes_inflight -= 1;
+            self.set_mode(core, now, CoreMode::Off);
+            return;
+        }
+        let streak = self.health.note_probe_pass(core);
+        if streak < self.config.probe_passes {
+            self.launch_probe(core, now);
+            return;
+        }
+        let probes = u32::from(self.health.readmit(core));
+        self.metrics.cores_readmitted += 1;
+        // Mirror the health bit back into the store: the maintained
+        // mappable count recovers without consulting the board.
+        self.store.set_healthy(core, true);
+        self.emit_caused(
+            now,
+            CauseKind::ProbePassed,
+            pid,
+            SimEvent::CoreReadmitted {
+                core: core as u32,
+                probes,
+            },
+        );
+        self.quarantine_event[core] = None;
+        self.probe_next_at[core] = f64::INFINITY;
+        self.probes_inflight -= 1;
+        self.set_mode(core, now, CoreMode::Off);
+        self.derate_to_surviving_capacity();
+    }
+
+    // ----- checkpointing ---------------------------------------------------
+
+    /// Writes a checkpoint image for every running application whose
+    /// dirty span reached the configured interval. Only meaningful under
+    /// [`FaultResponsePolicy::MigrateRegion`] (the only policy that ever
+    /// replays checkpointed state); a zero interval disables the scan.
+    fn checkpoint_apps(&mut self, now: f64) {
+        if !matches!(self.config.fault_response, FaultResponsePolicy::MigrateRegion) {
+            return;
+        }
+        let interval = self.config.checkpoint_interval.as_secs_f64();
+        if interval <= 0.0 {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.checkpoint_scratch);
+        due.clear();
+        due.extend(
+            self.running
+                .iter()
+                .filter(|(_, a)| now - a.last_checkpoint >= interval)
+                .map(|(&id, _)| id),
+        );
+        for app_id in due.drain(..) {
+            self.checkpoint_app(app_id, now);
+        }
+        self.checkpoint_scratch = due;
+    }
+
+    /// Captures one application's live task state: every non-done task
+    /// pauses for the image write (a fraction of the migration delay,
+    /// re-issued under a fresh instance counter exactly like a
+    /// migration), the dirty span resets, and `AppCheckpointed` chains
+    /// back to the placement it protects.
+    fn checkpoint_app(&mut self, app_id: u64, now: f64) {
+        let Some(mut app) = self.running.remove(&app_id) else {
+            debug_assert!(false, "checkpoint target {app_id} is not running");
+            return;
+        };
+        let live = app
+            .tasks
+            .iter()
+            .filter(|t| !matches!(t, TaskState::Done { .. }))
+            .count();
+        if live == 0 {
+            // Fully computed; only the completion event is in flight.
+            app.last_checkpoint = now;
+            self.running.insert(app_id, app);
+            return;
+        }
+        let pause = self.config.migration_delay.as_secs_f64() * CHECKPOINT_PAUSE_FRACTION;
+        let inc = self.next_inc;
+        self.next_inc += 1;
+        app.inc = inc;
+        for t in 0..app.tasks.len() {
+            let task = TaskId(t as u32);
+            match app.tasks[t] {
+                TaskState::Running { finish } => {
+                    let finish = finish + pause;
+                    app.tasks[t] = TaskState::Running { finish };
+                    self.queue.schedule(
+                        SimTime::from_ns((finish * 1e9).round() as u64),
+                        Ev::TaskFinish { app: app_id, task, inc },
+                    );
+                }
+                TaskState::Waiting if app.predecessors_done(task) => {
+                    let ready = app.input_ready_time(task, |p, to| {
+                        let bits = app
+                            .graph
+                            .edges()
+                            .iter()
+                            .find(|e| e.from == p && e.to == to)
+                            .map(|e| e.bits)
+                            .unwrap_or(0.0);
+                        let src = app.mapping.coord_of(p);
+                        let dst = app.mapping.coord_of(to);
+                        let base = self.link_model.message_cost(src, dst, bits).latency;
+                        match &self.link_loads {
+                            Some(loads) => {
+                                base * self.contention.route_factor(loads, src, dst)
+                            }
+                            None => base,
+                        }
+                    });
+                    let ready = ready.max(now) + pause;
+                    self.queue.schedule(
+                        SimTime::from_ns((ready * 1e9).round() as u64),
+                        Ev::TaskReady { app: app_id, task, inc },
+                    );
+                }
+                // Still waiting on predecessors (their completion wakes
+                // it under the new counter), or already done.
+                TaskState::Waiting | TaskState::Done { .. } => {}
+            }
+        }
+        app.last_checkpoint = now;
+        self.metrics.apps_checkpointed += 1;
+        let mapped_event = app.mapped_event;
+        self.running.insert(app_id, app);
+        self.emit_caused(
+            now,
+            CauseKind::Checkpoint,
+            mapped_event,
+            SimEvent::AppCheckpointed {
+                app: app_id,
+                tasks: live as u32,
+                bytes: (live as u64) * (MIGRATION_STATE_BITS as u64 / 8),
+            },
+        );
     }
 
     /// Tears a running application down: frees every core it still owns,
@@ -1551,7 +1917,7 @@ impl System {
                 let in_test = if self.store.has_session(i) { 5.0 } else { 0.0 };
                 ctx.push_node_health(
                     self.store.is_free_for_mapping(i) || mine,
-                    !self.health.is_quarantined(i),
+                    !self.health.is_withdrawn(i),
                     s.utilization.clamp(0.0, 1.0),
                     self.criticality.criticality(s, now).max(0.0) + in_test,
                 );
@@ -1575,10 +1941,20 @@ impl System {
         };
         let inc = self.next_inc;
         self.next_inc += 1;
-        let delay = self.config.migration_delay.as_secs_f64();
+        // Checkpoint-proportional charge: each moved task ships its last
+        // checkpoint image plus everything dirtied since, so both the
+        // transfer delay and the NoC payload scale with the dirty span.
+        // With checkpointing disabled the span runs back to admission.
+        let dirty = (now - app.last_checkpoint).max(0.0);
+        let factor = 1.0 + dirty / DIRTY_SPAN_REF_SECS;
+        let delay = self.config.migration_delay.as_secs_f64() * factor;
+        let state_bits = MIGRATION_STATE_BITS * factor;
         let task_count = app.tasks.len();
         let op = app.op;
         app.inc = inc;
+        // The transfer re-materialises every surviving task's state at
+        // its destination: the app is effectively checkpointed now.
+        app.last_checkpoint = now;
         let old_mapping = std::mem::replace(&mut app.mapping, new_mapping);
         let mut moved_tasks = 0u32;
         let mut total_delay = 0.0;
@@ -1623,11 +1999,11 @@ impl System {
             };
             self.set_mode(nc, now, mode);
             // The state transfer crosses the NoC like any other message.
-            self.traffic.charge_route(old, new, MIGRATION_STATE_BITS);
+            self.traffic.charge_route(old, new, state_bits);
             if self.config.model_contention {
-                self.epoch_traffic.charge_route(old, new, MIGRATION_STATE_BITS);
+                self.epoch_traffic.charge_route(old, new, state_bits);
             }
-            let cost = self.link_model.message_cost(old, new, MIGRATION_STATE_BITS);
+            let cost = self.link_model.message_cost(old, new, state_bits);
             self.meter.add_energy(PowerCategory::Noc, cost.energy);
         }
         // Re-issue the in-flight timing under the new instance counter;
@@ -1738,10 +2114,11 @@ impl System {
         self.trace
             .series_mut("active_tests")
             .push(t1, testing as f64);
-        // Graceful-degradation trajectory: capacity surviving quarantine.
+        // Graceful-degradation trajectory: capacity outside withdrawal
+        // (quarantine + probation) — re-admission shows up as recovery.
         self.trace.series_mut("healthy_cores").push(
             t1,
-            (self.store.len() - self.health.quarantined_count()) as f64,
+            (self.store.len() - self.health.withdrawn_count()) as f64,
         );
         if let Some(grid) = &mut self.thermal {
             // Transient thermal path: advance the RC grid with this
@@ -1801,6 +2178,8 @@ impl System {
                     vf_level: Self::mode_level(self.store.mode(i)),
                     health: if self.health.is_quarantined(i) {
                         HealthCode::Quarantined
+                    } else if self.health.is_probation(i) {
+                        HealthCode::Probation
                     } else if self.health.is_suspect(i) {
                         HealthCode::Suspect
                     } else {
@@ -1888,10 +2267,15 @@ impl System {
             cores_cleared: self.metrics.cores_cleared,
             false_quarantines: self.metrics.false_quarantines,
             confirmation_retests: self.metrics.confirmation_retests,
-            healthy_cores_end: (self.store.len() - self.health.quarantined_count()) as u64,
+            probes_launched: self.metrics.probes_launched,
+            cores_readmitted: self.metrics.cores_readmitted,
+            cores_requarantined: self.metrics.cores_requarantined,
+            probe_budget: u64::from(self.config.probe_budget),
+            healthy_cores_end: (self.store.len() - self.health.withdrawn_count()) as u64,
             apps_aborted: self.metrics.apps_aborted,
             apps_restarted: self.metrics.apps_restarted,
             apps_migrated: self.metrics.apps_migrated,
+            apps_checkpointed: self.metrics.apps_checkpointed,
             corruption_exposure: self.metrics.corruption_exposure,
             mean_utilization: self.stress.mean_utilization(),
             dark_fraction: self.config.node.dark_silicon_fraction(),
@@ -2543,5 +2927,116 @@ mod tests {
         let proxy = quick(TechNode::N16).sim_time_ms(40).record_state(64).build().unwrap().run();
         let last = proxy.state.last().expect("snapshots captured");
         assert!(last.cores.iter().all(|c| c.temp_k == 0.0));
+    }
+
+    // ----- core lifecycle (re-admission lane + checkpointing) ------------
+
+    /// A lifecycle workload: only intermittent faults, which cool a
+    /// quarter of the horizon after injection, so a probing lane can
+    /// eventually re-admit every quarantined core.
+    fn lifecycle(node: TechNode) -> SystemBuilder {
+        quick(node)
+            .sim_time_ms(400)
+            .injected_faults(8)
+            .intermittent_faults(1.0)
+            .intermittent_cooldown(0.25)
+            .fault_response(FaultResponsePolicy::MigrateRegion)
+    }
+
+    #[test]
+    fn lane_off_keeps_quarantine_terminal() {
+        let r = lifecycle(TechNode::N22).build().unwrap().run();
+        assert_eq!(r.probes_launched, 0, "no cadence, no probes");
+        assert_eq!(r.cores_readmitted, 0);
+        assert_eq!(r.cores_requarantined, 0);
+    }
+
+    #[test]
+    fn readmission_lane_recovers_cooled_capacity() {
+        let r = lifecycle(TechNode::N22)
+            .probe_cadence_us(3_000)
+            .capture_events(1 << 14)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.cores_quarantined > 0, "intermittents must confirm: {r:?}");
+        assert!(r.probes_launched > 0, "the lane must probe quarantined cores");
+        assert!(
+            r.cores_readmitted > 0,
+            "cooled intermittents must pass probation: {} probes, {} requarantines",
+            r.probes_launched,
+            r.cores_requarantined
+        );
+        // Re-admission must actually restore capacity in the trajectory.
+        let n = r.tests_per_core.len() as u64;
+        assert!(r.healthy_cores_end > n - r.cores_quarantined);
+        // Telemetry double-entry: the new kinds reconcile and the whole
+        // lifecycle (sequence + provenance) passes the audit.
+        crate::audit::validate_events(&r).expect("lifecycle run audits clean");
+        assert_eq!(r.events.count("CoreReadmitted"), r.cores_readmitted);
+        assert_eq!(r.events.count("CoreProbeLaunched"), r.probes_launched);
+    }
+
+    #[test]
+    fn solid_faults_never_pass_probation() {
+        let r = quick(TechNode::N22)
+            .sim_time_ms(400)
+            .injected_faults(4)
+            .probe_cadence_us(3_000)
+            .build()
+            .unwrap()
+            .run();
+        assert!(r.cores_quarantined > 0);
+        assert_eq!(
+            r.cores_readmitted, 0,
+            "a solid fault refires on every probe"
+        );
+        assert!(
+            r.cores_requarantined > 0,
+            "failed probation rounds must be recorded"
+        );
+    }
+
+    #[test]
+    fn lifecycle_runs_are_deterministic() {
+        let build = || {
+            lifecycle(TechNode::N22)
+                .probe_cadence_us(2_000)
+                .capture_events(1 << 14)
+                .build()
+                .unwrap()
+                .run()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn checkpoints_fire_and_trade_against_migration_cost() {
+        let sparse = lifecycle(TechNode::N22)
+            .checkpoint_interval_us(50_000)
+            .build()
+            .unwrap()
+            .run();
+        let dense = lifecycle(TechNode::N22)
+            .checkpoint_interval_us(2_000)
+            .build()
+            .unwrap()
+            .run();
+        assert!(dense.apps_checkpointed > sparse.apps_checkpointed);
+        // Disabled checkpointing transfers the full dirty span instead.
+        let off = lifecycle(TechNode::N22).checkpoint_interval_us(0).build().unwrap().run();
+        assert_eq!(off.apps_checkpointed, 0);
+    }
+
+    #[test]
+    fn checkpointing_is_inert_outside_migrate_region() {
+        let r = quick(TechNode::N22)
+            .sim_time_ms(200)
+            .injected_faults(4)
+            .fault_response(FaultResponsePolicy::RestartElsewhere)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(r.apps_checkpointed, 0, "only MigrateRegion replays checkpoints");
     }
 }

@@ -1,6 +1,7 @@
 //! `event-emission-coverage`: every `SimEvent` variant must be
-//! constructed in non-test code *and* reconciled in the audit layer —
-//! and every emission site in the control loop must participate in the
+//! constructed in non-test code *and* reconciled in the audit layer,
+//! every non-root variant must have a cause-link table entry, and
+//! every emission site in the control loop must participate in the
 //! provenance DAG.
 //!
 //! The telemetry contract is double-entry: each decision is emitted as a
@@ -9,6 +10,14 @@
 //! but is never emitted is dead telemetry; one that is emitted but not
 //! audited is an invariant hole — deleting an audit arm must fail the
 //! lint, not just the runtime tests.
+//!
+//! The cause-link half reads `CauseKind::expected` in the obs file:
+//! every variant not named in `ROOT_KINDS` must appear as a *target*
+//! (the second `&[…]` group of an arm) somewhere in that table,
+//! otherwise the runtime validator would reject every emission of the
+//! kind — the lint fails closed at review time instead of at run time.
+//! Synthetic test workspaces whose obs file has no `fn expected` opt
+//! out of this half.
 //!
 //! The provenance half guards `crates/core/src/system.rs`:
 //!
@@ -114,6 +123,32 @@ impl Rule for EventEmissionCoverage {
                 });
             }
         }
+        // Cause-link half: a non-root variant absent from the
+        // `CauseKind::expected` target lists can never carry a typed
+        // cause, so `validate_events` would reject every emission.
+        if let Some(targets) = cause_link_targets(obs) {
+            let roots = root_kind_strings(obs);
+            for v in &variants {
+                if roots.iter().any(|r| r == &v.text)
+                    || targets.iter().any(|t| t == &v.text)
+                {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: self.id(),
+                    file: obs.rel_path.clone(),
+                    line: v.line,
+                    col: v.col,
+                    message: format!(
+                        "SimEvent::{} has no cause-link table entry in CauseKind::expected",
+                        v.text
+                    ),
+                    rationale: "non-root events must be reachable through a typed cause \
+                                edge; add a CauseKind arm targeting this kind or list it \
+                                in ROOT_KINDS",
+                });
+            }
+        }
     }
 }
 
@@ -163,6 +198,79 @@ fn check_emission_sites(rule_id: &'static str, file: &SourceFile, out: &mut Vec<
             });
         }
     }
+}
+
+/// Extracts the *target* kind names from the `CauseKind::expected`
+/// table: the string literals inside the second `&[…]` group of each
+/// `(&[sources], &[targets])` arm. Returns `None` when the file has no
+/// `fn expected` — synthetic workspaces without a cause-link table opt
+/// out of this half of the rule.
+fn cause_link_targets(file: &SourceFile) -> Option<Vec<String>> {
+    let code: Vec<&Token> = file.code_tokens().collect();
+    let mut i = 0;
+    while i + 1 < code.len() {
+        if code[i].is_ident("fn") && code[i + 1].is_ident("expected") {
+            break;
+        }
+        i += 1;
+    }
+    if i + 1 >= code.len() {
+        return None;
+    }
+    // Step over the signature (its return type contains `(`/`[` tokens,
+    // but no `{`) to the body's opening brace.
+    while i < code.len() && !code[i].is_punct('{') {
+        i += 1;
+    }
+    let mut depth = 0i32;
+    let mut bracket_group = 0u32; // ordinal of the current `[…]` in its tuple
+    let mut in_bracket = false;
+    let mut targets = Vec::new();
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.is_punct('(') {
+            bracket_group = 0;
+        } else if t.is_punct('[') {
+            in_bracket = true;
+            bracket_group += 1;
+        } else if t.is_punct(']') {
+            in_bracket = false;
+        } else if in_bracket && bracket_group == 2 && t.kind == TokenKind::Str {
+            targets.push(t.text.clone());
+        }
+        i += 1;
+    }
+    Some(targets)
+}
+
+/// String literals of the `ROOT_KINDS` const initializer (empty when
+/// the const is absent — then every variant needs a table entry).
+fn root_kind_strings(file: &SourceFile) -> Vec<String> {
+    let code: Vec<&Token> = file.code_tokens().collect();
+    let mut i = 0;
+    while i < code.len() && !code[i].is_ident("ROOT_KINDS") {
+        i += 1;
+    }
+    // Step over the type annotation (`[&'static str; N]` contains a
+    // `;`) to the initializer.
+    while i < code.len() && !code[i].is_punct('=') {
+        i += 1;
+    }
+    let mut out = Vec::new();
+    while i < code.len() && !code[i].is_punct(';') {
+        if code[i].kind == TokenKind::Str {
+            out.push(code[i].text.clone());
+        }
+        i += 1;
+    }
+    out
 }
 
 /// Collects `SimEvent::<Variant>` path references in `file`, skipping

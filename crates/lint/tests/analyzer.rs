@@ -195,6 +195,62 @@ fn deleting_an_audit_arm_fails_the_lint() {
         .any(|f| f.rule == "event-emission-coverage" && f.message.contains("Beta")));
 }
 
+/// Like `synthetic_events_workspace`, but the obs file also carries a
+/// `ROOT_KINDS` const and a `CauseKind::expected` table, opting the
+/// workspace into the cause-link half of the rule.
+fn cause_table_workspace(expected_body: &str) -> Workspace {
+    let obs_src = format!(
+        "pub enum SimEvent {{ Alpha, Beta {{ x: u32 }}, Gamma }}\n\
+         impl SimEvent {{ pub const ROOT_KINDS: [&'static str; 1] = [\"Alpha\"]; }}\n\
+         impl CauseKind {{\n    pub fn expected(self) -> (&'static [&'static str], &'static [&'static str]) {{\n        match self {{\n{expected_body}        }}\n    }}\n}}\n",
+    );
+    let obs = SourceFile::from_source("crates/sim/src/obs.rs", &obs_src);
+    let emitter = SourceFile::from_source(
+        "crates/core/src/emitter.rs",
+        "pub fn emit() { observe(SimEvent::Alpha); observe(SimEvent::Beta { x: 1 }); observe(SimEvent::Gamma); }\n",
+    );
+    let audit = SourceFile::from_source(
+        "crates/core/src/audit.rs",
+        "pub fn audit() { check(SimEvent::Alpha); check(SimEvent::Beta); check_count(\"Gamma\"); }\n",
+    );
+    Workspace::from_sources("/nonexistent", vec![obs, emitter, audit])
+}
+
+#[test]
+fn non_root_variant_missing_from_the_cause_table_is_flagged() {
+    // Beta is a target; Gamma is neither a root nor a target, even
+    // though it appears as a *source* — sources don't count.
+    let ws = cause_table_workspace(
+        "            CauseKind::A => (&[\"Alpha\"], &[\"Beta\"]),\n            CauseKind::B => (&[\"Gamma\"], &[\"Beta\"]),\n",
+    );
+    let report = run(&ws);
+    assert!(
+        report.findings.iter().any(|f| {
+            f.rule == "event-emission-coverage"
+                && f.message.contains("Gamma")
+                && f.message.contains("cause-link table")
+        }),
+        "{}",
+        render_human(&report.findings, 5)
+    );
+}
+
+#[test]
+fn cause_table_covering_every_non_root_variant_is_clean() {
+    let ws = cause_table_workspace(
+        "            CauseKind::A => (&[\"Alpha\"], &[\"Beta\", \"Gamma\"]),\n",
+    );
+    let report = run(&ws);
+    assert!(
+        report
+            .findings
+            .iter()
+            .all(|f| f.rule != "event-emission-coverage"),
+        "{}",
+        render_human(&report.findings, 5)
+    );
+}
+
 // ----- event-emission-coverage: provenance emission sites --------------
 
 fn system_workspace(body: &str) -> Workspace {

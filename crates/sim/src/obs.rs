@@ -220,11 +220,47 @@ pub enum SimEvent {
         /// State-transfer delay charged to the app, seconds.
         delay: f64,
     },
+    /// The background re-admission lane launched a low-V/f probe routine
+    /// on a withdrawn core (probation).
+    CoreProbeLaunched {
+        /// The core under probation.
+        core: u32,
+        /// Clean probes already banked this probation round.
+        streak: u32,
+        /// Probe sessions in flight after this launch (≤ lane budget).
+        inflight: u32,
+    },
+    /// Probation succeeded: the core's refire streak cooled and it
+    /// rejoins the mappable pool.
+    CoreReadmitted {
+        /// The re-admitted core.
+        core: u32,
+        /// Clean probes that earned the re-admission.
+        probes: u32,
+    },
+    /// A probation probe reproduced the fault: the core returns to
+    /// quarantine and the retry cadence backs off exponentially.
+    CoreRequarantined {
+        /// The re-quarantined core.
+        core: u32,
+        /// Failed probation rounds so far (backoff exponent).
+        backoff: u32,
+    },
+    /// A periodic checkpoint captured an application's task state,
+    /// resetting the dirty span a later migration must transfer.
+    AppCheckpointed {
+        /// Application id.
+        app: u64,
+        /// Tasks whose state was captured.
+        tasks: u32,
+        /// Checkpoint image size, bytes.
+        bytes: u64,
+    },
 }
 
 impl SimEvent {
     /// Number of event kinds (array size for exact per-kind counters).
-    pub const KIND_COUNT: usize = 18;
+    pub const KIND_COUNT: usize = 22;
 
     /// All kind names, in [`SimEvent::kind_index`] order.
     pub const KINDS: [&'static str; Self::KIND_COUNT] = [
@@ -246,6 +282,10 @@ impl SimEvent {
         "AppAborted",
         "AppRestarted",
         "AppMigrated",
+        "CoreProbeLaunched",
+        "CoreReadmitted",
+        "CoreRequarantined",
+        "AppCheckpointed",
     ];
 
     /// Dense index of this event's kind, for fixed-size counter arrays.
@@ -269,6 +309,10 @@ impl SimEvent {
             SimEvent::AppAborted { .. } => 15,
             SimEvent::AppRestarted { .. } => 16,
             SimEvent::AppMigrated { .. } => 17,
+            SimEvent::CoreProbeLaunched { .. } => 18,
+            SimEvent::CoreReadmitted { .. } => 19,
+            SimEvent::CoreRequarantined { .. } => 20,
+            SimEvent::AppCheckpointed { .. } => 21,
         }
     }
 
@@ -418,6 +462,25 @@ impl SimEvent {
                      \"delay\":{delay}"
                 );
             }
+            SimEvent::CoreProbeLaunched {
+                core,
+                streak,
+                inflight,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"core\":{core},\"streak\":{streak},\"inflight\":{inflight}"
+                );
+            }
+            SimEvent::CoreReadmitted { core, probes } => {
+                let _ = write!(out, ",\"core\":{core},\"probes\":{probes}");
+            }
+            SimEvent::CoreRequarantined { core, backoff } => {
+                let _ = write!(out, ",\"core\":{core},\"backoff\":{backoff}");
+            }
+            SimEvent::AppCheckpointed { app, tasks, bytes } => {
+                let _ = write!(out, ",\"app\":{app},\"tasks\":{tasks},\"bytes\":{bytes}");
+            }
         }
     }
 }
@@ -485,11 +548,23 @@ pub enum CauseKind {
     /// `CoreQuarantined` → `AppAborted` / `AppRestarted` / `AppMigrated`:
     /// the victim-handling policy acting on the quarantine.
     Quarantine,
+    /// `CoreQuarantined` / `CoreRequarantined` → `CoreProbeLaunched`:
+    /// the background re-admission lane probing a withdrawn core.
+    ProbeLane,
+    /// `CoreProbeLaunched` → `CoreReadmitted`: the clean probe that
+    /// completed the cool-down streak.
+    ProbePassed,
+    /// `CoreProbeLaunched` → `CoreRequarantined`: the probe that
+    /// reproduced the fault and failed probation.
+    ProbeFailed,
+    /// `AppMapped` → `AppCheckpointed`: the placement whose task state
+    /// the checkpoint captured.
+    Checkpoint,
 }
 
 impl CauseKind {
     /// Number of link kinds (array size for per-kind counters).
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 17;
 
     /// All link kinds, in [`CauseKind::index`] order.
     pub const ALL: [CauseKind; Self::COUNT] = [
@@ -506,6 +581,10 @@ impl CauseKind {
         CauseKind::RetestPassed,
         CauseKind::Suspicion,
         CauseKind::Quarantine,
+        CauseKind::ProbeLane,
+        CauseKind::ProbePassed,
+        CauseKind::ProbeFailed,
+        CauseKind::Checkpoint,
     ];
 
     /// Dense index of this link kind.
@@ -524,6 +603,10 @@ impl CauseKind {
             CauseKind::RetestPassed => 10,
             CauseKind::Suspicion => 11,
             CauseKind::Quarantine => 12,
+            CauseKind::ProbeLane => 13,
+            CauseKind::ProbePassed => 14,
+            CauseKind::ProbeFailed => 15,
+            CauseKind::Checkpoint => 16,
         }
     }
 
@@ -543,6 +626,10 @@ impl CauseKind {
             CauseKind::RetestPassed => "retest_passed",
             CauseKind::Suspicion => "suspicion",
             CauseKind::Quarantine => "quarantine",
+            CauseKind::ProbeLane => "probe_lane",
+            CauseKind::ProbePassed => "probe_passed",
+            CauseKind::ProbeFailed => "probe_failed",
+            CauseKind::Checkpoint => "checkpoint",
         }
     }
 
@@ -567,6 +654,12 @@ impl CauseKind {
             CauseKind::Quarantine => {
                 (&["CoreQuarantined"], &["AppAborted", "AppRestarted", "AppMigrated"])
             }
+            CauseKind::ProbeLane => {
+                (&["CoreQuarantined", "CoreRequarantined"], &["CoreProbeLaunched"])
+            }
+            CauseKind::ProbePassed => (&["CoreProbeLaunched"], &["CoreReadmitted"]),
+            CauseKind::ProbeFailed => (&["CoreProbeLaunched"], &["CoreRequarantined"]),
+            CauseKind::Checkpoint => (&["AppMapped"], &["AppCheckpointed"]),
         }
     }
 }
@@ -885,10 +978,13 @@ impl Observer for EventLog {
 
 /// Streams each event as one JSON line into any writer the moment it is
 /// emitted (no buffering of the run in memory). The first I/O error is
-/// remembered and surfaced by [`JsonlWriter::finish`].
+/// latched: later events are dropped silently and the error surfaces
+/// exactly once — through [`JsonlWriter::flush`] or
+/// [`JsonlWriter::finish`], or as a single stderr line on drop if
+/// neither was called. Writes themselves never panic mid-run.
 #[derive(Debug)]
 pub struct JsonlWriter<W: io::Write> {
-    inner: W,
+    inner: Option<W>,
     line: String,
     error: Option<io::Error>,
 }
@@ -897,9 +993,25 @@ impl<W: io::Write> JsonlWriter<W> {
     /// Wraps a writer.
     pub fn new(inner: W) -> Self {
         JsonlWriter {
-            inner,
+            inner: Some(inner),
             line: String::with_capacity(128),
             error: None,
+        }
+    }
+
+    /// Flushes the inner writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched streaming error if one is pending (clearing
+    /// the latch — it surfaces once), otherwise any flush error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        match self.inner.as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
         }
     }
 
@@ -908,10 +1020,31 @@ impl<W: io::Write> JsonlWriter<W> {
     /// # Errors
     ///
     /// Returns the first write error encountered while streaming.
-    pub fn finish(self) -> io::Result<W> {
-        match self.error {
-            Some(e) => Err(e),
-            None => Ok(self.inner),
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        match self.inner.take() {
+            Some(w) => Ok(w),
+            None => Err(io::Error::other("inner writer already taken")),
+        }
+    }
+}
+
+impl<W: io::Write> Drop for JsonlWriter<W> {
+    /// Last-chance surfacing: a latched error nobody collected (or a
+    /// flush failure on the way out) is reported once to stderr rather
+    /// than vanishing with the buffered tail of the stream.
+    fn drop(&mut self) {
+        if self.error.is_none() {
+            if let Some(w) = self.inner.as_mut() {
+                if let Err(e) = w.flush() {
+                    self.error = Some(e);
+                }
+            }
+        }
+        if let Some(e) = self.error.take() {
+            eprintln!("manytest: event stream truncated by I/O error: {e}");
         }
     }
 }
@@ -924,6 +1057,7 @@ impl<W: io::Write> JsonlWriter<W> {
     /// survive the round trip. Lines without a `"kind"` field are ignored
     /// by [`jsonl_kind_counts`], so notes never perturb count validation.
     pub fn note(&mut self, t: f64, text: &str) {
+        let Some(w) = self.inner.as_mut() else { return };
         if self.error.is_some() {
             return;
         }
@@ -931,7 +1065,7 @@ impl<W: io::Write> JsonlWriter<W> {
         let _ = write!(self.line, "{{\"t\":{t},\"note\":");
         write_json_str(&mut self.line, text);
         self.line.push_str("}\n");
-        if let Err(e) = self.inner.write_all(self.line.as_bytes()) {
+        if let Err(e) = w.write_all(self.line.as_bytes()) {
             self.error = Some(e);
         }
     }
@@ -939,13 +1073,14 @@ impl<W: io::Write> JsonlWriter<W> {
 
 impl<W: io::Write> Observer for JsonlWriter<W> {
     fn on_event(&mut self, rec: &EventRecord) {
+        let Some(w) = self.inner.as_mut() else { return };
         if self.error.is_some() {
             return;
         }
         self.line.clear();
         rec.write_json(&mut self.line);
         self.line.push('\n');
-        if let Err(e) = self.inner.write_all(self.line.as_bytes()) {
+        if let Err(e) = w.write_all(self.line.as_bytes()) {
             self.error = Some(e);
         }
     }
@@ -1121,8 +1256,11 @@ pub enum HealthCode {
     Healthy,
     /// A detection is being confirmed by retests.
     Suspect,
-    /// Withdrawn from mapping and power-gated for the rest of the run.
+    /// Withdrawn from mapping and power-gated; the re-admission lane may
+    /// later probe it back to health.
     Quarantined,
+    /// Withdrawn from mapping but under active re-admission probing.
+    Probation,
 }
 
 impl HealthCode {
@@ -1132,6 +1270,7 @@ impl HealthCode {
             HealthCode::Healthy => "healthy",
             HealthCode::Suspect => "suspect",
             HealthCode::Quarantined => "quarantined",
+            HealthCode::Probation => "probation",
         }
     }
 }
@@ -1649,6 +1788,49 @@ mod tests {
         }
         let streamed = sink.finish().expect("vec never fails");
         assert_eq!(String::from_utf8(streamed).unwrap(), log.to_jsonl());
+    }
+
+    /// Writer that accepts `ok_writes` writes, then fails every write
+    /// with `BrokenPipe`.
+    #[derive(Debug)]
+    struct FailAfter(usize);
+
+    impl io::Write for FailAfter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.0 == 0 {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "pipe closed"));
+            }
+            self.0 -= 1;
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_writer_latches_the_first_io_error_and_surfaces_it_once() {
+        let mut sink = JsonlWriter::new(FailAfter(1));
+        sink.note(0.0, "written");
+        sink.note(1.0, "latches the error");
+        sink.note(2.0, "dropped silently, no panic");
+        let err = sink.flush().expect_err("latched error surfaces on flush");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // The latch surfaces exactly once: a second flush is clean.
+        assert!(sink.flush().is_ok());
+    }
+
+    #[test]
+    fn jsonl_writer_finish_reports_the_latched_error() {
+        let mut sink = JsonlWriter::new(FailAfter(0));
+        sink.on_event(&EventRecord {
+            id: EventId(0),
+            t: 0.0,
+            cause: None,
+            ev: SimEvent::FaultActivated { core: 1 },
+        });
+        let err = sink.finish().expect_err("streaming error reaches finish");
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
     }
 
     #[test]

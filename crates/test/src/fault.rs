@@ -75,6 +75,13 @@ pub struct Fault {
     /// a confirmation retest may fail to reproduce. The effective
     /// per-test detection probability is `coverage * refire`.
     pub refire: f64,
+    /// Time after which the fault stops refiring entirely (an
+    /// early-life intermittent that burns in, or marginal timing that an
+    /// adaptation elsewhere masks). `None` = the fault corrupts and
+    /// manifests forever. A cooled fault neither manifests to tests or
+    /// probes nor corrupts application work — this is the cool-down the
+    /// re-admission lane waits out.
+    pub refire_until: Option<f64>,
 }
 
 impl Fault {
@@ -88,6 +95,7 @@ impl Fault {
             visible_from: VfLevel(0),
             visible_to: VfLevel(u8::MAX),
             refire: 1.0,
+            refire_until: None,
         }
     }
 
@@ -113,6 +121,7 @@ impl Fault {
             visible_from: from,
             visible_to: to,
             refire: 1.0,
+            refire_until: None,
         })
     }
 
@@ -141,9 +150,31 @@ impl Fault {
         self
     }
 
+    /// Sets the cool-down time after which the fault stops refiring (see
+    /// [`Fault::refire_until`]).
+    pub fn with_refire_until(mut self, until: f64) -> Self {
+        self.refire_until = Some(until);
+        self
+    }
+
     /// True if this fault reproduces on every observation attempt.
     pub fn is_solid(&self) -> bool {
         self.refire >= 1.0
+    }
+
+    /// The manifestation probability at `now`: the configured refire, or
+    /// zero once the fault has cooled past [`Fault::refire_until`].
+    pub fn effective_refire(&self, now: f64) -> f64 {
+        match self.refire_until {
+            Some(until) if now >= until => 0.0,
+            _ => self.refire,
+        }
+    }
+
+    /// End of this fault's corrupting span (`inject_at` → here), or
+    /// `f64::INFINITY` when it never cools.
+    pub fn corrupting_until(&self) -> f64 {
+        self.refire_until.unwrap_or(f64::INFINITY)
     }
 
     /// True if a test at `level` can observe this fault at all.
@@ -194,6 +225,10 @@ pub struct FaultLog {
     /// [`FaultLog::detected_count`] — reconciles with `FaultDetected`
     /// telemetry events.
     detections: u64,
+    /// Per-core cool-down clock: the last time any fault on the core
+    /// manifested to a test, retest or probe. The re-admission lane uses
+    /// this to wait out an intermittent's refire streak before probing.
+    last_refire: BTreeMap<usize, f64>,
 }
 
 impl FaultLog {
@@ -280,13 +315,16 @@ impl FaultLog {
             let f = &mut self.faults[i];
             if matches!(f.state, FaultState::Latent)
                 && f.visible_at(level)
-                && rng.gen_bool(routine.coverage * f.refire)
+                && rng.gen_bool(routine.coverage * f.effective_refire(now))
             {
                 f.state = FaultState::Detected { at: now };
                 self.detections += 1;
                 on_detect(f.core, (now - f.inject_at).max(0.0));
                 any = true;
             }
+        }
+        if any {
+            self.last_refire.insert(core, now);
         }
         any
     }
@@ -318,14 +356,59 @@ impl FaultLog {
         for &i in indices {
             let f = &mut self.faults[i];
             let present = matches!(f.state, FaultState::Latent | FaultState::Detected { .. });
-            if present && f.visible_at(level) && rng.gen_bool(routine.coverage * f.refire) {
+            if present
+                && f.visible_at(level)
+                && rng.gen_bool(routine.coverage * f.effective_refire(now))
+            {
                 if matches!(f.state, FaultState::Latent) {
                     f.state = FaultState::Detected { at: now };
                 }
                 any = true;
             }
         }
+        if any {
+            self.last_refire.insert(core, now);
+        }
         any
+    }
+
+    /// Runs one background re-admission *probe* on `core` at `level`:
+    /// draws over every present fault visible at that level with
+    /// probability `coverage * effective_refire(now)` — the same physics
+    /// as a confirmation retest. A manifest records the refire on the
+    /// core's cool-down clock but neither promotes fault state nor counts
+    /// as a detection: probation failures re-quarantine without opening a
+    /// new suspicion. Returns true if any fault manifested.
+    pub fn probe(
+        &mut self,
+        core: usize,
+        coverage: f64,
+        level: VfLevel,
+        now: f64,
+        rng: &mut SimRng,
+    ) -> bool {
+        let Some(indices) = self.by_core.get(&core) else {
+            return false;
+        };
+        let mut any = false;
+        for &i in indices {
+            let f = &self.faults[i];
+            let present = matches!(f.state, FaultState::Latent | FaultState::Detected { .. });
+            if present && f.visible_at(level) && rng.gen_bool(coverage * f.effective_refire(now))
+            {
+                any = true;
+            }
+        }
+        if any {
+            self.last_refire.insert(core, now);
+        }
+        any
+    }
+
+    /// The last time any fault on `core` manifested to a test, retest or
+    /// probe (the cool-down clock the re-admission lane waits on).
+    pub fn last_refire_at(&self, core: usize) -> Option<f64> {
+        self.last_refire.get(&core).copied()
     }
 
     /// Returns every detected fault on `core` to `Latent`, forgetting its
@@ -364,6 +447,55 @@ impl FaultLog {
                 f.inject_at <= now && !matches!(f.state, FaultState::Pending) && f.is_solid()
             })
         })
+    }
+
+    /// Overlap, in seconds, of the span `[t0, t1]` with the core's
+    /// *corrupting* spans — the union over its activated faults of
+    /// `[inject_at, refire_until)`. This is what the exposure accrual
+    /// charges: work on a core whose faults have all cooled is safe.
+    ///
+    /// Up to 8 faults per core are merged exactly (zero allocations);
+    /// beyond that the convex hull is used, which can only over-count —
+    /// the conservative direction for an exposure metric.
+    pub fn corrupting_overlap(&self, core: usize, t0: f64, t1: f64) -> f64 {
+        let Some(indices) = self.by_core.get(&core) else {
+            return 0.0;
+        };
+        let mut spans = [(0.0f64, 0.0f64); 8];
+        let mut n = 0usize;
+        let (mut hull_lo, mut hull_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &i in indices {
+            let f = &self.faults[i];
+            let lo = f.inject_at.max(t0);
+            let hi = f.corrupting_until().min(t1);
+            if lo >= hi {
+                continue;
+            }
+            hull_lo = hull_lo.min(lo);
+            hull_hi = hull_hi.max(hi);
+            if n < spans.len() {
+                spans[n] = (lo, hi);
+                n += 1;
+            } else {
+                // Too many faults to merge exactly: fall back to the hull.
+                return (hull_hi - hull_lo).max(0.0);
+            }
+        }
+        if n == 0 {
+            return 0.0;
+        }
+        spans[..n].sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut total = 0.0;
+        let (mut cur_lo, mut cur_hi) = spans[0];
+        for &(lo, hi) in &spans[1..n] {
+            if lo <= cur_hi {
+                cur_hi = cur_hi.max(hi);
+            } else {
+                total += cur_hi - cur_lo;
+                (cur_lo, cur_hi) = (lo, hi);
+            }
+        }
+        total + (cur_hi - cur_lo)
     }
 
     /// Earliest injection time of any fault on `core`, if one exists.
@@ -701,6 +833,58 @@ mod tests {
         assert!(log.has_solid_active_fault(0, 6.0));
         assert_eq!(log.first_inject_at(0), Some(5.0));
         assert_eq!(log.first_inject_at(9), None);
+    }
+
+    #[test]
+    fn cooled_faults_stop_manifesting_and_probes_track_the_clock() {
+        let mut log = FaultLog::new();
+        // An intermittent that burns in at t = 5.0.
+        log.inject_fault(Fault::new(0, 0.0).with_refire(1.0).with_refire_until(5.0));
+        log.activate_due(0.0);
+        let mut rng = SimRng::seed_from(11);
+        // Before the cool-down it manifests to probes (coverage 1).
+        assert!(log.probe(0, 1.0, VfLevel(0), 1.0, &mut rng));
+        assert_eq!(log.last_refire_at(0), Some(1.0));
+        assert_eq!(log.detections(), 0, "probes are not detections");
+        assert_eq!(log.detected_count(), 0, "probes do not promote state");
+        // After the cool-down it never manifests again, to probes or tests.
+        for step in 0..20 {
+            let t = 5.0 + step as f64;
+            assert!(!log.probe(0, 1.0, VfLevel(0), t, &mut rng));
+            assert!(!log.on_test_complete(0, &certain_routine(), VfLevel(0), t, &mut rng));
+        }
+        assert_eq!(log.last_refire_at(0), Some(1.0), "clock untouched by quiet probes");
+        assert_eq!(log.latent_count(), 1);
+    }
+
+    #[test]
+    fn probes_on_clean_cores_never_manifest() {
+        let mut log = FaultLog::new();
+        log.inject(2, 0.0);
+        log.activate_due(0.0);
+        let mut rng = SimRng::seed_from(12);
+        assert!(!log.probe(5, 1.0, VfLevel(0), 1.0, &mut rng));
+        assert_eq!(log.last_refire_at(5), None);
+    }
+
+    #[test]
+    fn corrupting_overlap_respects_cool_down_and_merges_spans() {
+        let mut log = FaultLog::new();
+        // Two disjoint corrupting spans on core 0: [1, 2) and [5, 7).
+        log.inject_fault(Fault::new(0, 1.0).with_refire_until(2.0));
+        log.inject_fault(Fault::new(0, 5.0).with_refire_until(7.0));
+        // One eternal fault on core 1.
+        log.inject(1, 3.0);
+        assert!((log.corrupting_overlap(0, 0.0, 10.0) - 3.0).abs() < 1e-12);
+        assert!((log.corrupting_overlap(0, 1.5, 5.5) - 1.0).abs() < 1e-12);
+        assert_eq!(log.corrupting_overlap(0, 2.0, 5.0), 0.0);
+        assert!((log.corrupting_overlap(1, 0.0, 10.0) - 7.0).abs() < 1e-12);
+        assert_eq!(log.corrupting_overlap(9, 0.0, 10.0), 0.0);
+        // Overlapping spans merge rather than double-count.
+        let mut log = FaultLog::new();
+        log.inject_fault(Fault::new(0, 1.0).with_refire_until(4.0));
+        log.inject_fault(Fault::new(0, 2.0).with_refire_until(6.0));
+        assert!((log.corrupting_overlap(0, 0.0, 10.0) - 5.0).abs() < 1e-12);
     }
 
     #[test]

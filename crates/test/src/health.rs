@@ -9,18 +9,31 @@
 //! ```text
 //!            detection (or false positive)
 //! Healthy ──────────────────────────────────▶ Suspect { level, remaining }
-//!    ▲                                            │
-//!    │  K retests, symptom never reproduced       │ any retest reproduces
-//!    └────────────────────────────────────────────┤ the symptom
-//!                                                 ▼
-//!                                            Quarantined   (terminal)
+//!    ▲  ▲                                         │
+//!    │  │  K retests, symptom never reproduced    │ any retest reproduces
+//!    │  └─────────────────────────────────────────┤ the symptom
+//!    │                                            ▼
+//!    │       probe lane picks the core up    Quarantined { backoff }
+//!    │      ┌─────────────────────────────────────┘    ▲
+//!    │      ▼                                          │
+//!    │  Probation { streak, backoff }                  │ a probe reproduces
+//!    │      │                                          │ the symptom
+//!    │      │ streak of clean probes reaches the       │ (backoff += 1)
+//!    │      │ re-admission threshold                   │
+//!    └──────┴──────────────────────────────────────────┘
 //! ```
 //!
 //! A `Suspect` core stays schedulable for *tests* (the confirmation
 //! retests run on it, pinned to the detecting V/f level) but takes no new
-//! application work. `Quarantined` is terminal for the run: the core is
-//! power-gated, removed from the mapper's free set, and its share of the
-//! power budget is derated away.
+//! application work. `Quarantined` is no longer terminal: the core is
+//! power-gated and removed from the mapper's free set, but a background
+//! re-admission lane may move it to `Probation` and run cheap low-V/f
+//! probe routines at a slow cadence. A streak of clean probes re-admits
+//! the core to `Healthy`; a probe that reproduces the symptom sends it
+//! back to `Quarantined` with an exponentially backed-off retry cadence.
+//! Until the re-admission fires, a withdrawn core ([`CoreHealth::Quarantined`]
+//! or [`CoreHealth::Probation`]) takes no application work and its share
+//! of the power budget stays derated away.
 
 use manytest_power::VfLevel;
 use serde::{Deserialize, Serialize};
@@ -39,8 +52,20 @@ pub enum CoreHealth {
         /// Confirmation retests completed so far in this suspicion.
         used: u8,
     },
-    /// Confirmed faulty and withdrawn for the rest of the run.
-    Quarantined,
+    /// Confirmed faulty and withdrawn; eligible for probation once the
+    /// re-admission lane's backed-off cadence comes due.
+    Quarantined {
+        /// Failed probation rounds so far (exponent of the retry
+        /// cadence's backoff multiplier).
+        backoff: u8,
+    },
+    /// Withdrawn from mapping but under active re-admission probing.
+    Probation {
+        /// Consecutive clean probes banked this probation round.
+        streak: u8,
+        /// Failed probation rounds before this one.
+        backoff: u8,
+    },
 }
 
 /// The per-core health table (see module docs).
@@ -58,6 +83,11 @@ pub enum CoreHealth {
 /// let used = board.quarantine(2);
 /// assert_eq!(used, 0);
 /// assert_eq!(board.healthy_count(), 3);
+/// // The re-admission lane can probe the core back to health.
+/// board.begin_probation(2);
+/// assert_eq!(board.note_probe_pass(2), 1);
+/// assert_eq!(board.readmit(2), 1);
+/// assert!(board.is_healthy(2));
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HealthBoard {
@@ -92,9 +122,25 @@ impl HealthBoard {
         matches!(self.states[core], CoreHealth::Suspect { .. })
     }
 
-    /// True if `core` is withdrawn for the rest of the run.
+    /// True if `core` is quarantined and awaiting its next probation
+    /// round (does not include cores already under probation).
     pub fn is_quarantined(&self, core: usize) -> bool {
-        matches!(self.states[core], CoreHealth::Quarantined)
+        matches!(self.states[core], CoreHealth::Quarantined { .. })
+    }
+
+    /// True if `core` is under active re-admission probing.
+    pub fn is_probation(&self, core: usize) -> bool {
+        matches!(self.states[core], CoreHealth::Probation { .. })
+    }
+
+    /// True if `core` is withdrawn from application mapping — either
+    /// quarantined or on probation. Until `readmit` fires, the mapper
+    /// must treat both the same.
+    pub fn is_withdrawn(&self, core: usize) -> bool {
+        matches!(
+            self.states[core],
+            CoreHealth::Quarantined { .. } | CoreHealth::Probation { .. }
+        )
     }
 
     /// The pinned retest level of a suspect core.
@@ -107,8 +153,8 @@ impl HealthBoard {
 
     /// Opens a suspicion on `core`: `retests` confirmations pinned to
     /// `level`. No-op unless the core is currently healthy (an open
-    /// suspicion keeps its original level and budget; a quarantined core
-    /// never comes back).
+    /// suspicion keeps its original level and budget; a withdrawn core
+    /// only comes back through probation).
     pub fn mark_suspect(&mut self, core: usize, level: VfLevel, retests: u8) {
         if matches!(self.states[core], CoreHealth::Healthy) {
             self.states[core] = CoreHealth::Suspect {
@@ -133,28 +179,98 @@ impl HealthBoard {
         }
     }
 
-    /// Moves `core` to `Quarantined` (terminal). Returns the number of
-    /// confirmation retests that had completed in the suspicion.
+    /// Moves `core` to `Quarantined` with a fresh backoff ladder (a new
+    /// confirmed detection restarts the retry cadence). Returns the
+    /// number of confirmation retests that had completed in the
+    /// suspicion.
     pub fn quarantine(&mut self, core: usize) -> u8 {
         let used = match self.states[core] {
             CoreHealth::Suspect { used, .. } => used,
             _ => 0,
         };
-        self.states[core] = CoreHealth::Quarantined;
+        self.states[core] = CoreHealth::Quarantined { backoff: 0 };
         used
+    }
+
+    /// Starts a probation round on a quarantined `core` (the backoff
+    /// ladder carries over). Returns the carried backoff; no-op
+    /// (returning 0) unless the core is quarantined.
+    pub fn begin_probation(&mut self, core: usize) -> u8 {
+        match self.states[core] {
+            CoreHealth::Quarantined { backoff } => {
+                self.states[core] = CoreHealth::Probation { streak: 0, backoff };
+                backoff
+            }
+            _ => 0,
+        }
+    }
+
+    /// Records one clean probe on a probation `core`. Returns the new
+    /// streak length; 0 if the core was not on probation.
+    pub fn note_probe_pass(&mut self, core: usize) -> u8 {
+        match &mut self.states[core] {
+            CoreHealth::Probation { streak, .. } => {
+                *streak = streak.saturating_add(1);
+                *streak
+            }
+            _ => 0,
+        }
+    }
+
+    /// Re-admits a probation `core` to `Healthy`. Returns the clean-probe
+    /// streak that earned the re-admission; no-op (returning 0) unless
+    /// the core is on probation.
+    pub fn readmit(&mut self, core: usize) -> u8 {
+        match self.states[core] {
+            CoreHealth::Probation { streak, .. } => {
+                self.states[core] = CoreHealth::Healthy;
+                streak
+            }
+            _ => 0,
+        }
+    }
+
+    /// Fails a probation round: `core` returns to `Quarantined` with the
+    /// backoff exponent bumped (saturating). Returns the new backoff;
+    /// no-op (returning 0) unless the core is on probation.
+    pub fn fail_probation(&mut self, core: usize) -> u8 {
+        match self.states[core] {
+            CoreHealth::Probation { backoff, .. } => {
+                let bumped = backoff.saturating_add(1);
+                self.states[core] = CoreHealth::Quarantined { backoff: bumped };
+                bumped
+            }
+            _ => 0,
+        }
+    }
+
+    /// The backoff exponent of a withdrawn core (0 for other states).
+    pub fn backoff(&self, core: usize) -> u8 {
+        match self.states[core] {
+            CoreHealth::Quarantined { backoff } | CoreHealth::Probation { backoff, .. } => backoff,
+            _ => 0,
+        }
+    }
+
+    /// The clean-probe streak of a probation core (0 for other states).
+    pub fn probe_streak(&self, core: usize) -> u8 {
+        match self.states[core] {
+            CoreHealth::Probation { streak, .. } => streak,
+            _ => 0,
+        }
     }
 
     /// Clears a suspect `core` back to `Healthy`. Returns the number of
     /// confirmation retests that had completed; no-op (returning 0) on a
-    /// quarantined core — quarantine is terminal.
+    /// withdrawn core — the only way back from quarantine is a clean
+    /// probation round.
     pub fn clear(&mut self, core: usize) -> u8 {
         match self.states[core] {
             CoreHealth::Suspect { used, .. } => {
                 self.states[core] = CoreHealth::Healthy;
                 used
             }
-            CoreHealth::Healthy => 0,
-            CoreHealth::Quarantined => 0,
+            _ => 0,
         }
     }
 
@@ -181,12 +297,25 @@ impl HealthBoard {
             .count()
     }
 
-    /// Cores currently `Quarantined`.
+    /// Cores currently `Quarantined` (excluding probation).
     pub fn quarantined_count(&self) -> usize {
         self.states
             .iter()
-            .filter(|s| matches!(s, CoreHealth::Quarantined))
+            .filter(|s| matches!(s, CoreHealth::Quarantined { .. }))
             .count()
+    }
+
+    /// Cores currently on `Probation`.
+    pub fn probation_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, CoreHealth::Probation { .. }))
+            .count()
+    }
+
+    /// Cores withdrawn from mapping (`Quarantined` + `Probation`).
+    pub fn withdrawn_count(&self) -> usize {
+        self.quarantined_count() + self.probation_count()
     }
 }
 
@@ -201,6 +330,7 @@ mod tests {
         assert_eq!(board.healthy_count(), 8);
         assert_eq!(board.suspect_count(), 0);
         assert_eq!(board.quarantined_count(), 0);
+        assert_eq!(board.probation_count(), 0);
     }
 
     #[test]
@@ -228,18 +358,66 @@ mod tests {
     }
 
     #[test]
-    fn quarantine_is_terminal() {
+    fn quarantine_exits_only_through_probation() {
         let mut board = HealthBoard::new(3);
         board.mark_suspect(2, VfLevel(0), 2);
         board.note_retest_complete(2);
         assert_eq!(board.quarantine(2), 1);
         assert!(board.is_quarantined(2));
+        assert!(board.is_withdrawn(2));
         // Neither clearing nor re-suspecting resurrects the core.
         assert_eq!(board.clear(2), 0);
         assert!(board.is_quarantined(2));
         board.mark_suspect(2, VfLevel(0), 2);
         assert!(board.is_quarantined(2));
         assert_eq!(board.healthy_count(), 2);
+        // Probe passes and re-admission do.
+        assert_eq!(board.begin_probation(2), 0);
+        assert!(board.is_probation(2));
+        assert!(board.is_withdrawn(2));
+        assert!(!board.is_quarantined(2));
+        assert_eq!(board.note_probe_pass(2), 1);
+        assert_eq!(board.note_probe_pass(2), 2);
+        assert_eq!(board.readmit(2), 2);
+        assert!(board.is_healthy(2));
+        assert_eq!(board.healthy_count(), 3);
+    }
+
+    #[test]
+    fn failed_probation_backs_off_exponentially() {
+        let mut board = HealthBoard::new(2);
+        board.quarantine(1);
+        assert_eq!(board.backoff(1), 0);
+        board.begin_probation(1);
+        board.note_probe_pass(1);
+        // A probe reproducing the symptom wipes the streak and bumps
+        // the backoff exponent.
+        assert_eq!(board.fail_probation(1), 1);
+        assert!(board.is_quarantined(1));
+        assert_eq!(board.backoff(1), 1);
+        assert_eq!(board.begin_probation(1), 1);
+        assert_eq!(board.probe_streak(1), 0);
+        assert_eq!(board.fail_probation(1), 2);
+        assert_eq!(board.backoff(1), 2);
+        // A fresh confirmed quarantine restarts the ladder.
+        board.begin_probation(1);
+        board.readmit(1);
+        board.quarantine(1);
+        assert_eq!(board.backoff(1), 0);
+    }
+
+    #[test]
+    fn probation_calls_on_wrong_states_are_noops() {
+        let mut board = HealthBoard::new(2);
+        assert_eq!(board.begin_probation(0), 0);
+        assert!(board.is_healthy(0));
+        assert_eq!(board.note_probe_pass(0), 0);
+        assert_eq!(board.readmit(0), 0);
+        assert_eq!(board.fail_probation(0), 0);
+        assert!(board.is_healthy(0));
+        board.mark_suspect(0, VfLevel(1), 2);
+        assert_eq!(board.begin_probation(0), 0);
+        assert!(board.is_suspect(0));
     }
 
     #[test]

@@ -1,9 +1,104 @@
 //! Property tests of the SBST scheduler and its bookkeeping.
 
 use manytest_power::{TechNode, VfLevel};
+use manytest_sbst::health::{CoreHealth, HealthBoard};
 use manytest_sbst::prelude::*;
 use manytest_sim::SimRng;
 use proptest::prelude::*;
+
+/// One randomized call against the [`HealthBoard`] API.
+#[derive(Debug, Clone, Copy)]
+enum LifecycleOp {
+    MarkSuspect { level: u8, retests: u8 },
+    NoteRetest,
+    Clear,
+    Quarantine,
+    BeginProbation,
+    ProbePass,
+    Readmit,
+    FailProbation,
+}
+
+/// Executable spec of the lifecycle contract (module docs of
+/// `health.rs`): the state an op must leave a core in, given where it
+/// was. Everything not listed is a no-op — in particular there is no
+/// edge out of `Quarantined` except `BeginProbation`, and none into
+/// `Healthy` except `Clear` (from suspicion) and `Readmit` (from
+/// probation).
+fn lifecycle_spec(prev: CoreHealth, op: LifecycleOp) -> CoreHealth {
+    use CoreHealth::*;
+    match (op, prev) {
+        (LifecycleOp::MarkSuspect { level, retests }, Healthy) => Suspect {
+            level: VfLevel(level),
+            remaining: retests,
+            used: 0,
+        },
+        (LifecycleOp::NoteRetest, Suspect { level, remaining, used }) => Suspect {
+            level,
+            remaining: remaining.saturating_sub(1),
+            used: used.saturating_add(1),
+        },
+        (LifecycleOp::Clear, Suspect { .. }) => Healthy,
+        // A confirmed detection quarantines from any state and restarts
+        // the backoff ladder.
+        (LifecycleOp::Quarantine, _) => Quarantined { backoff: 0 },
+        (LifecycleOp::BeginProbation, Quarantined { backoff }) => {
+            Probation { streak: 0, backoff }
+        }
+        (LifecycleOp::ProbePass, Probation { streak, backoff }) => Probation {
+            streak: streak.saturating_add(1),
+            backoff,
+        },
+        (LifecycleOp::Readmit, Probation { .. }) => Healthy,
+        (LifecycleOp::FailProbation, Probation { backoff, .. }) => Quarantined {
+            backoff: backoff.saturating_add(1),
+        },
+        (_, state) => state,
+    }
+}
+
+fn apply(board: &mut HealthBoard, core: usize, op: LifecycleOp) {
+    match op {
+        LifecycleOp::MarkSuspect { level, retests } => {
+            board.mark_suspect(core, VfLevel(level), retests)
+        }
+        LifecycleOp::NoteRetest => {
+            board.note_retest_complete(core);
+        }
+        LifecycleOp::Clear => {
+            board.clear(core);
+        }
+        LifecycleOp::Quarantine => {
+            board.quarantine(core);
+        }
+        LifecycleOp::BeginProbation => {
+            board.begin_probation(core);
+        }
+        LifecycleOp::ProbePass => {
+            board.note_probe_pass(core);
+        }
+        LifecycleOp::Readmit => {
+            board.readmit(core);
+        }
+        LifecycleOp::FailProbation => {
+            board.fail_probation(core);
+        }
+    }
+}
+
+/// Decodes a generated `(opcode, level, retests)` triple into an op.
+fn decode_op(opcode: u8, level: u8, retests: u8) -> LifecycleOp {
+    match opcode {
+        0 => LifecycleOp::MarkSuspect { level, retests },
+        1 => LifecycleOp::NoteRetest,
+        2 => LifecycleOp::Clear,
+        3 => LifecycleOp::Quarantine,
+        4 => LifecycleOp::BeginProbation,
+        5 => LifecycleOp::ProbePass,
+        6 => LifecycleOp::Readmit,
+        _ => LifecycleOp::FailProbation,
+    }
+}
 
 fn scheduler(cores: usize, threshold: f64) -> TestScheduler {
     TestScheduler::with_library(
@@ -139,6 +234,40 @@ proptest! {
         if let Some(latency) = log.faults()[0].detection_latency() {
             prop_assert!(latency >= 0.0);
             prop_assert!(test_at >= inject_at, "detected ⇒ fault was active");
+        }
+    }
+
+    #[test]
+    fn health_board_never_leaves_the_lifecycle_graph(
+        ops in prop::collection::vec((0usize..6, 0u8..8, 0u8..5, 1u8..4), 0..300),
+    ) {
+        let cores = 6;
+        let mut board = HealthBoard::new(cores);
+        for &(core, opcode, level, retests) in &ops {
+            let op = decode_op(opcode, level, retests);
+            let prev = board.state(core);
+            apply(&mut board, core, op);
+            let next = board.state(core);
+            // Every call lands exactly where the lifecycle spec says —
+            // no illegal transition (Quarantined→Healthy, withdrawn→
+            // Suspect, …) is reachable by any call sequence.
+            prop_assert_eq!(next, lifecycle_spec(prev, op), "op {:?} on {:?}", op, prev);
+            if board.is_withdrawn(core) {
+                prop_assert!(!board.is_healthy(core));
+                prop_assert!(!board.is_suspect(core));
+            }
+            // The four disjoint states partition the board, and the
+            // derived counts reconcile with the per-core predicates.
+            let healthy = board.healthy_count();
+            let suspect = board.suspect_count();
+            let quarantined = board.quarantined_count();
+            let probation = board.probation_count();
+            prop_assert_eq!(healthy + suspect + quarantined + probation, cores);
+            prop_assert_eq!(board.withdrawn_count(), quarantined + probation);
+            prop_assert_eq!(
+                (0..cores).filter(|&c| board.is_withdrawn(c)).count(),
+                board.withdrawn_count()
+            );
         }
     }
 
