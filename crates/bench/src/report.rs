@@ -470,6 +470,7 @@ fn render_health_panel(out: &mut String, report: &Report, cores: usize) {
             SimEvent::CoreRequarantined { core, .. } => {
                 transitions.push((core, t, HealthCode::Quarantined));
             }
+            // lint:allow(event-match-exhaustiveness, reason = "subset contract: the health timeline only tracks the four core-lifecycle transitions")
             _ => {}
         }
     }

@@ -97,6 +97,7 @@ impl RunningApp {
     /// # Panics
     ///
     /// Panics if a predecessor is not done.
+    // lint:effect(panic, reason = "documented # Panics contract: callers gate on predecessors_done, so a not-done predecessor is a scheduler bug")
     pub fn input_ready_time(&self, task: TaskId, edge_latency: impl Fn(TaskId, TaskId) -> f64) -> f64 {
         self.graph
             .predecessors(task)

@@ -382,6 +382,7 @@ impl CoreStore {
     }
 
     /// The derived views recomputed from scratch off the flat arrays.
+    // lint:effect(alloc, reason = "consistency-audit path: the from-scratch recompute exists to cross-check the incremental views, not to serve the steady state")
     pub fn rebuild_views(&self) -> StoreViews {
         let n = self.len();
         let mut testable = vec![0u64; n.div_ceil(WORD_BITS)];

@@ -894,7 +894,7 @@ impl System {
             };
             if task_count > self.mesh.node_count() {
                 // Can never fit on this platform.
-                // lint:allow(panic-in-hot-path, reason = "front() returned Some three lines up and nothing touched the queue since")
+                // lint:allow(hot-path-purity, reason = "front() returned Some three lines up and nothing touched the queue since")
                 let app = self.pending.pop_front().expect("checked front");
                 self.apps_rejected += 1;
                 let cause = self.pending_cause.remove(&app.id.0);
@@ -927,7 +927,7 @@ impl System {
                 self.map_context(now);
                 ctx_fresh = true;
             }
-            // lint:allow(panic-in-hot-path, reason = "loop header breaks when the queue is empty; no admission path pops between there and here")
+            // lint:allow(hot-path-purity, reason = "loop header breaks when the queue is empty; no admission path pops between there and here")
             let front = self.pending.front().expect("checked non-empty above");
             let Some(mapping) = self.mapper.map(&self.ctx_scratch, &front.graph) else {
                 break; // fragmentation: wait for departures
@@ -935,7 +935,7 @@ impl System {
             let watts = task_count as f64
                 * self.model.core_power(op, PowerModel::WORKLOAD_ACTIVITY);
             let Ok(reservation) = self.budget.reserve(watts) else { break };
-            // lint:allow(panic-in-hot-path, reason = "same front() entry the mapper just placed; the queue is untouched since the loop header check")
+            // lint:allow(hot-path-purity, reason = "same front() entry the mapper just placed; the queue is untouched since the loop header check")
             let app = self.pending.pop_front().expect("checked front");
             let queue_wait = now - app.arrival.as_secs_f64();
             let hop_cost = mapping.weighted_hop_cost(&app.graph);
@@ -943,7 +943,7 @@ impl System {
             self.metrics.hop_cost.push(hop_cost);
             let id = app.id;
             self.profile.apps_admitted += 1;
-            // lint:allow(panic-in-hot-path, reason = "the mapper only returns mappings for non-empty graphs, and task graphs are validated non-empty at construction")
+            // lint:allow(hot-path-purity, reason = "the mapper only returns mappings for non-empty graphs, and task graphs are validated non-empty at construction")
             let (bb_min, bb_max) = mapping.bounding_box().expect("mapping is non-empty");
             let cause = self.pending_cause.remove(&id.0);
             let mapped_event = self.observe_linked(
@@ -990,6 +990,7 @@ impl System {
             self.next_inc += 1;
             let running = RunningApp {
                 id,
+                // lint:allow(hot-path-purity, reason = "admission materializes the per-app task table once per admitted app, not per epoch")
                 tasks: vec![TaskState::Waiting; task_count],
                 graph,
                 mapping,
@@ -1003,6 +1004,7 @@ impl System {
                 inc,
                 mapped_event,
             };
+            // lint:allow(hot-path-purity, reason = "admission re-keys the running map once per admitted app, not per epoch")
             self.running.insert(id.0, running);
             PhaseProfile::raise(&mut self.profile.running_high_water, self.running.len());
             for root in roots {
@@ -1183,6 +1185,7 @@ impl System {
         }
     }
 
+    // lint:effect(alloc+panic, reason = "arrival lane materializes the sampled task graph and backlog entry; generator validation panics only on malformed workload configs")
     fn on_arrival(&mut self, now: f64) {
         let graph = self.mix.sample(&mut self.rng_workload);
         let id = AppId(self.next_app_id);
@@ -1292,6 +1295,7 @@ impl System {
             .graph
             .out_edges(task)
             .map(|e| (e.to, e.bits))
+            // lint:allow(hot-path-purity, reason = "borrow split: charging traffic needs &mut self while app.graph is borrowed; the buffer is degree-bounded")
             .collect();
         for (to, bits) in &out_edges {
             let dst = app.mapping.coord_of(*to);
@@ -1331,6 +1335,7 @@ impl System {
                 });
                 (to, ready.max(now))
             })
+            // lint:allow(hot-path-purity, reason = "borrow split: scheduling needs &mut self.queue while app is borrowed; the ready set is degree-bounded")
             .collect();
         for (to, ready) in newly_ready {
             self.queue.schedule(
@@ -1354,6 +1359,7 @@ impl System {
                 },
             );
         } else {
+            // lint:allow(hot-path-purity, reason = "re-keys the entry removed at the top of the handler; bounded by the workload's completion rate")
             self.running.insert(app_id, app);
         }
     }
@@ -1561,7 +1567,7 @@ impl System {
         }
         if let Some((victim, _)) = self.store.owner(core) {
             match self.config.fault_response {
-                // lint:allow(panic-in-hot-path, reason = "structurally dead: confirmation retests (the only quarantine trigger) are disabled under Ignore")
+                // lint:allow(hot-path-purity, reason = "structurally dead: confirmation retests (the only quarantine trigger) are disabled under Ignore")
                 FaultResponsePolicy::Ignore => unreachable!("Ignore never quarantines"),
                 FaultResponsePolicy::Abort => self.abort_app(victim.0, core, now, qid),
                 FaultResponsePolicy::RestartElsewhere => {
@@ -1731,6 +1737,7 @@ impl System {
         }
         let mut due = std::mem::take(&mut self.checkpoint_scratch);
         due.clear();
+        // lint:allow(hot-path-purity, reason = "scratch buffer reuses its capacity across epochs; extend allocates only until the high-water mark")
         due.extend(
             self.running
                 .iter()
@@ -1748,6 +1755,7 @@ impl System {
     /// re-issued under a fresh instance counter exactly like a
     /// migration), the dirty span resets, and `AppCheckpointed` chains
     /// back to the placement it protects.
+    // lint:effect(alloc, reason = "checkpoint lane: re-keying the running map is checkpoint-proportional, paid only on the migration policy's cadence")
     fn checkpoint_app(&mut self, app_id: u64, now: f64) {
         let Some(mut app) = self.running.remove(&app_id) else {
             debug_assert!(false, "checkpoint target {app_id} is not running");
@@ -1869,6 +1877,7 @@ impl System {
 
     /// Re-queues the victim at the *front* of the pending queue with its
     /// original arrival stamp: it lost its progress, not its priority.
+    // lint:effect(alloc, reason = "fault-response lane: requeueing a restarted app is quarantine-proportional, not epoch-proportional")
     fn restart_app(&mut self, app_id: u64, core: usize, now: f64, qid: EventId) {
         let Some((id, graph, arrived_at)) = self.teardown_app(app_id, now) else {
             debug_assert!(false, "quarantine victim {app_id} is not running");
@@ -1900,6 +1909,7 @@ impl System {
     /// architectural-state transfer as a completion delay plus NoC
     /// traffic. Falls back to [`System::restart_app`] when no healthy
     /// placement exists.
+    // lint:effect(alloc, reason = "fault-response lane: remapping a migrated app is quarantine-proportional, not epoch-proportional")
     fn migrate_app(&mut self, app_id: u64, bad_core: usize, now: f64, qid: EventId) {
         // Remap context: the app's own nodes are offered back as free;
         // the quarantined node (like every unhealthy node) is excluded.
@@ -2100,6 +2110,7 @@ impl System {
         if self.recorder.is_some() && self.thermal.is_none() {
             self.powers_scratch.clear();
             self.powers_scratch
+                // lint:allow(hot-path-purity, reason = "scratch buffer reuses its capacity across epochs; extend allocates only until the high-water mark")
                 .extend(self.epoch_energy.iter().map(|&e| e / epoch_secs));
         }
         self.trace.series_mut("power_w").push(t1, measured);
@@ -2127,6 +2138,7 @@ impl System {
             // buffer so steady-state epochs stay allocation-free.
             let powers = &mut self.powers_scratch;
             powers.clear();
+            // lint:allow(hot-path-purity, reason = "scratch buffer reuses its capacity across epochs; extend allocates only until the high-water mark")
             powers.extend(self.epoch_energy.iter().map(|&e| e / epoch_secs));
             grid.step(powers, epoch_secs);
             self.profile.thermal_steps += 1;
@@ -2188,6 +2200,7 @@ impl System {
                     occupied: self.store.owner(i).is_some(),
                     testing: self.store.has_session(i),
                 })
+                // lint:allow(hot-path-purity, reason = "flight-recorder snapshot: gated behind an opt-in recorder and rate-limited; off in measured runs")
                 .collect();
             let snapshot = StateSnapshot {
                 t: t1,

@@ -13,7 +13,7 @@ use crate::lexer::{Token, TokenKind};
 /// One parsed (or rejected) suppression comment.
 #[derive(Debug, Clone)]
 pub struct Allow {
-    /// Rule id being allowed, e.g. `panic-in-hot-path`.
+    /// Rule id being allowed, e.g. `hot-path-purity`.
     pub rule: String,
     /// The mandatory human rationale.
     pub reason: String,
@@ -116,10 +116,10 @@ mod tests {
 
     #[test]
     fn trailing_allow_targets_its_own_line() {
-        let toks = lex("let x = v.pop().unwrap(); // lint:allow(panic-in-hot-path, reason = \"checked\")\n");
+        let toks = lex("let x = v.pop().unwrap(); // lint:allow(hot-path-purity, reason = \"checked\")\n");
         let allows = parse_allows(&toks);
         assert_eq!(allows.len(), 1);
-        assert_eq!(allows[0].rule, "panic-in-hot-path");
+        assert_eq!(allows[0].rule, "hot-path-purity");
         assert_eq!(allows[0].reason, "checked");
         assert_eq!(allows[0].target_line, 1);
         assert!(allows[0].malformed.is_none());
@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn allow_above_chain_link_reaches_the_expect_line() {
-        let src = "let r = slot\n    .take()\n    // lint:allow(panic-in-hot-path, reason = \"invariant\")\n    .expect(\"held\");\n";
+        let src = "let r = slot\n    .take()\n    // lint:allow(hot-path-purity, reason = \"invariant\")\n    .expect(\"held\");\n";
         let allows = parse_allows(&lex(src));
         assert_eq!(allows[0].target_line, 4);
     }

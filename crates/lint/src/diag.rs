@@ -77,7 +77,7 @@ pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
     out
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -119,6 +119,35 @@ impl<'a> Lexer<'a> {
                 '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
                 '"' => self.string(line, col),
                 'r' | 'b' if self.raw_or_byte_string(line, col) => {}
+                // Raw identifier `r#ident`: an *identifier* that happens
+                // to spell a keyword. The parser leans on `is_ident("fn")`
+                // to find items, so `let r#fn = …` must not produce a bare
+                // `fn` token; the text keeps the `r#` prefix to stay
+                // distinguishable from the keyword.
+                'r' if self.peek(1) == Some('#')
+                    && self
+                        .peek(2)
+                        .is_some_and(|c| c == '_' || c.is_alphabetic()) =>
+                {
+                    self.bump();
+                    self.bump(); // r#
+                    let mut text = String::from("r#");
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            text.push(self.bump().unwrap_or_default());
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Ident, text, line, col);
+                }
+                // Byte char literal `b'x'` / `b'\n'`: the `b` prefix would
+                // otherwise lex as an identifier and leave the quote to
+                // the lifetime/char disambiguator with a stale column.
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump(); // the b prefix
+                    self.char_or_lifetime(line, col);
+                }
                 '\'' => self.char_or_lifetime(line, col),
                 c if c == '_' || c.is_alphabetic() => self.ident(line, col),
                 c if c.is_ascii_digit() => self.number(line, col),
@@ -386,6 +415,74 @@ mod tests {
         let toks = kinds("/* a /* b */ c */ after");
         assert_eq!(toks[0].0, TokenKind::Comment);
         assert!(toks[1].1 == "after");
+    }
+
+    #[test]
+    fn raw_strings_with_inner_quote_hash_runs_close_at_the_right_depth() {
+        // `"#` inside an `r##"…"##` body must not close the string; only
+        // a quote followed by the full hash run does.
+        let toks = kinds("r##\"has \"# inside\"## after");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, "has \"# inside");
+        assert!(toks[1].1 == "after");
+        // Byte-raw at depth 1 behaves the same.
+        let toks = kinds("br#\"a\"b\"# x");
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, "a\"b");
+        assert_eq!(toks[1].1, "x");
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_keywords() {
+        // `r#fn` is an identifier named fn — the symbol extractor must
+        // not see a `fn` item keyword here.
+        let toks = lex("let r#fn = r#match; r#"); // trailing r# stays punct
+        assert!(toks.iter().all(|t| !t.is_ident("fn")));
+        assert!(toks.iter().all(|t| !t.is_ident("match")));
+        assert!(toks.iter().any(|t| t.is_ident("r#fn")));
+        assert!(toks.iter().any(|t| t.is_ident("r#match")));
+    }
+
+    #[test]
+    fn byte_char_literals_lex_as_chars() {
+        let toks = lex("b'x' b'\\n' b\"bytes\"");
+        assert_eq!(toks[0].kind, TokenKind::Char);
+        assert_eq!(toks[0].text, "x");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!(toks[1].kind, TokenKind::Char);
+        assert_eq!(toks[2].kind, TokenKind::Str);
+        assert_eq!(toks[2].text, "bytes");
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_and_unterminated_tails() {
+        let toks = kinds("/* 1 /* 2 /* 3 */ 2 */ 1 */ code");
+        assert_eq!(toks[0].0, TokenKind::Comment);
+        assert_eq!(toks[1].1, "code");
+        // Unterminated nesting closes at EOF without panicking and
+        // swallows everything after the opener.
+        let toks = kinds("/* a /* b */ still-open\nx");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].0, TokenKind::Comment);
+    }
+
+    #[test]
+    fn lifetime_char_disambiguation_in_generics_and_matches() {
+        // `<'a>` and `&'a` are lifetimes; `'a'` and `'}'` are chars, and
+        // a lifetime directly against punctuation keeps its span.
+        let toks = lex("fn f<'a>(x: &'a str) { match c { 'a' => {} '}' => {} } }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(chars, vec!["a", "}"]);
     }
 
     #[test]

@@ -20,10 +20,16 @@
 //! See the README's "Static analysis" section for the rule table.
 
 pub mod allow;
+pub mod cache;
+pub mod callgraph;
 pub mod diag;
+pub mod effects;
+pub mod json;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod source;
+pub mod symbols;
 
 use diag::Finding;
 use rules::is_known_rule;
@@ -59,6 +65,32 @@ pub fn lint_files(files: Vec<SourceFile>) -> LintReport {
     run_inner(&ws, false)
 }
 
+/// Review-scoped lint (`--changed REF`): loads the whole workspace
+/// (cross-file rules need the full tree to resolve calls and audits)
+/// but only *reports* findings — and allow-audit complaints — for the
+/// `changed` workspace-relative paths.
+pub fn lint_workspace_changed(root: &Path, changed: &[String]) -> std::io::Result<LintReport> {
+    let ws = Workspace::load(root)?;
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for file in &ws.files {
+        if changed.iter().any(|p| p == &file.rel_path) {
+            scanned += 1;
+            findings.extend(run_file_rules(file));
+        }
+    }
+    findings.extend(
+        run_workspace_rules(&ws)
+            .into_iter()
+            .filter(|f| changed.iter().any(|p| p == &f.file)),
+    );
+    let findings = audit_allows(&ws, findings, Some(changed));
+    Ok(LintReport {
+        findings,
+        files_scanned: scanned,
+    })
+}
+
 /// Runs every registered rule plus the allow audit over a loaded
 /// workspace.
 pub fn run(ws: &Workspace) -> LintReport {
@@ -66,28 +98,66 @@ pub fn run(ws: &Workspace) -> LintReport {
 }
 
 fn run_inner(ws: &Workspace, workspace_rules: bool) -> LintReport {
-    let registry = rules::registry();
     let mut findings = Vec::new();
     for file in &ws.files {
-        for rule in &registry {
-            rule.check_file(file, &mut findings);
-        }
+        findings.extend(run_file_rules(file));
     }
     if workspace_rules {
-        for rule in &registry {
-            rule.check_workspace(ws, &mut findings);
-        }
+        findings.extend(run_workspace_rules(ws));
     }
-    let findings = audit_allows(ws, findings);
+    let findings = audit_allows(ws, findings, None);
     LintReport {
         findings,
         files_scanned: ws.files.len(),
     }
 }
 
+/// The per-file pass: every file rule plus the `malformed-effect` meta
+/// audit. Pure in the file's content — the incremental cache
+/// ([`cache`]) keys its result on the file's content hash.
+pub fn run_file_rules(file: &SourceFile) -> Vec<Finding> {
+    let registry = rules::registry();
+    let mut findings = Vec::new();
+    for rule in &registry {
+        rule.check_file(file, &mut findings);
+    }
+    let (fns, _) = symbols::extract_file(file, 0);
+    for note in effects::notes_in(file, 0, &fns) {
+        if let Some(why) = &note.malformed {
+            findings.push(Finding {
+                rule: "malformed-effect",
+                file: file.rel_path.clone(),
+                line: note.line,
+                col: note.col,
+                message: format!("unparseable lint:effect: {why}"),
+                rationale: EFFECT_RATIONALE,
+            });
+        }
+    }
+    findings
+}
+
+/// The cross-file pass (call-graph rules, golden/doc coherence). Keyed
+/// by the hash of *all* workspace inputs in the cache.
+pub fn run_workspace_rules(ws: &Workspace) -> Vec<Finding> {
+    let registry = rules::registry();
+    let mut findings = Vec::new();
+    for rule in &registry {
+        rule.check_workspace(ws, &mut findings);
+    }
+    findings
+}
+
 /// Applies `lint:allow` suppressions, then reports the allows that are
-/// malformed, name an unknown rule, or silenced nothing.
-fn audit_allows(ws: &Workspace, findings: Vec<Finding>) -> Vec<Finding> {
+/// malformed, name an unknown rule, or silenced nothing. When `scope`
+/// is `Some`, allow-audit findings are only reported for files in the
+/// scope (suppression still considers every file) — `--changed` mode
+/// must not blame unchanged files for allows it did not re-evaluate.
+pub(crate) fn audit_allows(
+    ws: &Workspace,
+    findings: Vec<Finding>,
+    scope: Option<&[String]>,
+) -> Vec<Finding> {
     // (file index, allow index) → times used.
     let mut used: Vec<Vec<u32>> = ws
         .files
@@ -110,6 +180,9 @@ fn audit_allows(ws: &Workspace, findings: Vec<Finding>) -> Vec<Finding> {
         kept.push(finding);
     }
     for (fi, file) in ws.files.iter().enumerate() {
+        if scope.is_some_and(|s| !s.iter().any(|p| p == &file.rel_path)) {
+            continue;
+        }
         for (ai, allow) in file.allows.iter().enumerate() {
             if let Some(why) = &allow.malformed {
                 kept.push(Finding {
@@ -154,6 +227,11 @@ fn audit_allows(ws: &Workspace, findings: Vec<Finding>) -> Vec<Finding> {
 const ALLOW_RATIONALE: &str =
     "the allow syntax is lint:allow(<rule>, reason = \"…\") — the reason is mandatory \
      because suppressions are audited in review";
+
+const EFFECT_RATIONALE: &str =
+    "the effect syntax is lint:effect(none|warmup|alloc|lock|io|panic[+…], reason = \"…\") \
+     on the line above (or trailing) the fn it describes — the declared set replaces \
+     inference for that fn, so the spec and reason are audited in review";
 
 #[cfg(test)]
 mod tests {

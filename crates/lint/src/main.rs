@@ -1,17 +1,20 @@
 //! CLI driver for `manytest-lint`.
 //!
 //! ```sh
-//! manytest-lint --workspace [--json] [--root DIR]   # lint the repo
+//! manytest-lint --workspace [--json] [--sarif FILE] [--root DIR]
+//! manytest-lint --workspace --changed REF            # review scope
 //! manytest-lint [--json] FILE...                     # lint single files
 //! manytest-lint --rules                              # list rules
 //! ```
 //!
 //! Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
 
+use manytest_lint::cache::lint_workspace_cached;
 use manytest_lint::diag::{render_human, render_json};
 use manytest_lint::rules::{registry, META_RULES};
+use manytest_lint::sarif::render_sarif;
 use manytest_lint::source::SourceFile;
-use manytest_lint::{lint_files, lint_workspace, LintReport};
+use manytest_lint::{lint_files, lint_workspace, lint_workspace_changed, LintReport};
 use std::path::{Path, PathBuf};
 
 fn main() {
@@ -24,14 +27,26 @@ fn run() -> i32 {
     let workspace = args.iter().any(|a| a == "--workspace");
     let list_rules = args.iter().any(|a| a == "--rules");
     let mut root_flag: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut changed_ref: Option<String> = None;
+    let mut no_cache = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" | "--workspace" | "--rules" => {}
+            "--no-cache" => no_cache = true,
             "--root" => match it.next() {
                 Some(v) => root_flag = Some(PathBuf::from(v)),
                 None => return usage("--root needs a directory"),
+            },
+            "--sarif" => match it.next() {
+                Some(v) => sarif_path = Some(PathBuf::from(v)),
+                None => return usage("--sarif needs a file path"),
+            },
+            "--changed" => match it.next() {
+                Some(v) => changed_ref = Some(v.clone()),
+                None => return usage("--changed needs a git ref"),
             },
             "--help" | "-h" => {
                 print!("{HELP}");
@@ -39,6 +54,12 @@ fn run() -> i32 {
             }
             a if a.starts_with("--root=") => {
                 root_flag = Some(PathBuf::from(&a["--root=".len()..]));
+            }
+            a if a.starts_with("--sarif=") => {
+                sarif_path = Some(PathBuf::from(&a["--sarif=".len()..]));
+            }
+            a if a.starts_with("--changed=") => {
+                changed_ref = Some(a["--changed=".len()..].to_string());
             }
             a if a.starts_with("--") => return usage(&format!("unknown flag {a}")),
             a => paths.push(PathBuf::from(a)),
@@ -55,12 +76,25 @@ fn run() -> i32 {
         return 0;
     }
 
-    let report: LintReport = if workspace {
+    let report: LintReport = if workspace || changed_ref.is_some() {
         let root = match root_flag.or_else(discover_root) {
             Some(r) => r,
             None => return usage("could not find a workspace root; pass --root DIR"),
         };
-        match lint_workspace(&root) {
+        let run = if let Some(git_ref) = &changed_ref {
+            match changed_files(&root, git_ref) {
+                Ok(changed) => lint_workspace_changed(&root, &changed),
+                Err(e) => {
+                    eprintln!("manytest-lint: --changed {git_ref}: {e}");
+                    return 2;
+                }
+            }
+        } else if no_cache {
+            lint_workspace(&root)
+        } else {
+            lint_workspace_cached(&root).map(|(r, _)| r)
+        };
+        match run {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("manytest-lint: error reading workspace: {e}");
@@ -85,6 +119,12 @@ fn run() -> i32 {
         lint_files(files)
     };
 
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, render_sarif(&report.findings)) {
+            eprintln!("manytest-lint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+    }
     if json {
         print!("{}", render_json(&report.findings, report.files_scanned));
     } else {
@@ -95,6 +135,45 @@ fn run() -> i32 {
     } else {
         1
     }
+}
+
+/// The `.rs` files changed relative to `git_ref`, as workspace-relative
+/// paths: committed changes (`git diff --name-only REF`) plus anything
+/// dirty or untracked in the working tree.
+fn changed_files(root: &Path, git_ref: &str) -> Result<Vec<String>, String> {
+    let mut changed: Vec<String> = Vec::new();
+    for args in [
+        vec!["diff", "--name-only", git_ref],
+        vec!["status", "--porcelain"],
+    ] {
+        let out = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(&args)
+            .output()
+            .map_err(|e| format!("cannot run git: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        for line in String::from_utf8_lossy(&out.stdout).lines() {
+            // Porcelain lines are `XY <path>`; diff lines are bare paths.
+            let path = if args[0] == "status" {
+                line.get(3..).unwrap_or("")
+            } else {
+                line
+            };
+            let path = path.trim();
+            if path.ends_with(".rs") && !changed.iter().any(|p| p == path) {
+                changed.push(path.to_string());
+            }
+        }
+    }
+    changed.sort();
+    Ok(changed)
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` that
@@ -129,15 +208,21 @@ fn usage(msg: &str) -> i32 {
 }
 
 const HELP: &str = "\
-usage: manytest-lint --workspace [--json] [--root DIR]
+usage: manytest-lint --workspace [--json] [--sarif FILE] [--root DIR]
+       manytest-lint --workspace --changed REF
        manytest-lint [--json] FILE...
        manytest-lint --rules
 
-  --workspace  lint every .rs file in the workspace plus the golden
-               JSONs and doc probe references
-  --json       machine-readable output (CI artifact)
-  --root DIR   workspace root (default: walk up from the current dir)
-  --rules      list registered rules and exit
+  --workspace    lint every .rs file in the workspace plus the golden
+                 JSONs and doc probe references
+  --changed REF  review scope: analyze the full tree but only report
+                 findings in .rs files changed vs the git ref (committed,
+                 dirty or untracked)
+  --json         machine-readable output to stdout (CI artifact)
+  --sarif FILE   additionally write SARIF 2.1.0 to FILE (code scanning)
+  --no-cache     skip the incremental cache (target/lint-cache.json)
+  --root DIR     workspace root (default: walk up from the current dir)
+  --rules        list registered rules and exit
 
 exit codes: 0 clean, 1 findings, 2 usage/io error
 ";

@@ -1,0 +1,126 @@
+//! `event-match-exhaustiveness`: a `match` that destructures
+//! `SimEvent` / `CauseKind` / `CoreHealth` in one of the telemetry
+//! consumer files must not hide behind a `_` wildcard arm.
+//!
+//! The double-entry telemetry discipline only catches a dropped event
+//! kind if adding a `SimEvent` variant *fails to compile* (or lint)
+//! every consumer that aggregates, traces, diffs or renders events. A
+//! `_ => {}` arm silently swallows new variants — reports stay green
+//! while a whole event class vanishes from the audit. Matches that
+//! deliberately sample a subset (e.g. "session outcomes only") carry a
+//! `// lint:allow(event-match-exhaustiveness, reason = "…")` naming
+//! the subset contract.
+//!
+//! Detection is type-free: a `match` body counts as guarded when any
+//! arm references `<Enum>::` for a guarded enum; the wildcard is the
+//! exact arm pattern `_ =>` at the match body's top nesting level.
+
+use super::Rule;
+use crate::diag::Finding;
+use crate::lexer::Token;
+use crate::source::SourceFile;
+use crate::symbols::brace_match;
+
+pub struct EventMatchExhaustiveness;
+
+/// Enums whose consumers must stay exhaustive.
+const GUARDED_ENUMS: [&str; 3] = ["SimEvent", "CauseKind", "CoreHealth"];
+
+/// Telemetry consumer files (matched by basename — audit, trace, diff,
+/// report and event rendering live in different crates).
+const GUARDED_BASENAMES: [&str; 5] = ["audit.rs", "trace.rs", "diff.rs", "report.rs", "events.rs"];
+
+impl Rule for EventMatchExhaustiveness {
+    fn id(&self) -> &'static str {
+        "event-match-exhaustiveness"
+    }
+
+    fn description(&self) -> &'static str {
+        "matches on SimEvent/CauseKind/CoreHealth in telemetry consumers must not use an \
+         unaudited `_` arm"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let base = file.rel_path.rsplit('/').next().unwrap_or_default();
+        if !GUARDED_BASENAMES.contains(&base) || file.is_test_file() {
+            return;
+        }
+        let code: Vec<&Token> = file.code_tokens().collect();
+        for (i, tok) in code.iter().enumerate() {
+            if !tok.is_ident("match") || file.is_test_line(tok.line) {
+                continue;
+            }
+            // The match body: first `{` after the scrutinee expression.
+            // Struct literals cannot appear unparenthesised there, so
+            // the first top-level `{` is the body.
+            let Some(open) = body_open(&code, i) else { continue };
+            let Some(close) = brace_match(&code, open) else { continue };
+            let Some(enum_name) = guarded_enum_in(&code[open..=close]) else {
+                continue;
+            };
+            // Wildcard arms: the token sequence `_ => ` at depth 1
+            // relative to the body brace.
+            let mut depth = 0i32;
+            for j in open..=close {
+                let t = code[j];
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 1
+                    && t.is_ident("_")
+                    && code.get(j + 1).is_some_and(|a| a.is_punct('='))
+                    && code.get(j + 2).is_some_and(|a| a.is_punct('>'))
+                    && !file.is_test_line(t.line)
+                {
+                    out.push(Finding {
+                        rule: self.id(),
+                        file: file.rel_path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`_` arm in a match over {enum_name} — new variants would be \
+                             silently dropped from this consumer"
+                        ),
+                        rationale: "telemetry consumers are double-entry: every SimEvent/\
+                                    CauseKind/CoreHealth variant must be handled (or the \
+                                    subset contract audited with lint:allow) so adding a \
+                                    variant fails the lint instead of vanishing from reports",
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Index of the match body's `{`: the first `{` at zero bracket depth
+/// after the `match` keyword.
+fn body_open(code: &[&Token], match_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in code.iter().enumerate().skip(match_idx + 1) {
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if depth == 0 && t.is_punct('{') {
+            return Some(j);
+        } else if depth == 0 && t.is_punct(';') {
+            return None; // gave up: no body on this statement
+        }
+    }
+    None
+}
+
+/// The first guarded enum referenced as `<Enum>::` inside the body.
+fn guarded_enum_in(body: &[&Token]) -> Option<&'static str> {
+    for (j, t) in body.iter().enumerate() {
+        if let Some(name) = GUARDED_ENUMS.iter().find(|e| t.is_ident(e)) {
+            if body.get(j + 1).is_some_and(|a| a.is_punct(':'))
+                && body.get(j + 2).is_some_and(|a| a.is_punct(':'))
+            {
+                return Some(name);
+            }
+        }
+    }
+    None
+}

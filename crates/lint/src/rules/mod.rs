@@ -4,13 +4,16 @@ use crate::diag::Finding;
 use crate::source::{SourceFile, Workspace};
 
 mod event_coverage;
+mod event_match;
 mod golden_schema;
+mod hot_path_purity;
 mod nondet_collections;
-mod panic_hot_path;
 mod rng_escape;
+mod unit_suffix;
 mod wall_clock;
 
 pub use event_coverage::enum_variants;
+pub use hot_path_purity::ENTRY_POINTS;
 
 /// One static-analysis rule. File rules implement `check_file`;
 /// cross-file rules implement `check_workspace` (both default to no-op).
@@ -25,16 +28,18 @@ pub trait Rule {
     fn check_workspace(&self, _ws: &Workspace, _out: &mut Vec<Finding>) {}
 }
 
-/// Rule ids reserved for the engine's allow audit (not `Rule` impls —
-/// they cannot themselves be allowed).
-pub const META_RULES: [&str; 2] = ["unused-allow", "malformed-allow"];
+/// Rule ids reserved for the engine's audits (not `Rule` impls — they
+/// cannot themselves be allowed).
+pub const META_RULES: [&str; 3] = ["unused-allow", "malformed-allow", "malformed-effect"];
 
 /// Every registered rule, in diagnostic order.
 pub fn registry() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(nondet_collections::NondetCollections),
         Box::new(wall_clock::WallClock),
-        Box::new(panic_hot_path::PanicHotPath),
+        Box::new(hot_path_purity::HotPathPurity),
+        Box::new(event_match::EventMatchExhaustiveness),
+        Box::new(unit_suffix::UnitSuffixConsistency),
         Box::new(rng_escape::RngEscape),
         Box::new(event_coverage::EventEmissionCoverage),
         Box::new(golden_schema::GoldenSchema),

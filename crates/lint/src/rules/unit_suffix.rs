@@ -1,0 +1,146 @@
+//! `unit-suffix-consistency`: arithmetic that mixes `_us`/`_ms`/`_s`
+//! (time) or `_w`/`_mw` (power) suffixed identifiers without an
+//! explicit conversion is flagged.
+//!
+//! The codebase encodes units in identifier suffixes instead of newtype
+//! wrappers (hot-path structs stay `f64`-flat for the kernels), which
+//! makes `epoch_us + budget_ms` or `cap_w < draw_mw` typo-quiet: the
+//! compiler sees two `f64`s and the golden files drift by 1000×. The
+//! rule checks the two identifiers *directly adjacent* to a binary
+//! `+`/`-`/comparison operator: a conversion factor between them
+//! (`a_ms * 1000 + b_us`) breaks adjacency and exempts the expression
+//! naturally, so only genuinely unconverted mixes fire.
+
+use super::{Rule, SIM_CRATES};
+use crate::diag::Finding;
+use crate::lexer::{Token, TokenKind};
+use crate::source::SourceFile;
+
+pub struct UnitSuffixConsistency;
+
+/// Suffix groups: identifiers in the same group must agree on the unit
+/// when combined arithmetically.
+const GROUPS: [(&str, &[&str]); 2] = [
+    ("time", &["us", "ms", "s"]),
+    ("power", &["w", "mw"]),
+];
+
+impl Rule for UnitSuffixConsistency {
+    fn id(&self) -> &'static str {
+        "unit-suffix-consistency"
+    }
+
+    fn description(&self) -> &'static str {
+        "arithmetic mixing _us/_ms/_s or _w/_mw suffixed identifiers needs an explicit \
+         conversion"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !SIM_CRATES.contains(&file.crate_name()) || file.is_test_file() {
+            return;
+        }
+        let code: Vec<&Token> = file.code_tokens().collect();
+        for (i, tok) in code.iter().enumerate() {
+            if file.is_test_line(tok.line) {
+                continue;
+            }
+            let Some(op) = binary_op(&code, i) else { continue };
+            let Some((left, lu, lg)) = operand(&code, i, false) else { continue };
+            let Some((right, ru, rg)) = operand(&code, i + op, true) else { continue };
+            if lg == rg && lu != ru {
+                out.push(Finding {
+                    rule: self.id(),
+                    file: file.rel_path.clone(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!(
+                        "`{left}` (_{lu}) and `{right}` (_{ru}) mix {lg} units without an \
+                         explicit conversion"
+                    ),
+                    rationale: "unit suffixes are the only unit system the f64-flat hot-path \
+                                structs have; a silent _ms/_us mix drifts goldens by 1000× — \
+                                insert the conversion factor next to the operator or rename \
+                                the identifier",
+                });
+            }
+        }
+    }
+}
+
+/// Recognises a binary operator starting at token `i`; returns its
+/// token length. Covers `+ - < > <= >= == !=` (and `+=`/`-=`);
+/// multiplication and division are conversions by definition.
+fn binary_op(code: &[&Token], i: usize) -> Option<usize> {
+    let t = code[i];
+    let next_is = |k: usize, c: char| code.get(i + k).is_some_and(|n| n.is_punct(c));
+    if t.is_punct('+') || t.is_punct('-') {
+        // `a -= b` still combines the two operands.
+        return Some(if next_is(1, '=') { 2 } else { 1 });
+    }
+    if (t.is_punct('<') || t.is_punct('>')) && !next_is(1, '<') && !next_is(1, '>') {
+        // `<<`/`>>` shifts excluded; `<=`/`>=` are two tokens.
+        return Some(if next_is(1, '=') { 2 } else { 1 });
+    }
+    if (t.is_punct('=') || t.is_punct('!')) && next_is(1, '=') {
+        // `==` / `!=`; plain `=` (assignment) does not combine units.
+        return Some(2);
+    }
+    None
+}
+
+/// The suffixed identifier adjacent to an operator: walking right, the
+/// first token must be part of an `ident`/`self`/`.` chain (possibly
+/// parenthesised getter calls are skipped as unknown); walking left,
+/// the chain's *last* ident is the field that carries the suffix.
+/// Returns `(name, unit, group)` only when the adjacent operand is a
+/// suffixed identifier.
+fn operand(code: &[&Token], op_idx: usize, forward: bool) -> Option<(String, &'static str, &'static str)> {
+    let ident = if forward {
+        // Right operand: skip leading `self`/`&`, follow the `a.b.c`
+        // chain to its last ident, stop before a call `(`.
+        let mut j = op_idx;
+        let mut last: Option<usize> = None;
+        while let Some(t) = code.get(j) {
+            if t.kind == TokenKind::Ident && !t.is_ident("self") {
+                last = Some(j);
+                if !code.get(j + 1).is_some_and(|n| n.is_punct('.')) {
+                    break;
+                }
+                j += 2;
+            } else if t.is_ident("self") || t.is_punct('&') {
+                j += 1;
+            } else {
+                break;
+            }
+        }
+        let last = last?;
+        if code.get(last + 1).is_some_and(|n| n.is_punct('(')) {
+            return None; // method call result: unknown unit
+        }
+        code[last]
+    } else {
+        // Left operand: the token immediately before the operator must
+        // be the chain's final ident (a `)` or literal is unknown).
+        let t = *code.get(op_idx.checked_sub(1)?)?;
+        if t.kind != TokenKind::Ident || t.is_ident("self") {
+            return None;
+        }
+        t
+    };
+    let (unit, group) = suffix_of(&ident.text)?;
+    Some((ident.text.clone(), unit, group))
+}
+
+/// Splits a `name_us`-style suffix into `(unit, group)`.
+fn suffix_of(name: &str) -> Option<(&'static str, &'static str)> {
+    let (stem, suffix) = name.rsplit_once('_')?;
+    if stem.is_empty() {
+        return None;
+    }
+    for (group, units) in GROUPS {
+        if let Some(u) = units.iter().copied().find(|u| *u == suffix) {
+            return Some((u, group));
+        }
+    }
+    None
+}

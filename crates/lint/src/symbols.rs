@@ -1,0 +1,446 @@
+//! Item and symbol extraction: the parse layer of the analysis engine.
+//!
+//! Built directly on the token stream — no AST. One linear walk per file
+//! recognises `fn` / `impl` / `trait` items, brace-matches their bodies,
+//! and records for every function its bare name, its *owner* (the
+//! `impl`/`trait` type it is a method of, `None` for free functions),
+//! the token range of its body, and whether it is test code. The
+//! call-graph builder ([`crate::callgraph`]) and the effect-inference
+//! pass ([`crate::effects`]) consume this table; the span invariants
+//! (every item span lies inside its source, and starts at the item
+//! keyword) are property-tested against randomized token streams.
+
+use crate::lexer::{Token, TokenKind};
+use crate::source::{SourceFile, Workspace};
+
+/// What kind of item a span covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Impl,
+    Trait,
+}
+
+/// One extracted item with its source span (1-based, inclusive).
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Item name: the fn name, the impl'd type, or the trait name.
+    /// Empty when the header is too mangled to name (unterminated).
+    pub name: String,
+    /// Line/column of the `fn`/`impl`/`trait` keyword itself.
+    pub line: u32,
+    pub col: u32,
+    /// Line of the item's final token (closing brace or `;`).
+    pub end_line: u32,
+}
+
+/// One function symbol in the workspace table.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Bare function name.
+    pub name: String,
+    /// `impl`/`trait` type this is a method of; `None` for free fns.
+    pub owner: Option<String>,
+    /// Index of the declaring file in the workspace `files` vec.
+    pub file: usize,
+    /// Line/column of the `fn` keyword.
+    pub line: u32,
+    pub col: u32,
+    /// Inclusive code-token index range of the body `{ … }` within the
+    /// file's comment-stripped token vec; `None` for bodyless
+    /// signatures (trait requirements, extern decls).
+    pub body: Option<(usize, usize)>,
+    /// Test code: a test file, or inside a `#[cfg(test)]` module.
+    pub is_test: bool,
+}
+
+/// The workspace symbol table.
+pub struct SymbolTable {
+    /// Every function, in (file, token) order.
+    pub fns: Vec<FnSym>,
+    /// Every fn/impl/trait item per file (same file indexing), for
+    /// span consumers and the property tests.
+    pub items_per_file: Vec<Vec<Item>>,
+}
+
+impl SymbolTable {
+    /// Extracts symbols from every file of a loaded workspace.
+    pub fn build(ws: &Workspace) -> SymbolTable {
+        let mut fns = Vec::new();
+        let mut items_per_file = Vec::new();
+        for (fi, file) in ws.files.iter().enumerate() {
+            let (file_fns, items) = extract_file(file, fi);
+            fns.extend(file_fns);
+            items_per_file.push(items);
+        }
+        SymbolTable { fns, items_per_file }
+    }
+
+    /// Fn indices matching `name`, methods only (`owner` is `Some`).
+    pub fn methods_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = usize> + 'a {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.owner.is_some() && f.name == name)
+            .map(|(i, _)| i)
+    }
+
+    /// Fn indices matching `name`, free functions only.
+    pub fn free_fns_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = usize> + 'a {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.owner.is_none() && f.name == name)
+            .map(|(i, _)| i)
+    }
+
+    /// Fn indices of `Owner::name` methods.
+    pub fn methods_of<'a>(
+        &'a self,
+        owner: &'a str,
+        name: &'a str,
+    ) -> impl Iterator<Item = usize> + 'a {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.owner.as_deref() == Some(owner) && f.name == name)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Extracts the items of one file. Public so the property tests can
+/// drive it file-by-file over randomized sources.
+pub fn extract_file(file: &SourceFile, file_index: usize) -> (Vec<FnSym>, Vec<Item>) {
+    let code: Vec<&Token> = file.code_tokens().collect();
+    let mut fns = Vec::new();
+    let mut items = Vec::new();
+    // Owners become active when their body `{` opens and retire when
+    // depth returns to the value recorded at the opening.
+    let mut owner_stack: Vec<(String, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth -= 1;
+            while owner_stack.last().is_some_and(|&(_, d)| depth < d) {
+                owner_stack.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let kind = if t.is_ident("impl") {
+                ItemKind::Impl
+            } else {
+                ItemKind::Trait
+            };
+            let (name, body_open) = parse_owner_header(&code, i, kind);
+            let end_line = body_open
+                .and_then(|open| brace_match(&code, open))
+                .map(|close| code[close].line)
+                .unwrap_or_else(|| code.last().map(|t| t.line).unwrap_or(t.line));
+            items.push(Item {
+                kind,
+                name: name.clone().unwrap_or_default(),
+                line: t.line,
+                col: t.col,
+                end_line,
+            });
+            if let Some(open) = body_open {
+                // The owner activates at the body's depth; the walk
+                // continues *into* the body so nested fns are found.
+                if let Some(name) = name {
+                    owner_stack.push((name, depth + 1));
+                }
+                i = open; // the `{` is handled at the top of the loop
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_ident("fn") {
+            let name = code
+                .get(i + 1)
+                .filter(|n| n.kind == TokenKind::Ident)
+                .map(|n| n.text.clone())
+                .unwrap_or_default();
+            let body = fn_body_range(&code, i);
+            let end_idx = body.map(|(_, e)| e);
+            let end_line = end_idx
+                .map(|e| code[e].line)
+                .unwrap_or_else(|| fn_sig_end_line(&code, i));
+            items.push(Item {
+                kind: ItemKind::Fn,
+                name: name.clone(),
+                line: t.line,
+                col: t.col,
+                end_line,
+            });
+            fns.push(FnSym {
+                name,
+                owner: owner_stack.last().map(|(n, _)| n.clone()),
+                file: file_index,
+                line: t.line,
+                col: t.col,
+                body,
+                is_test: file.is_test_file() || file.is_test_line(t.line),
+            });
+            // Continue from just past the header so nested items inside
+            // the body are visited by the same walk.
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    (fns, items)
+}
+
+/// Parses an `impl`/`trait` header starting at `start` (the keyword).
+/// Returns the owner type name and the index of the body's `{`.
+///
+/// * `impl<T> Foo<T> { … }` → `Foo`
+/// * `impl Display for Foo { … }` → `Foo` (the implementing type)
+/// * `trait Observer { … }` → `Observer`
+fn parse_owner_header(
+    code: &[&Token],
+    start: usize,
+    kind: ItemKind,
+) -> (Option<String>, Option<usize>) {
+    let mut i = start + 1;
+    let mut angle = 0i32;
+    let mut after_for: Option<usize> = None;
+    // Find the body `{` (or `;` for a bodyless decl), tracking `for`.
+    let mut body_open = None;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle <= 0 && t.is_punct('{') {
+            body_open = Some(i);
+            break;
+        } else if angle <= 0 && t.is_punct(';') {
+            break;
+        } else if angle <= 0 && t.is_ident("for") {
+            after_for = Some(i);
+        } else if angle <= 0 && t.is_ident("where") {
+            // The type name is complete before a where clause.
+            if after_for.is_none() && kind == ItemKind::Impl {
+                // keep scanning for `{`
+            }
+        }
+        i += 1;
+    }
+    let header_end = body_open.unwrap_or(i);
+    let name = match kind {
+        ItemKind::Trait => code
+            .get(start + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone()),
+        _ => {
+            // The implementing type: last ident of the path following
+            // `for` when present, else last ident of the first path
+            // after the (skipped) generic parameter list.
+            let path_start = match after_for {
+                Some(f) => f + 1,
+                None => {
+                    let mut j = start + 1;
+                    if code.get(j).is_some_and(|t| t.is_punct('<')) {
+                        let mut a = 0i32;
+                        while j < header_end {
+                            if code[j].is_punct('<') {
+                                a += 1;
+                            } else if code[j].is_punct('>') {
+                                a -= 1;
+                                if a == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                    j
+                }
+            };
+            last_path_ident(code, path_start, header_end)
+        }
+    };
+    (name, body_open)
+}
+
+/// The last ident of the `a::b::C` path starting at `from` (stops at
+/// generics, `for`, `where` or the header end).
+fn last_path_ident(code: &[&Token], from: usize, until: usize) -> Option<String> {
+    let mut last = None;
+    let mut i = from;
+    while i < until {
+        let t = code[i];
+        if t.kind == TokenKind::Ident {
+            if t.is_ident("for") || t.is_ident("where") || t.is_ident("dyn") {
+                break;
+            }
+            last = Some(t.text.clone());
+            // A path continues only through `::`.
+            if code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && code.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            {
+                i += 3;
+                continue;
+            }
+            break;
+        }
+        if t.is_punct('&') || t.kind == TokenKind::Lifetime || t.is_punct('\'') {
+            i += 1;
+            continue;
+        }
+        break;
+    }
+    last
+}
+
+/// The body token range of the fn whose `fn` keyword sits at `start`:
+/// skips the name, generics and parameter list, then the return type,
+/// and brace-matches the first `{` found at paren depth 0. Returns
+/// `None` when the signature ends in `;`.
+fn fn_body_range(code: &[&Token], start: usize) -> Option<(usize, usize)> {
+    let mut i = start + 1;
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    while i < code.len() {
+        let t = code[i];
+        if t.is_punct('(') || t.is_punct('[') {
+            paren += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            paren -= 1;
+        } else if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = (angle - 1).max(0);
+        } else if paren == 0 && t.is_punct('{') {
+            let close = brace_match(code, i)?;
+            return Some((i, close));
+        } else if paren == 0 && angle == 0 && t.is_punct(';') {
+            return None;
+        } else if t.is_ident("fn") && i > start + 1 && paren == 0 {
+            // `fn` in a return type (`-> fn(…)`) is possible but a bare
+            // nested `fn` keyword before any body means the header was
+            // mangled; stop rather than swallow the next item.
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open` (`None` if unterminated).
+pub fn brace_match(code: &[&Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Last line of a bodyless fn signature (up to the `;`).
+fn fn_sig_end_line(code: &[&Token], start: usize) -> u32 {
+    let mut i = start;
+    while i < code.len() {
+        if code[i].is_punct(';') {
+            return code[i].line;
+        }
+        i += 1;
+    }
+    code.last().map(|t| t.line).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> (Vec<FnSym>, Vec<Item>) {
+        extract_file(&SourceFile::from_source("crates/core/src/x.rs", src), 0)
+    }
+
+    #[test]
+    fn free_fns_and_methods_get_owners() {
+        let (fns, _) = table(
+            "fn free() { helper(); }\n\
+             impl System {\n    pub fn control(&mut self) {}\n    fn inner(&self) -> u32 { 1 }\n}\n\
+             impl<T> Wrapper<T> {\n    fn get(&self) -> &T { &self.0 }\n}\n",
+        );
+        let names: Vec<(String, Option<String>)> =
+            fns.iter().map(|f| (f.name.clone(), f.owner.clone())).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free".into(), None),
+                ("control".into(), Some("System".into())),
+                ("inner".into(), Some("System".into())),
+                ("get".into(), Some("Wrapper".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_impls_attribute_to_the_implementing_type() {
+        let (fns, items) = table(
+            "impl fmt::Display for Finding {\n    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { Ok(()) }\n}\n\
+             trait Observer {\n    fn on_event(&mut self);\n    fn flush(&mut self) {}\n}\n",
+        );
+        assert_eq!(fns[0].owner.as_deref(), Some("Finding"));
+        assert_eq!(fns[1].owner.as_deref(), Some("Observer"));
+        assert!(fns[1].body.is_none(), "signature-only trait fn has no body");
+        assert_eq!(fns[2].owner.as_deref(), Some("Observer"));
+        assert!(fns[2].body.is_some(), "default method has a body");
+        assert!(items.iter().any(|i| i.kind == ItemKind::Trait && i.name == "Observer"));
+    }
+
+    #[test]
+    fn nested_fns_are_found_and_spans_nest() {
+        let (fns, items) = table(
+            "impl A {\n    fn outer(&self) {\n        fn inner() -> u32 { 2 }\n        inner();\n    }\n}\n",
+        );
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "outer");
+        assert_eq!(fns[1].name, "inner");
+        // The inner fn keeps the enclosing impl owner on the stack; that
+        // is fine for resolution (it is only callable from inside).
+        let outer = items.iter().find(|i| i.name == "outer").expect("outer item");
+        let inner = items.iter().find(|i| i.name == "inner").expect("inner item");
+        assert!(outer.line < inner.line && inner.end_line <= outer.end_line);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let (fns, _) = table(
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n",
+        );
+        assert!(!fns[0].is_test);
+        assert!(fns[1].is_test);
+    }
+
+    #[test]
+    fn bodyless_and_mangled_headers_do_not_panic() {
+        let (fns, _) = table("extern \"C\" { fn ffi(x: u32) -> u32; }\nfn ok() {}\nfn broken(");
+        assert_eq!(fns.len(), 3);
+        assert!(fns[0].body.is_none());
+        assert!(fns[1].body.is_some());
+        assert!(fns[2].body.is_none());
+    }
+}

@@ -1,0 +1,23 @@
+pub fn tally(ev: &SimEvent) -> u32 {
+    match ev {
+        SimEvent::TestCompleted { .. } => 1,
+        SimEvent::TestAborted { .. } => 2,
+        SimEvent::AppArrived { .. } => 3,
+    }
+}
+
+pub fn sample(ev: &SimEvent) -> u32 {
+    match ev {
+        SimEvent::TestCompleted { .. } => 1,
+        // lint:allow(event-match-exhaustiveness, reason = "fixture: subset contract — completions only")
+        _ => 0,
+    }
+}
+
+pub fn unrelated(x: Option<u32>) -> u32 {
+    // Matches that never touch a guarded enum are out of scope.
+    match x {
+        Some(v) => v,
+        _ => 0,
+    }
+}

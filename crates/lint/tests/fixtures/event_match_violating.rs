@@ -1,0 +1,7 @@
+pub fn tally(ev: &SimEvent) -> u32 {
+    match ev {
+        SimEvent::TestCompleted { .. } => 1,
+        SimEvent::TestAborted { .. } => 2,
+        _ => 0,
+    }
+}

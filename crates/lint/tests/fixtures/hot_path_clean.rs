@@ -1,0 +1,20 @@
+impl System {
+    pub fn control(&mut self) {
+        self.probe_lane();
+        // lint:allow(hot-path-purity, reason = "fixture: reviewed steady-state append into reused capacity")
+        self.scratch.push(1);
+    }
+
+    fn probe_lane(&mut self) {
+        self.launch_probe();
+    }
+
+    // lint:effect(alloc, reason = "fixture: the probe lane owns its staging allocation by design")
+    fn launch_probe(&mut self) {
+        stage_buffer(8);
+    }
+}
+
+fn stage_buffer(n: usize) -> Vec<u32> {
+    vec![0; n]
+}

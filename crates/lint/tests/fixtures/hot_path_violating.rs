@@ -1,0 +1,17 @@
+impl System {
+    pub fn control(&mut self) {
+        self.probe_lane();
+    }
+
+    fn probe_lane(&mut self) {
+        self.launch_probe();
+    }
+
+    fn launch_probe(&mut self) {
+        stage_buffer(8);
+    }
+}
+
+fn stage_buffer(n: usize) -> Vec<u32> {
+    vec![0; n]
+}

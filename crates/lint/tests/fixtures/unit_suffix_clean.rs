@@ -1,0 +1,14 @@
+pub fn overdue(epoch_us: f64, timeout_us: f64) -> bool {
+    epoch_us > timeout_us
+}
+
+pub fn converted(epoch_us: f64, timeout_ms: f64) -> bool {
+    // The conversion factor sits between the operands, breaking
+    // adjacency: the expression is unit-correct by construction.
+    epoch_us > 1e3 * timeout_ms
+}
+
+pub fn cross_group(cap_w: f64, epoch_s: f64) -> f64 {
+    // Watts times seconds is energy — different groups never mix units.
+    cap_w * epoch_s
+}

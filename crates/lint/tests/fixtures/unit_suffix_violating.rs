@@ -1,0 +1,7 @@
+pub fn overdue(epoch_us: f64, timeout_ms: f64) -> bool {
+    epoch_us > timeout_ms
+}
+
+pub fn headroom(cap_w: f64, draw_mw: f64) -> f64 {
+    cap_w - draw_mw
+}

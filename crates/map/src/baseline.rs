@@ -39,6 +39,7 @@ impl ConaMapper {
 }
 
 impl Mapper for ConaMapper {
+    // lint:effect(alloc+panic, reason = "mapping lane materializes one placement per admitted app; placement expects hold on the searched region")
     fn map(&self, ctx: &MapContext, app: &TaskGraph) -> Option<Mapping> {
         let search = RegionSearch::new(ctx.mesh());
         let choice = search.find(app.task_count(), |c| ctx.is_free(c), |_| 0.0)?;

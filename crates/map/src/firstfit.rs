@@ -41,6 +41,7 @@ impl FirstFitMapper {
 }
 
 impl Mapper for FirstFitMapper {
+    // lint:effect(alloc, reason = "mapping lane materializes one placement per admitted app; admission frequency is workload-, not mesh-, scaled")
     fn map(&self, ctx: &MapContext, app: &TaskGraph) -> Option<Mapping> {
         let mesh = ctx.mesh();
         let free: Vec<_> = mesh.coords().filter(|&c| ctx.is_free(c)).collect();

@@ -82,6 +82,7 @@ impl Default for TestAwareMapper {
 }
 
 impl Mapper for TestAwareMapper {
+    // lint:effect(alloc+panic, reason = "mapping lane materializes one placement per admitted app; placement expects hold on the searched region")
     fn map(&self, ctx: &MapContext, app: &TaskGraph) -> Option<Mapping> {
         let search = RegionSearch::new(ctx.mesh());
         let choice = search.find(

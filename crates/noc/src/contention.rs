@@ -38,6 +38,7 @@ impl LinkLoads {
     /// # Panics
     ///
     /// Panics unless `window_secs` and `bandwidth` are strictly positive.
+    // lint:effect(alloc+panic, reason = "per-epoch constructor by design: builds the link-load matrix from the epoch's traffic; asserts are config validation")
     pub fn from_traffic(traffic: &TrafficMatrix, window_secs: f64, bandwidth: f64) -> Self {
         assert!(window_secs > 0.0, "window must be positive");
         assert!(bandwidth > 0.0, "bandwidth must be positive");

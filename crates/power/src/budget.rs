@@ -174,6 +174,7 @@ impl PowerBudget {
             .live
             .iter()
             .position(|&(id, _)| id == reservation.id)
+            // lint:allow(hot-path-purity, reason = "documented contract: a reservation is released exactly once by the lifecycle that owns it")
             .expect("reservation released twice or never granted");
         let (_, watts) = self.live.swap_remove(pos);
         self.reserved = (self.reserved - watts).max(0.0);
@@ -199,6 +200,7 @@ impl PowerBudget {
             .live
             .iter()
             .position(|&(id, _)| id == reservation.id)
+            // lint:allow(hot-path-purity, reason = "documented contract: resize only reaches reservations that are still live")
             .expect("resize of unknown reservation");
         let delta = new_watts - reservation.watts;
         if delta > 0.0 && delta > self.headroom() + 1e-12 {

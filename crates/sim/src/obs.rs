@@ -344,6 +344,7 @@ impl SimEvent {
     /// Appends this event as one JSON object (no trailing newline) to
     /// `out`. Floats use Rust's shortest-round-trip `Display`, which is
     /// deterministic, so identical runs render byte-identical JSON.
+    // lint:effect(alloc, reason = "renders into the caller's String buffer — write! to String is an append, not I/O; callers reuse the buffer across epochs")
     pub fn write_json(&self, t: f64, out: &mut String) {
         let kind = self.kind();
         let _ = write!(out, "{{\"t\":{t},\"kind\":\"{kind}\"");
@@ -700,6 +701,7 @@ impl EventRecord {
     /// Appends this record as one JSON object (no trailing newline):
     /// `{"t":…,"id":…[,"cause":…,"link":"…"],"kind":"…",fields}`.
     /// Deterministic byte-for-byte, like [`SimEvent::write_json`].
+    // lint:effect(alloc, reason = "renders into the caller's String buffer — write! to String is an append, not I/O; callers reuse the buffer across epochs")
     pub fn write_json(&self, out: &mut String) {
         let _ = write!(out, "{{\"t\":{},\"id\":{}", self.t, self.id.0);
         if let Some(link) = self.cause {
@@ -1121,6 +1123,7 @@ impl CounterRegistry {
     }
 
     /// Adds `delta` to the named counter (creating it at 0).
+    // lint:effect(warmup, reason = "first touch of a counter name allocates its key once; every later add is an in-place increment")
     pub fn add(&mut self, name: &str, delta: u64) {
         if let Some(c) = self.counters.get_mut(name) {
             *c += delta;
@@ -1151,6 +1154,7 @@ impl CounterRegistry {
     ///
     /// Panics if the histogram was never declared — an undeclared record
     /// is a telemetry wiring bug, not a runtime condition.
+    // lint:effect(panic, reason = "documented # Panics contract: an undeclared histogram is a telemetry wiring bug, not a runtime condition")
     pub fn record(&mut self, name: &str, x: f64) {
         self.histograms
             .get_mut(name)

@@ -192,6 +192,7 @@ impl Trace {
 
     /// Returns the series with the given name, creating it if absent
     /// (with this trace's default sample bound, if any).
+    // lint:effect(warmup, reason = "first touch of a series name allocates its key and buffer once; steady-state epochs append into bounded storage")
     pub fn series_mut(&mut self, name: &str) -> &mut TraceSeries {
         let bound = self.default_bound;
         self.series.entry(name.to_owned()).or_insert_with(|| {

@@ -116,6 +116,7 @@ impl VfCoverageLedger {
                 let distance = (l.0 as usize + self.levels - offset) % self.levels;
                 (self.tests_at(core, l), distance)
             })
+            // lint:allow(hot-path-purity, reason = "ledger is constructed with at least one level")
             .expect("ledger has at least one level")
     }
 

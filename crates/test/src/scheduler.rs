@@ -285,6 +285,7 @@ impl TestScheduler {
             }
         }
         let mut ranked = std::mem::take(&mut self.rank_scratch);
+        // lint:allow(hot-path-purity, reason = "rank scratch reuses its capacity across scheduling rounds; extend allocates only until the high-water mark")
         ranked.extend(
             candidates
                 .iter()
@@ -351,7 +352,7 @@ impl TestScheduler {
             Some(std::cmp::Ordering::Greater) => true,
             Some(std::cmp::Ordering::Less) => false,
             Some(std::cmp::Ordering::Equal) => a.core < b.core,
-            // lint:allow(panic-in-hot-path, reason = "criticality is a product of finite clamped model inputs; NaN would corrupt the ranking silently, so fail loudly")
+            // lint:allow(hot-path-purity, reason = "criticality is a product of finite clamped model inputs; NaN would corrupt the ranking silently, so fail loudly")
             None => panic!("criticality is never NaN"),
         }
     }

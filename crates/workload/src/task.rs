@@ -189,6 +189,7 @@ impl TaskGraph {
     }
 
     /// Tasks with no predecessors (the entry layer).
+    // lint:effect(alloc, reason = "admission lane materializes the root set once per admitted app")
     pub fn roots(&self) -> Vec<TaskId> {
         (0..self.tasks.len() as u32)
             .map(TaskId)
