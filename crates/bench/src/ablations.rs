@@ -39,15 +39,13 @@ pub fn a1_intrusiveness(scale: Scale, jobs: usize) -> Vec<A1Row> {
     let mut batch = Batch::new();
     for &intrusive in modes.iter() {
         batch.push(format!("a1/intrusive={intrusive}"), move || {
-            SystemBuilder::new(TechNode::N16)
+            let builder = SystemBuilder::new(TechNode::N16)
                 .seed(90)
                 .sim_time_ms(ms)
                 .arrival_rate(2_500.0)
                 .mapper(MapperKind::Baseline) // maximise task/test collisions
-                .intrusive_testing(intrusive)
-                .build()
-                .expect("valid config")
-                .run()
+                .intrusive_testing(intrusive);
+            crate::ledger::run_system("a1", builder)
         });
     }
     modes
@@ -111,14 +109,12 @@ pub fn a2_criticality_weights(scale: Scale, jobs: usize) -> Vec<A2Row> {
     let mut batch = Batch::new();
     for &(name, w_stress, w_time) in variants.iter() {
         batch.push(format!("a2/{name}"), move || {
-            SystemBuilder::new(TechNode::N16)
+            let builder = SystemBuilder::new(TechNode::N16)
                 .seed(91)
                 .sim_time_ms(ms)
                 .arrival_rate(2_000.0)
-                .criticality(CriticalityModel::new(w_stress, w_time, 0.1, 1.0))
-                .build()
-                .expect("valid config")
-                .run()
+                .criticality(CriticalityModel::new(w_stress, w_time, 0.1, 1.0));
+            crate::ledger::run_system("a2", builder)
         });
     }
     variants
@@ -198,15 +194,13 @@ pub fn a3_abort_overhead(scale: Scale, jobs: usize) -> Vec<A3Row> {
     // seeds to rise above scheduling noise.
     for &seed in seeds.iter() {
         batch.push(format!("a3/baseline/seed{seed}"), move || {
-            SystemBuilder::new(TechNode::N16)
+            let builder = SystemBuilder::new(TechNode::N16)
                 .seed(seed)
                 .sim_time_ms(ms)
                 .arrival_rate(2_500.0)
                 .mapper(MapperKind::Baseline)
-                .testing(false)
-                .build()
-                .expect("valid config")
-                .run()
+                .testing(false);
+            crate::ledger::run_system("a3", builder)
         });
     }
     for &overhead in overheads.iter() {
@@ -218,10 +212,7 @@ pub fn a3_abort_overhead(scale: Scale, jobs: usize) -> Vec<A3Row> {
                 cfg.arrival_rate = 2_500.0;
                 cfg.mapper = MapperKind::Baseline;
                 cfg.abort_overhead = manytest_sim::Duration::from_secs_f64(overhead);
-                SystemBuilder::from_config(cfg)
-                    .build()
-                    .expect("valid config")
-                    .run()
+                crate::ledger::run_system("a3", SystemBuilder::from_config(cfg))
             });
         }
     }
@@ -277,10 +268,7 @@ pub fn a4_level_rotation(scale: Scale, jobs: usize) -> Vec<A4Row> {
         cfg.injected_faults = 40;
         cfg.vf_windowed_fault_fraction = 1.0;
         cfg.test_scheduler.fixed_level = fixed;
-        SystemBuilder::from_config(cfg)
-            .build()
-            .expect("valid config")
-            .run()
+        crate::ledger::run_system("a4", SystemBuilder::from_config(cfg))
     };
     let mut batch = Batch::new();
     batch.push("a4/ladder-rotation", move || run(None));
@@ -370,14 +358,12 @@ pub fn a5_thermal_model(scale: Scale, jobs: usize) -> Vec<A5Row> {
     let mut batch = Batch::new();
     for &transient in modes.iter() {
         batch.push(format!("a5/transient={transient}"), move || {
-            SystemBuilder::new(TechNode::N16)
+            let builder = SystemBuilder::new(TechNode::N16)
                 .seed(94)
                 .sim_time_ms(ms)
                 .arrival_rate(2_000.0)
-                .transient_thermal(transient)
-                .build()
-                .expect("valid config")
-                .run()
+                .transient_thermal(transient);
+            crate::ledger::run_system("a5", builder)
         });
     }
     modes
@@ -450,14 +436,12 @@ pub fn a6_contention(scale: Scale, jobs: usize) -> Vec<A6Row> {
     let mut batch = Batch::new();
     for &contention in modes.iter() {
         batch.push(format!("a6/contention={contention}"), move || {
-            SystemBuilder::new(TechNode::N16)
+            let builder = SystemBuilder::new(TechNode::N16)
                 .seed(95)
                 .sim_time_ms(ms)
                 .arrival_rate(3_000.0)
-                .model_contention(contention)
-                .build()
-                .expect("valid config")
-                .run()
+                .model_contention(contention);
+            crate::ledger::run_system("a6", builder)
         });
     }
     modes

@@ -51,22 +51,18 @@ pub enum DiffTarget<'a> {
 /// Runs both sides and renders the diff. `None` when either probe id is
 /// unknown.
 pub fn run_diff(id: &str, target: DiffTarget<'_>, scale: Scale) -> Option<String> {
-    let report_a = probe_builder(id, scale)?.build().expect("probe config is valid").run();
+    let report_a = crate::ledger::run_system(&format!("diff/{id}"), probe_builder(id, scale)?);
     let (label_b, report_b) = match target {
         DiffTarget::Probe(other) => (
             other.to_owned(),
-            probe_builder(other, scale)?
-                .build()
-                .expect("probe config is valid")
-                .run(),
+            crate::ledger::run_system(&format!("diff/{other}"), probe_builder(other, scale)?),
         ),
         DiffTarget::Seed(seed2) => (
             format!("{id} --seed2 {seed2}"),
-            probe_builder(id, scale)?
-                .seed(seed2)
-                .build()
-                .expect("probe config is valid")
-                .run(),
+            crate::ledger::run_system(
+                &format!("diff/{id}/seed{seed2}"),
+                probe_builder(id, scale)?.seed(seed2),
+            ),
         ),
     };
     Some(diff_reports(id, &report_a, &label_b, &report_b))

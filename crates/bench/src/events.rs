@@ -87,14 +87,13 @@ pub fn probe_builder(id: &str, scale: Scale) -> Option<SystemBuilder> {
     )
 }
 
-/// Runs one probe to completion. `None` for unknown ids.
+/// Runs one probe to completion (through the run-ledger funnel, so a
+/// warm ledger serves it from cache). `None` for unknown ids.
 pub fn run_probe(id: &str, scale: Scale) -> Option<Report> {
-    Some(
-        probe_builder(id, scale)?
-            .build()
-            .expect("probe config is valid")
-            .run(),
-    )
+    Some(crate::ledger::run_system(
+        &format!("probe/{id}"),
+        probe_builder(id, scale)?,
+    ))
 }
 
 /// Runs the probes for `ids` (unknown ids are skipped) on up to `jobs`

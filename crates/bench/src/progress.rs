@@ -1,0 +1,377 @@
+//! Live per-job progress/heartbeat telemetry for the batch runner.
+//!
+//! Every batch job registers itself here for the duration of its run
+//! (see `runner.rs`); the simulation publishes *deterministic* epoch and
+//! event counters into shared [`ProgressCounters`], and — only when the
+//! user opted in with `--progress` — a bench-side renderer thread pairs
+//! those counters with its own wall clock to print heartbeat frames to
+//! stderr: per-job percent, ETA, live event counts, and a *stalled*
+//! warning for any job whose counters stop moving for longer than
+//! `MANYTEST_STALL_SECONDS` (default 30). Wall-clock never crosses into
+//! the simulation, so attaching progress cannot change any result.
+
+use manytest_sim::{ProgressCounters, ProgressSnapshot};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Once};
+use std::time::{Duration, Instant};
+
+/// Seconds of counter silence before a job is flagged as stalled
+/// (`MANYTEST_STALL_SECONDS`, default 30).
+pub fn stall_seconds() -> f64 {
+    std::env::var("MANYTEST_STALL_SECONDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .unwrap_or(30.0)
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns the stderr heartbeat renderer on for this process (the
+/// `--progress` flag). Idempotent; spawns the renderer thread once.
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+    spawn_renderer();
+}
+
+/// Whether `--progress` rendering is on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Shared state of one in-flight (or recently finished) batch job.
+///
+/// The runner registers one per job; the ledger reads the label and
+/// deposits the config hash through the thread-local handle, and the
+/// renderer thread reads everything through the board.
+pub struct JobState {
+    label: String,
+    counters: Arc<ProgressCounters>,
+    config_hash: AtomicU64,
+    cached: AtomicBool,
+    done: AtomicBool,
+    started: Instant,
+}
+
+impl JobState {
+    /// The label the job was pushed with.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The job's shared progress counters (installed into the simulation
+    /// by the ledger funnel).
+    pub fn counters(&self) -> Arc<ProgressCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Records the job's config fingerprint (0 = not yet known).
+    pub fn set_config_hash(&self, hash: u64) {
+        self.config_hash.store(hash, Ordering::Relaxed);
+    }
+
+    /// The recorded config fingerprint, if the ledger funnel ran.
+    pub fn config_hash(&self) -> Option<u64> {
+        match self.config_hash.load(Ordering::Relaxed) {
+            0 => None,
+            h => Some(h),
+        }
+    }
+
+    /// Marks the job as served from the ledger cache.
+    pub fn mark_cached(&self) {
+        self.cached.store(true, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Vec<Arc<JobState>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// All registered jobs, for the renderer thread. Only populated while
+/// rendering is enabled, so plain batch runs don't accumulate entries.
+static BOARD: Mutex<Vec<Arc<JobState>>> = Mutex::new(Vec::new());
+
+/// Registers the calling thread as running the job `label` until the
+/// returned guard drops. Nested registrations (a batch inside a batch
+/// job) stack; the innermost wins for [`with_current`].
+pub fn job_started(label: &str) -> JobGuard {
+    let state = Arc::new(JobState {
+        label: label.to_owned(),
+        counters: Arc::new(ProgressCounters::new()),
+        config_hash: AtomicU64::new(0),
+        cached: AtomicBool::new(false),
+        done: AtomicBool::new(false),
+        started: Instant::now(),
+    });
+    if enabled() {
+        BOARD.lock().expect("progress board lock").push(Arc::clone(&state));
+    }
+    CURRENT.with(|c| c.borrow_mut().push(Arc::clone(&state)));
+    JobGuard { state }
+}
+
+/// Scope guard returned by [`job_started`]; unregisters the job and
+/// marks it done on drop.
+pub struct JobGuard {
+    state: Arc<JobState>,
+}
+
+impl Drop for JobGuard {
+    fn drop(&mut self) {
+        self.state.done.store(true, Ordering::Relaxed);
+        CURRENT.with(|c| {
+            let mut stack = c.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|s| Arc::ptr_eq(s, &self.state)) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// Runs `f` with the calling thread's innermost registered job, if any.
+/// This is how the ledger funnel finds the label and counters of the
+/// batch job it is running inside.
+pub fn with_current<T>(f: impl FnOnce(&JobState) -> T) -> Option<T> {
+    CURRENT.with(|c| c.borrow().last().map(Arc::clone)).map(|s| f(&s))
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat rendering.
+// ---------------------------------------------------------------------------
+
+/// One job's view for a heartbeat frame — plain data so the renderer is
+/// a pure, unit-testable function of its inputs.
+#[derive(Debug, Clone)]
+pub struct JobView {
+    /// Job label.
+    pub label: String,
+    /// Latest deterministic counter snapshot.
+    pub snap: ProgressSnapshot,
+    /// Whether the job was served from the ledger cache.
+    pub cached: bool,
+    /// Whether the job's guard dropped (result delivered).
+    pub done: bool,
+    /// Wall seconds since the job started.
+    pub elapsed_seconds: f64,
+    /// Wall seconds since the counters last changed, when that exceeds
+    /// the stall threshold (the watchdog verdict).
+    pub stalled_for: Option<f64>,
+}
+
+/// Renders one heartbeat frame (multiple stderr lines, each prefixed
+/// `[progress]`). Finished jobs are folded into the header count;
+/// running jobs get percent/ETA, event counts and the stall verdict.
+pub fn render_frame(views: &[JobView]) -> String {
+    let done = views.iter().filter(|v| v.done).count();
+    let cached = views.iter().filter(|v| v.cached).count();
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "[progress] {} running, {done} done",
+        views.len() - done
+    );
+    if cached > 0 {
+        let _ = write!(out, " ({cached} from cache)");
+    }
+    out.push('\n');
+    for v in views.iter().filter(|v| !v.done) {
+        let s = &v.snap;
+        let _ = write!(out, "[progress]   {:<24}", v.label);
+        if s.epochs_total > 0 {
+            let frac = s.epochs_done as f64 / s.epochs_total as f64;
+            let _ = write!(
+                out,
+                " {:>5.1}% ({}/{} epochs)",
+                frac * 100.0,
+                s.epochs_done,
+                s.epochs_total
+            );
+            if frac > 0.0 && frac < 1.0 {
+                let eta = v.elapsed_seconds * (1.0 - frac) / frac;
+                let _ = write!(out, "  ETA {eta:.1}s");
+            }
+        } else {
+            let _ = write!(out, "  starting");
+        }
+        let _ = write!(out, "  events {}", s.events_emitted);
+        if s.events_dropped > 0 {
+            let _ = write!(out, " ({} dropped)", s.events_dropped);
+        }
+        if let Some(quiet) = v.stalled_for {
+            let _ = write!(out, "  STALLED {quiet:.1}s without progress");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Spawns the heartbeat renderer daemon thread (once per process). The
+/// thread snapshots the board every 200 ms and prints a frame whenever
+/// at least one job is registered; it also keeps the per-job
+/// last-changed timestamps that back the stall watchdog.
+fn spawn_renderer() {
+    static STARTED: Once = Once::new();
+    STARTED.call_once(|| {
+        let threshold = stall_seconds();
+        let _ = std::thread::Builder::new()
+            .name("progress-heartbeat".into())
+            .spawn(move || {
+                // Keyed by JobState address: (last snapshot, last change).
+                let mut seen: BTreeMap<usize, (ProgressSnapshot, Instant)> = BTreeMap::new();
+                loop {
+                    let board: Vec<Arc<JobState>> =
+                        BOARD.lock().expect("progress board lock").clone();
+                    if !board.is_empty() {
+                        let now = Instant::now();
+                        let views: Vec<JobView> = board
+                            .iter()
+                            .map(|s| {
+                                let key = Arc::as_ptr(s) as usize;
+                                let snap = s.counters.snapshot();
+                                let entry = seen.entry(key).or_insert((snap, now));
+                                if entry.0 != snap {
+                                    *entry = (snap, now);
+                                }
+                                let done = s.done.load(Ordering::Relaxed);
+                                let quiet = now.duration_since(entry.1).as_secs_f64();
+                                JobView {
+                                    label: s.label.clone(),
+                                    snap,
+                                    cached: s.cached.load(Ordering::Relaxed),
+                                    done,
+                                    elapsed_seconds: now
+                                        .duration_since(s.started)
+                                        .as_secs_f64(),
+                                    stalled_for: (!done && !snap.finished
+                                        && quiet > threshold)
+                                        .then_some(quiet),
+                                }
+                            })
+                            .collect();
+                        eprint!("{}", render_frame(&views));
+                        // Forget finished jobs so the board stays small
+                        // over a long sweep (they rendered at least once
+                        // via the header count).
+                        let mut b = BOARD.lock().expect("progress board lock");
+                        b.retain(|s| !s.done.load(Ordering::Relaxed));
+                        seen.retain(|&k, _| {
+                            b.iter().any(|s| Arc::as_ptr(s) as usize == k)
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+            });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(done: u64, total: u64, events: u64, dropped: u64) -> ProgressSnapshot {
+        ProgressSnapshot {
+            epochs_total: total,
+            epochs_done: done,
+            events_emitted: events,
+            events_dropped: dropped,
+            finished: false,
+        }
+    }
+
+    #[test]
+    fn frame_shows_percent_and_eta() {
+        let views = [JobView {
+            label: "probe/e3".into(),
+            snap: snap(250, 500, 1234, 0),
+            cached: false,
+            done: false,
+            elapsed_seconds: 2.0,
+            stalled_for: None,
+        }];
+        let frame = render_frame(&views);
+        assert!(frame.contains("1 running, 0 done"), "got: {frame}");
+        assert!(frame.contains("probe/e3"), "got: {frame}");
+        assert!(frame.contains("50.0% (250/500 epochs)"), "got: {frame}");
+        assert!(frame.contains("ETA 2.0s"), "got: {frame}");
+        assert!(frame.contains("events 1234"), "got: {frame}");
+        assert!(!frame.contains("dropped"), "got: {frame}");
+    }
+
+    #[test]
+    fn frame_flags_stalled_jobs_and_dropped_events() {
+        let views = [JobView {
+            label: "demo/sleep".into(),
+            snap: snap(1, 100, 10, 7),
+            cached: false,
+            done: false,
+            elapsed_seconds: 5.0,
+            stalled_for: Some(3.25),
+        }];
+        let frame = render_frame(&views);
+        assert!(frame.contains("STALLED 3.2s without progress"), "got: {frame}");
+        assert!(frame.contains("(7 dropped)"), "got: {frame}");
+    }
+
+    #[test]
+    fn finished_jobs_fold_into_the_header() {
+        let views = [
+            JobView {
+                label: "a".into(),
+                snap: snap(100, 100, 5, 0),
+                cached: true,
+                done: true,
+                elapsed_seconds: 0.1,
+                stalled_for: None,
+            },
+            JobView {
+                label: "b".into(),
+                snap: snap(0, 0, 0, 0),
+                cached: false,
+                done: false,
+                elapsed_seconds: 0.0,
+                stalled_for: None,
+            },
+        ];
+        let frame = render_frame(&views);
+        assert!(frame.contains("1 running, 1 done (1 from cache)"), "got: {frame}");
+        assert!(!frame.lines().any(|l| l.contains("  a ")), "done jobs have no row: {frame}");
+        assert!(frame.contains("starting"), "got: {frame}");
+    }
+
+    #[test]
+    fn job_guard_registers_and_unregisters() {
+        assert!(with_current(|s| s.label().to_owned()).is_none());
+        let guard = job_started("outer/job");
+        assert_eq!(
+            with_current(|s| s.label().to_owned()).as_deref(),
+            Some("outer/job")
+        );
+        {
+            let _inner = job_started("inner/job");
+            assert_eq!(
+                with_current(|s| s.label().to_owned()).as_deref(),
+                Some("inner/job")
+            );
+        }
+        assert_eq!(
+            with_current(|s| s.label().to_owned()).as_deref(),
+            Some("outer/job")
+        );
+        with_current(|s| s.set_config_hash(0xabcd)).expect("slot present");
+        assert_eq!(with_current(|s| s.config_hash()), Some(Some(0xabcd)));
+        drop(guard);
+        assert!(with_current(|s| s.label().to_owned()).is_none());
+    }
+
+    #[test]
+    fn stall_threshold_has_a_sane_default() {
+        // The env var may be set by an outer test harness; only check the
+        // parse fallback contract.
+        let t = stall_seconds();
+        assert!(t > 0.0 && t.is_finite());
+    }
+}

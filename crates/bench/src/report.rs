@@ -33,7 +33,7 @@ const MARGIN: f64 = 34.0;
 /// `golden-schema` rule checks that any `manytest_*` metric the docs
 /// mention is in this list, and a unit test checks the list matches what
 /// [`render_prometheus`] actually writes.
-pub const METRIC_KEYS: [&str; 24] = [
+pub const METRIC_KEYS: [&str; 25] = [
     "manytest_sim_seconds",
     "manytest_apps_arrived",
     "manytest_apps_completed",
@@ -53,6 +53,7 @@ pub const METRIC_KEYS: [&str; 24] = [
     "manytest_healthy_cores_end",
     "manytest_corruption_exposure_core_seconds",
     "manytest_event_log_dropped_total",
+    "manytest_event_log_saturated",
     "manytest_state_snapshots_total",
     "manytest_profile_epochs_total",
     "manytest_profile_events_processed_total",
@@ -66,14 +67,13 @@ pub fn report_builder(id: &str, scale: Scale) -> Option<SystemBuilder> {
     Some(probe_builder(id, scale)?.record_state(REPORT_SNAPSHOT_CAPACITY))
 }
 
-/// Runs the report probe for `id` to completion. `None` for unknown ids.
+/// Runs the report probe for `id` to completion (through the run-ledger
+/// funnel). `None` for unknown ids.
 pub fn run_report_probe(id: &str, scale: Scale) -> Option<Report> {
-    Some(
-        report_builder(id, scale)?
-            .build()
-            .expect("probe config is valid")
-            .run(),
-    )
+    Some(crate::ledger::run_system(
+        &format!("report/{id}"),
+        report_builder(id, scale)?,
+    ))
 }
 
 /// Wall-clock phase timer, bench-side only: implements [`PhaseObserver`]
@@ -192,6 +192,7 @@ fn metric_rows(r: &Report) -> Vec<(&'static str, &'static str, String)> {
         ("manytest_healthy_cores_end", "Cores still healthy when the run ended.", u(r.healthy_cores_end)),
         ("manytest_corruption_exposure_core_seconds", "Core-seconds of app work on fault-carrying cores.", f(r.corruption_exposure)),
         ("manytest_event_log_dropped_total", "Telemetry samples dropped by the bounded event log.", u(r.events.dropped())),
+        ("manytest_event_log_saturated", "1 when the bounded event log dropped at least one record.", u((r.events.dropped() > 0) as u64)),
         ("manytest_state_snapshots_total", "State snapshots offered to the flight recorder.", u(r.state.seen())),
         ("manytest_profile_epochs_total", "Control epochs executed.", u(r.profile.epochs)),
         ("manytest_profile_events_processed_total", "Queue events drained by the control loop.", u(r.profile.events_processed)),

@@ -307,8 +307,18 @@ impl<'scope, R: Send> Batch<'scope, R> {
         let run_one = |i: usize, job: Job<'scope, R>| {
             let depth = (n - 1 - i) as f64;
             let _scope = enter_job_scope(JOB_IDS.fetch_add(1, Ordering::Relaxed));
+            // Progress registration: the ledger funnel reads the label
+            // and deposits the config hash through this slot, and the
+            // `--progress` heartbeat renderer watches its counters.
+            let progress = crate::progress::job_started(&job.label);
             let t0 = Instant::now();
-            let outcome = catch_unwind(AssertUnwindSafe(job.run)).map_err(|p| (job.label, p));
+            let outcome = catch_unwind(AssertUnwindSafe(job.run)).map_err(|p| {
+                // Record the failure while the job's thread-local slot
+                // (and its config hash) is still reachable.
+                crate::ledger::note_failed_job(&job.label, &panic_message(p.as_ref()));
+                (job.label, p)
+            });
+            drop(progress);
             let secs = t0.elapsed().as_secs_f64();
             record_job(secs, depth);
             let mut a = accum.lock().expect("batch stats lock");

@@ -48,19 +48,21 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wire;
 
 pub use engine::{Event, EventQueue};
 pub use obs::{
     emit_record, jsonl_kind_counts, write_json_str, AbortReason, CauseKind, CauseLink, CoreState,
     CounterRegistry, EventId, EventLog, EventRecord, HealthCode, JsonlWriter, NullObserver,
-    NullPhaseObserver, Observer, Phase, PhaseObserver, PhaseProfile, SimEvent, StateRecorder,
-    StateSnapshot, StateTimeline,
+    NullPhaseObserver, Observer, Phase, PhaseObserver, PhaseProfile, ProgressCounters,
+    ProgressSnapshot, SimEvent, StateRecorder, StateSnapshot, StateTimeline,
 };
 pub use provenance::{ChainSummary, ProvenanceGraph};
 pub use rng::{enter_job_scope, JobScopeGuard, SimRng};
 pub use stats::{Histogram, OnlineStats, TimeWeighted};
 pub use time::{Duration, Epoch, SimTime};
 pub use trace::{Trace, TraceSeries};
+pub use wire::{decode_from_str, encode_to_string, Wire, WireError, WireReader, WireWriter};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -68,12 +70,15 @@ pub mod prelude {
     pub use crate::obs::{
         emit_record, jsonl_kind_counts, write_json_str, AbortReason, CauseKind, CauseLink,
         CoreState, CounterRegistry, EventId, EventLog, EventRecord, HealthCode, JsonlWriter,
-        NullObserver, NullPhaseObserver, Observer, Phase, PhaseObserver, PhaseProfile, SimEvent,
-        StateRecorder, StateSnapshot, StateTimeline,
+        NullObserver, NullPhaseObserver, Observer, Phase, PhaseObserver, PhaseProfile,
+        ProgressCounters, ProgressSnapshot, SimEvent, StateRecorder, StateSnapshot, StateTimeline,
     };
     pub use crate::provenance::{ChainSummary, ProvenanceGraph};
     pub use crate::rng::{enter_job_scope, JobScopeGuard, SimRng};
     pub use crate::stats::{Histogram, OnlineStats, TimeWeighted};
     pub use crate::time::{Duration, Epoch, SimTime};
     pub use crate::trace::{Trace, TraceSeries};
+    pub use crate::wire::{
+        decode_from_str, encode_to_string, Wire, WireError, WireReader, WireWriter,
+    };
 }
